@@ -1,0 +1,350 @@
+// Benchmarks regenerating the paper's figures and claims (one Benchmark per
+// experiment of DESIGN.md's index — the workload each experiment measures,
+// made repeatable), plus micro-benchmarks of the load-bearing machinery.
+//
+// Run all with:
+//
+//	go test -bench=. -benchmem
+package stars_test
+
+import (
+	"testing"
+
+	"stars"
+	"stars/ext/bloom"
+	"stars/internal/cost"
+	"stars/internal/datum"
+	"stars/internal/exec"
+	"stars/internal/expr"
+	"stars/internal/opt"
+	"stars/internal/star"
+	"stars/internal/storage"
+	"stars/internal/workload"
+	"stars/internal/xform"
+)
+
+// optimize is the per-iteration unit most benchmarks repeat.
+func optimize(b *testing.B, cat *stars.Catalog, g *stars.Graph, o stars.Options) *stars.Result {
+	b.Helper()
+	res, err := stars.Optimize(cat, g, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkE1Figure1Plan regenerates E1: full STAR optimization of the
+// Figure 1 query, including generation of the figure's sort-merge plan.
+func BenchmarkE1Figure1Plan(b *testing.B) {
+	cat := workload.EmpDept()
+	g := workload.Figure1Query()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		optimize(b, cat, g, stars.Options{})
+	}
+}
+
+// BenchmarkE3Glue regenerates E3's work unit: a Glue reference that must
+// veneer plans with SHIP and SORT to satisfy [site, order] requirements.
+func BenchmarkE3Glue(b *testing.B) {
+	cat := workload.EmpDept()
+	cat.Sites = []string{"LA", "NY"}
+	cat.QuerySite = "LA"
+	cat.Table("DEPT").Site = "NY"
+	g := workload.Figure1Query()
+	g.OrderBy = []expr.ColID{{Table: "DEPT", Col: "DNO"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		optimize(b, cat, g, stars.Options{})
+	}
+}
+
+// BenchmarkE4Repertoire contrasts the enumeration cost of the left-deep
+// repertoire with the full composite-inner repertoire on a 6-table chain.
+func BenchmarkE4Repertoire(b *testing.B) {
+	cat := workload.ChainCatalog(6, 400, 150, 60, 200, 90, 500)
+	g := workload.ChainQuery(6)
+	b.Run("left-deep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			optimize(b, cat, g, stars.Options{NoCompositeInners: true})
+		}
+	})
+	b.Run("composite-inners", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			optimize(b, cat, g, stars.Options{})
+		}
+	})
+}
+
+// BenchmarkE5StarVsXform is the headline comparison: the same 3-table query
+// through the constructive STAR optimizer and the transformational closure.
+func BenchmarkE5StarVsXform(b *testing.B) {
+	cat := workload.ChainCatalog(3, 400, 150, 60)
+	g := workload.ChainQuery(3)
+	b.Run("star", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			optimize(b, cat, g, stars.Options{})
+		}
+	})
+	b.Run("xform", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := xform.New(cat, g, cost.DefaultWeights).Optimize(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE6DynamicIndex optimizes the dynamic-index sweep's winning case.
+func BenchmarkE6DynamicIndex(b *testing.B) {
+	cat := e6e7Catalog(100000, 100000, 100000, 24)
+	g := e6e7Query(990)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		optimize(b, cat, g, stars.Options{})
+	}
+}
+
+// BenchmarkE7ForcedProjection optimizes the forced-projection winning case.
+func BenchmarkE7ForcedProjection(b *testing.B) {
+	cat := e6e7Catalog(500, 100000, 1000, 1600)
+	g := e6e7Query(50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		optimize(b, cat, g, stars.Options{})
+	}
+}
+
+// BenchmarkE8JoinSite optimizes a three-site distributed join.
+func BenchmarkE8JoinSite(b *testing.B) {
+	cat := stars.EmpDeptCatalog()
+	cat.Sites = []string{"HQ", "NY", "SJ"}
+	cat.QuerySite = "HQ"
+	cat.Table("DEPT").Site = "NY"
+	cat.Table("EMP").Site = "SJ"
+	g := workload.Figure1Query()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		optimize(b, cat, g, stars.Options{})
+	}
+}
+
+// BenchmarkE9HashJoin optimizes the no-index equijoin that the hash-join
+// alternative wins.
+func BenchmarkE9HashJoin(b *testing.B) {
+	cat := e6e7Catalog(50000, 50000, 1000, 24)
+	g := e6e7Query(990)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		optimize(b, cat, g, stars.Options{})
+	}
+}
+
+// BenchmarkE10Bloom optimizes with the Bloomjoin extension installed.
+func BenchmarkE10Bloom(b *testing.B) {
+	opts := stars.Options{}
+	if err := bloom.Install(&opts); err != nil {
+		b.Fatal(err)
+	}
+	cat := stars.EmpDeptCatalog()
+	cat.Sites = []string{"LA", "NY"}
+	cat.QuerySite = "LA"
+	cat.Table("EMP").Site = "NY"
+	g := workload.Figure1Query()
+	for i := 0; i < b.N; i++ {
+		optimize(b, cat, g, opts)
+	}
+}
+
+// BenchmarkE11Validation measures one optimize-then-execute round trip —
+// the unit the estimated-vs-measured experiment repeats.
+func BenchmarkE11Validation(b *testing.B) {
+	cat := workload.EmpDept()
+	g := workload.Figure1Query()
+	cluster := storage.NewCluster()
+	workload.PopulateEmpDept(cluster, cat, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := optimize(b, cat, g, stars.Options{})
+		if _, err := exec.NewRuntime(cluster, cat).Run(res.Best); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPruning contrasts plan-table maintenance with and
+// without dominance pruning on a 5-table chain.
+func BenchmarkAblationPruning(b *testing.B) {
+	cat := workload.ChainCatalog(5, 400, 150, 60, 200, 90)
+	g := workload.ChainQuery(5)
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			optimize(b, cat, g, stars.Options{})
+		}
+	})
+	b.Run("unpruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			optimize(b, cat, g, stars.Options{DisablePruning: true})
+		}
+	})
+}
+
+// BenchmarkAblationGlueAll contrasts cheapest-only against all-satisfying
+// Glue.
+func BenchmarkAblationGlueAll(b *testing.B) {
+	cat := workload.ChainCatalog(4, 400, 150, 60, 200)
+	g := workload.ChainQuery(4)
+	b.Run("cheapest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			optimize(b, cat, g, stars.Options{})
+		}
+	})
+	b.Run("all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			optimize(b, cat, g, stars.Options{KeepAllGlue: true})
+		}
+	})
+}
+
+// BenchmarkAblationParse measures loading the repertoire from DSL text —
+// the cost interpretation pays instead of compiling an optimizer.
+func BenchmarkAblationParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := star.ParseRules(star.DefaultRuleText); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeChain scales the optimizer over chain-query sizes.
+func BenchmarkOptimizeChain(b *testing.B) {
+	for n := 2; n <= 6; n++ {
+		cat := workload.ChainCatalog(n, 400, 150, 60, 200, 90, 500)
+		g := workload.ChainQuery(n)
+		b.Run(chainName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				optimize(b, cat, g, stars.Options{})
+			}
+		})
+	}
+}
+
+func chainName(n int) string { return "n=" + string(rune('0'+n)) }
+
+// BenchmarkExecuteFigure1 measures pure execution of a prepared plan.
+func BenchmarkExecuteFigure1(b *testing.B) {
+	cat := workload.EmpDept()
+	g := workload.Figure1Query()
+	res := optimize(b, cat, g, stars.Options{})
+	cluster := storage.NewCluster()
+	workload.PopulateEmpDept(cluster, cat, 1)
+	rt := exec.NewRuntime(cluster, cat)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run(res.Best); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBTree measures the access method's core operations.
+func BenchmarkBTree(b *testing.B) {
+	b.Run("insert", func(b *testing.B) {
+		bt := storage.NewBTree(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bt.Insert(datum.Row{datum.NewInt(int64(i * 2654435761 % 1000000))},
+				storage.TID{Page: int32(i)}, nil)
+		}
+	})
+	b.Run("probe", func(b *testing.B) {
+		bt := storage.NewBTree(1)
+		for i := 0; i < 100000; i++ {
+			bt.Insert(datum.Row{datum.NewInt(int64(i))}, storage.TID{Page: int32(i)}, nil)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			key := datum.Row{datum.NewInt(int64(i % 100000))}
+			bt.ScanPrefix(key, nil, func(storage.Entry) bool { return false })
+		}
+	})
+}
+
+// BenchmarkExprEval measures predicate evaluation, the executor's hottest
+// inner loop.
+func BenchmarkExprEval(b *testing.B) {
+	p := &expr.Cmp{Op: expr.EQ, L: expr.C("T", "A"), R: expr.C("U", "B")}
+	bind := expr.MapBinding{
+		{Table: "T", Col: "A"}: datum.NewInt(7),
+		{Table: "U", Col: "B"}: datum.NewInt(7),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !expr.EvalBool(p, bind) {
+			b.Fatal("expected true")
+		}
+	}
+}
+
+// e6e7Catalog and e6e7Query mirror the experiment package's two-table
+// sweep fixtures for benchmarking.
+func e6e7Catalog(outerCard, innerCard, innerNDV int64, padWidth int) *stars.Catalog {
+	lo, hi := 0.0, 1000.0
+	cat := stars.NewCatalog()
+	cat.AddTable(&stars.Table{
+		Name: "OUTERT",
+		Cols: []*stars.Column{
+			{Name: "K", Type: datum.KindInt, NDV: innerNDV},
+			{Name: "BUDGET", Type: datum.KindFloat, NDV: 1000, Lo: &lo, Hi: &hi},
+		},
+		Card: outerCard,
+	})
+	cat.AddTable(&stars.Table{
+		Name: "INNERT",
+		Cols: []*stars.Column{
+			{Name: "J", Type: datum.KindInt, NDV: innerNDV},
+			{Name: "VAL", Type: datum.KindInt, NDV: innerCard},
+			{Name: "PAD", Type: datum.KindString, NDV: innerCard, Width: padWidth},
+		},
+		Card: innerCard,
+	})
+	if err := cat.Validate(); err != nil {
+		panic(err)
+	}
+	return cat
+}
+
+func e6e7Query(budget float64) *stars.Graph {
+	return &stars.Graph{
+		Quants: []stars.Quantifier{
+			{Name: "OUTERT", Table: "OUTERT"},
+			{Name: "INNERT", Table: "INNERT"},
+		},
+		Preds: expr.NewPredSet(
+			&expr.Cmp{Op: expr.EQ, L: expr.C("OUTERT", "K"), R: expr.C("INNERT", "J")},
+			&expr.Cmp{Op: expr.LT, L: expr.C("OUTERT", "BUDGET"), R: &expr.Const{Val: datum.NewFloat(budget)}},
+		),
+		Select: []stars.ColID{
+			{Table: "OUTERT", Col: "K"},
+			{Table: "INNERT", Col: "VAL"},
+		},
+	}
+}
+
+// BenchmarkE12Optimality measures the optimality-comparison unit: STAR
+// optimization of the workload E12 cross-checks against exhaustive search.
+func BenchmarkE12Optimality(b *testing.B) {
+	cat := workload.ChainCatalog(4, 400, 150, 60, 200)
+	g := workload.ChainQuery(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := opt.New(cat, opt.Options{}).Optimize(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}

@@ -1,0 +1,81 @@
+// Command starbench regenerates the paper's figures and claims as measured
+// tables — the experiment harness indexed in DESIGN.md and summarized in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	starbench -list           list experiment ids and titles
+//	starbench -e E5           run one experiment
+//	starbench -e all          run every experiment (default)
+//	starbench -e all -md      also emit a Markdown summary table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stars/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("e", "all", "experiment id to run, or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		markdown = flag.Bool("md", false, "emit a Markdown summary table after the reports")
+	)
+	flag.Parse()
+
+	if *list {
+		titles := experiments.Titles()
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-4s %s\n", id, titles[id])
+		}
+		return
+	}
+
+	var reports []*experiments.Report
+	if strings.EqualFold(*exp, "all") {
+		var errs []error
+		reports, errs = experiments.RunAll()
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+		if len(errs) > 0 {
+			defer os.Exit(1)
+		}
+	} else {
+		rep, err := experiments.Run(*exp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		reports = []*experiments.Report{rep}
+	}
+
+	failed := 0
+	for _, rep := range reports {
+		fmt.Println(rep.Format())
+		if !rep.OK {
+			failed++
+		}
+	}
+	if *markdown {
+		fmt.Println("\n## Summary (paper vs. measured)")
+		fmt.Println()
+		fmt.Println("| Id | Artifact / claim | Verdict |")
+		fmt.Println("|---|---|---|")
+		for _, rep := range reports {
+			verdict := "✅ matches"
+			if !rep.OK {
+				verdict = "❌ mismatch"
+			}
+			fmt.Printf("| %s | %s | %s — %s |\n", rep.ID, rep.Title, verdict, rep.Summary)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) did not match the paper's shape\n", failed)
+		os.Exit(1)
+	}
+}

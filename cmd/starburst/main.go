@@ -1,0 +1,173 @@
+// Command starburst is the reproduction's CLI: parse a query against a
+// catalog, optimize it with the STAR rules, explain or trace the result,
+// and execute it on generated data.
+//
+// Usage:
+//
+//	starburst explain  -q "SELECT ..." [-catalog file.json] [-rules file.star] [-v] [-dot]
+//	starburst run      -q "SELECT ..." [-catalog file.json] [-rules file.star] [-seed 1] [-limit 10]
+//	starburst trace    -q "SELECT ..." [-catalog file.json] [-rules file.star]
+//	starburst rules    [-rules file.star]     # print the active repertoire
+//	starburst catalog                         # dump the demo catalog as JSON
+//
+// Without -catalog, the paper's EMP/DEPT demo catalog is used; try
+//
+//	starburst run -q "SELECT DEPT.DNO, EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO AND DEPT.MGR = 'Haas'"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stars"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		q       = fs.String("q", "", "SQL query")
+		catPath = fs.String("catalog", "", "catalog JSON file (default: the EMP/DEPT demo catalog)")
+		rules   = fs.String("rules", "", "STAR rule file replacing the built-in repertoire")
+		verbose = fs.Bool("v", false, "explain with full property vectors")
+		dot     = fs.Bool("dot", false, "explain as Graphviz dot output")
+		seed    = fs.Int64("seed", 1, "data-generation seed for run")
+		limit   = fs.Int("limit", 10, "max rows to print for run")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	cat, demo, err := loadCatalog(*catPath)
+	if err != nil {
+		fatal(err)
+	}
+	opts := stars.Options{}
+	if *rules != "" {
+		text, err := os.ReadFile(*rules)
+		if err != nil {
+			fatal(err)
+		}
+		rs, err := stars.ParseRules(string(text))
+		if err != nil {
+			fatal(err)
+		}
+		base := stars.DefaultRules()
+		base.Merge(rs)
+		opts.Rules = base
+	}
+
+	switch cmd {
+	case "rules":
+		rs := opts.Rules
+		if rs == nil {
+			rs = stars.DefaultRules()
+		}
+		fmt.Print(stars.FormatRules(rs))
+	case "catalog":
+		b, err := cat.MarshalJSONIndent()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(b))
+	case "explain", "run", "trace":
+		if *q == "" {
+			fatal(fmt.Errorf("%s requires -q \"SELECT ...\"", cmd))
+		}
+		g, err := stars.ParseSQL(*q, cat)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Trace = cmd == "trace"
+		res, err := stars.Optimize(cat, g, opts)
+		if err != nil {
+			fatal(err)
+		}
+		switch cmd {
+		case "trace":
+			fmt.Print(stars.FormatTrace(res))
+			fmt.Println("\nchosen plan:")
+			fmt.Print(stars.Explain(res.Best))
+		case "explain":
+			if *dot {
+				fmt.Print(stars.DOT(res.Best))
+				return
+			}
+			if *verbose {
+				fmt.Print(stars.ExplainVerbose(res.Best))
+			} else {
+				fmt.Print(stars.Explain(res.Best))
+			}
+			fmt.Printf("\nestimated: %s\n", res.Best.Props.Cost.String())
+			fmt.Printf("effort: %d rule refs, %d plans built, %d retained, %s\n",
+				res.Stats.Star.RuleRefs, res.Stats.Star.PlansBuilt,
+				res.Stats.PlansRetained, res.Stats.Elapsed)
+		case "run":
+			cluster := stars.NewCluster(cat.Sites...)
+			if demo {
+				stars.PopulateEmpDept(cluster, cat, *seed)
+			} else {
+				stars.Populate(cluster, cat, *seed)
+			}
+			rt := stars.NewRuntime(cluster, cat)
+			er, err := rt.Run(res.Best)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(stars.Explain(res.Best))
+			fmt.Println()
+			sel := g.SelectCols(cat)
+			for i, c := range sel {
+				if i > 0 {
+					fmt.Print("  ")
+				}
+				fmt.Print(c.String())
+			}
+			fmt.Println()
+			for i, row := range stars.Project(er, sel) {
+				if i >= *limit {
+					fmt.Printf("... and %d more rows\n", len(er.Rows)-*limit)
+					break
+				}
+				for j, v := range row {
+					if j > 0 {
+						fmt.Print("  ")
+					}
+					fmt.Print(v)
+				}
+				fmt.Println()
+			}
+			fmt.Printf("\nrows: %d\n", er.Stats.RowsOut)
+			fmt.Printf("estimated cost %.1f; measured %d page I/Os, %d messages, %d bytes shipped (actual cost %.1f)\n",
+				res.Best.Props.Cost.Total, er.Stats.IO.TotalPages(),
+				er.Stats.Messages, er.Stats.BytesShipped,
+				er.Stats.ActualCost(stars.DefaultWeights))
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func loadCatalog(path string) (cat *stars.Catalog, demo bool, err error) {
+	if path == "" {
+		return stars.EmpDeptCatalog(), true, nil
+	}
+	cat, err = stars.LoadCatalog(path)
+	return cat, false, err
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: starburst {explain|run|trace|rules|catalog} [flags]")
+	fmt.Fprintln(os.Stderr, "run 'starburst <cmd> -h' for the command's flags")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "starburst:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command quickstart walks the paper's Figure 1 end to end: the EMP/DEPT
+// catalog, the query "which employees work for the department Haas
+// manages?", STAR-based optimization with a rule-firing trace, EXPLAIN in
+// both tree and the paper's functional notation, and execution with
+// estimated-vs-measured cost.
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stars"
+)
+
+func main() {
+	// The catalog is data: tables, statistics, access paths (Section 3.1's
+	// property initialization reads it). EmpDeptCatalog is the paper's
+	// Section 2.1 schema, including the index on EMP.DNO.
+	cat := stars.EmpDeptCatalog()
+
+	// The repertoire of strategies is data too.
+	fmt.Println("== The optimizer's repertoire is a rule file ==")
+	rules := stars.DefaultRules()
+	fmt.Printf("built-in STARs: %v\n\n", rules.Names())
+
+	sql := "SELECT DEPT.DNO, DEPT.MGR, EMP.NAME, EMP.ADDRESS " +
+		"FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO AND DEPT.MGR = 'Haas'"
+	g, err := stars.ParseSQL(sql, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := stars.Optimize(cat, g, stars.Options{Trace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Chosen plan (tree form, with property summaries) ==")
+	fmt.Println(stars.Explain(res.Best))
+
+	fmt.Println("== Chosen plan (the paper's functional notation) ==")
+	fmt.Println(stars.Functional(res.Best))
+	fmt.Println()
+
+	fmt.Println("== Full property vector of the root (Figure 2) ==")
+	fmt.Println(res.Best.Props.Describe())
+
+	fmt.Printf("== Optimization effort ==\n")
+	fmt.Printf("rule references: %d, alternatives fired: %d/%d, plans built: %d, glue calls: %d\n\n",
+		res.Stats.Star.RuleRefs, res.Stats.Star.AltsFired, res.Stats.Star.AltsConsidered,
+		res.Stats.Star.PlansBuilt, res.Stats.Glue.Calls)
+
+	// Execute against generated data in which department 42 is managed by
+	// 'Haas'.
+	cluster := stars.NewCluster()
+	stars.PopulateEmpDept(cluster, cat, 1)
+	rt := stars.NewRuntime(cluster, cat)
+	er, err := rt.Run(res.Best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Execution ==")
+	for i, row := range stars.Project(er, g.SelectCols(cat)) {
+		if i == 5 {
+			fmt.Printf("  ... and %d more rows\n", len(er.Rows)-5)
+			break
+		}
+		fmt.Printf("  %v\n", row)
+	}
+	fmt.Printf("rows: %d\n", er.Stats.RowsOut)
+	fmt.Printf("estimated cost: %.1f (io=%.1f cpu=%.1f)\n",
+		res.Best.Props.Cost.Total, res.Best.Props.Cost.IO, res.Best.Props.Cost.CPU)
+	fmt.Printf("measured: %d page I/Os, %d tuple ops -> actual cost %.1f\n",
+		er.Stats.IO.TotalPages(), er.Stats.CPUOps, er.Stats.ActualCost(stars.DefaultWeights))
+}

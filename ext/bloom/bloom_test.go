@@ -1,0 +1,158 @@
+package bloom_test
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"stars"
+	"stars/ext/bloom"
+	"stars/internal/datum"
+	"stars/internal/plan"
+)
+
+// shipCatalog is the [MACK 86] Bloomjoin scenario: a large remote EMP whose
+// stream must move to the query site, a moderately selective DEPT there, and
+// a join predicate selective against EMP — so filtering EMP at its home site
+// before shipping beats both shipping EMP wholesale and shipping the (wider)
+// join result back from EMP's site.
+func shipCatalog() *stars.Catalog {
+	lo, hi := 0.0, 1000.0
+	cat := stars.NewCatalog()
+	cat.Sites = []string{"LA", "NY"}
+	cat.QuerySite = "LA"
+	cat.AddTable(&stars.Table{
+		Name: "DEPT",
+		Site: "LA",
+		Cols: []*stars.Column{
+			{Name: "DNO", Type: datum.KindInt, NDV: 1000},
+			{Name: "MGRNAME", Type: datum.KindString, NDV: 900, Width: 200},
+			{Name: "BUDGET", Type: datum.KindFloat, NDV: 1000, Lo: &lo, Hi: &hi},
+		},
+		Card: 1000,
+	})
+	cat.AddTable(&stars.Table{
+		Name: "EMP",
+		Site: "NY",
+		Cols: []*stars.Column{
+			{Name: "DNO", Type: datum.KindInt, NDV: 1000},
+			{Name: "NAME", Type: datum.KindString, NDV: 100000, Width: 24},
+			{Name: "ADDRESS", Type: datum.KindString, NDV: 100000, Width: 32},
+		},
+		Card: 100000,
+	})
+	if err := cat.Validate(); err != nil {
+		panic(err)
+	}
+	return cat
+}
+
+const shipSQL = "SELECT DEPT.DNO, DEPT.MGRNAME, EMP.NAME FROM DEPT, EMP " +
+	"WHERE DEPT.DNO = EMP.DNO AND DEPT.BUDGET < 150"
+
+func TestBloomAlternativeWinsOnShipping(t *testing.T) {
+	cat := shipCatalog()
+	g, err := stars.ParseSQL(shipSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := stars.Optimize(cat, g, stars.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withOpts := stars.Options{}
+	if err := bloom.Install(&withOpts); err != nil {
+		t.Fatal(err)
+	}
+	with, err := stars.Optimize(cat, g, withOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("base cost=%.1f with-bloom cost=%.1f", base.Best.Props.Cost.Total, with.Best.Props.Cost.Total)
+	t.Logf("base plan:\n%s", plan.Explain(base.Best))
+	t.Logf("bloom plan:\n%s", plan.Explain(with.Best))
+	if !strings.Contains(plan.Explain(with.Best), "BLOOM") {
+		t.Fatalf("shipping scenario did not pick BLOOM")
+	}
+	if with.Best.Props.Cost.Total >= base.Best.Props.Cost.Total {
+		t.Fatalf("BLOOM plan (%.1f) not cheaper than baseline (%.1f)",
+			with.Best.Props.Cost.Total, base.Best.Props.Cost.Total)
+	}
+}
+
+func TestBloomPlanExecutesCorrectly(t *testing.T) {
+	cat := shipCatalog()
+	g, err := stars.ParseSQL(shipSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := stars.Options{}
+	if err := bloom.Install(&opts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := stars.Optimize(cat, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(res.Best), "BLOOM") {
+		t.Fatalf("expected a BLOOM plan:\n%s", plan.Explain(res.Best))
+	}
+
+	// Execute over smaller data (same schema and placement) and compare
+	// against the plain optimizer's executed plan.
+	small := shipCatalog()
+	small.Table("DEPT").Card = 200
+	small.Table("EMP").Card = 5000
+	cluster := stars.NewCluster("LA", "NY")
+	stars.Populate(cluster, small, 21)
+
+	rt := stars.NewRuntime(cluster, cat)
+	bloom.Register(rt)
+	er, err := rt.Run(res.Best)
+	if err != nil {
+		t.Fatalf("execute:\n%s\nerror: %v", plan.Explain(res.Best), err)
+	}
+	plain, err := stars.Optimize(cat, g, stars.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er2, err := stars.NewRuntime(cluster, cat).Run(plain.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := g.SelectCols(cat)
+	if !reflect.DeepEqual(renderSorted(er, sel), renderSorted(er2, sel)) {
+		t.Fatalf("BLOOM plan result differs from baseline (%d vs %d rows)",
+			len(er.Rows), len(er2.Rows))
+	}
+	if len(er.Rows) == 0 {
+		t.Fatal("expected a non-empty result")
+	}
+	t.Logf("rows=%d bloom bytes shipped=%d baseline bytes shipped=%d",
+		len(er.Rows), er.Stats.BytesShipped, er2.Stats.BytesShipped)
+	if er.Stats.BytesShipped >= er2.Stats.BytesShipped {
+		t.Errorf("BLOOM plan shipped %d bytes, baseline %d — expected a reduction",
+			er.Stats.BytesShipped, er2.Stats.BytesShipped)
+	}
+}
+
+func renderSorted(r *stars.ExecResult, sel []stars.ColID) []string {
+	idx := map[stars.ColID]int{}
+	for i, c := range r.Schema {
+		idx[c] = i
+	}
+	out := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		s := ""
+		for i, c := range sel {
+			if i > 0 {
+				s += "|"
+			}
+			s += row[idx[c]].String()
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,3 @@
+module stars
+
+go 1.22

@@ -1,0 +1,388 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"stars/internal/catalog"
+	"stars/internal/datum"
+	"stars/internal/expr"
+	"stars/internal/plan"
+)
+
+func testEnv() *Env {
+	lo, hi := 0.0, 100.0
+	cat := catalog.New()
+	cat.AddTable(&catalog.Table{
+		Name: "T",
+		Cols: []*catalog.Column{
+			{Name: "A", Type: datum.KindInt, NDV: 50},
+			{Name: "B", Type: datum.KindFloat, NDV: 100, Lo: &lo, Hi: &hi},
+			{Name: "S", Type: datum.KindString, NDV: 1000, Width: 20},
+		},
+		Card: 10000,
+		Paths: []*catalog.AccessPath{
+			{Name: "T_A", Table: "T", Cols: []string{"A"}},
+		},
+	})
+	cat.AddTable(&catalog.Table{
+		Name: "U",
+		Cols: []*catalog.Column{
+			{Name: "A", Type: datum.KindInt, NDV: 200},
+			{Name: "V", Type: datum.KindInt, NDV: 500},
+		},
+		Card: 500,
+	})
+	if err := cat.Validate(); err != nil {
+		panic(err)
+	}
+	e := NewEnv(cat, DefaultWeights)
+	e.BindQuantifier("T", "T")
+	e.BindQuantifier("U", "U")
+	return e
+}
+
+func cEQ(t, c string, v int64) expr.Expr {
+	return &expr.Cmp{Op: expr.EQ, L: expr.C(t, c), R: &expr.Const{Val: datum.NewInt(v)}}
+}
+
+func TestSelectivityRules(t *testing.T) {
+	e := testEnv()
+	// col = const: 1/NDV.
+	if got := e.Selectivity(cEQ("T", "A", 7)); math.Abs(got-0.02) > 1e-9 {
+		t.Errorf("eq sel = %v, want 1/50", got)
+	}
+	// col = col: 1/max(ndv).
+	j := &expr.Cmp{Op: expr.EQ, L: expr.C("T", "A"), R: expr.C("U", "A")}
+	if got := e.Selectivity(j); math.Abs(got-1.0/200) > 1e-9 {
+		t.Errorf("join sel = %v, want 1/200", got)
+	}
+	// Range with known bounds interpolates.
+	r := &expr.Cmp{Op: expr.LT, L: expr.C("T", "B"), R: &expr.Const{Val: datum.NewFloat(25)}}
+	if got := e.Selectivity(r); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("range sel = %v, want 0.25", got)
+	}
+	// Flipped operand order interpolates the complement.
+	r2 := &expr.Cmp{Op: expr.GT, L: &expr.Const{Val: datum.NewFloat(25)}, R: expr.C("T", "B")}
+	if got := e.Selectivity(r2); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("flipped range sel = %v, want 0.25", got)
+	}
+	// Unknown range falls back to the System-R default.
+	r3 := &expr.Cmp{Op: expr.LT, L: expr.C("T", "A"), R: &expr.Const{Val: datum.NewInt(3)}}
+	if got := e.Selectivity(r3); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("default range sel = %v", got)
+	}
+	// NE is the complement of EQ.
+	ne := &expr.Cmp{Op: expr.NE, L: expr.C("T", "A"), R: &expr.Const{Val: datum.NewInt(1)}}
+	if got := e.Selectivity(ne); math.Abs(got-0.98) > 1e-9 {
+		t.Errorf("ne sel = %v", got)
+	}
+	// AND multiplies; OR is inclusion-exclusion; NOT complements.
+	p := cEQ("T", "A", 1)
+	and := &expr.And{Kids: []expr.Expr{p, p}}
+	if got := e.Selectivity(and); math.Abs(got-0.0004) > 1e-9 {
+		t.Errorf("and sel = %v", got)
+	}
+	or := &expr.Or{Kids: []expr.Expr{p, p}}
+	want := 0.02 + 0.02 - 0.0004
+	if got := e.Selectivity(or); math.Abs(got-want) > 1e-9 {
+		t.Errorf("or sel = %v", got)
+	}
+	not := &expr.Not{Kid: p}
+	if got := e.Selectivity(not); math.Abs(got-0.98) > 1e-9 {
+		t.Errorf("not sel = %v", got)
+	}
+}
+
+// TestSelectivityBounds property-checks that selectivity stays in (0, 1].
+func TestSelectivityBounds(t *testing.T) {
+	e := testEnv()
+	f := func(op uint8, v int64, flip bool) bool {
+		var p expr.Expr = &expr.Cmp{
+			Op: expr.CmpOp(op % 6),
+			L:  expr.C("T", "A"),
+			R:  &expr.Const{Val: datum.NewInt(v)},
+		}
+		if flip {
+			p = &expr.Not{Kid: p}
+		}
+		s := e.Selectivity(p)
+		return s > 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func price(t *testing.T, e *Env, n *plan.Node) *plan.Node {
+	t.Helper()
+	if err := e.PriceTree(n); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func scanT(e *Env, preds ...expr.Expr) *plan.Node {
+	return &plan.Node{
+		Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "T", Quantifier: "T",
+		Cols:  []expr.ColID{{Table: "T", Col: "A"}, {Table: "T", Col: "S"}},
+		Preds: preds,
+	}
+}
+
+func scanU(e *Env) *plan.Node {
+	return &plan.Node{
+		Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "U", Quantifier: "U",
+		Cols: []expr.ColID{{Table: "U", Col: "A"}, {Table: "U", Col: "V"}},
+	}
+}
+
+func TestAccessProps(t *testing.T) {
+	e := testEnv()
+	n := price(t, e, scanT(e, cEQ("T", "A", 3)))
+	p := n.Props
+	if math.Abs(p.Card-200) > 1e-6 { // 10000/50
+		t.Errorf("card = %v", p.Card)
+	}
+	if p.Cost.IO != float64(e.Cat.Table("T").PageCount()) {
+		t.Errorf("scan IO = %v", p.Cost.IO)
+	}
+	if p.Site != "" || p.Temp || len(p.Order) != 0 {
+		t.Error("fresh heap scan properties")
+	}
+	if len(p.Paths) != 1 || p.Paths[0].Name != "T_A" {
+		t.Errorf("paths = %v", p.Paths)
+	}
+	if p.Cost.Total <= 0 {
+		t.Error("total must be positive")
+	}
+}
+
+func TestIndexAccessProps(t *testing.T) {
+	e := testEnv()
+	probe := price(t, e, &plan.Node{
+		Op: plan.OpAccess, Flavor: plan.FlavorIndex, Table: "T", Quantifier: "T", Path: "T_A",
+		Cols:  []expr.ColID{{Table: "T", Col: plan.TIDCol}, {Table: "T", Col: "A"}},
+		Preds: []expr.Expr{cEQ("T", "A", 3)},
+	})
+	full := price(t, e, &plan.Node{
+		Op: plan.OpAccess, Flavor: plan.FlavorIndex, Table: "T", Quantifier: "T", Path: "T_A",
+		Cols: []expr.ColID{{Table: "T", Col: plan.TIDCol}, {Table: "T", Col: "A"}},
+	})
+	if probe.Props.Cost.IO >= full.Props.Cost.IO {
+		t.Errorf("probe (%v) must beat full scan (%v)", probe.Props.Cost.IO, full.Props.Cost.IO)
+	}
+	if len(probe.Props.Order) == 0 || probe.Props.Order[0] != (expr.ColID{Table: "T", Col: "A"}) {
+		t.Error("index access yields key order")
+	}
+}
+
+func TestSortShipStoreFilterProps(t *testing.T) {
+	e := testEnv()
+	base := scanT(e)
+	sorted := price(t, e, &plan.Node{Op: plan.OpSort,
+		SortCols: []expr.ColID{{Table: "T", Col: "A"}}, Inputs: []*plan.Node{base}})
+	if len(sorted.Props.Order) != 1 {
+		t.Error("SORT sets order")
+	}
+	if sorted.Props.Cost.Total <= base.Props.Cost.Total {
+		t.Error("SORT adds cost")
+	}
+
+	shipped := price(t, e, &plan.Node{Op: plan.OpShip, Site: "X", Inputs: []*plan.Node{sorted}})
+	if shipped.Props.Site != "X" {
+		t.Error("SHIP sets site")
+	}
+	if len(shipped.Props.Order) != 1 {
+		t.Error("SHIP preserves order")
+	}
+	if shipped.Props.Paths != nil {
+		t.Error("access paths do not travel")
+	}
+	if shipped.Props.Cost.Msg == 0 || shipped.Props.Cost.Bytes == 0 {
+		t.Error("SHIP charges messages and bytes")
+	}
+
+	stored := price(t, e, &plan.Node{Op: plan.OpStore, Table: "_t1", Inputs: []*plan.Node{shipped}})
+	if !stored.Props.Temp || stored.Props.TempName != "_t1" {
+		t.Error("STORE marks temp")
+	}
+	if stored.Props.Rescan.Total >= stored.Props.Cost.Total {
+		t.Error("temp rescan must be cheaper than first production")
+	}
+	if e.TempProps("_t1") == nil {
+		t.Error("STORE registers the temp")
+	}
+
+	filtered := price(t, e, &plan.Node{Op: plan.OpFilter,
+		Preds: []expr.Expr{cEQ("T", "A", 1)}, Inputs: []*plan.Node{base}})
+	if filtered.Props.Card >= base.Props.Card {
+		t.Error("FILTER reduces cardinality")
+	}
+	if !filtered.Props.Preds.Contains(cEQ("T", "A", 1)) {
+		t.Error("FILTER records its predicate")
+	}
+}
+
+func TestJoinProps(t *testing.T) {
+	e := testEnv()
+	jp := &expr.Cmp{Op: expr.EQ, L: expr.C("T", "A"), R: expr.C("U", "A")}
+	outer := scanU(e)
+	for _, method := range []string{plan.MethodNL, plan.MethodMG, plan.MethodHA} {
+		inner := scanT(e)
+		if method == plan.MethodNL {
+			inner = scanT(e, jp) // pushed down
+		}
+		var applied, residual []expr.Expr
+		switch method {
+		case plan.MethodNL:
+			applied = []expr.Expr{jp}
+		case plan.MethodMG:
+			applied = []expr.Expr{jp}
+		case plan.MethodHA:
+			applied = []expr.Expr{jp}
+			residual = []expr.Expr{jp} // collision recheck
+		}
+		j := price(t, e, &plan.Node{Op: plan.OpJoin, Flavor: method,
+			Preds: applied, Residual: residual,
+			Inputs: []*plan.Node{outer, inner}})
+		// Output cardinality ≈ |T|·|U|/max(ndv) = 10000·500/200 = 25000
+		// for every method (no double counting).
+		if math.Abs(j.Props.Card-25000) > 1 {
+			t.Errorf("%s card = %v, want 25000", method, j.Props.Card)
+		}
+		if !j.Props.Tables.Equal(expr.NewTableSet("T", "U")) {
+			t.Errorf("%s tables", method)
+		}
+		if method == plan.MethodHA && len(j.Props.Order) != 0 {
+			t.Error("hash join destroys order")
+		}
+	}
+}
+
+func TestJoinSiteMismatchRejected(t *testing.T) {
+	e := testEnv()
+	outer := scanU(e)
+	inner := price(t, e, &plan.Node{Op: plan.OpShip, Site: "X", Inputs: []*plan.Node{scanT(e)}})
+	j := &plan.Node{Op: plan.OpJoin, Flavor: plan.MethodNL, Inputs: []*plan.Node{outer, inner}}
+	if err := e.Price(j); err == nil {
+		t.Fatal("joining across sites must be rejected")
+	}
+}
+
+func TestUnregisteredOpFails(t *testing.T) {
+	e := testEnv()
+	n := &plan.Node{Op: plan.Op("MYSTERY")}
+	if err := e.Price(n); err == nil || !strings.Contains(err.Error(), "no property function") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegisterExtension(t *testing.T) {
+	e := testEnv()
+	op := plan.Op("NOOP")
+	e.Register(op, func(e *Env, n *plan.Node) (*plan.Props, error) {
+		return n.Inputs[0].Props.Clone(), nil
+	})
+	if !e.Registered(op) {
+		t.Fatal("Registered")
+	}
+	base := scanT(e)
+	price(t, e, base)
+	n := &plan.Node{Op: op, Inputs: []*plan.Node{base}}
+	if err := e.Price(n); err != nil {
+		t.Fatal(err)
+	}
+	if n.Props.Card != base.Props.Card {
+		t.Error("pass-through extension")
+	}
+}
+
+func TestBuildIndexRequiresTemp(t *testing.T) {
+	e := testEnv()
+	base := scanT(e)
+	price(t, e, base)
+	n := &plan.Node{Op: plan.OpBuildIndex, Path: "ix",
+		SortCols: []expr.ColID{{Table: "T", Col: "A"}}, Inputs: []*plan.Node{base}}
+	if err := e.Price(n); err == nil {
+		t.Fatal("BUILDINDEX over a non-temp must fail")
+	}
+	stored := price(t, e, &plan.Node{Op: plan.OpStore, Table: "_tx",
+		Inputs: []*plan.Node{scanT(e)}})
+	n2 := price(t, e, &plan.Node{Op: plan.OpBuildIndex, Path: "ix",
+		SortCols: []expr.ColID{{Table: "T", Col: "A"}}, Inputs: []*plan.Node{stored}})
+	found := false
+	for _, p := range n2.Props.Paths {
+		if p.Name == "ix" && p.Dynamic {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("BUILDINDEX must add a dynamic path")
+	}
+}
+
+func TestWeightsTotal(t *testing.T) {
+	w := Weights{IO: 1, CPU: 0.01, Msg: 2, Byte: 0.001}
+	c := plan.Cost{IO: 10, CPU: 100, Msg: 5, Bytes: 1000}
+	if got := w.Total(c); math.Abs(got-(10+1+10+1)) > 1e-9 {
+		t.Errorf("total = %v", got)
+	}
+}
+
+func TestPagesForAndRowWidth(t *testing.T) {
+	e := testEnv()
+	cols := []expr.ColID{{Table: "T", Col: "A"}, {Table: "T", Col: "S"}}
+	if w := e.RowWidth(cols); w != 28 {
+		t.Errorf("width = %v", w)
+	}
+	if p := e.PagesFor(1000, cols); p != math.Ceil(1000*28.0/catalog.PageSize) {
+		t.Errorf("pages = %v", p)
+	}
+	if p := e.PagesFor(1, cols); p != 1 {
+		t.Error("page floor")
+	}
+	// TID pseudo-column has a width.
+	if w := e.RowWidth([]expr.ColID{{Table: "T", Col: plan.TIDCol}}); w != 8 {
+		t.Errorf("tid width = %v", w)
+	}
+}
+
+func TestPriceIsIdempotentAndChecksInputs(t *testing.T) {
+	e := testEnv()
+	n := scanT(e)
+	price(t, e, n)
+	saved := n.Props
+	if err := e.Price(n); err != nil || n.Props != saved {
+		t.Error("re-pricing must be a no-op")
+	}
+	j := &plan.Node{Op: plan.OpJoin, Flavor: plan.MethodNL,
+		Inputs: []*plan.Node{scanT(e), scanT(e)}} // unpriced inputs
+	if err := e.Price(j); err == nil {
+		t.Error("pricing with unpriced inputs must fail")
+	}
+}
+
+// TestCardinalityMonotone property-checks that adding a predicate never
+// increases estimated cardinality.
+func TestCardinalityMonotone(t *testing.T) {
+	e := testEnv()
+	f := func(v1, v2 int64) bool {
+		p1 := cEQ("T", "A", v1%50)
+		p2 := cEQ("T", "S", v2%1000)
+		n1 := scanT(e, p1)
+		n2 := scanT(e, p1, p2)
+		if err := e.PriceTree(n1); err != nil {
+			return false
+		}
+		if err := e.PriceTree(n2); err != nil {
+			return false
+		}
+		return n2.Props.Card <= n1.Props.Card+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

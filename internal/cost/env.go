@@ -1,0 +1,195 @@
+// Package cost implements the paper's Section 3 machinery: the property
+// function of each LOLEPOP (how the operator transforms the property vector,
+// including cost) and the R*-style cost model — total cost is a linear
+// combination of I/O, CPU, and communications [LOHM 85] — plus System-R-style
+// selectivity and cardinality estimation.
+//
+// Property functions live in a registry keyed by Op, so a Database Customizer
+// adds a LOLEPOP by registering one function here and one executor in package
+// exec, with no optimizer changes (Section 5).
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"stars/internal/catalog"
+	"stars/internal/expr"
+	"stars/internal/plan"
+)
+
+// Weights are the coefficients of the linear cost combination.
+type Weights struct {
+	// IO is the cost of one page access.
+	IO float64
+	// CPU is the cost of one tuple-handling operation.
+	CPU float64
+	// Msg is the fixed cost of one inter-site message.
+	Msg float64
+	// Byte is the cost of shipping one payload byte.
+	Byte float64
+}
+
+// DefaultWeights approximates the relative R* weightings validated in
+// [MACK 86]: a page I/O is the unit, per-tuple CPU is ~1/100 of an I/O, a
+// message costs about two I/Os of latency, and shipping a page's worth of
+// bytes costs about one I/O of bandwidth.
+var DefaultWeights = Weights{
+	IO:   1.0,
+	CPU:  0.01,
+	Msg:  2.0,
+	Byte: 1.0 / catalog.PageSize,
+}
+
+// Total applies the weights to a raw resource vector.
+func (w Weights) Total(c plan.Cost) float64 {
+	return w.IO*c.IO + w.CPU*c.CPU + w.Msg*c.Msg + w.Byte*c.Bytes
+}
+
+// PropertyFunc is the paper's "property function for each LOLEPOP": it is
+// passed the operator's arguments (the node) with its input plans already
+// priced, and returns the revised property vector for the operator's output
+// stream.
+type PropertyFunc func(e *Env, n *plan.Node) (*plan.Props, error)
+
+// hashMemPages is the number of buffer pages the hash join may use before
+// its cost model charges partitioning I/O (a simple Grace-hash spill model).
+const hashMemPages = 256
+
+// sortMemPages is the run size for the external-sort cost model.
+const sortMemPages = 256
+
+// Env is the pricing environment: catalog, quantifier bindings, weights, and
+// the property-function registry.
+type Env struct {
+	// Cat is the system catalog.
+	Cat *catalog.Catalog
+	// W are the cost weights.
+	W Weights
+	// Quant maps quantifier (range-variable) names to base-table names;
+	// selectivity estimation resolves column statistics through it.
+	Quant map[string]string
+
+	funcs map[plan.Op]PropertyFunc
+	temps map[string]*plan.Props // stored temp name -> props at STORE time
+}
+
+// NewEnv builds a pricing environment with the built-in property functions
+// registered.
+func NewEnv(cat *catalog.Catalog, w Weights) *Env {
+	e := &Env{
+		Cat:   cat,
+		W:     w,
+		Quant: map[string]string{},
+		funcs: map[plan.Op]PropertyFunc{},
+		temps: map[string]*plan.Props{},
+	}
+	e.Register(plan.OpAccess, accessProps)
+	e.Register(plan.OpGet, getProps)
+	e.Register(plan.OpSort, sortProps)
+	e.Register(plan.OpShip, shipProps)
+	e.Register(plan.OpStore, storeProps)
+	e.Register(plan.OpFilter, filterProps)
+	e.Register(plan.OpBuildIndex, buildIndexProps)
+	e.Register(plan.OpJoin, joinProps)
+	e.Register(plan.OpUnion, unionProps)
+	e.Register(plan.OpIndexAnd, indexAndProps)
+	return e
+}
+
+// Register installs (or replaces) the property function for an Op. This is
+// the Section 5 extension point for new LOLEPOPs.
+func (e *Env) Register(op plan.Op, f PropertyFunc) { e.funcs[op] = f }
+
+// Registered reports whether op has a property function.
+func (e *Env) Registered(op plan.Op) bool { _, ok := e.funcs[op]; return ok }
+
+// BindQuantifier records that quantifier q ranges over base table t.
+func (e *Env) BindQuantifier(q, t string) { e.Quant[q] = t }
+
+// BaseTable resolves a quantifier to its catalog table; nil for temps or
+// unknown quantifiers.
+func (e *Env) BaseTable(q string) *catalog.Table {
+	name, ok := e.Quant[q]
+	if !ok {
+		name = q
+	}
+	return e.Cat.Table(name)
+}
+
+// RegisterTemp records the properties a temp table had when STOREd, so a
+// later ACCESS of the temp can price itself.
+func (e *Env) RegisterTemp(name string, p *plan.Props) { e.temps[name] = p.Clone() }
+
+// TempProps returns the recorded properties of a temp, or nil.
+func (e *Env) TempProps(name string) *plan.Props { return e.temps[name] }
+
+// Price computes and attaches Props for a single node whose inputs are
+// already priced. It is idempotent: nodes with Props are left alone.
+func (e *Env) Price(n *plan.Node) error {
+	if n.Props != nil {
+		return nil
+	}
+	for _, in := range n.Inputs {
+		if in.Props == nil {
+			return fmt.Errorf("cost: input of %s not priced", n.Op)
+		}
+	}
+	f, ok := e.funcs[n.Op]
+	if !ok {
+		return fmt.Errorf("cost: no property function registered for %s", n.Op)
+	}
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	p, err := f(e, n)
+	if err != nil {
+		return err
+	}
+	p.Cost.Total = e.W.Total(p.Cost)
+	p.Rescan.Total = e.W.Total(p.Rescan)
+	n.Props = p
+	return nil
+}
+
+// PriceTree prices an entire plan bottom-up, skipping already-priced shared
+// subplans.
+func (e *Env) PriceTree(n *plan.Node) error {
+	for _, in := range n.Inputs {
+		if err := e.PriceTree(in); err != nil {
+			return err
+		}
+	}
+	return e.Price(n)
+}
+
+// RowWidth estimates the byte width of a stream carrying the given columns.
+func (e *Env) RowWidth(cols []expr.ColID) float64 {
+	w := 0.0
+	for _, c := range cols {
+		if c.Col == plan.TIDCol {
+			w += 8
+			continue
+		}
+		if t := e.BaseTable(c.Table); t != nil {
+			if col := t.Column(c.Col); col != nil {
+				w += float64(col.AvgWidth())
+				continue
+			}
+		}
+		w += 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// PagesFor estimates the page count of card rows of the given columns.
+func (e *Env) PagesFor(card float64, cols []expr.ColID) float64 {
+	pages := math.Ceil(card * e.RowWidth(cols) / catalog.PageSize)
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}

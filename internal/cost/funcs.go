@@ -1,0 +1,500 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"stars/internal/catalog"
+	"stars/internal/expr"
+	"stars/internal/plan"
+)
+
+// btreeFanout mirrors the storage engine's node capacity so estimated index
+// heights track actual ones.
+const btreeFanout = 64
+
+// cached reports whether a structure of the given page count fits the
+// buffer pool, making rescans of it memory-resident (the R*-style buffered
+// rescan assumption the storage engine simulates with the same capacity).
+func cached(pages float64) bool { return pages <= catalog.BufferPages }
+
+// indexHeight estimates the number of node visits to reach a leaf.
+func indexHeight(leafPages float64) float64 {
+	if leafPages <= 1 {
+		return 1
+	}
+	return 1 + math.Ceil(math.Log(leafPages)/math.Log(btreeFanout))
+}
+
+// accessProps prices ACCESS: converting a stored object (base table, access
+// method, or temp) into a stream, optionally projecting columns and applying
+// predicates, which changes CARD (Section 3.1).
+func accessProps(e *Env, n *plan.Node) (*plan.Props, error) {
+	if len(n.Inputs) == 1 {
+		return tempAccessProps(e, n)
+	}
+	t := e.Cat.Table(n.Table)
+	if t == nil {
+		return nil, fmt.Errorf("cost: ACCESS of unknown table %q", n.Table)
+	}
+	q := n.Quantifier
+	if q == "" {
+		q = n.Table
+	}
+	sel := e.PredsSelectivity(n.Preds)
+	card := float64(t.Card) * sel
+	p := &plan.Props{
+		Tables: expr.NewTableSet(q),
+		Cols:   append([]expr.ColID(nil), n.Cols...),
+		Preds:  expr.NewPredSet(n.Preds...),
+		Site:   e.Cat.SiteOf(n.Table),
+		Card:   card,
+		Paths:  catalogPaths(t, q),
+	}
+	switch n.Flavor {
+	case plan.FlavorHeap, plan.FlavorBTreeStore:
+		p.Order = qualify(t.Order, q)
+		pages := float64(t.PageCount())
+		p.Cost = plan.Cost{IO: pages, CPU: float64(t.Card) + card}
+		p.Rescan = p.Cost
+		if cached(pages) {
+			p.Rescan.IO = 0
+		}
+	case plan.FlavorIndex:
+		path, pt := e.Cat.Path(n.Path)
+		if path == nil || pt.Name != t.Name {
+			return nil, fmt.Errorf("cost: ACCESS path %q not on table %q", n.Path, n.Table)
+		}
+		keyCols := qualify(path.Cols, q)
+		p.Order = keyCols
+		leafPages := indexLeafPages(e, t, path)
+		matchSel, matched := e.indexMatch(keyCols, n.Preds)
+		var io float64
+		if matched > 0 {
+			io = indexHeight(leafPages) + math.Ceil(matchSel*leafPages)
+		} else {
+			io = indexHeight(leafPages) + leafPages
+			matchSel = 1
+		}
+		p.Cost = plan.Cost{IO: io, CPU: matchSel*float64(t.Card) + card}
+		p.Rescan = p.Cost
+		if cached(leafPages) {
+			p.Rescan.IO = 0
+		}
+	default:
+		return nil, fmt.Errorf("cost: unknown ACCESS flavor %q", n.Flavor)
+	}
+	return p, nil
+}
+
+// tempAccessProps prices ACCESS over a materialized temp whose producing
+// subplan is the node's input.
+func tempAccessProps(e *Env, n *plan.Node) (*plan.Props, error) {
+	in := n.Inputs[0].Props
+	if !in.Temp {
+		return nil, fmt.Errorf("cost: ACCESS-with-input requires a materialized (temp) input")
+	}
+	sel := e.PredsSelectivity(n.Preds)
+	card := in.Card * sel
+	cols := n.Cols
+	if len(cols) == 0 {
+		cols = in.Cols
+	}
+	p := &plan.Props{
+		Tables:   in.Tables,
+		Cols:     append([]expr.ColID(nil), cols...),
+		Preds:    in.Preds.Union(expr.NewPredSet(n.Preds...)),
+		Site:     in.Site,
+		Temp:     true,
+		TempName: in.TempName,
+		Card:     card,
+		Paths:    append([]plan.PathInfo(nil), in.Paths...),
+	}
+	pages := e.PagesFor(in.Card, in.Cols)
+	switch n.Flavor {
+	case plan.FlavorHeap, plan.FlavorBTreeStore:
+		p.Order = append([]expr.ColID(nil), in.Order...)
+		delta := plan.Cost{IO: pages, CPU: in.Card + card}
+		p.Cost = in.Cost.Add(delta)
+		// The temp persists: rescans pay only the re-read, not the build —
+		// and nothing at all when the temp stays buffer-resident.
+		p.Rescan = delta
+		if cached(pages) {
+			p.Rescan.IO = 0
+		}
+	case plan.FlavorIndex:
+		var path *plan.PathInfo
+		for i := range in.Paths {
+			if in.Paths[i].Name == n.Path {
+				path = &in.Paths[i]
+				break
+			}
+		}
+		if path == nil {
+			return nil, fmt.Errorf("cost: temp ACCESS path %q not in input PATHS", n.Path)
+		}
+		p.Order = append([]expr.ColID(nil), path.Cols...)
+		leafPages := e.PagesFor(in.Card, path.Cols)
+		matchSel, matched := e.indexMatch(path.Cols, n.Preds)
+		if matched == 0 {
+			matchSel = 1
+		}
+		probeIO := indexHeight(leafPages) + math.Ceil(matchSel*leafPages)
+		// Probing yields key columns + TIDs; fetching the temp's rows is
+		// charged per matching tuple (random pages within the temp).
+		fetchIO := math.Min(matchSel*in.Card, pages)
+		delta := plan.Cost{IO: probeIO + fetchIO, CPU: matchSel*in.Card + card}
+		p.Cost = in.Cost.Add(delta)
+		p.Rescan = delta
+		if cached(pages + leafPages) {
+			p.Rescan.IO = 0
+		}
+	default:
+		return nil, fmt.Errorf("cost: unknown ACCESS flavor %q", n.Flavor)
+	}
+	return p, nil
+}
+
+// rescanIO is the page cost of re-reading a retained structure: zero when
+// it fits the buffer pool.
+func rescanIO(pages float64) float64 {
+	if cached(pages) {
+		return 0
+	}
+	return pages
+}
+
+// catalogPaths converts a table's access paths into PATHS entries qualified
+// by the quantifier.
+func catalogPaths(t *catalog.Table, q string) []plan.PathInfo {
+	out := make([]plan.PathInfo, 0, len(t.Paths))
+	for _, ap := range t.Paths {
+		out = append(out, plan.PathInfo{
+			Name:       ap.Name,
+			Table:      t.Name,
+			Quantifier: q,
+			Cols:       qualify(ap.Cols, q),
+			Clustered:  ap.Clustered,
+		})
+	}
+	return out
+}
+
+func qualify(cols []string, q string) []expr.ColID {
+	out := make([]expr.ColID, len(cols))
+	for i, c := range cols {
+		out[i] = expr.ColID{Table: q, Col: c}
+	}
+	return out
+}
+
+// indexLeafPages estimates an index's leaf page count.
+func indexLeafPages(e *Env, t *catalog.Table, path *catalog.AccessPath) float64 {
+	if path.Pages > 0 {
+		return float64(path.Pages)
+	}
+	keyWidth := 8.0 // TID
+	for _, c := range path.Cols {
+		if col := t.Column(c); col != nil {
+			keyWidth += float64(col.AvgWidth())
+		}
+	}
+	lp := math.Ceil(float64(t.Card) * keyWidth / catalog.PageSize)
+	if lp < 1 {
+		lp = 1
+	}
+	return lp
+}
+
+// getProps prices GET: fetching additional columns by TID for each input
+// tuple, optionally applying predicates (Figure 1).
+func getProps(e *Env, n *plan.Node) (*plan.Props, error) {
+	in := n.Inputs[0].Props
+	t := e.Cat.Table(n.Table)
+	if t == nil {
+		return nil, fmt.Errorf("cost: GET from unknown table %q", n.Table)
+	}
+	sel := e.PredsSelectivity(n.Preds)
+	card := in.Card * sel
+	// Fetches are sequential — touching at most the table's pages — when
+	// the TIDs arrive in physical order: either the probe came through a
+	// clustering index, or the TIDs were explicitly SORTed (the Section 4
+	// TID-sort STAR). Otherwise each fetch is one random page read.
+	sequential := plan.OrderSatisfies(in.Order, []expr.ColID{{Table: n.Quantifier, Col: plan.TIDCol}})
+	if src := n.Inputs[0]; src.Op == plan.OpAccess && src.Flavor == plan.FlavorIndex {
+		if ap, _ := e.Cat.Path(src.Path); ap != nil && ap.Clustered {
+			sequential = true
+		}
+	}
+	fetchIO := in.Card
+	if sequential {
+		fetchIO = math.Min(in.Card, float64(t.PageCount()))
+	}
+	delta := plan.Cost{IO: fetchIO, CPU: in.Card + card}
+	rescanDelta := delta
+	if cached(float64(t.PageCount())) {
+		rescanDelta.IO = 0
+	}
+	p := &plan.Props{
+		Tables:   in.Tables,
+		Cols:     plan.MergeCols(in.Cols, n.Cols),
+		Preds:    in.Preds.Union(expr.NewPredSet(n.Preds...)),
+		Order:    append([]expr.ColID(nil), in.Order...),
+		Site:     in.Site,
+		Temp:     in.Temp,
+		TempName: in.TempName,
+		Paths:    append([]plan.PathInfo(nil), in.Paths...),
+		Card:     card,
+		Cost:     in.Cost.Add(delta),
+		Rescan:   in.Rescan.Add(rescanDelta),
+	}
+	return p, nil
+}
+
+// sortProps prices SORT: it changes the ORDER property (Section 3.1) and
+// adds CPU for the sort plus I/O when the input spills past the in-memory
+// run budget.
+func sortProps(e *Env, n *plan.Node) (*plan.Props, error) {
+	in := n.Inputs[0].Props
+	pages := e.PagesFor(in.Card, in.Cols)
+	cpu := in.Card * math.Max(1, math.Log2(math.Max(in.Card, 2)))
+	io := 0.0
+	if pages > sortMemPages {
+		// One partition-and-merge pass: write runs, read them back.
+		io = 2 * pages
+	}
+	delta := plan.Cost{IO: io, CPU: cpu}
+	p := &plan.Props{
+		Tables:   in.Tables,
+		Cols:     append([]expr.ColID(nil), in.Cols...),
+		Preds:    in.Preds,
+		Order:    append([]expr.ColID(nil), n.SortCols...),
+		Site:     in.Site,
+		Temp:     in.Temp,
+		TempName: in.TempName,
+		Paths:    append([]plan.PathInfo(nil), in.Paths...),
+		Card:     in.Card,
+		Cost:     in.Cost.Add(delta),
+		// The sorted result is retained, so rescans pay a re-read (free
+		// when it stays buffer-resident).
+		Rescan: plan.Cost{IO: rescanIO(pages), CPU: in.Card},
+	}
+	return p, nil
+}
+
+// shipProps prices SHIP: it changes the SITE property and adds message and
+// byte costs that depend on the stream's size (Section 3.1).
+func shipProps(e *Env, n *plan.Node) (*plan.Props, error) {
+	in := n.Inputs[0].Props
+	bytes := in.Card * e.RowWidth(in.Cols)
+	msgs := math.Ceil(bytes/catalog.PageSize) + 1
+	delta := plan.Cost{CPU: in.Card, Msg: msgs, Bytes: bytes}
+	p := &plan.Props{
+		Tables: in.Tables,
+		Cols:   append([]expr.ColID(nil), in.Cols...),
+		Preds:  in.Preds,
+		Order:  append([]expr.ColID(nil), in.Order...),
+		Site:   n.Site,
+		Card:   in.Card,
+		// Access paths do not travel with the tuples.
+		Paths:  nil,
+		Cost:   in.Cost.Add(delta),
+		Rescan: in.Rescan.Add(delta),
+	}
+	return p, nil
+}
+
+// storeProps prices STORE: materializing the stream as a temporary table,
+// which sets TEMP and makes rescans cheap.
+func storeProps(e *Env, n *plan.Node) (*plan.Props, error) {
+	in := n.Inputs[0].Props
+	pages := e.PagesFor(in.Card, in.Cols)
+	delta := plan.Cost{IO: pages, CPU: in.Card}
+	p := &plan.Props{
+		Tables:   in.Tables,
+		Cols:     append([]expr.ColID(nil), in.Cols...),
+		Preds:    in.Preds,
+		Order:    append([]expr.ColID(nil), in.Order...),
+		Site:     in.Site,
+		Temp:     true,
+		TempName: n.Table,
+		Paths:    nil,
+		Card:     in.Card,
+		Cost:     in.Cost.Add(delta),
+		Rescan:   plan.Cost{IO: rescanIO(pages), CPU: in.Card},
+	}
+	e.RegisterTemp(n.Table, p)
+	return p, nil
+}
+
+// filterProps prices FILTER: Glue's last-resort veneer for residual
+// predicates.
+func filterProps(e *Env, n *plan.Node) (*plan.Props, error) {
+	in := n.Inputs[0].Props
+	sel := e.PredsSelectivity(n.Preds)
+	delta := plan.Cost{CPU: in.Card}
+	p := in.Clone()
+	p.Preds = in.Preds.Union(expr.NewPredSet(n.Preds...))
+	p.Card = in.Card * sel
+	p.Cost = in.Cost.Add(delta)
+	p.Rescan = in.Rescan.Add(delta)
+	return p, nil
+}
+
+// buildIndexProps prices BUILDINDEX: creating an index on a materialized
+// temp (the dynamic-index alternative, Section 4.5.3). The output stream is
+// the same temp with an extra PATHS entry.
+func buildIndexProps(e *Env, n *plan.Node) (*plan.Props, error) {
+	in := n.Inputs[0].Props
+	if !in.Temp {
+		return nil, fmt.Errorf("cost: BUILDINDEX requires a materialized (temp) input")
+	}
+	tempPages := e.PagesFor(in.Card, in.Cols)
+	ixPages := e.PagesFor(in.Card, n.SortCols)
+	delta := plan.Cost{
+		IO:  tempPages + ixPages,
+		CPU: in.Card * math.Max(1, math.Log2(math.Max(in.Card, 2))),
+	}
+	q := ""
+	if len(n.SortCols) > 0 {
+		q = n.SortCols[0].Table
+	}
+	p := in.Clone()
+	p.Paths = append(p.Paths, plan.PathInfo{
+		Name:       n.Path,
+		Table:      in.TempName,
+		Quantifier: q,
+		Cols:       append([]expr.ColID(nil), n.SortCols...),
+		Dynamic:    true,
+	})
+	p.Cost = in.Cost.Add(delta)
+	p.Rescan = in.Rescan
+	if e.TempProps(in.TempName) != nil {
+		e.RegisterTemp(in.TempName, p)
+	}
+	return p, nil
+}
+
+// joinProps prices JOIN in its three built-in flavors. Dyadic LOLEPOPs
+// require both input streams at the same SITE (Section 3.2); mismatches are
+// rejected so ill-formed candidate plans die here rather than executing.
+func joinProps(e *Env, n *plan.Node) (*plan.Props, error) {
+	outer, inner := n.Outer().Props, n.Inner().Props
+	if outer.Site != inner.Site {
+		return nil, fmt.Errorf("cost: JOIN inputs at different sites (%q vs %q)", outer.Site, inner.Site)
+	}
+	p := &plan.Props{
+		Tables: outer.Tables.Union(inner.Tables),
+		Cols:   plan.MergeCols(outer.Cols, inner.Cols),
+		Preds: outer.Preds.Union(inner.Preds).
+			Union(expr.NewPredSet(n.Preds...)).
+			Union(expr.NewPredSet(n.Residual...)),
+		Site:  outer.Site,
+		Paths: append(append([]plan.PathInfo(nil), outer.Paths...), inner.Paths...),
+	}
+	resSel := e.PredsSelectivity(n.Residual)
+	switch n.Flavor {
+	case plan.MethodNL:
+		// The join predicates were pushed into the inner stream, whose
+		// per-probe cardinality already reflects them: do not multiply
+		// their selectivity again.
+		p.Card = outer.Card * inner.Card * resSel
+		probes := math.Max(outer.Card, 1)
+		delta := plan.Cost{CPU: outer.Card*(1+inner.Card) + p.Card}
+		p.Cost = outer.Cost.Add(inner.Cost).
+			Add(inner.Rescan.Scale(probes - 1)).
+			Add(delta)
+		p.Rescan = outer.Rescan.Add(inner.Rescan.Scale(probes)).Add(delta)
+		p.Order = append([]expr.ColID(nil), outer.Order...)
+	case plan.MethodMG:
+		p.Card = outer.Card * inner.Card * e.SetSelectivity(appliedAndResidual(n))
+		delta := plan.Cost{CPU: outer.Card + inner.Card + p.Card}
+		p.Cost = outer.Cost.Add(inner.Cost).Add(delta)
+		p.Rescan = outer.Rescan.Add(inner.Rescan).Add(delta)
+		p.Order = append([]expr.ColID(nil), outer.Order...)
+	case plan.MethodHA:
+		// The hashable predicates are re-checked as residuals (hash
+		// collisions, Section 4.5.1); the PredSet union avoids counting
+		// their selectivity twice.
+		p.Card = outer.Card * inner.Card * e.SetSelectivity(appliedAndResidual(n))
+		innerPages := e.PagesFor(inner.Card, inner.Cols)
+		outerPages := e.PagesFor(outer.Card, outer.Cols)
+		io := 0.0
+		if innerPages > hashMemPages {
+			// Grace-style partitioning pass over both inputs.
+			io = 2 * (innerPages + outerPages)
+		}
+		delta := plan.Cost{IO: io, CPU: inner.Card + outer.Card + p.Card}
+		p.Cost = outer.Cost.Add(inner.Cost).Add(delta)
+		p.Rescan = outer.Rescan.Add(inner.Rescan).Add(delta)
+		// Bucketizing destroys any input order.
+		p.Order = nil
+	default:
+		return nil, fmt.Errorf("cost: unknown JOIN flavor %q", n.Flavor)
+	}
+	return p, nil
+}
+
+// appliedAndResidual unions a join's method-applied and residual predicates,
+// deduplicating structurally equal predicates so selectivity is counted once.
+func appliedAndResidual(n *plan.Node) expr.PredSet {
+	return expr.NewPredSet(n.Preds...).Union(expr.NewPredSet(n.Residual...))
+}
+
+// unionProps prices UNION ALL of two streams with compatible columns.
+func unionProps(e *Env, n *plan.Node) (*plan.Props, error) {
+	a, b := n.Outer().Props, n.Inner().Props
+	if a.Site != b.Site {
+		return nil, fmt.Errorf("cost: UNION inputs at different sites")
+	}
+	delta := plan.Cost{CPU: a.Card + b.Card}
+	p := &plan.Props{
+		Tables: a.Tables.Union(b.Tables),
+		Cols:   append([]expr.ColID(nil), a.Cols...),
+		Preds:  a.Preds.Intersect(b.Preds),
+		Site:   a.Site,
+		Card:   a.Card + b.Card,
+		Cost:   a.Cost.Add(b.Cost).Add(delta),
+		Rescan: a.Rescan.Add(b.Rescan).Add(delta),
+	}
+	return p, nil
+}
+
+// indexAndProps prices IXAND: intersecting two index probes of the same
+// quantifier on their TIDs. Output cardinality assumes the two probed
+// predicates are independent, the System-R convention: |T|·sel1·sel2, i.e.
+// in1.Card · in2.Card / |T|.
+func indexAndProps(e *Env, n *plan.Node) (*plan.Props, error) {
+	a, b := n.Inputs[0].Props, n.Inputs[1].Props
+	if !a.Tables.Equal(b.Tables) {
+		return nil, fmt.Errorf("cost: IXAND inputs cover different tables")
+	}
+	if a.Site != b.Site {
+		return nil, fmt.Errorf("cost: IXAND inputs at different sites")
+	}
+	names := a.Tables.Slice()
+	if len(names) != 1 {
+		return nil, fmt.Errorf("cost: IXAND wants single-table inputs")
+	}
+	t := e.BaseTable(names[0])
+	if t == nil || t.Card == 0 {
+		return nil, fmt.Errorf("cost: IXAND over unknown table")
+	}
+	card := a.Card * b.Card / float64(t.Card)
+	delta := plan.Cost{CPU: a.Card + b.Card + card}
+	p := &plan.Props{
+		Tables: a.Tables,
+		// Positionally, the intersection streams the second input's rows;
+		// the first input contributes only its TID filter.
+		Cols:  append([]expr.ColID(nil), b.Cols...),
+		Preds: a.Preds.Union(b.Preds),
+		// The intersection preserves the second input's delivery order.
+		Order:  append([]expr.ColID(nil), b.Order...),
+		Site:   a.Site,
+		Card:   card,
+		Paths:  append([]plan.PathInfo(nil), a.Paths...),
+		Cost:   a.Cost.Add(b.Cost).Add(delta),
+		Rescan: a.Rescan.Add(b.Rescan).Add(delta),
+	}
+	return p, nil
+}

@@ -1,0 +1,233 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"stars/internal/catalog"
+	"stars/internal/datum"
+	"stars/internal/expr"
+	"stars/internal/plan"
+)
+
+// probeT builds a priced index probe on T_A.
+func probeT(t *testing.T, e *Env, preds ...expr.Expr) *plan.Node {
+	t.Helper()
+	return price(t, e, &plan.Node{
+		Op: plan.OpAccess, Flavor: plan.FlavorIndex, Table: "T", Quantifier: "T", Path: "T_A",
+		Cols:  []expr.ColID{{Table: "T", Col: plan.TIDCol}, {Table: "T", Col: "A"}},
+		Preds: preds,
+	})
+}
+
+func TestGetPropsFetchModes(t *testing.T) {
+	e := testEnv()
+	// Unclustered probe: one random page per input tuple.
+	probe := probeT(t, e) // full index scan: card = 10000
+	get := price(t, e, &plan.Node{
+		Op: plan.OpGet, Table: "T", Quantifier: "T",
+		Cols: []expr.ColID{{Table: "T", Col: "S"}}, Inputs: []*plan.Node{probe},
+	})
+	randomIO := get.Props.Cost.IO - probe.Props.Cost.IO
+	if randomIO != probe.Props.Card {
+		t.Errorf("random fetch IO = %v, want one per tuple (%v)", randomIO, probe.Props.Card)
+	}
+
+	// TID-sorted input: sequential fetches, at most the table's pages.
+	sorted := price(t, e, &plan.Node{
+		Op: plan.OpSort, SortCols: []expr.ColID{{Table: "T", Col: plan.TIDCol}},
+		Inputs: []*plan.Node{probeT(t, e)},
+	})
+	get2 := price(t, e, &plan.Node{
+		Op: plan.OpGet, Table: "T", Quantifier: "T",
+		Cols: []expr.ColID{{Table: "T", Col: "S"}}, Inputs: []*plan.Node{sorted},
+	})
+	seqIO := get2.Props.Cost.IO - sorted.Props.Cost.IO
+	if seqIO != float64(e.Cat.Table("T").PageCount()) {
+		t.Errorf("sequential fetch IO = %v, want table pages %v", seqIO, e.Cat.Table("T").PageCount())
+	}
+
+	// A clustering index also makes fetches sequential.
+	e.Cat.Table("T").Paths[0].Clustered = true
+	get3 := price(t, e, &plan.Node{
+		Op: plan.OpGet, Table: "T", Quantifier: "T",
+		Cols: []expr.ColID{{Table: "T", Col: "S"}}, Inputs: []*plan.Node{probeT(t, e)},
+	})
+	probeCost := get3.Inputs[0].Props.Cost.IO
+	if got := get3.Props.Cost.IO - probeCost; got != float64(e.Cat.Table("T").PageCount()) {
+		t.Errorf("clustered fetch IO = %v", got)
+	}
+	e.Cat.Table("T").Paths[0].Clustered = false
+
+	// GET from an unknown table errors.
+	bad := &plan.Node{Op: plan.OpGet, Table: "NOPE", Inputs: []*plan.Node{probeT(t, e)}}
+	if err := e.Price(bad); err == nil {
+		t.Error("GET from unknown table must fail")
+	}
+}
+
+func TestTempAccessProps(t *testing.T) {
+	e := testEnv()
+	stored := price(t, e, &plan.Node{Op: plan.OpStore, Table: "_tmp1",
+		Inputs: []*plan.Node{scanT(e)}})
+
+	// Heap re-access of the temp: rescan pays only the re-read (zero IO
+	// here, the temp fits the buffer pool).
+	acc := price(t, e, &plan.Node{
+		Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "_tmp1",
+		Cols:   []expr.ColID{{Table: "T", Col: "A"}},
+		Inputs: []*plan.Node{stored},
+	})
+	if !acc.Props.Temp || acc.Props.TempName != "_tmp1" {
+		t.Fatal("temp access keeps temp identity")
+	}
+	if acc.Props.Rescan.IO != 0 {
+		t.Errorf("buffered temp rescan IO = %v", acc.Props.Rescan.IO)
+	}
+	if acc.Props.Cost.Total <= stored.Props.Cost.Total {
+		t.Error("first access includes the build")
+	}
+
+	// Index flavor over a dynamic path.
+	ixd := price(t, e, &plan.Node{Op: plan.OpBuildIndex, Path: "_ix1",
+		SortCols: []expr.ColID{{Table: "T", Col: "A"}}, Inputs: []*plan.Node{stored}})
+	probe := price(t, e, &plan.Node{
+		Op: plan.OpAccess, Flavor: plan.FlavorIndex, Table: "_tmp1", Path: "_ix1",
+		Cols:   []expr.ColID{{Table: "T", Col: "A"}},
+		Preds:  []expr.Expr{cEQ("T", "A", 3)},
+		Inputs: []*plan.Node{ixd},
+	})
+	if probe.Props.Card >= stored.Props.Card {
+		t.Error("probe must be selective")
+	}
+	if len(probe.Props.Order) == 0 {
+		t.Error("dynamic-index probe yields key order")
+	}
+
+	// Unknown path errors; non-temp input errors.
+	badPath := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorIndex, Table: "_tmp1",
+		Path: "missing", Inputs: []*plan.Node{ixd}}
+	if err := e.Price(badPath); err == nil {
+		t.Error("unknown temp path must fail")
+	}
+	nonTemp := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "x",
+		Inputs: []*plan.Node{scanTPriced(t, e)}}
+	if err := e.Price(nonTemp); err == nil {
+		t.Error("ACCESS-with-input over a non-temp must fail")
+	}
+}
+
+func scanTPriced(t *testing.T, e *Env) *plan.Node {
+	return price(t, e, scanT(e))
+}
+
+func TestUnionProps(t *testing.T) {
+	e := testEnv()
+	a := scanTPriced(t, e)
+	b := scanTPriced(t, e)
+	u := price(t, e, &plan.Node{Op: plan.OpUnion, Inputs: []*plan.Node{a, b}})
+	if u.Props.Card != a.Props.Card+b.Props.Card {
+		t.Errorf("union card = %v", u.Props.Card)
+	}
+	// Cross-site unions are rejected.
+	shipped := price(t, e, &plan.Node{Op: plan.OpShip, Site: "X", Inputs: []*plan.Node{scanT(e)}})
+	bad := &plan.Node{Op: plan.OpUnion, Inputs: []*plan.Node{a, shipped}}
+	if err := e.Price(bad); err == nil {
+		t.Error("cross-site UNION must fail")
+	}
+}
+
+func TestIndexAndProps(t *testing.T) {
+	e := testEnv()
+	a := probeT(t, e, cEQ("T", "A", 1))
+	b := probeT(t, e, cEQ("T", "A", 2))
+	n := price(t, e, &plan.Node{Op: plan.OpIndexAnd, Inputs: []*plan.Node{a, b}})
+	// card = a.Card · b.Card / |T| = 200·200/10000 = 4.
+	if math.Abs(n.Props.Card-4) > 1e-6 {
+		t.Errorf("ixand card = %v, want 4", n.Props.Card)
+	}
+	if n.Props.Cost.Total <= a.Props.Cost.Total+b.Props.Cost.Total-1e-9 {
+		t.Error("intersection adds CPU on top of both probes")
+	}
+	// Mixed-table inputs are rejected.
+	u := price(t, e, &plan.Node{
+		Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "U", Quantifier: "U",
+		Cols: []expr.ColID{{Table: "U", Col: "A"}},
+	})
+	bad := &plan.Node{Op: plan.OpIndexAnd, Inputs: []*plan.Node{a, u}}
+	if err := e.Price(bad); err == nil {
+		t.Error("IXAND across tables must fail")
+	}
+}
+
+func TestSelectivityFallbacks(t *testing.T) {
+	e := testEnv()
+	// Unknown quantifier: defaults.
+	p := cEQ("Z", "A", 1)
+	if got := e.Selectivity(p); got != defaultEqSel {
+		t.Errorf("unknown-table eq sel = %v", got)
+	}
+	// Constant predicates.
+	if got := e.Selectivity(&expr.Const{Val: datum.NewBool(true)}); got != 1 {
+		t.Errorf("constant true sel = %v", got)
+	}
+	if got := e.Selectivity(&expr.Const{Val: datum.Null}); got != 0 {
+		t.Errorf("NULL sel = %v", got)
+	}
+	// Arith node at predicate position: opaque default.
+	if got := e.Selectivity(&expr.Arith{Op: expr.Add, L: expr.C("T", "A"), R: expr.C("T", "A")}); got != defaultOtherSel {
+		t.Errorf("opaque sel = %v", got)
+	}
+	// Range clamps at the domain edges.
+	over := &expr.Cmp{Op: expr.LT, L: expr.C("T", "B"), R: &expr.Const{Val: datum.NewFloat(1e9)}}
+	if got := e.Selectivity(over); got != 1 {
+		t.Errorf("over-range sel = %v", got)
+	}
+	under := &expr.Cmp{Op: expr.LT, L: expr.C("T", "B"), R: &expr.Const{Val: datum.NewFloat(-5)}}
+	if got := e.Selectivity(under); got > 1e-8 {
+		t.Errorf("under-range sel = %v", got)
+	}
+}
+
+// TestIndexMatchPrefixSemantics exercises the probe estimator's prefix rules
+// directly.
+func TestIndexMatchPrefixSemantics(t *testing.T) {
+	lo, hi := 0.0, 100.0
+	cat := catalog.New()
+	cat.AddTable(&catalog.Table{
+		Name: "M",
+		Cols: []*catalog.Column{
+			{Name: "A", Type: datum.KindInt, NDV: 10},
+			{Name: "B", Type: datum.KindFloat, NDV: 100, Lo: &lo, Hi: &hi},
+			{Name: "C", Type: datum.KindInt, NDV: 100},
+		},
+		Card: 1000,
+		Paths: []*catalog.AccessPath{
+			{Name: "M_ABC", Table: "M", Cols: []string{"A", "B", "C"}},
+		},
+	})
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEnv(cat, DefaultWeights)
+	e.BindQuantifier("M", "M")
+	key := []expr.ColID{{Table: "M", Col: "A"}, {Table: "M", Col: "B"}, {Table: "M", Col: "C"}}
+
+	// EQ on A then range on B: both match, C's pred does not (range ends
+	// the prefix).
+	sel, matched := e.indexMatch(key, []expr.Expr{
+		cEQ("M", "A", 1),
+		&expr.Cmp{Op: expr.LT, L: expr.C("M", "B"), R: &expr.Const{Val: datum.NewFloat(50)}},
+		cEQ("M", "C", 3),
+	})
+	if matched != 2 {
+		t.Fatalf("matched = %d, want 2", matched)
+	}
+	if math.Abs(sel-0.1*0.5) > 1e-9 {
+		t.Errorf("prefix sel = %v, want 0.05", sel)
+	}
+	// No predicate on A: nothing matches.
+	if _, m := e.indexMatch(key, []expr.Expr{cEQ("M", "C", 3)}); m != 0 {
+		t.Errorf("gap in prefix must stop matching, got %d", m)
+	}
+}

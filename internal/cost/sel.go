@@ -1,0 +1,246 @@
+package cost
+
+import (
+	"math"
+
+	"stars/internal/expr"
+)
+
+// Default selectivities in the System-R tradition [SELI 79], used when
+// statistics are missing or the predicate shape is opaque.
+const (
+	defaultEqSel    = 0.10
+	defaultRangeSel = 1.0 / 3.0
+	defaultNeSel    = 0.90
+	defaultOtherSel = 0.25
+)
+
+// Selectivity estimates the fraction of tuples satisfying p. Multi-table
+// predicates estimate their join selectivity; when such a predicate is
+// applied at a single-table access (sideways information passing binds the
+// other side per probe) the same number is the per-probe fraction, so one
+// estimator serves both uses.
+func (e *Env) Selectivity(p expr.Expr) float64 {
+	switch n := p.(type) {
+	case *expr.Cmp:
+		return e.cmpSelectivity(n)
+	case *expr.And:
+		s := 1.0
+		for _, k := range n.Kids {
+			s *= e.Selectivity(k)
+		}
+		return s
+	case *expr.Or:
+		s := 0.0
+		for _, k := range n.Kids {
+			ks := e.Selectivity(k)
+			s = s + ks - s*ks
+		}
+		return s
+	case *expr.Not:
+		return clampSel(1 - e.Selectivity(n.Kid))
+	case *expr.Const:
+		if n.Val.Kind() == 0 { // NULL never satisfies
+			return 0
+		}
+		return 1
+	default:
+		return defaultOtherSel
+	}
+}
+
+// SetSelectivity multiplies the selectivities of every predicate in ps,
+// assuming independence (the System-R convention).
+func (e *Env) SetSelectivity(ps expr.PredSet) float64 {
+	s := 1.0
+	for _, p := range ps.Slice() {
+		s *= e.Selectivity(p)
+	}
+	return s
+}
+
+// PredsSelectivity multiplies the selectivities of a predicate slice.
+func (e *Env) PredsSelectivity(ps []expr.Expr) float64 {
+	s := 1.0
+	for _, p := range ps {
+		s *= e.Selectivity(p)
+	}
+	return s
+}
+
+func (e *Env) cmpSelectivity(c *expr.Cmp) float64 {
+	lc, lok := c.L.(*expr.Col)
+	rc, rok := c.R.(*expr.Col)
+	switch c.Op {
+	case expr.EQ:
+		switch {
+		case lok && rok:
+			// col = col: 1/max(ndv1, ndv2), the classic equijoin rule.
+			n1 := e.ndv(lc.ID)
+			n2 := e.ndv(rc.ID)
+			n := math.Max(n1, n2)
+			if n <= 0 {
+				return defaultEqSel
+			}
+			return clampSel(1 / n)
+		case lok:
+			return e.eqColSel(lc.ID)
+		case rok:
+			return e.eqColSel(rc.ID)
+		default:
+			return defaultEqSel
+		}
+	case expr.NE:
+		eq := e.Selectivity(&expr.Cmp{Op: expr.EQ, L: c.L, R: c.R})
+		return clampSel(1 - eq)
+	case expr.LT, expr.LE, expr.GT, expr.GE:
+		// col op const with a known range interpolates linearly.
+		if lok && !rok {
+			if s, ok := e.rangeSel(lc.ID, c.Op, c.R); ok {
+				return s
+			}
+		}
+		if rok && !lok {
+			if s, ok := e.rangeSel(rc.ID, c.Op.Flip(), c.L); ok {
+				return s
+			}
+		}
+		return defaultRangeSel
+	default:
+		return defaultOtherSel
+	}
+}
+
+// eqColSel is the selectivity of col = <non-column expression>: 1/NDV.
+func (e *Env) eqColSel(id expr.ColID) float64 {
+	n := e.ndv(id)
+	if n <= 0 {
+		return defaultEqSel
+	}
+	return clampSel(1 / n)
+}
+
+// ndv returns the number of distinct values of the column, or 0 if unknown.
+func (e *Env) ndv(id expr.ColID) float64 {
+	t := e.BaseTable(id.Table)
+	if t == nil {
+		// Temps: fall back to the recorded cardinality as an upper bound.
+		if tp := e.TempProps(e.Quant[id.Table]); tp != nil {
+			return tp.Card
+		}
+		return 0
+	}
+	col := t.Column(id.Col)
+	if col == nil || col.NDV <= 0 {
+		return 0
+	}
+	return float64(col.NDV)
+}
+
+// rangeSel interpolates col op const within the column's [Lo, Hi] range.
+func (e *Env) rangeSel(id expr.ColID, op expr.CmpOp, rhs expr.Expr) (float64, bool) {
+	cst, ok := rhs.(*expr.Const)
+	if !ok {
+		return 0, false
+	}
+	v, ok := cst.Val.AsFloat()
+	if !ok {
+		return 0, false
+	}
+	t := e.BaseTable(id.Table)
+	if t == nil {
+		return 0, false
+	}
+	col := t.Column(id.Col)
+	if col == nil || col.Lo == nil || col.Hi == nil || *col.Hi <= *col.Lo {
+		return 0, false
+	}
+	frac := (v - *col.Lo) / (*col.Hi - *col.Lo)
+	switch op {
+	case expr.LT, expr.LE:
+		return clampSel(frac), true
+	case expr.GT, expr.GE:
+		return clampSel(1 - frac), true
+	default:
+		return 0, false
+	}
+}
+
+func clampSel(s float64) float64 {
+	if s < 1e-9 {
+		return 1e-9
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// indexMatch reports how much of an index's key prefix the given predicates
+// exploit: the combined selectivity of the matched prefix and how many
+// predicates were matched. A predicate matches a key column when it compares
+// that column (by EQ, or by a range as the last matched column) against
+// something not on the indexed table — constants or outer-side expressions
+// (sideways information passing makes those constants per probe).
+func (e *Env) indexMatch(keyCols []expr.ColID, preds []expr.Expr) (sel float64, matched int) {
+	sel = 1.0
+	used := make([]bool, len(preds))
+	for _, kc := range keyCols {
+		foundEq := false
+		for i, p := range preds {
+			if used[i] {
+				continue
+			}
+			c, ok := p.(*expr.Cmp)
+			if !ok {
+				continue
+			}
+			col, other := matchColSide(c, kc)
+			if col == nil {
+				continue
+			}
+			// The other side must not reference the indexed quantifier:
+			// it is a constant, or an outer expression bound per probe.
+			if referencesTable(other, kc.Table) {
+				continue
+			}
+			if c.Op == expr.EQ {
+				used[i] = true
+				matched++
+				sel *= e.Selectivity(p)
+				foundEq = true
+				break
+			}
+			// A range predicate matches but terminates the prefix.
+			used[i] = true
+			matched++
+			sel *= e.Selectivity(p)
+			return sel, matched
+		}
+		if !foundEq {
+			break
+		}
+	}
+	return sel, matched
+}
+
+// matchColSide returns (the Col node matching id, the other side) when the
+// comparison has id on one side.
+func matchColSide(c *expr.Cmp, id expr.ColID) (*expr.Col, expr.Expr) {
+	if lc, ok := c.L.(*expr.Col); ok && lc.ID == id {
+		return lc, c.R
+	}
+	if rc, ok := c.R.(*expr.Col); ok && rc.ID == id {
+		return rc, c.L
+	}
+	return nil, nil
+}
+
+func referencesTable(e expr.Expr, table string) bool {
+	for _, c := range expr.Columns(e) {
+		if c.Table == table {
+			return true
+		}
+	}
+	return false
+}

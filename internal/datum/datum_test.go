@@ -1,0 +1,229 @@
+package datum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindInt: "int", KindFloat: "float",
+		KindString: "string", KindBool: "bool", Kind(99): "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestAccessorsPanicOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int() on a string did not panic")
+		}
+	}()
+	NewString("x").Int()
+}
+
+func TestCompareNumericWidening(t *testing.T) {
+	c, ok := NewInt(3).Compare(NewFloat(3.0))
+	if !ok || c != 0 {
+		t.Fatalf("3 vs 3.0: cmp=%d ok=%v", c, ok)
+	}
+	c, ok = NewInt(3).Compare(NewFloat(3.5))
+	if !ok || c != -1 {
+		t.Fatalf("3 vs 3.5: cmp=%d ok=%v", c, ok)
+	}
+	c, ok = NewFloat(4.5).Compare(NewInt(4))
+	if !ok || c != 1 {
+		t.Fatalf("4.5 vs 4: cmp=%d ok=%v", c, ok)
+	}
+}
+
+func TestCompareNullAndMixedKinds(t *testing.T) {
+	if _, ok := Null.Compare(NewInt(1)); ok {
+		t.Error("NULL comparison must be undefined")
+	}
+	if _, ok := NewInt(1).Compare(Null); ok {
+		t.Error("comparison with NULL must be undefined")
+	}
+	if _, ok := NewString("a").Compare(NewInt(1)); ok {
+		t.Error("string vs int must be incomparable")
+	}
+	if Null.Equal(Null) {
+		t.Error("NULL must not equal NULL")
+	}
+}
+
+func TestCompareStringsAndBools(t *testing.T) {
+	if c, ok := NewString("a").Compare(NewString("b")); !ok || c != -1 {
+		t.Errorf("'a' vs 'b' = %d, %v", c, ok)
+	}
+	if c, ok := NewBool(false).Compare(NewBool(true)); !ok || c != -1 {
+		t.Errorf("false vs true = %d, %v", c, ok)
+	}
+	if c, ok := NewBool(true).Compare(NewBool(true)); !ok || c != 0 {
+		t.Errorf("true vs true = %d, %v", c, ok)
+	}
+}
+
+// genDatum derives a pseudo-random datum from three ints, covering every
+// kind.
+func genDatum(kind uint8, a int64, s string) Datum {
+	switch kind % 5 {
+	case 0:
+		return Null
+	case 1:
+		return NewInt(a)
+	case 2:
+		return NewFloat(float64(a) / 3)
+	case 3:
+		return NewString(s)
+	default:
+		return NewBool(a%2 == 0)
+	}
+}
+
+// TestLessIsStrictWeakOrder property-checks that Less gives sorting a
+// consistent order: irreflexive and asymmetric.
+func TestLessIsStrictWeakOrder(t *testing.T) {
+	f := func(k1, k2 uint8, a, b int64, s1, s2 string) bool {
+		x := genDatum(k1, a, s1)
+		y := genDatum(k2, b, s2)
+		if x.Less(x) || y.Less(y) {
+			return false
+		}
+		if x.Less(y) && y.Less(x) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashAgreesWithEqual property-checks hash-join safety: datums that
+// compare equal hash identically (including int/float widening).
+func TestHashAgreesWithEqual(t *testing.T) {
+	f := func(k1, k2 uint8, a, b int64, s1, s2 string) bool {
+		x := genDatum(k1, a, s1)
+		y := genDatum(k2, b, s2)
+		if x.Equal(y) && x.Hash() != y.Hash() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The widening case explicitly:
+	if NewInt(42).Hash() != NewFloat(42).Hash() {
+		t.Error("42 and 42.0 must hash identically")
+	}
+}
+
+func TestHashDistinguishes(t *testing.T) {
+	// Not a guarantee, but these easy cases must not collide.
+	seen := map[uint64]Datum{}
+	for i := int64(0); i < 1000; i++ {
+		d := NewInt(i)
+		if prev, ok := seen[d.Hash()]; ok {
+			t.Fatalf("collision: %v and %v", prev, d)
+		}
+		seen[d.Hash()] = d
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]Datum{
+		"NULL":  Null,
+		"42":    NewInt(42),
+		"1.5":   NewFloat(1.5),
+		"'hi'":  NewString("hi"),
+		"true":  NewBool(true),
+		"false": NewBool(false),
+	}
+	for want, d := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", d.Kind(), got, want)
+		}
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if NewInt(1).Width() != 8 {
+		t.Error("int width")
+	}
+	if NewString("abc").Width() != 4 {
+		t.Error("string width = len+1")
+	}
+	r := Row{NewInt(1), NewString("ab")}
+	if r.Width() != 11 {
+		t.Errorf("row width = %d, want 11", r.Width())
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1), NewInt(2)}
+	c := r.Clone()
+	c[0] = NewInt(99)
+	if r[0].Int() != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestCompareRows(t *testing.T) {
+	a := Row{NewInt(1), NewString("x")}
+	b := Row{NewInt(1), NewString("y")}
+	if CompareRows(a, b, []int{0}) != 0 {
+		t.Error("equal on first key")
+	}
+	if CompareRows(a, b, []int{0, 1}) != -1 {
+		t.Error("x < y on second key")
+	}
+	if CompareRows(b, a, []int{1}) != 1 {
+		t.Error("y > x")
+	}
+	// NULLs sort first.
+	n := Row{Null}
+	v := Row{NewInt(-5)}
+	if CompareRows(n, v, []int{0}) != -1 {
+		t.Error("NULL must sort before values")
+	}
+}
+
+func TestRowHashSubset(t *testing.T) {
+	a := Row{NewInt(1), NewInt(2), NewInt(3)}
+	b := Row{NewInt(9), NewInt(2), NewInt(3)}
+	if a.Hash([]int{1, 2}) != b.Hash([]int{1, 2}) {
+		t.Error("same subset values must hash equal")
+	}
+	if a.Hash([]int{0}) == b.Hash([]int{0}) {
+		t.Error("different values should not collide here")
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if v, ok := NewInt(7).AsFloat(); !ok || v != 7 {
+		t.Error("int widens")
+	}
+	if v, ok := NewFloat(1.25).AsFloat(); !ok || v != 1.25 {
+		t.Error("float passes")
+	}
+	if _, ok := NewString("x").AsFloat(); ok {
+		t.Error("string must not widen")
+	}
+	if _, ok := Null.AsFloat(); ok {
+		t.Error("NULL must not widen")
+	}
+}
+
+func TestFloatSpecials(t *testing.T) {
+	inf := NewFloat(math.Inf(1))
+	if c, ok := NewFloat(1).Compare(inf); !ok || c != -1 {
+		t.Error("1 < +Inf")
+	}
+}

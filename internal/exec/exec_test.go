@@ -1,0 +1,131 @@
+package exec_test
+
+import (
+	"reflect"
+	"testing"
+
+	"stars/internal/exec"
+	"stars/internal/opt"
+	"stars/internal/plan"
+	"stars/internal/query"
+	"stars/internal/storage"
+	"stars/internal/workload"
+)
+
+// runBest optimizes, executes, and compares against the oracle.
+func runBest(t *testing.T, o *opt.Optimizer, cluster *storage.Cluster, g *query.Graph) (*opt.Result, *exec.Result) {
+	t.Helper()
+	res, err := o.Optimize(g)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	rt := exec.NewRuntime(cluster, o.Cat)
+	er, err := rt.Run(res.Best)
+	if err != nil {
+		t.Fatalf("execute:\n%s\nerror: %v", plan.Explain(res.Best), err)
+	}
+	want := workload.Oracle(cluster, o.Cat, g)
+	got := workload.RenderRows(er.Schema, er.Rows, g.SelectCols(o.Cat))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("result mismatch: got %d rows, oracle %d rows\nplan:\n%s",
+			len(got), len(want), plan.Explain(res.Best))
+	}
+	return res, er
+}
+
+func TestExecuteFigure1(t *testing.T) {
+	cat := workload.EmpDept()
+	cluster := storage.NewCluster()
+	workload.PopulateEmpDept(cluster, cat, 1)
+	g := workload.Figure1Query()
+	res, er := runBest(t, opt.New(cat, opt.Options{}), cluster, g)
+	if er.Stats.RowsOut == 0 {
+		t.Fatal("expected matches for MGR='Haas'")
+	}
+	t.Logf("best plan:\n%s", plan.Explain(res.Best))
+	t.Logf("rows=%d actual IO pages=%d est cost=%.1f",
+		er.Stats.RowsOut, er.Stats.IO.TotalPages(), res.Best.Props.Cost.Total)
+}
+
+// TestAllAlternativesAgree executes every retained plan for the full query
+// and demands the oracle's result from each — the core safety property of a
+// rule-generated plan space.
+func TestAllAlternativesAgree(t *testing.T) {
+	cat := workload.ChainCatalog(3, 200, 100, 50)
+	cluster := storage.NewCluster()
+	workload.Populate(cluster, cat, 7)
+	g := workload.ChainQuery(3)
+
+	o := opt.New(cat, opt.Options{KeepAllGlue: true})
+	res, err := o.Optimize(g)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	want := workload.Oracle(cluster, cat, g)
+	all := res.Table.Entry(g.TableSet())
+	if len(all) < 3 {
+		t.Fatalf("expected several alternatives, got %d", len(all))
+	}
+	t.Logf("executing %d alternative plans; oracle rows=%d", len(all), len(want))
+	rt := exec.NewRuntime(cluster, cat)
+	for i, p := range all {
+		er, err := rt.Run(p)
+		if err != nil {
+			t.Fatalf("alternative %d failed:\n%s\nerror: %v", i, plan.Explain(p), err)
+		}
+		got := workload.RenderRows(er.Schema, er.Rows, g.SelectCols(cat))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("alternative %d disagrees with oracle (%d vs %d rows)\nplan:\n%s",
+				i, len(got), len(want), plan.Explain(p))
+		}
+	}
+}
+
+// TestDistributedAlternativesAgree is the all-alternatives equivalence
+// property on a distributed catalog: SHIP/STORE veneers and per-site joins
+// must not change results.
+func TestDistributedAlternativesAgree(t *testing.T) {
+	cat := workload.ChainCatalog(2, 300, 150)
+	cat.Sites = []string{"HQ", "NY"}
+	cat.QuerySite = "HQ"
+	cat.Table("T2").Site = "NY"
+	cluster := storage.NewCluster("HQ", "NY")
+	workload.Populate(cluster, cat, 19)
+	g := workload.ChainQuery(2)
+
+	res, err := opt.New(cat, opt.Options{KeepAllGlue: true}).Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload.Oracle(cluster, cat, g)
+	all := res.Table.Entry(g.TableSet())
+	if len(all) < 2 {
+		t.Fatalf("expected distributed alternatives, got %d", len(all))
+	}
+	rt := exec.NewRuntime(cluster, cat)
+	for i, p := range all {
+		er, err := rt.Run(p)
+		if err != nil {
+			t.Fatalf("alternative %d failed:\n%s\nerror: %v", i, plan.Explain(p), err)
+		}
+		got := workload.RenderRows(er.Schema, er.Rows, g.SelectCols(cat))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("alternative %d disagrees (%d vs %d rows)\n%s",
+				i, len(got), len(want), plan.Explain(p))
+		}
+	}
+}
+
+func TestExecuteChain4(t *testing.T) {
+	cat := workload.ChainCatalog(4, 120, 80, 60, 40)
+	cluster := storage.NewCluster()
+	workload.Populate(cluster, cat, 3)
+	runBest(t, opt.New(cat, opt.Options{}), cluster, workload.ChainQuery(4))
+}
+
+func TestExecuteStar3(t *testing.T) {
+	cat := workload.StarCatalog(2, 500, 50)
+	cluster := storage.NewCluster()
+	workload.Populate(cluster, cat, 5)
+	runBest(t, opt.New(cat, opt.Options{}), cluster, workload.StarQuery(2))
+}

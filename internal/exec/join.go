@@ -1,0 +1,563 @@
+package exec
+
+import (
+	"fmt"
+
+	"stars/internal/datum"
+	"stars/internal/expr"
+	"stars/internal/plan"
+)
+
+func buildJoin(ec *Ctx, n *plan.Node) (Iterator, error) {
+	outer, err := ec.build(n.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	inner, err := ec.build(n.Inputs[1])
+	if err != nil {
+		return nil, err
+	}
+	switch n.Flavor {
+	case plan.MethodNL:
+		return newNLJoin(ec, n, outer, inner), nil
+	case plan.MethodMG:
+		return newMergeJoin(ec, n, outer, inner)
+	case plan.MethodHA:
+		return newHashJoin(ec, n, outer, inner)
+	default:
+		return nil, fmt.Errorf("exec: unknown JOIN flavor %q", n.Flavor)
+	}
+}
+
+// nlJoinIter is the nested-loop join: for each outer tuple, the inner stream
+// is re-opened with the outer tuple's bindings pushed, so join predicates
+// pushed into the inner become single-table predicates per probe (Section
+// 4.4's sideways information passing). Residual predicates are applied to
+// the combined row.
+type nlJoinIter struct {
+	ec           *Ctx
+	n            *plan.Node
+	outer, inner Iterator
+	schema       []expr.ColID
+	parentBind   expr.Binding
+	outerBind    *RowBinding
+	combined     *RowBinding
+	outerRow     datum.Row
+	innerOpen    bool
+}
+
+func newNLJoin(ec *Ctx, n *plan.Node, outer, inner Iterator) *nlJoinIter {
+	schema := append(append([]expr.ColID(nil), outer.Schema()...), inner.Schema()...)
+	return &nlJoinIter{ec: ec, n: n, outer: outer, inner: inner, schema: schema}
+}
+
+func (it *nlJoinIter) Schema() []expr.ColID { return it.schema }
+
+func (it *nlJoinIter) Open(outer expr.Binding) error {
+	it.parentBind = outer
+	it.outerBind = &RowBinding{idx: schemaIndex(it.outer.Schema()), outer: outer}
+	it.combined = &RowBinding{idx: schemaIndex(it.schema), outer: outer}
+	it.outerRow = nil
+	it.innerOpen = false
+	return it.outer.Open(outer)
+}
+
+func (it *nlJoinIter) Next() (datum.Row, bool, error) {
+	for {
+		if it.outerRow == nil {
+			row, ok, err := it.outer.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			it.outerRow = row.Clone()
+			it.outerBind.row = it.outerRow
+			if it.innerOpen {
+				if err := it.inner.Close(); err != nil {
+					return nil, false, err
+				}
+			}
+			if err := it.inner.Open(it.outerBind); err != nil {
+				return nil, false, err
+			}
+			it.innerOpen = true
+		}
+		irow, ok, err := it.inner.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			it.outerRow = nil
+			continue
+		}
+		out := make(datum.Row, 0, len(it.schema))
+		out = append(out, it.outerRow...)
+		out = append(out, irow...)
+		it.combined.row = out
+		if !evalPreds(it.n.Residual, it.combined) {
+			continue
+		}
+		it.ec.cpuOps++
+		return out, true, nil
+	}
+}
+
+func (it *nlJoinIter) Close() error {
+	if it.innerOpen {
+		it.innerOpen = false
+		if err := it.inner.Close(); err != nil {
+			it.outer.Close()
+			return err
+		}
+	}
+	return it.outer.Close()
+}
+
+// mergeJoinIter is the sort-merge join of Figure 1: both inputs arrive
+// ordered on the sortable predicates' columns (Glue guaranteed it) and are
+// merged, buffering each inner key group for outer duplicates.
+type mergeJoinIter struct {
+	ec           *Ctx
+	n            *plan.Node
+	outer, inner Iterator
+	schema       []expr.ColID
+	outerPos     []int
+	innerPos     []int
+	combined     *RowBinding
+
+	outerRow   datum.Row
+	outerDone  bool
+	innerRow   datum.Row
+	innerDone  bool
+	group      []datum.Row // buffered inner rows with the current key
+	groupKey   datum.Row
+	groupIdx   int
+	groupValid bool
+}
+
+func newMergeJoin(ec *Ctx, n *plan.Node, outer, inner Iterator) (Iterator, error) {
+	it := &mergeJoinIter{ec: ec, n: n, outer: outer, inner: inner}
+	it.schema = append(append([]expr.ColID(nil), outer.Schema()...), inner.Schema()...)
+	oIdx := schemaIndex(outer.Schema())
+	iIdx := schemaIndex(inner.Schema())
+	for _, p := range n.Preds {
+		c, ok := p.(*expr.Cmp)
+		if !ok || c.Op != expr.EQ {
+			return nil, fmt.Errorf("exec: merge join on non-equality predicate %s", p)
+		}
+		lc, lok := c.L.(*expr.Col)
+		rc, rok := c.R.(*expr.Col)
+		if !lok || !rok {
+			return nil, fmt.Errorf("exec: merge join on non-column predicate %s", p)
+		}
+		lo, lIsOuter := oIdx[lc.ID]
+		ri, rIsInner := iIdx[rc.ID]
+		if lIsOuter && rIsInner {
+			it.outerPos = append(it.outerPos, lo)
+			it.innerPos = append(it.innerPos, ri)
+			continue
+		}
+		lo2, lIsInner := iIdx[lc.ID]
+		ri2, rIsOuter := oIdx[rc.ID]
+		if lIsInner && rIsOuter {
+			it.outerPos = append(it.outerPos, ri2)
+			it.innerPos = append(it.innerPos, lo2)
+			continue
+		}
+		return nil, fmt.Errorf("exec: merge-join predicate %s does not span the inputs", p)
+	}
+	if len(it.outerPos) == 0 {
+		return nil, fmt.Errorf("exec: merge join without sortable predicates")
+	}
+	return it, nil
+}
+
+func (it *mergeJoinIter) Schema() []expr.ColID { return it.schema }
+
+func (it *mergeJoinIter) Open(outer expr.Binding) error {
+	it.combined = &RowBinding{idx: schemaIndex(it.schema), outer: outer}
+	it.outerRow, it.innerRow = nil, nil
+	it.outerDone, it.innerDone = false, false
+	it.group = nil
+	it.groupValid = false
+	if err := it.outer.Open(outer); err != nil {
+		return err
+	}
+	return it.inner.Open(outer)
+}
+
+// keyHasNull reports whether any key column is NULL; NULL join keys never
+// match in SQL, so the merge skips such rows entirely (NULLs sort adjacent,
+// which would otherwise pair them).
+func keyHasNull(row datum.Row, pos []int) bool {
+	for _, p := range pos {
+		if row[p].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func (it *mergeJoinIter) advanceOuter() error {
+	for {
+		row, ok, err := it.outer.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			it.outerDone = true
+			it.outerRow = nil
+			return nil
+		}
+		if keyHasNull(row, it.outerPos) {
+			continue
+		}
+		it.outerRow = row.Clone()
+		return nil
+	}
+}
+
+func (it *mergeJoinIter) advanceInner() error {
+	for {
+		row, ok, err := it.inner.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			it.innerDone = true
+			it.innerRow = nil
+			return nil
+		}
+		if keyHasNull(row, it.innerPos) {
+			continue
+		}
+		it.innerRow = row.Clone()
+		return nil
+	}
+}
+
+// keyCmp compares the current outer row's key against key k.
+func (it *mergeJoinIter) keyCmp(outerRow datum.Row, k datum.Row) int {
+	for i, op := range it.outerPos {
+		a, b := outerRow[op], k[i]
+		if a.Less(b) {
+			return -1
+		}
+		if b.Less(a) {
+			return 1
+		}
+	}
+	return 0
+}
+
+func innerKey(row datum.Row, pos []int) datum.Row {
+	k := make(datum.Row, len(pos))
+	for i, p := range pos {
+		k[i] = row[p]
+	}
+	return k
+}
+
+func (it *mergeJoinIter) Next() (datum.Row, bool, error) {
+	for {
+		// Emit from the buffered group.
+		if it.groupValid && it.groupIdx < len(it.group) {
+			irow := it.group[it.groupIdx]
+			it.groupIdx++
+			out := make(datum.Row, 0, len(it.schema))
+			out = append(out, it.outerRow...)
+			out = append(out, irow...)
+			it.combined.row = out
+			if !evalPreds(it.n.Residual, it.combined) {
+				continue
+			}
+			it.ec.cpuOps++
+			return out, true, nil
+		}
+		// Group exhausted for this outer row: advance the outer.
+		if it.groupValid {
+			if err := it.advanceOuter(); err != nil {
+				return nil, false, err
+			}
+			if it.outerDone {
+				return nil, false, nil
+			}
+			switch it.keyCmp(it.outerRow, it.groupKey) {
+			case 0:
+				it.groupIdx = 0 // duplicate outer key: replay the group
+				continue
+			default:
+				it.groupValid = false
+			}
+		}
+		// Initialize streams on the first call.
+		if it.outerRow == nil && !it.outerDone {
+			if err := it.advanceOuter(); err != nil {
+				return nil, false, err
+			}
+			if err := it.advanceInner(); err != nil {
+				return nil, false, err
+			}
+		}
+		if it.outerDone || (it.innerDone && !it.groupValid) {
+			return nil, false, nil
+		}
+		// Merge: align keys.
+		for {
+			if it.innerRow == nil {
+				return nil, false, nil
+			}
+			k := innerKey(it.innerRow, it.innerPos)
+			c := it.keyCmp(it.outerRow, k)
+			if c < 0 {
+				if err := it.advanceOuter(); err != nil {
+					return nil, false, err
+				}
+				if it.outerDone {
+					return nil, false, nil
+				}
+				continue
+			}
+			if c > 0 {
+				if err := it.advanceInner(); err != nil {
+					return nil, false, err
+				}
+				if it.innerDone {
+					return nil, false, nil
+				}
+				continue
+			}
+			// Keys match: buffer the whole inner group.
+			it.group = it.group[:0]
+			it.groupKey = k
+			for it.innerRow != nil && it.keyCmp(it.outerRow, innerKey(it.innerRow, it.innerPos)) == 0 {
+				it.group = append(it.group, it.innerRow)
+				if err := it.advanceInner(); err != nil {
+					return nil, false, err
+				}
+			}
+			it.groupIdx = 0
+			it.groupValid = true
+			break
+		}
+	}
+}
+
+func (it *mergeJoinIter) Close() error {
+	err1 := it.outer.Close()
+	err2 := it.inner.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// hashJoinIter bucketizes the inner on the hashable predicates' inner-side
+// expressions, then probes with the outer side. The hashable predicates are
+// re-verified via the residual list, exactly the paper's collision note
+// (Section 4.5.1).
+type hashJoinIter struct {
+	ec           *Ctx
+	n            *plan.Node
+	outer, inner Iterator
+	schema       []expr.ColID
+	outerExprs   []expr.Expr
+	innerExprs   []expr.Expr
+	combined     *RowBinding
+	outerBindRow *RowBinding
+	innerBindRow *RowBinding
+
+	table    map[uint64][]datum.Row
+	outerRow datum.Row
+	bucket   []datum.Row
+	bpos     int
+}
+
+func newHashJoin(ec *Ctx, n *plan.Node, outer, inner Iterator) (Iterator, error) {
+	it := &hashJoinIter{ec: ec, n: n, outer: outer, inner: inner}
+	it.schema = append(append([]expr.ColID(nil), outer.Schema()...), inner.Schema()...)
+	oIdx := schemaIndex(outer.Schema())
+	for _, p := range n.Preds {
+		c, ok := p.(*expr.Cmp)
+		if !ok || c.Op != expr.EQ {
+			return nil, fmt.Errorf("exec: hash join on non-equality predicate %s", p)
+		}
+		if exprOver(c.L, oIdx) {
+			it.outerExprs = append(it.outerExprs, c.L)
+			it.innerExprs = append(it.innerExprs, c.R)
+		} else if exprOver(c.R, oIdx) {
+			it.outerExprs = append(it.outerExprs, c.R)
+			it.innerExprs = append(it.innerExprs, c.L)
+		} else {
+			return nil, fmt.Errorf("exec: hash-join predicate %s does not span the inputs", p)
+		}
+	}
+	if len(it.outerExprs) == 0 {
+		return nil, fmt.Errorf("exec: hash join without hashable predicates")
+	}
+	return it, nil
+}
+
+// exprOver reports whether every column of e resolves within the schema
+// index.
+func exprOver(e expr.Expr, idx map[expr.ColID]int) bool {
+	cols := expr.Columns(e)
+	if len(cols) == 0 {
+		return false
+	}
+	for _, c := range cols {
+		if _, ok := idx[c]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func hashKey(exprs []expr.Expr, b expr.Binding) (uint64, bool) {
+	h := uint64(1469598103934665603)
+	for _, e := range exprs {
+		v := e.Eval(b)
+		if v.IsNull() {
+			return 0, false
+		}
+		h ^= v.Hash()
+		h *= 1099511628211
+	}
+	return h, true
+}
+
+func (it *hashJoinIter) Schema() []expr.ColID { return it.schema }
+
+func (it *hashJoinIter) Open(outer expr.Binding) error {
+	it.combined = &RowBinding{idx: schemaIndex(it.schema), outer: outer}
+	it.outerBindRow = &RowBinding{idx: schemaIndex(it.outer.Schema()), outer: outer}
+	it.innerBindRow = &RowBinding{idx: schemaIndex(it.inner.Schema()), outer: outer}
+	it.table = map[uint64][]datum.Row{}
+	it.outerRow = nil
+	it.bucket = nil
+	// Build phase: bucketize the inner.
+	if err := it.inner.Open(outer); err != nil {
+		return err
+	}
+	for {
+		row, ok, err := it.inner.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		it.innerBindRow.row = row
+		h, ok := hashKey(it.innerExprs, it.innerBindRow)
+		if !ok {
+			continue // NULL join keys never match
+		}
+		it.table[h] = append(it.table[h], row.Clone())
+		it.ec.cpuOps++
+	}
+	if err := it.inner.Close(); err != nil {
+		return err
+	}
+	return it.outer.Open(outer)
+}
+
+func (it *hashJoinIter) Next() (datum.Row, bool, error) {
+	for {
+		if it.outerRow == nil || it.bpos >= len(it.bucket) {
+			row, ok, err := it.outer.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			it.outerRow = row.Clone()
+			it.outerBindRow.row = it.outerRow
+			h, hok := hashKey(it.outerExprs, it.outerBindRow)
+			if !hok {
+				it.outerRow = nil
+				continue
+			}
+			it.bucket = it.table[h]
+			it.bpos = 0
+			it.ec.cpuOps++
+			if len(it.bucket) == 0 {
+				it.outerRow = nil
+				continue
+			}
+		}
+		irow := it.bucket[it.bpos]
+		it.bpos++
+		out := make(datum.Row, 0, len(it.schema))
+		out = append(out, it.outerRow...)
+		out = append(out, irow...)
+		it.combined.row = out
+		if !evalPreds(it.n.Residual, it.combined) {
+			continue
+		}
+		it.ec.cpuOps++
+		return out, true, nil
+	}
+}
+
+func (it *hashJoinIter) Close() error {
+	it.table = nil
+	return it.outer.Close()
+}
+
+// unionIter concatenates two streams with identical column layouts.
+type unionIter struct {
+	ec   *Ctx
+	a, b Iterator
+	onB  bool
+}
+
+func buildUnion(ec *Ctx, n *plan.Node) (Iterator, error) {
+	a, err := ec.build(n.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := ec.build(n.Inputs[1])
+	if err != nil {
+		return nil, err
+	}
+	if len(a.Schema()) != len(b.Schema()) {
+		return nil, fmt.Errorf("exec: UNION arity mismatch")
+	}
+	return &unionIter{ec: ec, a: a, b: b}, nil
+}
+
+func (it *unionIter) Schema() []expr.ColID { return it.a.Schema() }
+
+func (it *unionIter) Open(outer expr.Binding) error {
+	it.onB = false
+	if err := it.a.Open(outer); err != nil {
+		return err
+	}
+	return it.b.Open(outer)
+}
+
+func (it *unionIter) Next() (datum.Row, bool, error) {
+	if !it.onB {
+		row, ok, err := it.a.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			it.ec.cpuOps++
+			return row, true, nil
+		}
+		it.onB = true
+	}
+	row, ok, err := it.b.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	it.ec.cpuOps++
+	return row, true, nil
+}
+
+func (it *unionIter) Close() error {
+	err1 := it.a.Close()
+	err2 := it.b.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

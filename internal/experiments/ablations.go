@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"stars/internal/opt"
+	"stars/internal/star"
+	"stars/internal/workload"
+)
+
+func init() {
+	register("A1", "Ablation — dominance pruning in the plan table", a1)
+	register("A2", "Ablation — Glue returning cheapest vs. all satisfying plans", a2)
+	register("A3", "Ablation — rule-DSL interpretation overhead", a3)
+}
+
+// a1 turns dominance pruning off and measures plan-table population,
+// optimization time, and best cost.
+func a1() (*Report, error) {
+	rep := &Report{
+		Claim:   "Retaining only non-dominated plans per (TABLES, PREDS) entry keeps optimization tractable without losing the optimum: interesting properties (order, site, temp, cheap rescans) shield plans from pruning exactly when a later STAR could exploit them.",
+		Headers: []string{"n", "plans retained (pruned)", "plans retained (no pruning)", "time pruned", "time unpruned", "same best cost"},
+	}
+	ok := true
+	for n := 3; n <= 5; n++ {
+		cat := workload.ChainCatalog(n, 400, 150, 60, 200, 90)
+		g := workload.ChainQuery(n)
+		pr, err := opt.New(cat, opt.Options{}).Optimize(g)
+		if err != nil {
+			return nil, err
+		}
+		un, err := opt.New(cat, opt.Options{DisablePruning: true}).Optimize(g)
+		if err != nil {
+			return nil, err
+		}
+		same := pr.Best.Props.Cost.Total <= un.Best.Props.Cost.Total*1.001
+		if !same {
+			ok = false
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fi(int64(n)),
+			fi(pr.Stats.PlansRetained), fi(un.Stats.PlansRetained),
+			pr.Stats.Elapsed.Round(time.Microsecond).String(),
+			un.Stats.Elapsed.Round(time.Microsecond).String(),
+			fmt.Sprintf("%v", same),
+		})
+	}
+	rep.OK = ok
+	rep.Summary = "pruning shrinks the plan table by a growing factor at identical best cost"
+	if !ok {
+		rep.Summary = "pruning changed the best plan's cost — a dominance bug"
+	}
+	return rep, nil
+}
+
+// a2 flips Glue between cheapest-only and all-satisfying.
+func a2() (*Report, error) {
+	rep := &Report{
+		Claim:   "The paper's Glue 'either returns the cheapest plan satisfying the requirements or (optionally) all plans'. Returning all plans multiplies the join cross-products for no improvement in the final plan (the plan table already retains interesting alternatives).",
+		Headers: []string{"n", "plans built (cheapest)", "plans built (all)", "time cheapest", "time all", "same best cost"},
+	}
+	ok := true
+	for n := 3; n <= 5; n++ {
+		cat := workload.ChainCatalog(n, 400, 150, 60, 200, 90)
+		g := workload.ChainQuery(n)
+		ch, err := opt.New(cat, opt.Options{}).Optimize(g)
+		if err != nil {
+			return nil, err
+		}
+		all, err := opt.New(cat, opt.Options{KeepAllGlue: true}).Optimize(g)
+		if err != nil {
+			return nil, err
+		}
+		same := ch.Best.Props.Cost.Total <= all.Best.Props.Cost.Total*1.001
+		if !same {
+			ok = false
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fi(int64(n)),
+			fi(ch.Stats.Star.PlansBuilt), fi(all.Stats.Star.PlansBuilt),
+			ch.Stats.Elapsed.Round(time.Microsecond).String(),
+			all.Stats.Elapsed.Round(time.Microsecond).String(),
+			fmt.Sprintf("%v", same),
+		})
+	}
+	rep.OK = ok
+	rep.Summary = "cheapest-only Glue builds far fewer plans at the same final cost — the paper's default is the right one"
+	if !ok {
+		rep.Summary = "cheapest-only Glue lost plan quality"
+	}
+	return rep, nil
+}
+
+// a3 measures the cost of parsing the rule DSL against the cost of using
+// it: interpretation is the paper's argument against compiled optimizers,
+// so parsing must be a negligible, once-per-session cost.
+func a3() (*Report, error) {
+	const parses = 200
+	start := time.Now()
+	for i := 0; i < parses; i++ {
+		if _, err := star.ParseRules(star.DefaultRuleText); err != nil {
+			return nil, err
+		}
+	}
+	perParse := time.Since(start) / parses
+
+	rules := star.DefaultRules()
+	cat := workload.ChainCatalog(4, 400, 150, 60, 200)
+	g := workload.ChainQuery(4)
+	const opts = 20
+	start = time.Now()
+	for i := 0; i < opts; i++ {
+		if _, err := opt.New(cat, opt.Options{Rules: rules}).Optimize(g); err != nil {
+			return nil, err
+		}
+	}
+	perOpt := time.Since(start) / opts
+
+	rep := &Report{
+		Claim:   "Interpreting STARs (instead of compiling an optimizer from them) saves re-generating the optimizer on every strategy change; for that to be viable, loading the rules must cost a negligible fraction of one optimization.",
+		Headers: []string{"parse rule file", "optimize chain n=4 (pre-parsed rules)", "parse/optimize ratio"},
+		Rows: [][]string{{
+			perParse.Round(time.Microsecond).String(),
+			perOpt.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.3f", float64(perParse)/float64(perOpt)),
+		}},
+	}
+	rep.OK = perParse < perOpt
+	rep.Summary = "parsing the entire repertoire costs a fraction of a single optimization — interpretation is free in practice, and strategies stay editable as data"
+	if !rep.OK {
+		rep.Summary = "rule parsing unexpectedly dominates optimization"
+	}
+	return rep, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// heavy experiments run only outside -short (E5's transformational closure
+// takes tens of seconds by design — the explosion is the result).
+var heavy = map[string]bool{"E5": true, "E12": true, "E15": true}
+
+// TestAllExperimentsMatchThePaper runs every registered experiment and
+// requires its reproduced shape to match the paper's claim — the repo-level
+// acceptance test.
+func TestAllExperimentsMatchThePaper(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && heavy[id] {
+				t.Skipf("%s is heavy; run without -short", id)
+			}
+			rep, err := Run(id)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			t.Logf("\n%s", rep.Format())
+			if !rep.OK {
+				t.Errorf("%s: %s", id, rep.Summary)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("E999"); err == nil {
+		t.Fatal("expected an error for an unknown experiment id")
+	}
+}
+
+func TestIDsAndTitles(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 12 {
+		t.Fatalf("expected at least 12 experiments, got %d", len(ids))
+	}
+	titles := Titles()
+	for _, id := range ids {
+		if titles[id] == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stars/internal/cost"
+	"stars/internal/opt"
+	"stars/internal/workload"
+	"stars/internal/xform"
+)
+
+func init() {
+	register("E4", "Section 2.3 — the expanded repertoire finds cheaper plans", e4)
+	register("E5", "Sections 1/6 — STAR expansion vs. transformational search", e5)
+}
+
+// e4 compares the best plan cost under a left-deep-only repertoire against
+// the full repertoire with composite inners, and — for a query whose join
+// graph disconnects small tables — with Cartesian products admitted.
+func e4() (*Report, error) {
+	rep := &Report{
+		Claim: "Allowing composite inners (e.g. (A*B)*(C*D)) and, when requested, Cartesian products significantly complicates join-pair generation but a cheaper plan is more likely to be discovered among the expanded repertoire.",
+		Headers: []string{"workload", "left-deep only", "with composite inners", "improvement",
+			"pairs considered (LD)", "pairs (full)"},
+	}
+	sawWin := false
+	for n := 3; n <= 7; n++ {
+		cat := workload.ChainCatalog(n, 400, 150, 60, 200, 90, 500, 120)
+		g := workload.ChainQuery(n)
+		ld, err := opt.New(cat, opt.Options{NoCompositeInners: true}).Optimize(g)
+		if err != nil {
+			return nil, err
+		}
+		full, err := opt.New(cat, opt.Options{}).Optimize(g)
+		if err != nil {
+			return nil, err
+		}
+		imp := ld.Best.Props.Cost.Total / full.Best.Props.Cost.Total
+		if imp > 1.001 {
+			sawWin = true
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("chain n=%d", n),
+			f1(ld.Best.Props.Cost.Total), f1(full.Best.Props.Cost.Total),
+			fmt.Sprintf("%.2fx", imp),
+			fi(ld.Stats.Pairs), fi(full.Stats.Pairs),
+		})
+		if full.Best.Props.Cost.Total > ld.Best.Props.Cost.Total*1.001 {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("chain n=%d: full repertoire worse than left-deep — should be impossible", n))
+			sawWin = false
+		}
+	}
+	// Cartesian products: a star query whose two small dimensions have no
+	// connecting predicate benefit from being crossed first.
+	cat := workload.StarCatalog(2, 200000, 40)
+	g := workload.StarQuery(2)
+	noCart, err := opt.New(cat, opt.Options{}).Optimize(g)
+	if err != nil {
+		return nil, err
+	}
+	cart, err := opt.New(cat, opt.Options{CartesianProducts: true}).Optimize(g)
+	if err != nil {
+		return nil, err
+	}
+	imp := noCart.Best.Props.Cost.Total / cart.Best.Props.Cost.Total
+	rep.Rows = append(rep.Rows, []string{
+		"star k=2 (Cartesian off vs on)",
+		f1(noCart.Best.Props.Cost.Total), f1(cart.Best.Props.Cost.Total),
+		fmt.Sprintf("%.2fx", imp),
+		fi(noCart.Stats.Pairs), fi(cart.Stats.Pairs),
+	})
+	if imp > 1.001 {
+		sawWin = true
+		rep.Notes = append(rep.Notes, "crossing the small dimensions first, then probing the fact index, beat every predicate-connected order — the Cartesian-product case the paper's compile-time parameter enables")
+	}
+	rep.OK = sawWin
+	rep.Summary = "the expanded repertoire never loses and wins strictly on several workloads, at the price of more join pairs — as Section 2.3 predicts"
+	if !sawWin {
+		rep.Summary = "no strict improvement observed from the expanded repertoire"
+	}
+	return rep, nil
+}
+
+// e5 reproduces the headline efficiency claim: constructive STAR expansion
+// triggers only the rules referenced in a definition (macro-expander style),
+// while the transformational baseline matches every rule against every node
+// of every plan.
+func e5() (*Report, error) {
+	rep := &Report{
+		Claim: "Referencing a STAR triggers only those STARs referenced in its definition, like a macro expander; plan-transformation rules must examine a large set of rules against each of a large set of plans. Optimization effort should diverge sharply with query size.",
+		Headers: []string{"n", "STAR refs", "STAR plans", "STAR ms",
+			"xform attempts", "xform plans", "xform ms", "attempt ratio", "best cost STAR", "best cost xform"},
+	}
+	ok := true
+	for n := 2; n <= 5; n++ {
+		cat := workload.ChainCatalog(n, 400, 150, 60, 200, 90)
+		g := workload.ChainQuery(n)
+		sr, err := opt.New(cat, opt.Options{}).Optimize(g)
+		if err != nil {
+			return nil, err
+		}
+		xo := xform.New(cat, g, cost.DefaultWeights)
+		xo.MaxPlans = 200000
+		xr, err := xo.Optimize()
+		if err != nil {
+			return nil, err
+		}
+		xCost := f1(xr.Best.Props.Cost.Total)
+		if xr.Truncated {
+			xCost += " (truncated)"
+		}
+		starWork := sr.Stats.Star.RuleRefs + sr.Stats.Star.AltsConsidered
+		ratio := float64(xr.Stats.Attempts) / float64(starWork)
+		rep.Rows = append(rep.Rows, []string{
+			fi(int64(n)),
+			fi(sr.Stats.Star.RuleRefs), fi(sr.Stats.Star.PlansBuilt),
+			fmt.Sprintf("%.2f", float64(sr.Stats.Elapsed.Microseconds())/1000),
+			fi(xr.Stats.Attempts), fi(xr.Stats.PlansExplored),
+			fmt.Sprintf("%.2f", float64(xr.Stats.Elapsed.Microseconds())/1000),
+			fmt.Sprintf("%.0fx", ratio),
+			f1(sr.Best.Props.Cost.Total), xCost,
+		})
+		if n >= 4 && sr.Stats.Elapsed >= xr.Stats.Elapsed {
+			ok = false
+		}
+		if !xr.Truncated && sr.Best.Props.Cost.Total > xr.Best.Props.Cost.Total*1.001 {
+			ok = false
+			rep.Notes = append(rep.Notes, fmt.Sprintf("n=%d: STAR plan costlier than exhaustive transformational plan", n))
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"both optimizers share the cost model; the transformational search explodes combinatorially (truncation = the 200k-plan cap) while STAR effort grows with the number of joinable pairs")
+	rep.OK = ok
+	rep.Summary = "STAR expansion is orders of magnitude cheaper than transformational closure at equal-or-better plan quality, diverging with query size — the paper's Section 1 argument"
+	if !ok {
+		rep.Summary = "the efficiency separation did not reproduce"
+	}
+	return rep, nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"stars/internal/star"
+)
+
+// Named JMeth alternatives, exactly as in the built-in rule file; the
+// experiments assemble repertoires from them (rules are data, so an
+// experiment's "system variant" is a string).
+const (
+	altNL = `JOIN('NL', Glue(T1, {}), Glue(T2, union(JP, IP)),
+         JP, minus(P, union(JP, IP)))`
+	altMG = `JOIN('MG', Glue(T1[order = sortCols(SP, T1)], {}),
+               Glue(T2[order = sortCols(SP, T2)], IP),
+         SP, minus(P, union(IP, SP))) if nonempty(SP)`
+	altHA = `JOIN('HA', Glue(T1, {}), Glue(T2, IP),
+         HP, minus(P, IP)) if nonempty(HP)`
+	altProj = `JOIN('NL', Glue(T1, {}), TableAccess(Glue(T2[temp], IP), *, JP),
+         JP, minus(P, union(IP, JP))) if projectionPays(T2, IP)`
+	altDynIx = `JOIN('NL', Glue(T1, {}), Glue(T2[paths = indexCols(XP, IP, T2)], union(XP, IP)),
+         minus(XP, IP), minus(P, union(XP, IP))) if nonempty(XP)`
+)
+
+// jmethVariant returns the full default repertoire with JMeth overridden to
+// carry exactly the given alternatives.
+func jmethVariant(alts ...string) (*star.RuleSet, error) {
+	var b strings.Builder
+	b.WriteString(star.DefaultRuleText)
+	b.WriteString("\nstar JMeth(T1, T2, P) = [\n")
+	for _, a := range alts {
+		fmt.Fprintf(&b, "  | %s\n", a)
+	}
+	b.WriteString(`] where
+  JP = joinPreds(P, T1, T2)
+  SP = sortablePreds(P, T1, T2)
+  HP = hashablePreds(P, T1, T2)
+  XP = indexablePreds(P, T1, T2)
+  IP = innerPreds(P, T2)
+`)
+	return star.ParseRules(b.String())
+}

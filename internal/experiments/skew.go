@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"stars/internal/cost"
+	"stars/internal/exec"
+	"stars/internal/opt"
+	"stars/internal/plan"
+	"stars/internal/storage"
+	"stars/internal/workload"
+)
+
+func init() {
+	register("E15", "[SELI 79] assumption — cost estimates under Zipf-skewed data", e15)
+}
+
+// rankForWorkload optimizes a 3-table chain, executes up to 12 retained
+// alternatives on data generated with the given skew, and returns the
+// Spearman correlation of estimated vs. measured cost plus the chosen
+// plan's measured rank. Table sizes are modest because skewed equijoins
+// explode actual join outputs far beyond the uniform estimates — the very
+// assumption gap under measurement.
+func rankForWorkload(skew float64) (rho float64, chosenRank int, estActual float64, err error) {
+	cat := workload.ChainCatalog(3, 400, 200, 100)
+	if skew > 0 {
+		for _, tn := range cat.TableNames() {
+			t := cat.Table(tn)
+			t.Column("J").Skew = skew
+			t.Column("K").Skew = skew
+		}
+	}
+	g := workload.ChainQuery(3)
+	res, err := opt.New(cat, opt.Options{KeepAllGlue: true}).Optimize(g)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cluster := storage.NewCluster()
+	workload.Populate(cluster, cat, 5)
+
+	plans := res.Table.Entry(g.TableSet())
+	sort.Slice(plans, func(i, j int) bool {
+		return plans[i].Props.Cost.Total < plans[j].Props.Cost.Total
+	})
+	const maxPlans = 12
+	if len(plans) > maxPlans {
+		step := float64(len(plans)-1) / float64(maxPlans-1)
+		var picked []*plan.Node
+		for i := 0; i < maxPlans; i++ {
+			picked = append(picked, plans[int(float64(i)*step)])
+		}
+		plans = picked
+	}
+	var est, act []float64
+	chosenIdx := -1
+	rt := exec.NewRuntime(cluster, cat)
+	for i, p := range plans {
+		er, err := rt.Run(p)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		est = append(est, p.Props.Cost.Total)
+		act = append(act, er.Stats.ActualCost(cost.DefaultWeights))
+		if p.Key() == res.Best.Key() {
+			chosenIdx = i
+		}
+	}
+	rank := 1
+	ratio := 1.0
+	if chosenIdx >= 0 {
+		for _, a := range act {
+			if a < act[chosenIdx]*0.999 {
+				rank++
+			}
+		}
+		if act[chosenIdx] > 0 {
+			ratio = est[chosenIdx] / act[chosenIdx]
+		}
+	}
+	return spearman(est, act), rank, ratio, nil
+}
+
+// skewProbe returns the uniform and skewed correlations (used by tests).
+func skewProbe() (uniform, skewed float64, err error) {
+	uniform, _, _, err = rankForWorkload(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	skewed, _, _, err = rankForWorkload(0.6)
+	return uniform, skewed, err
+}
+
+// e15 measures how far Zipf-skewed data degrades the System-R-style
+// uniformity-based estimates this reproduction inherits.
+func e15() (*Report, error) {
+	rep := &Report{
+		Claim:   "System-R-style selectivity estimation assumes uniform value distributions [SELI 79]. Skew breaks the *absolute* estimates (joins produce far more rows than predicted), yet the *ranking* of alternatives — what plan choice needs — should remain useful at moderate skew, the practical robustness R* relied on.",
+		Headers: []string{"data distribution", "rank correlation", "chosen plan's measured rank", "est/actual (chosen)"},
+	}
+	ok := true
+	for _, tc := range []struct {
+		name string
+		skew float64
+	}{
+		{"uniform", 0},
+		{"Zipf s=1.3", 0.3},
+		{"Zipf s=1.6", 0.6},
+	} {
+		rho, rank, ratio, err := rankForWorkload(tc.skew)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{
+			tc.name, fmt.Sprintf("%.2f", rho), fmt.Sprintf("%d of 12", rank),
+			fmt.Sprintf("%.2f", ratio),
+		})
+		if tc.skew == 0 && rho < 0.5 {
+			ok = false
+		}
+		if rho < 0.2 || rank > 6 {
+			ok = false
+		}
+	}
+	rep.OK = ok
+	rep.Summary = "absolute estimates drift under skew (the est/actual ratio falls as joins exceed their uniform predictions) while the ranking of alternatives — and so the plan choice — stays sound"
+	if !ok {
+		rep.Summary = "skew degraded the estimates beyond rank-usefulness"
+	}
+	return rep, nil
+}

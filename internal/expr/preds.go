@@ -1,0 +1,535 @@
+package expr
+
+import (
+	"sort"
+	"strings"
+)
+
+// PredSet is a canonical set of predicates, keyed on Expr.Key. The STAR rule
+// language manipulates these sets with union, difference, and the Section 4
+// classifiers; determinism matters (plans must be reproducible), so iteration
+// is always in key order.
+type PredSet struct {
+	m map[string]Expr
+}
+
+// NewPredSet builds a set from the given predicates, deduplicating by key.
+func NewPredSet(preds ...Expr) PredSet {
+	s := PredSet{m: make(map[string]Expr, len(preds))}
+	for _, p := range preds {
+		s.m[p.Key()] = p
+	}
+	return s
+}
+
+// Len returns the number of predicates in the set.
+func (s PredSet) Len() int { return len(s.m) }
+
+// Empty reports whether the set has no predicates.
+func (s PredSet) Empty() bool { return len(s.m) == 0 }
+
+// Slice returns the predicates in canonical (key) order.
+func (s PredSet) Slice() []Expr {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Expr, len(keys))
+	for i, k := range keys {
+		out[i] = s.m[k]
+	}
+	return out
+}
+
+// Contains reports whether the set holds a predicate structurally equal to p.
+func (s PredSet) Contains(p Expr) bool {
+	_, ok := s.m[p.Key()]
+	return ok
+}
+
+// Union returns s ∪ o.
+func (s PredSet) Union(o PredSet) PredSet {
+	out := PredSet{m: make(map[string]Expr, len(s.m)+len(o.m))}
+	for k, v := range s.m {
+		out.m[k] = v
+	}
+	for k, v := range o.m {
+		out.m[k] = v
+	}
+	return out
+}
+
+// Minus returns s − o.
+func (s PredSet) Minus(o PredSet) PredSet {
+	out := PredSet{m: make(map[string]Expr, len(s.m))}
+	for k, v := range s.m {
+		if _, drop := o.m[k]; !drop {
+			out.m[k] = v
+		}
+	}
+	return out
+}
+
+// Intersect returns s ∩ o.
+func (s PredSet) Intersect(o PredSet) PredSet {
+	out := PredSet{m: make(map[string]Expr)}
+	for k, v := range s.m {
+		if _, keep := o.m[k]; keep {
+			out.m[k] = v
+		}
+	}
+	return out
+}
+
+// Filter returns the subset of s satisfying keep.
+func (s PredSet) Filter(keep func(Expr) bool) PredSet {
+	out := PredSet{m: make(map[string]Expr)}
+	for k, v := range s.m {
+		if keep(v) {
+			out.m[k] = v
+		}
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (s PredSet) Equal(o PredSet) bool {
+	if len(s.m) != len(o.m) {
+		return false
+	}
+	for k := range s.m {
+		if _, ok := o.m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string for the whole set; the Glue plan table is
+// hashed on (tables, preds) using it.
+func (s PredSet) Key() string {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "&")
+}
+
+// String renders the set for EXPLAIN output.
+func (s PredSet) String() string {
+	if s.Empty() {
+		return "{}"
+	}
+	parts := make([]string, 0, len(s.m))
+	for _, p := range s.Slice() {
+		parts = append(parts, p.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Columns returns the distinct columns referenced anywhere in the set.
+func (s PredSet) Columns() []ColID {
+	seen := map[ColID]bool{}
+	for _, p := range s.Slice() {
+		for _, c := range Columns(p) {
+			seen[c] = true
+		}
+	}
+	out := make([]ColID, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// TableSet is a set of quantifier names; χ(T) in the paper's notation ranges
+// over its columns.
+type TableSet map[string]bool
+
+// NewTableSet builds a table set.
+func NewTableSet(names ...string) TableSet {
+	s := make(TableSet, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+// Slice returns the members in sorted order.
+func (t TableSet) Slice() []string {
+	out := make([]string, 0, len(t))
+	for n := range t {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Key returns a canonical string for the set.
+func (t TableSet) Key() string { return strings.Join(t.Slice(), ",") }
+
+// Contains reports membership.
+func (t TableSet) Contains(name string) bool { return t[name] }
+
+// ContainsAll reports whether every member of o is in t.
+func (t TableSet) ContainsAll(o TableSet) bool {
+	for n := range o {
+		if !t[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns t ∪ o.
+func (t TableSet) Union(o TableSet) TableSet {
+	out := make(TableSet, len(t)+len(o))
+	for n := range t {
+		out[n] = true
+	}
+	for n := range o {
+		out[n] = true
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (t TableSet) Equal(o TableSet) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for n := range t {
+		if !o[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// sidesOf splits the columns of p by which side of the join they belong to.
+// ok is false if p touches tables outside t1 ∪ t2 or only one side.
+func sidesOf(p Expr, t1, t2 TableSet) (left, right []ColID, ok bool) {
+	touch1, touch2 := false, false
+	for _, c := range Columns(p) {
+		switch {
+		case t1.Contains(c.Table):
+			touch1 = true
+			left = append(left, c)
+		case t2.Contains(c.Table):
+			touch2 = true
+			right = append(right, c)
+		default:
+			return nil, nil, false
+		}
+	}
+	return left, right, touch1 && touch2
+}
+
+// JoinPreds computes JP: the predicates in p that reference columns on both
+// sides of the join (multi-table), with no ORs — expressions are OK —
+// exactly the paper's Section 4.4 definition (subqueries do not exist in this
+// reproduction's language).
+func JoinPreds(p PredSet, t1, t2 TableSet) PredSet {
+	return p.Filter(func(e Expr) bool {
+		if ContainsOr(e) {
+			return false
+		}
+		_, _, ok := sidesOf(e, t1, t2)
+		return ok
+	})
+}
+
+// colOnly returns the single column if e is a bare column reference.
+func colOnly(e Expr) (ColID, bool) {
+	c, ok := e.(*Col)
+	if !ok {
+		return ColID{}, false
+	}
+	return c.ID, true
+}
+
+// SortablePreds computes SP ⊆ JP: predicates of the form col1 = col2 with
+// col1 ∈ χ(T1) and col2 ∈ χ(T2) or vice versa. The paper admits any
+// comparison operator in SP; this reproduction restricts SP to equality so
+// the merge-join executor's semantics stay simple — the classic sort-merge
+// equijoin — and documents the narrowing here. Inequality merge joins would
+// slot in as a new flavor without touching the rule language.
+func SortablePreds(p PredSet, t1, t2 TableSet) PredSet {
+	jp := JoinPreds(p, t1, t2)
+	return jp.Filter(func(e Expr) bool {
+		c, ok := e.(*Cmp)
+		if !ok || c.Op != EQ {
+			return false
+		}
+		lc, lok := colOnly(c.L)
+		rc, rok := colOnly(c.R)
+		if !lok || !rok {
+			return false
+		}
+		return (t1.Contains(lc.Table) && t2.Contains(rc.Table)) ||
+			(t2.Contains(lc.Table) && t1.Contains(rc.Table))
+	})
+}
+
+// HashablePreds computes HP: predicates of the form
+// expr(χ(T1)) = expr(χ(T2)) — equality between an expression purely over one
+// side and an expression purely over the other (Section 4.5.1). HP overlaps
+// SP but also admits expressions; it excludes inequalities.
+func HashablePreds(p PredSet, t1, t2 TableSet) PredSet {
+	jp := JoinPreds(p, t1, t2)
+	return jp.Filter(func(e Expr) bool {
+		c, ok := e.(*Cmp)
+		if !ok || c.Op != EQ {
+			return false
+		}
+		return oneSided(c.L, t1, t2) && oneSided(c.R, t1, t2) &&
+			!sameSide(c.L, c.R, t1)
+	})
+}
+
+// oneSided reports whether every column of e lies within a single side.
+func oneSided(e Expr, t1, t2 TableSet) bool {
+	cols := Columns(e)
+	if len(cols) == 0 {
+		return false
+	}
+	in1, in2 := true, true
+	for _, c := range cols {
+		if !t1.Contains(c.Table) {
+			in1 = false
+		}
+		if !t2.Contains(c.Table) {
+			in2 = false
+		}
+	}
+	return in1 || in2
+}
+
+// sameSide reports whether a and b both draw all columns from t1.
+func sameSide(a, b Expr, t1 TableSet) bool {
+	aIn, bIn := true, true
+	for _, c := range Columns(a) {
+		if !t1.Contains(c.Table) {
+			aIn = false
+		}
+	}
+	for _, c := range Columns(b) {
+		if !t1.Contains(c.Table) {
+			bIn = false
+		}
+	}
+	return aIn == bIn
+}
+
+// IndexablePreds computes XP: predicates of the form
+// expr(χ(T1)) op T2.col — one side is an expression purely over the outer,
+// the other a bare column of the inner (Section 4.5.3). Such predicates can
+// be applied by an index on the inner once the outer side is instantiated
+// ("sideways information passing").
+func IndexablePreds(p PredSet, t1, t2 TableSet) PredSet {
+	jp := JoinPreds(p, t1, t2)
+	return jp.Filter(func(e Expr) bool {
+		c, ok := e.(*Cmp)
+		if !ok {
+			return false
+		}
+		return indexableShape(c.L, c.R, t1, t2) || indexableShape(c.R, c.L, t1, t2)
+	})
+}
+
+func indexableShape(outerSide, innerSide Expr, t1, t2 TableSet) bool {
+	ic, ok := colOnly(innerSide)
+	if !ok || !t2.Contains(ic.Table) {
+		return false
+	}
+	cols := Columns(outerSide)
+	if len(cols) == 0 {
+		return false
+	}
+	for _, c := range cols {
+		if !t1.Contains(c.Table) {
+			return false
+		}
+	}
+	return true
+}
+
+// InnerPreds computes IP: predicates whose columns all lie within T2, i.e.
+// χ(p) ⊆ χ(T2) — eligible on the inner alone.
+func InnerPreds(p PredSet, t2 TableSet) PredSet {
+	return p.Filter(func(e Expr) bool {
+		cols := Columns(e)
+		if len(cols) == 0 {
+			return false
+		}
+		for _, c := range cols {
+			if !t2.Contains(c.Table) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// SortColsFor returns the columns of the sortable predicates that belong to
+// side t, in canonical order: χ(SP) ∩ χ(T) in the paper's JMeth STAR. The
+// outer and inner orders pair up because SortablePreds only admits
+// column = column predicates and canonical predicate order fixes the pairing.
+func SortColsFor(sp PredSet, t TableSet) []ColID {
+	var out []ColID
+	seen := map[ColID]bool{}
+	for _, p := range sp.Slice() {
+		c := p.(*Cmp)
+		for _, side := range []Expr{c.L, c.R} {
+			if id, ok := colOnly(side); ok && t.Contains(id.Table) && !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// IndexColsFor returns IX: the inner-side columns of indexable (XP) and
+// inner-only (IP) predicates, equality predicates first (Section 4.5.3), so
+// that a dynamically created index applies the most selective prefix first.
+func IndexColsFor(xp, ip PredSet, t2 TableSet) []ColID {
+	var eqCols, otherCols []ColID
+	seen := map[ColID]bool{}
+	add := func(id ColID, isEq bool) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		if isEq {
+			eqCols = append(eqCols, id)
+		} else {
+			otherCols = append(otherCols, id)
+		}
+	}
+	collect := func(ps PredSet) {
+		for _, p := range ps.Slice() {
+			c, ok := p.(*Cmp)
+			if !ok {
+				continue
+			}
+			for _, side := range []Expr{c.L, c.R} {
+				if id, ok := colOnly(side); ok && t2.Contains(id.Table) {
+					add(id, c.Op == EQ)
+				}
+			}
+		}
+	}
+	collect(xp)
+	collect(ip)
+	return append(eqCols, otherCols...)
+}
+
+// MatchIndexPrefix returns the subset of preds an index with the given key
+// columns can apply: a chain of equality predicates on a key-column prefix,
+// optionally terminated by one range predicate, where the non-key side does
+// not reference the indexed quantifier (constants, or outer expressions
+// bound per probe — "sideways information passing").
+func MatchIndexPrefix(preds PredSet, keyCols []ColID) PredSet {
+	matched := NewPredSet()
+	remaining := preds
+	for _, kc := range keyCols {
+		var eqPick, rangePick Expr
+		for _, p := range remaining.Slice() {
+			c, ok := p.(*Cmp)
+			if !ok {
+				continue
+			}
+			col, other := cmpColSide(c, kc)
+			if col == nil || referencesQuant(other, kc.Table) {
+				continue
+			}
+			if c.Op == EQ {
+				eqPick = p
+				break
+			}
+			if rangePick == nil && c.Op != NE {
+				rangePick = p
+			}
+		}
+		if eqPick != nil {
+			matched = matched.Union(NewPredSet(eqPick))
+			remaining = remaining.Minus(NewPredSet(eqPick))
+			continue
+		}
+		if rangePick != nil {
+			matched = matched.Union(NewPredSet(rangePick))
+		}
+		break
+	}
+	return matched
+}
+
+func cmpColSide(c *Cmp, id ColID) (*Col, Expr) {
+	if lc, ok := c.L.(*Col); ok && lc.ID == id {
+		return lc, c.R
+	}
+	if rc, ok := c.R.(*Col); ok && rc.ID == id {
+		return rc, c.L
+	}
+	return nil, nil
+}
+
+func referencesQuant(e Expr, q string) bool {
+	for _, c := range Columns(e) {
+		if c.Table == q {
+			return true
+		}
+	}
+	return false
+}
+
+// BindOuter converts the join predicates in jp into single-table predicates
+// on the inner by instantiating the outer side's columns from b — the
+// paper's (and Ullman's) "sideways information passing" used by the
+// nested-loop executor. Predicates that cannot be instantiated are returned
+// unchanged.
+func BindOuter(jp []Expr, outer TableSet, b Binding) []Expr {
+	out := make([]Expr, len(jp))
+	for i, p := range jp {
+		out[i] = bindExpr(p, outer, b)
+	}
+	return out
+}
+
+func bindExpr(e Expr, outer TableSet, b Binding) Expr {
+	switch n := e.(type) {
+	case *Const:
+		return n
+	case *Col:
+		if outer.Contains(n.ID.Table) {
+			if v, ok := b.ColValue(n.ID); ok {
+				return &Const{Val: v}
+			}
+		}
+		return n
+	case *Arith:
+		return &Arith{Op: n.Op, L: bindExpr(n.L, outer, b), R: bindExpr(n.R, outer, b)}
+	case *Cmp:
+		return &Cmp{Op: n.Op, L: bindExpr(n.L, outer, b), R: bindExpr(n.R, outer, b)}
+	case *And:
+		kids := make([]Expr, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = bindExpr(k, outer, b)
+		}
+		return &And{Kids: kids}
+	case *Or:
+		kids := make([]Expr, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = bindExpr(k, outer, b)
+		}
+		return &Or{Kids: kids}
+	case *Not:
+		return &Not{Kid: bindExpr(n.Kid, outer, b)}
+	default:
+		return e
+	}
+}

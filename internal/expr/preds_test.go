@@ -1,0 +1,323 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stars/internal/datum"
+)
+
+func eq(l, r Expr) Expr  { return &Cmp{Op: EQ, L: l, R: r} }
+func lt(l, r Expr) Expr  { return &Cmp{Op: LT, L: l, R: r} }
+func ci(v int64) Expr    { return &Const{Val: datum.NewInt(v)} }
+func add(l, r Expr) Expr { return &Arith{Op: Add, L: l, R: r} }
+
+func TestPredSetOps(t *testing.T) {
+	a := eq(C("T", "A"), ci(1))
+	b := eq(C("T", "B"), ci(2))
+	c := eq(C("U", "C"), ci(3))
+	s1 := NewPredSet(a, b)
+	s2 := NewPredSet(b, c)
+
+	if got := s1.Union(s2).Len(); got != 3 {
+		t.Errorf("union len = %d", got)
+	}
+	if got := s1.Minus(s2).Len(); got != 1 {
+		t.Errorf("minus len = %d", got)
+	}
+	if got := s1.Intersect(s2).Len(); got != 1 {
+		t.Errorf("intersect len = %d", got)
+	}
+	if !s1.Contains(eq(ci(1), C("T", "A"))) {
+		t.Error("Contains must see structural equality (canonicalized)")
+	}
+	if s1.Equal(s2) {
+		t.Error("different sets must not be equal")
+	}
+	if !s1.Union(s2).Equal(s2.Union(s1)) {
+		t.Error("union must commute")
+	}
+}
+
+// TestPredSetAlgebra property-checks the set laws the rule engine relies on.
+func TestPredSetAlgebra(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pool := []Expr{
+		eq(C("T", "A"), ci(1)), eq(C("T", "B"), ci(2)), eq(C("U", "C"), ci(3)),
+		eq(C("T", "A"), C("U", "C")), lt(C("T", "B"), C("U", "C")),
+	}
+	pick := func() PredSet {
+		var ps []Expr
+		for _, p := range pool {
+			if r.Intn(2) == 0 {
+				ps = append(ps, p)
+			}
+		}
+		return NewPredSet(ps...)
+	}
+	for i := 0; i < 300; i++ {
+		a, b := pick(), pick()
+		if !a.Minus(b).Union(a.Intersect(b)).Equal(a) {
+			t.Fatal("(a-b) ∪ (a∩b) must equal a")
+		}
+		if !a.Union(b).Minus(b).Equal(a.Minus(b)) {
+			t.Fatal("(a∪b)-b must equal a-b")
+		}
+		if a.Union(a).Len() != a.Len() {
+			t.Fatal("union must be idempotent")
+		}
+	}
+}
+
+func TestPredSetKeyDeterministic(t *testing.T) {
+	a := eq(C("T", "A"), ci(1))
+	b := eq(C("T", "B"), ci(2))
+	if NewPredSet(a, b).Key() != NewPredSet(b, a).Key() {
+		t.Error("set key must not depend on insertion order")
+	}
+}
+
+func TestTableSetOps(t *testing.T) {
+	s := NewTableSet("B", "A")
+	if s.Key() != "A,B" {
+		t.Errorf("key = %q", s.Key())
+	}
+	if !s.Contains("A") || s.Contains("C") {
+		t.Error("membership")
+	}
+	u := s.Union(NewTableSet("C"))
+	if len(u) != 3 || !u.ContainsAll(s) {
+		t.Error("union/containsAll")
+	}
+	if !s.Equal(NewTableSet("A", "B")) {
+		t.Error("equality")
+	}
+}
+
+// The Section 4 classification fixtures: T1 = {D}, T2 = {E}.
+var (
+	t1 = NewTableSet("D")
+	t2 = NewTableSet("E")
+
+	pJoin    = eq(C("D", "DNO"), C("E", "DNO"))                     // JP, SP, HP, XP
+	pExprJn  = eq(add(C("D", "X"), ci(1)), C("E", "Y"))             // JP, HP, XP (expr on outer)
+	pIneqJn  = lt(C("D", "X"), C("E", "Y"))                         // JP, XP; not SP/HP
+	pInner   = eq(C("E", "SAL"), ci(9))                             // IP
+	pOuter   = eq(C("D", "MGR"), ci(1))                             // neither (outer only)
+	pOrJoin  = &Or{Kids: []Expr{pJoin, pInner}}                     // excluded from JP (OR)
+	pBothExp = eq(add(C("D", "X"), ci(0)), add(C("E", "Y"), ci(0))) // JP, HP; not XP (inner not bare col)
+)
+
+func TestJoinPreds(t *testing.T) {
+	p := NewPredSet(pJoin, pExprJn, pIneqJn, pInner, pOuter, pOrJoin)
+	jp := JoinPreds(p, t1, t2)
+	if jp.Len() != 3 {
+		t.Fatalf("JP = %s", jp)
+	}
+	for _, want := range []Expr{pJoin, pExprJn, pIneqJn} {
+		if !jp.Contains(want) {
+			t.Errorf("JP missing %s", want)
+		}
+	}
+	if jp.Contains(pOrJoin) {
+		t.Error("OR predicates must be excluded from JP")
+	}
+}
+
+func TestSortablePreds(t *testing.T) {
+	p := NewPredSet(pJoin, pExprJn, pIneqJn, pBothExp)
+	sp := SortablePreds(p, t1, t2)
+	if sp.Len() != 1 || !sp.Contains(pJoin) {
+		t.Fatalf("SP = %s, want only col=col", sp)
+	}
+	// Symmetric in the sides.
+	sp2 := SortablePreds(p, t2, t1)
+	if !sp.Equal(sp2) {
+		t.Error("SP must be symmetric in T1/T2")
+	}
+}
+
+func TestHashablePreds(t *testing.T) {
+	p := NewPredSet(pJoin, pExprJn, pIneqJn, pBothExp, pInner)
+	hp := HashablePreds(p, t1, t2)
+	if hp.Len() != 3 {
+		t.Fatalf("HP = %s", hp)
+	}
+	for _, want := range []Expr{pJoin, pExprJn, pBothExp} {
+		if !hp.Contains(want) {
+			t.Errorf("HP missing %s", want)
+		}
+	}
+	if hp.Contains(pIneqJn) {
+		t.Error("inequalities are not hashable")
+	}
+}
+
+func TestIndexablePreds(t *testing.T) {
+	p := NewPredSet(pJoin, pExprJn, pIneqJn, pBothExp)
+	xp := IndexablePreds(p, t1, t2)
+	// pJoin: D.DNO vs E.DNO — inner bare col ✓; pExprJn: expr vs E.Y ✓;
+	// pIneqJn: D.X < E.Y ✓; pBothExp: inner side is an expression ✗.
+	if xp.Len() != 3 {
+		t.Fatalf("XP = %s", xp)
+	}
+	if xp.Contains(pBothExp) {
+		t.Error("expression on the inner side is not indexable")
+	}
+	// Asymmetric: flipping sides changes which column must be bare.
+	xpFlip := IndexablePreds(NewPredSet(pExprJn), t2, t1)
+	if xpFlip.Len() != 0 {
+		t.Errorf("expr(χ(T1)) op T2.col flipped must be empty, got %s", xpFlip)
+	}
+}
+
+func TestInnerPreds(t *testing.T) {
+	p := NewPredSet(pJoin, pInner, pOuter)
+	ip := InnerPreds(p, t2)
+	if ip.Len() != 1 || !ip.Contains(pInner) {
+		t.Fatalf("IP = %s", ip)
+	}
+}
+
+func TestSortColsForPairsUp(t *testing.T) {
+	p2 := eq(C("D", "A2"), C("E", "B2"))
+	sp := NewPredSet(pJoin, p2)
+	outer := SortColsFor(sp, t1)
+	inner := SortColsFor(sp, t2)
+	if len(outer) != 2 || len(inner) != 2 {
+		t.Fatalf("outer=%v inner=%v", outer, inner)
+	}
+	// Canonical order pairs the columns: position i of each side belongs
+	// to the same predicate.
+	for i := range outer {
+		found := false
+		for _, pr := range sp.Slice() {
+			c := pr.(*Cmp)
+			lc, _ := c.L.(*Col)
+			rc, _ := c.R.(*Col)
+			if (lc.ID == outer[i] && rc.ID == inner[i]) || (rc.ID == outer[i] && lc.ID == inner[i]) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("pairing broken at %d: %v / %v", i, outer, inner)
+		}
+	}
+}
+
+func TestIndexColsForEqFirst(t *testing.T) {
+	xpEq := eq(C("D", "X"), C("E", "B"))
+	xpRange := lt(C("D", "X"), C("E", "A"))
+	ipEq := eq(C("E", "C"), ci(1))
+	ix := IndexColsFor(NewPredSet(xpRange, xpEq), NewPredSet(ipEq), t2)
+	if len(ix) != 3 {
+		t.Fatalf("IX = %v", ix)
+	}
+	// Equality columns (B from XP, C from IP) come before the range column A.
+	last := ix[len(ix)-1]
+	if last != (ColID{"E", "A"}) {
+		t.Errorf("range column must come last: %v", ix)
+	}
+}
+
+func TestMatchIndexPrefix(t *testing.T) {
+	key := []ColID{{"E", "A"}, {"E", "B"}, {"E", "C"}}
+	pa := eq(C("E", "A"), ci(1))
+	pb := eq(C("E", "B"), C("D", "X")) // bound join pred counts
+	pcRange := lt(C("E", "C"), ci(9))
+	pd := eq(C("E", "D"), ci(2)) // not a key column
+
+	m := MatchIndexPrefix(NewPredSet(pa, pb, pcRange, pd), key)
+	if m.Len() != 3 {
+		t.Fatalf("matched = %s", m)
+	}
+	// A gap in the prefix stops matching.
+	m2 := MatchIndexPrefix(NewPredSet(pb, pcRange), key)
+	if m2.Len() != 0 {
+		t.Fatalf("no prefix on A: matched = %s", m2)
+	}
+	// A range pred terminates the prefix: C's pred cannot match after a
+	// range on B.
+	pbRange := lt(C("E", "B"), ci(5))
+	m3 := MatchIndexPrefix(NewPredSet(pa, pbRange, pcRange), key)
+	if m3.Len() != 2 || !m3.Contains(pa) || !m3.Contains(pbRange) {
+		t.Fatalf("range must end the prefix: %s", m3)
+	}
+	// Predicates referencing the indexed quantifier on both sides cannot
+	// be applied by a probe.
+	self := eq(C("E", "A"), C("E", "B"))
+	if MatchIndexPrefix(NewPredSet(self), key).Len() != 0 {
+		t.Error("self-referencing predicate must not match")
+	}
+}
+
+func TestBindOuter(t *testing.T) {
+	outer := NewTableSet("D")
+	b := MapBinding{ColID{"D", "DNO"}: datum.NewInt(42)}
+	bound := BindOuter([]Expr{pJoin}, outer, b)
+	if len(bound) != 1 {
+		t.Fatal("arity")
+	}
+	// The bound predicate must now be single-table on E and evaluate
+	// against an E row alone.
+	cols := Columns(bound[0])
+	for _, c := range cols {
+		if c.Table == "D" {
+			t.Fatalf("outer column survived binding: %s", bound[0])
+		}
+	}
+	eRow := MapBinding{ColID{"E", "DNO"}: datum.NewInt(42)}
+	if !EvalBool(bound[0], eRow) {
+		t.Error("bound predicate must hold for matching inner row")
+	}
+	eRow[ColID{"E", "DNO"}] = datum.NewInt(7)
+	if EvalBool(bound[0], eRow) {
+		t.Error("bound predicate must fail for non-matching inner row")
+	}
+}
+
+// TestClassificationSubsets property-checks the paper's containments:
+// SP ⊆ JP, HP ⊆ JP, XP ⊆ JP, and IP ∩ JP = ∅ for two-sided sets.
+func TestClassificationSubsets(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	mkPred := func() Expr {
+		mk := func() Expr {
+			switch r.Intn(4) {
+			case 0:
+				return C("D", []string{"X", "DNO"}[r.Intn(2)])
+			case 1:
+				return C("E", []string{"Y", "DNO"}[r.Intn(2)])
+			case 2:
+				return ci(int64(r.Intn(5)))
+			default:
+				return add(C("D", "X"), ci(1))
+			}
+		}
+		return &Cmp{Op: CmpOp(r.Intn(6)), L: mk(), R: mk()}
+	}
+	f := func() bool {
+		var ps []Expr
+		for i := 0; i < 6; i++ {
+			ps = append(ps, mkPred())
+		}
+		p := NewPredSet(ps...)
+		jp := JoinPreds(p, t1, t2)
+		for _, cls := range []PredSet{
+			SortablePreds(p, t1, t2),
+			HashablePreds(p, t1, t2),
+			IndexablePreds(p, t1, t2),
+		} {
+			if cls.Minus(jp).Len() != 0 {
+				return false
+			}
+		}
+		if InnerPreds(p, t2).Intersect(jp).Len() != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(func(_ uint8) bool { return f() }, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

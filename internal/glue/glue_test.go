@@ -1,0 +1,300 @@
+package glue
+
+import (
+	"strings"
+	"testing"
+
+	"stars/internal/catalog"
+	"stars/internal/cost"
+	"stars/internal/datum"
+	"stars/internal/expr"
+	"stars/internal/plan"
+	"stars/internal/query"
+	"stars/internal/star"
+)
+
+// fixture wires a catalog, query graph, engine, and gluer for DEPT/EMP with
+// DEPT remote.
+func fixture(t *testing.T) (*Gluer, *star.Engine, *query.Graph) {
+	t.Helper()
+	cat := catalog.New()
+	cat.Sites = []string{"LA", "NY"}
+	cat.QuerySite = "LA"
+	cat.AddTable(&catalog.Table{
+		Name: "DEPT", Site: "NY",
+		Cols: []*catalog.Column{
+			{Name: "DNO", Type: datum.KindInt, NDV: 100},
+			{Name: "MGR", Type: datum.KindString, NDV: 90},
+		},
+		Card: 5000,
+		Paths: []*catalog.AccessPath{
+			{Name: "DEPTDNO", Table: "DEPT", Cols: []string{"DNO"}},
+		},
+	})
+	cat.AddTable(&catalog.Table{
+		Name: "EMP", Site: "LA",
+		Cols: []*catalog.Column{
+			{Name: "DNO", Type: datum.KindInt, NDV: 100},
+			{Name: "NAME", Type: datum.KindString, NDV: 9000},
+		},
+		Card: 10000,
+	})
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := &query.Graph{
+		Quants: []query.Quantifier{{Name: "DEPT", Table: "DEPT"}, {Name: "EMP", Table: "EMP"}},
+		Preds: expr.NewPredSet(
+			&expr.Cmp{Op: expr.EQ, L: expr.C("DEPT", "DNO"), R: expr.C("EMP", "DNO")},
+		),
+		Select: []expr.ColID{{Table: "DEPT", Col: "MGR"}, {Table: "EMP", Col: "NAME"}},
+	}
+	env := cost.NewEnv(cat, cost.DefaultWeights)
+	for _, q := range g.Quants {
+		env.BindQuantifier(q.Name, q.Table)
+	}
+	en := star.NewEngine(star.DefaultRules(), env)
+	en.QueryTables = g.QuantNames()
+	en.NeededCols = func(q string) []expr.ColID { return g.NeededCols(cat, q) }
+	table := NewPlanTable()
+	gl := &Gluer{Engine: en, Graph: g, Table: table}
+	en.Glue = gl.Glue
+	en.PlanSites = gl.PlanSites
+	return gl, en, g
+}
+
+func deptSet() expr.TableSet { return expr.NewTableSet("DEPT") }
+
+func TestPlanTableInsertLookupAndPruning(t *testing.T) {
+	pt := NewPlanTable()
+	ts := deptSet()
+	cheap := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "DEPT",
+		Props: &plan.Props{Cost: plan.Cost{Total: 5}}}
+	pricey := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorBTreeStore, Table: "DEPT",
+		Props: &plan.Props{Cost: plan.Cost{Total: 50}}}
+	ordered := &plan.Node{Op: plan.OpSort, SortCols: []expr.ColID{{Table: "DEPT", Col: "DNO"}},
+		Inputs: []*plan.Node{cheap},
+		Props: &plan.Props{Cost: plan.Cost{Total: 80},
+			Order: []expr.ColID{{Table: "DEPT", Col: "DNO"}}}}
+
+	got := pt.Insert(ts, "k", []*plan.Node{pricey, cheap, ordered})
+	if len(got) != 2 {
+		t.Fatalf("retained = %d, want 2 (pricey dominated; ordered shielded)", len(got))
+	}
+	if pt.Pruned != 1 {
+		t.Errorf("pruned = %d", pt.Pruned)
+	}
+	if len(pt.Lookup(ts, "k")) != 2 || pt.Lookup(ts, "other") != nil {
+		t.Error("lookup keys")
+	}
+	if pt.Best(ts) == nil || pt.Best(ts).Props.Cost.Total != 5 {
+		t.Error("best")
+	}
+	if pt.Size() != 2 {
+		t.Error("size")
+	}
+	// Re-inserting an identical plan is a no-op.
+	pt.Insert(ts, "k", []*plan.Node{cheap})
+	if pt.Size() != 2 {
+		t.Error("idempotent insert")
+	}
+}
+
+func TestPlanTablePruneDisabled(t *testing.T) {
+	pt := NewPlanTable()
+	pt.PruneDisabled = true
+	ts := deptSet()
+	a := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "A",
+		Props: &plan.Props{Cost: plan.Cost{Total: 5}}}
+	b := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "B",
+		Props: &plan.Props{Cost: plan.Cost{Total: 50}}}
+	pt.Insert(ts, "k", []*plan.Node{a, b, a}) // duplicate a
+	if pt.Size() != 2 {
+		t.Fatalf("size = %d (dedup by key, no dominance)", pt.Size())
+	}
+}
+
+func TestGlueMissReferencesAccessRoot(t *testing.T) {
+	gl, en, _ := fixture(t)
+	plans, err := gl.Glue(&star.GlueRequest{Tables: deptSet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 {
+		t.Fatalf("cheapest-only returns 1, got %d", len(plans))
+	}
+	if gl.Stats.Misses != 1 || en.Stats.RuleRefs == 0 {
+		t.Error("the miss must have referenced AccessRoot")
+	}
+	// Second reference hits the table.
+	if _, err := gl.Glue(&star.GlueRequest{Tables: deptSet()}); err != nil {
+		t.Fatal(err)
+	}
+	if gl.Stats.Hits == 0 {
+		t.Error("second reference must hit")
+	}
+}
+
+func TestGlueSatisfiesOrderAndSite(t *testing.T) {
+	gl, _, _ := fixture(t)
+	la := "LA"
+	req := plan.Reqd{
+		Site:  &la,
+		Order: []expr.ColID{{Table: "DEPT", Col: "DNO"}},
+	}
+	plans, err := gl.Glue(&star.GlueRequest{Tables: deptSet(), Req: req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plans[0]
+	if !req.SatisfiedBy(p.Props) {
+		t.Fatalf("requirements unmet:\n%s", plan.Explain(p))
+	}
+	if gl.Stats.Veneers == 0 {
+		t.Error("veneers must have been injected")
+	}
+}
+
+func TestGlueBoundPredsStayAboveStore(t *testing.T) {
+	gl, _, _ := fixture(t)
+	// Push the (bound) join predicate while requiring a temp: the
+	// predicate must appear above the STORE, never below it.
+	jp := &expr.Cmp{Op: expr.EQ, L: expr.C("DEPT", "DNO"), R: expr.C("EMP", "DNO")}
+	plans, err := gl.Glue(&star.GlueRequest{
+		Tables: deptSet(),
+		Push:   expr.NewPredSet(jp),
+		Req:    plan.Reqd{Temp: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plans[0]
+	// Find the STORE; everything beneath it must not reference EMP.
+	var store *plan.Node
+	p.Walk(func(n *plan.Node) {
+		if n.Op == plan.OpStore && store == nil {
+			store = n
+		}
+	})
+	if store == nil {
+		t.Fatalf("no STORE in temp-required plan:\n%s", plan.Explain(p))
+	}
+	store.Walk(func(n *plan.Node) {
+		for _, pr := range n.Preds {
+			for _, c := range expr.Columns(pr) {
+				if c.Table == "EMP" {
+					t.Fatalf("bound predicate sank below STORE:\n%s", plan.Explain(p))
+				}
+			}
+		}
+	})
+	// And the full plan must still apply it somewhere.
+	if !p.Props.Preds.Contains(jp) {
+		t.Fatalf("bound predicate not applied:\n%s", plan.Explain(p))
+	}
+}
+
+func TestGlueDynamicIndexVeneer(t *testing.T) {
+	gl, _, _ := fixture(t)
+	jp := &expr.Cmp{Op: expr.EQ, L: expr.C("DEPT", "DNO"), R: expr.C("EMP", "DNO")}
+	// Require an index on EMP.DNO (EMP has no catalog index): Glue must
+	// STORE, BUILDINDEX, and probe.
+	plans, err := gl.Glue(&star.GlueRequest{
+		Tables: expr.NewTableSet("EMP"),
+		Push:   expr.NewPredSet(jp),
+		Req:    plan.Reqd{PathCols: []expr.ColID{{Table: "EMP", Col: "DNO"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plans[0]
+	var ops []string
+	for n := p; n != nil; {
+		ops = append(ops, string(n.Op))
+		if len(n.Inputs) == 0 {
+			break
+		}
+		n = n.Inputs[0]
+	}
+	chain := strings.Join(ops, "<")
+	if !strings.Contains(chain, "ACCESS<BUILDINDEX<STORE") {
+		t.Fatalf("expected probe over dynamic index over temp, got %s:\n%s", chain, plan.Explain(p))
+	}
+	if p.Op != plan.OpAccess || p.Flavor != plan.FlavorIndex {
+		t.Fatalf("top must be the index probe:\n%s", plan.Explain(p))
+	}
+	if len(p.Preds) == 0 {
+		t.Error("the probe must carry the bound join predicate")
+	}
+}
+
+func TestGlueAllReturnsEverySatisfying(t *testing.T) {
+	gl, _, _ := fixture(t)
+	plans, err := gl.Glue(&star.GlueRequest{Tables: deptSet(), All: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) < 2 {
+		t.Fatalf("All must return the alternatives, got %d", len(plans))
+	}
+}
+
+func TestGlueCompositeRetrofitsFilter(t *testing.T) {
+	gl, en, g := fixture(t)
+	// Seed a composite entry by building the join through the engine.
+	both := expr.NewTableSet("DEPT", "EMP")
+	sap, err := en.EvalRule("JoinRoot", []star.Value{
+		star.StreamValue(deptSet()),
+		star.StreamValue(expr.NewTableSet("EMP")),
+		star.PredsValue(g.Preds),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl.Table.Insert(both, g.EligibleWithin(both).Key(), sap)
+	// Pushing an extra static predicate onto the composite retrofits a
+	// FILTER.
+	extra := &expr.Cmp{Op: expr.EQ, L: expr.C("EMP", "NAME"), R: &expr.Const{Val: datum.NewString("x")}}
+	plans, err := gl.Glue(&star.GlueRequest{Tables: both, Push: expr.NewPredSet(extra)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plans[0].Props.Preds.Contains(extra) {
+		t.Fatalf("pushed predicate not applied:\n%s", plan.Explain(plans[0]))
+	}
+}
+
+func TestGlueCompositeWithoutEntryFails(t *testing.T) {
+	gl, _, _ := fixture(t)
+	_, err := gl.Glue(&star.GlueRequest{Tables: expr.NewTableSet("DEPT", "EMP")})
+	if err == nil || !strings.Contains(err.Error(), "no plans exist") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPlanSitesFallsBackToCatalog(t *testing.T) {
+	gl, _, _ := fixture(t)
+	sites := gl.PlanSites(deptSet())
+	if len(sites) != 1 || sites[0] != "NY" {
+		t.Fatalf("sites = %v (catalog fallback)", sites)
+	}
+	// After plans exist, their sites win.
+	if _, err := gl.Glue(&star.GlueRequest{Tables: deptSet()}); err != nil {
+		t.Fatal(err)
+	}
+	sites = gl.PlanSites(deptSet())
+	if len(sites) == 0 {
+		t.Fatal("plan sites after population")
+	}
+}
+
+func TestCheapestOf(t *testing.T) {
+	if CheapestOf(nil) != nil {
+		t.Error("empty slice")
+	}
+	a := &plan.Node{Props: &plan.Props{Cost: plan.Cost{Total: 2}}}
+	b := &plan.Node{Props: &plan.Props{Cost: plan.Cost{Total: 1}}}
+	if CheapestOf([]*plan.Node{a, b}) != b {
+		t.Error("cheapest")
+	}
+}

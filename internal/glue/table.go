@@ -1,0 +1,156 @@
+// Package glue implements the paper's Glue mechanism (Section 3.2): given a
+// required set of properties for a stream, it (1) finds or creates plans for
+// the required relational properties — referencing the top-most access STAR
+// when none exist, (2) injects "veneer" Glue operators (SHIP, SORT, STORE,
+// BUILDINDEX, FILTER) to make plans satisfy the required physical
+// properties, and (3) returns the cheapest satisfying plan (or, optionally,
+// all of them). Figure 3 of the paper is exactly this module's behaviour.
+//
+// The package also owns the plan table: the data structure, hashed on the
+// tables and predicates (Section 4.4), that makes "do plans exist for these
+// relational properties?" a dictionary lookup.
+package glue
+
+import (
+	"sort"
+	"strings"
+
+	"stars/internal/expr"
+	"stars/internal/plan"
+)
+
+// PlanTable stores every Set of Alternative Plans produced so far, keyed by
+// (TABLES, PREDS) — the relational properties of Figure 2. Within one entry
+// only non-dominated plans are retained: a plan survives unless some other
+// plan is at least as cheap and offers every physical property it offers.
+type PlanTable struct {
+	entries map[string]map[string][]*plan.Node
+	// Inserted counts insertion attempts; Pruned counts plans rejected or
+	// evicted by dominance. PruneDisabled turns dominance off (ablation).
+	Inserted      int64
+	Pruned        int64
+	PruneDisabled bool
+}
+
+// NewPlanTable returns an empty plan table.
+func NewPlanTable() *PlanTable {
+	return &PlanTable{entries: map[string]map[string][]*plan.Node{}}
+}
+
+func tablesKey(t expr.TableSet) string { return strings.Join(t.Slice(), ",") }
+
+// Lookup returns the retained plans for exactly this table set and predicate
+// set (by canonical key), or nil.
+func (pt *PlanTable) Lookup(tables expr.TableSet, predsKey string) []*plan.Node {
+	byPreds := pt.entries[tablesKey(tables)]
+	if byPreds == nil {
+		return nil
+	}
+	return byPreds[predsKey]
+}
+
+// Insert adds plans to the (tables, predsKey) entry, pruning dominated ones,
+// and returns the retained entry.
+func (pt *PlanTable) Insert(tables expr.TableSet, predsKey string, plans []*plan.Node) []*plan.Node {
+	tk := tablesKey(tables)
+	byPreds := pt.entries[tk]
+	if byPreds == nil {
+		byPreds = map[string][]*plan.Node{}
+		pt.entries[tk] = byPreds
+	}
+	cur := byPreds[predsKey]
+	for _, p := range plans {
+		pt.Inserted++
+		cur = pt.addPruned(cur, p)
+	}
+	byPreds[predsKey] = cur
+	return cur
+}
+
+func (pt *PlanTable) addPruned(cur []*plan.Node, p *plan.Node) []*plan.Node {
+	if pt.PruneDisabled {
+		for _, q := range cur {
+			if q == p || q.Key() == p.Key() {
+				return cur
+			}
+		}
+		return append(cur, p)
+	}
+	for _, q := range cur {
+		if q == p {
+			return cur
+		}
+		if plan.Dominates(q.Props, p.Props) {
+			pt.Pruned++
+			return cur
+		}
+	}
+	out := cur[:0]
+	for _, q := range cur {
+		if plan.Dominates(p.Props, q.Props) {
+			pt.Pruned++
+			continue
+		}
+		out = append(out, q)
+	}
+	return append(out, p)
+}
+
+// Entry returns every plan stored for the table set across all predicate
+// keys.
+func (pt *PlanTable) Entry(tables expr.TableSet) []*plan.Node {
+	var out []*plan.Node
+	for _, plans := range pt.entries[tablesKey(tables)] {
+		out = append(out, plans...)
+	}
+	return out
+}
+
+// Sites returns the distinct sites at which plans for the table set exist,
+// sorted — the siteDiffers condition's probe.
+func (pt *PlanTable) Sites(tables expr.TableSet) []string {
+	seen := map[string]bool{}
+	for _, p := range pt.Entry(tables) {
+		seen[p.Props.Site] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Best returns the cheapest plan across every predicate key of the table
+// set, or nil.
+func (pt *PlanTable) Best(tables expr.TableSet) *plan.Node {
+	var best *plan.Node
+	for _, p := range pt.Entry(tables) {
+		if best == nil || p.Props.Cost.Total < best.Props.Cost.Total {
+			best = p
+		}
+	}
+	return best
+}
+
+// Size returns the total number of retained plans.
+func (pt *PlanTable) Size() int {
+	n := 0
+	for _, byPreds := range pt.entries {
+		for _, plans := range byPreds {
+			n += len(plans)
+		}
+	}
+	return n
+}
+
+// CheapestOf returns the minimum-cost plan of a slice, or nil.
+func CheapestOf(plans []*plan.Node) *plan.Node {
+	var best *plan.Node
+	for _, p := range plans {
+		if best == nil || p.Props.Cost.Total < best.Props.Cost.Total {
+			best = p
+		}
+	}
+	return best
+}

@@ -1,0 +1,276 @@
+// Package opt is the optimizer driver: it builds plans bottom-up exactly as
+// Section 2.3 describes — first referencing the AccessRoot STAR to build
+// plans for individual tables, then repeatedly referencing the JoinRoot STAR
+// to join plans generated earlier, until all tables have been joined —
+// keeping every Set of Alternative Plans in the Glue plan table, and finally
+// imposing the query's root requirements (output order, query site) through
+// Glue.
+package opt
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"stars/internal/catalog"
+	"stars/internal/cost"
+	"stars/internal/expr"
+	"stars/internal/glue"
+	"stars/internal/plan"
+	"stars/internal/query"
+	"stars/internal/star"
+)
+
+// Options tune the optimizer. The zero value is the System-R-ish default:
+// join-predicate-connected pairs only, composite inners allowed, Glue
+// returning cheapest plans, dominance pruning on.
+type Options struct {
+	// CartesianProducts admits joinable pairs with no connecting join
+	// predicate (Section 2.3's compile-time parameter). Pairs with an
+	// eligible join predicate are always preferred; Cartesian pairs are
+	// added, not substituted.
+	CartesianProducts bool
+	// NoCompositeInners restricts enumeration to pairs where at least one
+	// side is a single table (left-deep shapes); the default permits
+	// composite inners like (A*B)*(C*D).
+	NoCompositeInners bool
+	// KeepAllGlue makes every Glue reference return all satisfying plans
+	// rather than the cheapest (ablation).
+	KeepAllGlue bool
+	// DisablePruning turns off dominance pruning in the plan table
+	// (ablation).
+	DisablePruning bool
+	// Weights override the cost weights; zero value uses DefaultWeights.
+	Weights cost.Weights
+	// Rules overrides the repertoire; nil loads the built-in rule set.
+	Rules *star.RuleSet
+	// Trace captures the rule-firing log.
+	Trace bool
+	// JoinRoot overrides the root join STAR's name; default "JoinRoot".
+	JoinRoot string
+	// Prepare, when non-nil, customizes the engine after construction
+	// (extra builders/helpers for DBC extensions).
+	Prepare func(*star.Engine)
+}
+
+// Stats aggregates optimization-effort counters for one query.
+type Stats struct {
+	// Star counts the rule engine's work.
+	Star star.Stats
+	// Glue counts the Glue mechanism's work.
+	Glue glue.Stats
+	// Subsets is the number of table subsets enumerated.
+	Subsets int64
+	// Pairs is the number of joinable partitions for which JoinRoot was
+	// referenced.
+	Pairs int64
+	// PlansRetained is the plan-table population after optimization.
+	PlansRetained int64
+	// PlansInserted and PlansPruned report plan-table churn.
+	PlansInserted int64
+	PlansPruned   int64
+	// Elapsed is wall-clock optimization time.
+	Elapsed time.Duration
+}
+
+// Result is one optimization's outcome.
+type Result struct {
+	// Best is the chosen plan, priced, with root requirements satisfied.
+	Best *plan.Node
+	// Stats aggregates effort counters.
+	Stats Stats
+	// Trace is the rule-firing log when Options.Trace was set.
+	Trace []star.TraceEntry
+	// Table is the final plan table (alternatives for every subset).
+	Table *glue.PlanTable
+	// Engine is the rule engine used (for inspecting registries in
+	// tests and tools).
+	Engine *star.Engine
+}
+
+// Optimizer optimizes queries against one catalog.
+type Optimizer struct {
+	Cat  *catalog.Catalog
+	Opts Options
+}
+
+// New builds an optimizer.
+func New(cat *catalog.Catalog, opts Options) *Optimizer {
+	return &Optimizer{Cat: cat, Opts: opts}
+}
+
+// Optimize builds all plans for the query bottom-up and returns the cheapest
+// plan satisfying the root requirements.
+func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
+	start := time.Now()
+	if err := g.Validate(o.Cat); err != nil {
+		return nil, err
+	}
+
+	w := o.Opts.Weights
+	if w == (cost.Weights{}) {
+		w = cost.DefaultWeights
+	}
+	env := cost.NewEnv(o.Cat, w)
+	for _, q := range g.Quants {
+		env.BindQuantifier(q.Name, q.Table)
+	}
+
+	rules := o.Opts.Rules
+	if rules == nil {
+		rules = star.DefaultRules()
+	}
+	en := star.NewEngine(rules, env)
+	en.QueryTables = g.QuantNames()
+	en.NeededCols = func(q string) []expr.ColID { return g.NeededCols(o.Cat, q) }
+	en.Tracing = o.Opts.Trace
+	if o.Opts.Prepare != nil {
+		o.Opts.Prepare(en)
+	}
+	if err := en.Validate(); err != nil {
+		return nil, err
+	}
+
+	table := glue.NewPlanTable()
+	table.PruneDisabled = o.Opts.DisablePruning
+	gl := &glue.Gluer{Engine: en, Graph: g, Table: table, KeepAll: o.Opts.KeepAllGlue}
+	en.Glue = gl.Glue
+	en.PlanSites = gl.PlanSites
+
+	res := &Result{Table: table, Engine: en}
+
+	// Phase 1: access plans for every quantifier (Section 2.3).
+	for _, q := range g.Quants {
+		ts := expr.NewTableSet(q.Name)
+		preds := g.BasePreds(q.Name)
+		sap, err := en.EvalRule(glue.AccessRootRule, []star.Value{
+			star.StreamValue(ts),
+			star.ColsValue(g.NeededCols(o.Cat, q.Name)),
+			star.PredsValue(preds),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("opt: access plans for %s: %w", q.Name, err)
+		}
+		if len(sap) == 0 {
+			return nil, fmt.Errorf("opt: no access plans for %s", q.Name)
+		}
+		table.Insert(ts, preds.Key(), sap)
+	}
+
+	// Phase 2: bottom-up join enumeration over quantifier subsets.
+	if err := o.enumerate(g, en, table, res); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: root requirements — deliver at the query site in the
+	// requested order.
+	rootReq := plan.Reqd{Order: g.OrderBy}
+	site := o.Cat.QuerySite
+	rootReq.Site = &site
+	best, err := gl.Glue(&star.GlueRequest{Tables: g.TableSet(), Req: rootReq})
+	if err != nil {
+		return nil, fmt.Errorf("opt: root requirements: %w", err)
+	}
+	res.Best = glue.CheapestOf(best)
+
+	res.Stats.Star = en.Stats
+	res.Stats.Glue = gl.Stats
+	res.Stats.PlansRetained = int64(table.Size())
+	res.Stats.PlansInserted = table.Inserted
+	res.Stats.PlansPruned = table.Pruned
+	res.Stats.Elapsed = time.Since(start)
+	res.Trace = en.Trace
+	return res, nil
+}
+
+// joinRootName returns the configured root join STAR.
+func (o *Optimizer) joinRootName() string {
+	if o.Opts.JoinRoot != "" {
+		return o.Opts.JoinRoot
+	}
+	return "JoinRoot"
+}
+
+// enumerate walks quantifier subsets by size, referencing JoinRoot for each
+// joinable partition of each subset. Subsets are bitmasks over the
+// quantifier list; quantifier counts beyond 30 are rejected (well past what
+// dynamic-programming enumeration is for).
+func (o *Optimizer) enumerate(g *query.Graph, en *star.Engine, table *glue.PlanTable, res *Result) error {
+	n := len(g.Quants)
+	if n > 30 {
+		return fmt.Errorf("opt: %d quantifiers exceeds the enumeration limit", n)
+	}
+	if n == 1 {
+		return nil
+	}
+	names := g.QuantNames()
+	setOf := func(mask uint32) expr.TableSet {
+		ts := expr.TableSet{}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				ts[names[i]] = true
+			}
+		}
+		return ts
+	}
+
+	full := uint32(1<<n) - 1
+	for size := 2; size <= n; size++ {
+		for mask := uint32(1); mask <= full; mask++ {
+			if bits.OnesCount32(mask) != size {
+				continue
+			}
+			res.Stats.Subsets++
+			S := setOf(mask)
+			eligible := g.EligibleWithin(S)
+
+			type pair struct{ s1, s2 uint32 }
+			var connected, cartesian []pair
+			low := mask & (^mask + 1) // dedupe unordered partitions: s1 keeps the lowest bit
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				if sub&low == 0 {
+					continue
+				}
+				s1, s2 := sub, mask^sub
+				if o.Opts.NoCompositeInners &&
+					bits.OnesCount32(s1) > 1 && bits.OnesCount32(s2) > 1 {
+					continue
+				}
+				if len(table.Entry(setOf(s1))) == 0 || len(table.Entry(setOf(s2))) == 0 {
+					continue
+				}
+				if g.Connected(setOf(s1), setOf(s2)) {
+					connected = append(connected, pair{s1, s2})
+				} else {
+					cartesian = append(cartesian, pair{s1, s2})
+				}
+			}
+			pairs := connected
+			// Prefer predicate-connected pairs as System R and R* did;
+			// consider Cartesian products only when configured, or when
+			// nothing connects the subset at the final join (so queries
+			// with disconnected join graphs still plan).
+			if o.Opts.CartesianProducts || (len(connected) == 0 && mask == full) {
+				pairs = append(pairs, cartesian...)
+			}
+			for _, pr := range pairs {
+				res.Stats.Pairs++
+				p := g.NewlyEligible(setOf(pr.s1), setOf(pr.s2))
+				sap, err := en.EvalRule(o.joinRootName(), []star.Value{
+					star.StreamValue(setOf(pr.s1)),
+					star.StreamValue(setOf(pr.s2)),
+					star.PredsValue(p),
+				})
+				if err != nil {
+					return fmt.Errorf("opt: joining {%s} with {%s}: %w",
+						setOf(pr.s1).Key(), setOf(pr.s2).Key(), err)
+				}
+				table.Insert(S, eligible.Key(), sap)
+			}
+		}
+	}
+	if len(table.Entry(g.TableSet())) == 0 {
+		return fmt.Errorf("opt: no complete plan produced (disconnected join graph? enable CartesianProducts)")
+	}
+	return nil
+}

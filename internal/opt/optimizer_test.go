@@ -1,0 +1,91 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"stars/internal/catalog"
+	"stars/internal/datum"
+	"stars/internal/expr"
+	"stars/internal/plan"
+	"stars/internal/query"
+)
+
+// figure1Catalog is the paper's Section 2.1 schema: DEPT and EMP with an
+// index on EMP.DNO.
+func figure1Catalog() *catalog.Catalog {
+	cat := catalog.New()
+	cat.AddTable(&catalog.Table{
+		Name: "DEPT",
+		Cols: []*catalog.Column{
+			{Name: "DNO", Type: datum.KindInt, NDV: 100},
+			{Name: "MGR", Type: datum.KindString, NDV: 90, Width: 12},
+			{Name: "BUDGET", Type: datum.KindFloat},
+		},
+		Card: 100,
+	})
+	cat.AddTable(&catalog.Table{
+		Name: "EMP",
+		Cols: []*catalog.Column{
+			{Name: "ENO", Type: datum.KindInt, NDV: 10000},
+			{Name: "DNO", Type: datum.KindInt, NDV: 100},
+			{Name: "NAME", Type: datum.KindString, NDV: 9000, Width: 16},
+			{Name: "ADDRESS", Type: datum.KindString, NDV: 9500, Width: 24},
+			{Name: "SAL", Type: datum.KindFloat},
+		},
+		Card: 10000,
+		Paths: []*catalog.AccessPath{
+			{Name: "EMPDNO", Table: "EMP", Cols: []string{"DNO"}},
+		},
+	})
+	if err := cat.Validate(); err != nil {
+		panic(err)
+	}
+	return cat
+}
+
+// figure1Query is DEPT ⋈ EMP on DNO with MGR = 'Haas' on DEPT, projecting
+// the columns Figure 1 shows.
+func figure1Query() *query.Graph {
+	return &query.Graph{
+		Quants: []query.Quantifier{
+			{Name: "DEPT", Table: "DEPT"},
+			{Name: "EMP", Table: "EMP"},
+		},
+		Preds: expr.NewPredSet(
+			&expr.Cmp{Op: expr.EQ, L: expr.C("DEPT", "DNO"), R: expr.C("EMP", "DNO")},
+			&expr.Cmp{Op: expr.EQ, L: expr.C("DEPT", "MGR"), R: &expr.Const{Val: datum.NewString("Haas")}},
+		),
+		Select: []expr.ColID{
+			{Table: "DEPT", Col: "DNO"}, {Table: "DEPT", Col: "MGR"},
+			{Table: "EMP", Col: "NAME"}, {Table: "EMP", Col: "ADDRESS"},
+		},
+	}
+}
+
+func TestOptimizeFigure1(t *testing.T) {
+	o := New(figure1Catalog(), Options{})
+	res, err := o.Optimize(figure1Query())
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best plan")
+	}
+	out := plan.Explain(res.Best)
+	t.Logf("best plan:\n%s", out)
+	t.Logf("stats: %+v", res.Stats)
+	if res.Best.Props.Cost.Total <= 0 {
+		t.Fatalf("non-positive cost: %v", res.Best.Props.Cost)
+	}
+	if !res.Best.Props.Tables.Equal(expr.NewTableSet("DEPT", "EMP")) {
+		t.Fatalf("best plan tables = %v", res.Best.Props.Tables.Slice())
+	}
+	// The plan must apply both predicates somewhere.
+	if res.Best.Props.Preds.Len() != 2 {
+		t.Fatalf("best plan applies %d preds, want 2:\n%s", res.Best.Props.Preds.Len(), out)
+	}
+	if !strings.Contains(out, "JOIN") {
+		t.Fatalf("no JOIN in plan:\n%s", out)
+	}
+}

@@ -1,0 +1,52 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the plan DAG in Graphviz dot syntax, one box per LOLEPOP with
+// its parameters and property summary; shared subplans render once, so the
+// common-subplan sharing of Section 2 is visible in the picture. Pipe the
+// output to `dot -Tsvg` to draw it.
+func DOT(root *Node) string {
+	var b strings.Builder
+	b.WriteString("digraph qep {\n")
+	b.WriteString("  rankdir=BT;\n") // arrows point toward the source, as in Figure 1
+	b.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+
+	ids := map[*Node]int{}
+	var number func(n *Node)
+	number = func(n *Node) {
+		if _, ok := ids[n]; ok {
+			return
+		}
+		ids[n] = len(ids)
+		for _, in := range n.Inputs {
+			number(in)
+		}
+	}
+	number(root)
+
+	emitted := map[*Node]bool{}
+	var emit func(n *Node)
+	emit = func(n *Node) {
+		if emitted[n] {
+			return
+		}
+		emitted[n] = true
+		label := describeNode(n)
+		if n.Props != nil {
+			label += "\\n" + n.Props.Summary()
+		}
+		label = strings.ReplaceAll(label, `"`, `\"`)
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", ids[n], label)
+		for _, in := range n.Inputs {
+			emit(in)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", ids[in], ids[n])
+		}
+	}
+	emit(root)
+	b.WriteString("}\n")
+	return b.String()
+}

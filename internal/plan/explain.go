@@ -1,0 +1,146 @@
+package plan
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Explain renders the plan tree in an indented, Figure-1-like layout: each
+// LOLEPOP with its parameters and a one-line property summary.
+func Explain(n *Node) string {
+	var b strings.Builder
+	writeExplain(&b, n, 0, false)
+	return b.String()
+}
+
+// ExplainVerbose renders the plan with the full property vector of every
+// node (experiment E2's output format).
+func ExplainVerbose(n *Node) string {
+	var b strings.Builder
+	writeExplain(&b, n, 0, true)
+	return b.String()
+}
+
+func writeExplain(w io.Writer, n *Node, depth int, verbose bool) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(w, "%s%s", indent, describeNode(n))
+	if n.Props != nil && !verbose {
+		fmt.Fprintf(w, "   {%s}", n.Props.Summary())
+	}
+	fmt.Fprintln(w)
+	if verbose && n.Props != nil {
+		for _, line := range strings.Split(strings.TrimRight(n.Props.Describe(), "\n"), "\n") {
+			fmt.Fprintf(w, "%s%s\n", indent, line)
+		}
+	}
+	for _, in := range n.Inputs {
+		writeExplain(w, in, depth+1, verbose)
+	}
+}
+
+func describeNode(n *Node) string {
+	var parts []string
+	head := string(n.Op)
+	if n.Flavor != "" {
+		head += "(" + n.Flavor + ")"
+	}
+	parts = append(parts, head)
+	if n.Path != "" {
+		parts = append(parts, "path="+n.Path)
+	}
+	if n.Table != "" {
+		t := n.Table
+		if n.Quantifier != "" && n.Quantifier != n.Table {
+			t += " as " + n.Quantifier
+		}
+		parts = append(parts, "table="+t)
+	}
+	if len(n.Cols) > 0 {
+		parts = append(parts, "cols=["+colList(n.Cols)+"]")
+	}
+	if len(n.SortCols) > 0 {
+		parts = append(parts, "key=["+colList(n.SortCols)+"]")
+	}
+	if n.Op == OpShip {
+		dest := n.Site
+		if dest == "" {
+			dest = "(query site)"
+		}
+		parts = append(parts, "to="+dest)
+	}
+	if len(n.Preds) > 0 {
+		ps := make([]string, len(n.Preds))
+		for i, p := range n.Preds {
+			ps[i] = p.String()
+		}
+		parts = append(parts, "preds=["+strings.Join(ps, ", ")+"]")
+	}
+	if len(n.Residual) > 0 {
+		ps := make([]string, len(n.Residual))
+		for i, p := range n.Residual {
+			ps[i] = p.String()
+		}
+		parts = append(parts, "residual=["+strings.Join(ps, ", ")+"]")
+	}
+	if n.Origin != "" {
+		parts = append(parts, "«"+n.Origin+"»")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Functional renders the plan in the paper's nested-function notation, e.g.
+// JOIN(MG, DEPT.DNO = EMP.DNO, SORT(ACCESS(DEPT, ...), ...), GET(...)).
+func Functional(n *Node) string {
+	var b strings.Builder
+	writeFunctional(&b, n)
+	return b.String()
+}
+
+func writeFunctional(b *strings.Builder, n *Node) {
+	b.WriteString(string(n.Op))
+	b.WriteByte('(')
+	var args []string
+	if n.Flavor != "" && n.Op == OpJoin {
+		name := map[string]string{MethodNL: "nested-loop", MethodMG: "sort-merge", MethodHA: "hash"}[n.Flavor]
+		if name == "" {
+			name = n.Flavor
+		}
+		args = append(args, name)
+	}
+	if len(n.Preds) > 0 {
+		ps := make([]string, len(n.Preds))
+		for i, p := range n.Preds {
+			ps[i] = p.String()
+		}
+		args = append(args, strings.Join(ps, " AND "))
+	}
+	if n.Op == OpAccess {
+		if n.Flavor == FlavorIndex {
+			args = append(args, "Index "+n.Path)
+		} else {
+			args = append(args, n.Table)
+		}
+		args = append(args, "{"+colList(n.Cols)+"}")
+	}
+	if n.Op == OpGet {
+		// Inputs render first for GET to match Figure 1's notation.
+	}
+	if len(n.SortCols) > 0 {
+		args = append(args, colList(n.SortCols))
+	}
+	if n.Op == OpShip {
+		args = append(args, "site="+n.Site)
+	}
+	b.WriteString(strings.Join(args, ", "))
+	for i, in := range n.Inputs {
+		if i > 0 || len(args) > 0 {
+			b.WriteString(", ")
+		}
+		writeFunctional(b, in)
+	}
+	if n.Op == OpGet {
+		fmt.Fprintf(b, ", %s, {%s}", n.Table, colList(n.Cols))
+	}
+	b.WriteByte(')')
+}

@@ -1,0 +1,321 @@
+// Package plan defines query execution plans (QEPs): directed graphs of
+// LOw-LEvel Plan OPerators (LOLEPOPs) in the sense of the paper's Section 2,
+// together with the property vector of Section 3 that summarizes the work a
+// plan has done. Plans are what STARs construct, what Glue patches, what the
+// cost model prices, and what the evaluator interprets.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stars/internal/expr"
+)
+
+// Op identifies a LOLEPOP. The set is open: Section 5's extensibility story
+// is that a Database Customizer can add an Op by registering a property
+// function (package cost) and an execution routine (package exec) — no
+// optimizer code changes.
+type Op string
+
+// The built-in LOLEPOPs.
+const (
+	// OpAccess converts a stored object into a stream of tuples,
+	// optionally projecting columns and applying predicates. Flavors:
+	// FlavorHeap and FlavorBTreeStore scan base tables per their storage
+	// manager; FlavorIndex scans an access method (yielding key columns
+	// plus the TID pseudo-column).
+	OpAccess Op = "ACCESS"
+	// OpGet fetches additional columns of a table by TID, for each tuple
+	// of its input stream, optionally applying predicates (Figure 1).
+	OpGet Op = "GET"
+	// OpSort orders its input stream by a column list.
+	OpSort Op = "SORT"
+	// OpShip moves its input stream to another site.
+	OpShip Op = "SHIP"
+	// OpStore materializes its input stream as a temporary table.
+	OpStore Op = "STORE"
+	// OpJoin joins two streams. Flavors: MethodNL (nested-loop), MethodMG
+	// (sort-merge), MethodHA (hash).
+	OpJoin Op = "JOIN"
+	// OpFilter applies predicates to a stream; Glue's last-resort veneer.
+	OpFilter Op = "FILTER"
+	// OpBuildIndex creates an index on a stored (temp) table — the
+	// dynamic-index alternative of Section 4.5.3.
+	OpBuildIndex Op = "BUILDINDEX"
+	// OpUnion concatenates two streams with identical columns.
+	OpUnion Op = "UNION"
+	// OpIndexAnd intersects two index-ACCESS streams of the same table on
+	// their TIDs — the "ANDing of multiple indexes for a single table"
+	// among Section 4's omitted STARs.
+	OpIndexAnd Op = "IXAND"
+)
+
+// Access flavors.
+const (
+	// FlavorHeap is a physically-sequential scan of a heap table.
+	FlavorHeap = "heap"
+	// FlavorBTreeStore is a scan of a B-tree-organized base table.
+	FlavorBTreeStore = "btree"
+	// FlavorIndex is a scan or probe of an access method (index).
+	FlavorIndex = "index"
+)
+
+// Join method flavors.
+const (
+	// MethodNL is nested-loop join.
+	MethodNL = "NL"
+	// MethodMG is sort-merge join.
+	MethodMG = "MG"
+	// MethodHA is hash join.
+	MethodHA = "HA"
+)
+
+// TIDCol is the name of the tuple-identifier pseudo-column an index ACCESS
+// yields and GET consumes.
+const TIDCol = "_tid"
+
+// Node is one LOLEPOP in a QEP. Nodes form a DAG (common subplans are
+// shared); arrows point toward the source of the stream as in Figure 1, i.e.
+// Inputs are the streams this operator consumes.
+//
+// Which fields are meaningful depends on Op; Validate enforces the shape.
+// Nodes are immutable once built and priced — Glue and the STAR engine build
+// new veneer nodes rather than mutating.
+type Node struct {
+	// Op is the LOLEPOP.
+	Op Op
+	// Flavor refines the Op: join method, or access flavor.
+	Flavor string
+	// Table is the stored object accessed (ACCESS: base or temp table
+	// name; GET: table fetched from; STORE: created temp name;
+	// BUILDINDEX: table indexed).
+	Table string
+	// Quantifier is the range-variable name this access serves; produced
+	// columns are Quantifier-qualified. For multi-table temps it is empty.
+	Quantifier string
+	// Path is the access-path name (ACCESS index flavor, BUILDINDEX).
+	Path string
+	// Cols are the columns this operator retrieves or adds (ACCESS, GET).
+	Cols []expr.ColID
+	// Preds are the predicates this operator applies: ACCESS/GET
+	// pushdowns, FILTER predicates, or — for JOIN — the join predicates
+	// the method itself applies (parameter 4 of the JOIN reference in
+	// Section 4.4).
+	Preds []expr.Expr
+	// Residual are predicates applied after the join (parameter 5 of the
+	// JOIN reference).
+	Residual []expr.Expr
+	// SortCols is the SORT key or BUILDINDEX key column list.
+	SortCols []expr.ColID
+	// Site is the SHIP destination site.
+	Site string
+	// Inputs are the consumed streams: 1 for unary ops, 2 for JOIN/UNION
+	// (outer first), 0 for ACCESS of a stored object.
+	Inputs []*Node
+	// Props is the computed output property vector; set by the cost
+	// package's property functions when the node is priced.
+	Props *Props
+	// Origin records which STAR alternative produced this node, for
+	// explain/tracing ("the origin of any execution plan", Section 1).
+	Origin string
+
+	key string // memoized Key; nodes are immutable once built
+}
+
+// Outer returns the first input (the outer stream of a join).
+func (n *Node) Outer() *Node {
+	if len(n.Inputs) > 0 {
+		return n.Inputs[0]
+	}
+	return nil
+}
+
+// Inner returns the second input (the inner stream of a join).
+func (n *Node) Inner() *Node {
+	if len(n.Inputs) > 1 {
+		return n.Inputs[1]
+	}
+	return nil
+}
+
+// Validate checks the operator-specific shape of the node (input arity,
+// required fields). It does not recurse.
+func (n *Node) Validate() error {
+	arity := map[Op]int{
+		OpGet: 1, OpSort: 1, OpShip: 1, OpStore: 1,
+		OpFilter: 1, OpBuildIndex: 1, OpJoin: 2, OpUnion: 2, OpIndexAnd: 2,
+	}
+	want, known := arity[n.Op]
+	if known && len(n.Inputs) != want {
+		return fmt.Errorf("plan: %s expects %d inputs, has %d", n.Op, want, len(n.Inputs))
+	}
+	switch n.Op {
+	case OpAccess:
+		// ACCESS of a base object has no inputs; ACCESS of a temp keeps
+		// the temp-producing subplan as its single input so the QEP
+		// remains a self-contained DAG.
+		if len(n.Inputs) > 1 {
+			return fmt.Errorf("plan: ACCESS expects at most 1 input, has %d", len(n.Inputs))
+		}
+		if n.Table == "" && n.Path == "" {
+			return fmt.Errorf("plan: ACCESS needs a table or path")
+		}
+		if n.Flavor == FlavorIndex && n.Path == "" {
+			return fmt.Errorf("plan: index ACCESS needs a path")
+		}
+	case OpGet:
+		if n.Table == "" {
+			return fmt.Errorf("plan: GET needs a table")
+		}
+	case OpSort:
+		if len(n.SortCols) == 0 {
+			return fmt.Errorf("plan: SORT needs sort columns")
+		}
+	case OpShip:
+		// The empty site is the query site, which is legal.
+	case OpJoin:
+		if n.Flavor == "" {
+			return fmt.Errorf("plan: JOIN needs a method flavor")
+		}
+	case OpBuildIndex:
+		if len(n.SortCols) == 0 {
+			return fmt.Errorf("plan: BUILDINDEX needs key columns")
+		}
+	}
+	return nil
+}
+
+// Walk visits the plan tree pre-order. Shared subplans are visited once per
+// reference; callers needing each node once should dedupe on pointer.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, in := range n.Inputs {
+		in.Walk(fn)
+	}
+}
+
+// Count returns the number of distinct nodes in the DAG.
+func (n *Node) Count() int {
+	seen := map[*Node]bool{}
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if seen[m] {
+			return
+		}
+		seen[m] = true
+		for _, in := range m.Inputs {
+			rec(in)
+		}
+	}
+	rec(n)
+	return len(seen)
+}
+
+// Key returns a canonical string identifying the plan's structure —
+// operators, parameters, and inputs — but not its properties. The
+// transformational baseline memoizes on it, and tests use it for plan
+// equality.
+func (n *Node) Key() string {
+	if n.key == "" {
+		var b strings.Builder
+		n.writeKey(&b)
+		n.key = b.String()
+	}
+	return n.key
+}
+
+func (n *Node) writeKey(b *strings.Builder) {
+	b.WriteString(string(n.Op))
+	if n.Flavor != "" {
+		b.WriteByte('/')
+		b.WriteString(n.Flavor)
+	}
+	b.WriteByte('(')
+	sep := false
+	wr := func(s string) {
+		if sep {
+			b.WriteByte(';')
+		}
+		sep = true
+		b.WriteString(s)
+	}
+	if n.Table != "" {
+		wr("t=" + n.Table)
+	}
+	if n.Quantifier != "" {
+		wr("q=" + n.Quantifier)
+	}
+	if n.Path != "" {
+		wr("p=" + n.Path)
+	}
+	if len(n.Cols) > 0 {
+		wr("c=" + colList(n.Cols))
+	}
+	if len(n.Preds) > 0 {
+		wr("w=" + predKeys(n.Preds))
+	}
+	if len(n.Residual) > 0 {
+		wr("r=" + predKeys(n.Residual))
+	}
+	if len(n.SortCols) > 0 {
+		wr("s=" + colList(n.SortCols))
+	}
+	if n.Op == OpShip || n.Site != "" {
+		wr("@=" + n.Site)
+	}
+	for _, in := range n.Inputs {
+		if sep {
+			b.WriteByte(';')
+		}
+		sep = true
+		in.writeKey(b)
+	}
+	b.WriteByte(')')
+}
+
+func colList(cols []expr.ColID) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func predKeys(preds []expr.Expr) string {
+	keys := make([]string, len(preds))
+	for i, p := range preds {
+		keys[i] = p.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "&")
+}
+
+// SortedCols returns a sorted copy of cols, for canonical column sets.
+func SortedCols(cols []expr.ColID) []expr.ColID {
+	out := append([]expr.ColID(nil), cols...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// HasCol reports whether cols contains c.
+func HasCol(cols []expr.ColID, c expr.ColID) bool {
+	for _, x := range cols {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// MergeCols unions two column lists, preserving first-seen order.
+func MergeCols(a, b []expr.ColID) []expr.ColID {
+	out := append([]expr.ColID(nil), a...)
+	for _, c := range b {
+		if !HasCol(out, c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"stars/internal/datum"
+	"stars/internal/expr"
+)
+
+func col(t, c string) expr.ColID { return expr.ColID{Table: t, Col: c} }
+
+func pred(t, c string, v int64) expr.Expr {
+	return &expr.Cmp{Op: expr.EQ, L: expr.C(t, c), R: &expr.Const{Val: datum.NewInt(v)}}
+}
+
+func scan(table string) *Node {
+	return &Node{Op: OpAccess, Flavor: FlavorHeap, Table: table, Quantifier: table,
+		Cols: []expr.ColID{col(table, "A")}}
+}
+
+func TestValidate(t *testing.T) {
+	ok := []*Node{
+		scan("T"),
+		{Op: OpSort, SortCols: []expr.ColID{col("T", "A")}, Inputs: []*Node{scan("T")}},
+		{Op: OpShip, Site: "X", Inputs: []*Node{scan("T")}},
+		{Op: OpJoin, Flavor: MethodNL, Inputs: []*Node{scan("T"), scan("U")}},
+		{Op: OpGet, Table: "T", Inputs: []*Node{scan("T")}},
+		{Op: OpAccess, Flavor: FlavorHeap, Table: "tmp", Inputs: []*Node{scan("T")}}, // temp access
+	}
+	for i, n := range ok {
+		if err := n.Validate(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+	bad := []*Node{
+		{Op: OpAccess}, // no table
+		{Op: OpAccess, Flavor: FlavorIndex, Table: "T"},                   // index without path
+		{Op: OpSort, Inputs: []*Node{scan("T")}},                          // no sort cols
+		{Op: OpJoin, Inputs: []*Node{scan("T"), scan("U")}},               // no method
+		{Op: OpJoin, Flavor: MethodNL, Inputs: []*Node{scan("T")}},        // arity
+		{Op: OpGet, Inputs: []*Node{scan("T")}},                           // no table
+		{Op: OpBuildIndex, Inputs: []*Node{scan("T")}},                    // no key
+		{Op: OpAccess, Table: "T", Inputs: []*Node{scan("T"), scan("U")}}, // too many inputs
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("bad case %d did not fail", i)
+		}
+	}
+}
+
+func TestKeyDistinguishesAndMemoizes(t *testing.T) {
+	a := scan("T")
+	b := scan("T")
+	if a.Key() != b.Key() {
+		t.Error("identical structure must share a key")
+	}
+	c := scan("U")
+	if a.Key() == c.Key() {
+		t.Error("different tables must differ")
+	}
+	j1 := &Node{Op: OpJoin, Flavor: MethodNL, Inputs: []*Node{a, c}}
+	j2 := &Node{Op: OpJoin, Flavor: MethodMG, Inputs: []*Node{a, c}}
+	if j1.Key() == j2.Key() {
+		t.Error("method flavors must differ")
+	}
+	j3 := &Node{Op: OpJoin, Flavor: MethodNL, Inputs: []*Node{c, a}}
+	if j1.Key() == j3.Key() {
+		t.Error("input order must differ (join inputs are ordered)")
+	}
+	// Predicate order inside a node does not change the key.
+	p1 := &Node{Op: OpFilter, Preds: []expr.Expr{pred("T", "A", 1), pred("T", "B", 2)}, Inputs: []*Node{a}}
+	p2 := &Node{Op: OpFilter, Preds: []expr.Expr{pred("T", "B", 2), pred("T", "A", 1)}, Inputs: []*Node{a}}
+	if p1.Key() != p2.Key() {
+		t.Error("predicate order must not affect the key")
+	}
+	// Memoization returns the same string on repeat calls.
+	if j1.Key() != j1.Key() {
+		t.Fatal("Key must be stable")
+	}
+}
+
+func TestWalkAndCount(t *testing.T) {
+	shared := scan("T")
+	j := &Node{Op: OpJoin, Flavor: MethodNL, Inputs: []*Node{shared,
+		&Node{Op: OpFilter, Preds: []expr.Expr{pred("T", "A", 1)}, Inputs: []*Node{shared}}}}
+	if j.Count() != 3 {
+		t.Errorf("distinct nodes = %d, want 3 (shared subplan counted once)", j.Count())
+	}
+	visits := 0
+	j.Walk(func(*Node) { visits++ })
+	if visits != 4 {
+		t.Errorf("walk visits = %d (per reference)", visits)
+	}
+	if j.Outer() != shared || j.Inner().Op != OpFilter {
+		t.Error("Outer/Inner accessors")
+	}
+}
+
+func TestOrderSatisfies(t *testing.T) {
+	ab := []expr.ColID{col("T", "A"), col("T", "B")}
+	a := []expr.ColID{col("T", "A")}
+	if !OrderSatisfies(ab, a) {
+		t.Error("prefix satisfies")
+	}
+	if OrderSatisfies(a, ab) {
+		t.Error("longer requirement not satisfied by shorter order")
+	}
+	if !OrderSatisfies(ab, nil) {
+		t.Error("empty requirement always satisfied")
+	}
+	if OrderSatisfies(nil, a) {
+		t.Error("unknown order satisfies nothing")
+	}
+}
+
+func TestReqdMergeAndSatisfied(t *testing.T) {
+	la := "LA"
+	ny := "NY"
+	r1 := Reqd{Order: []expr.ColID{col("T", "A")}}
+	r2 := Reqd{Site: &la, Temp: true}
+	m := r1.Merge(r2)
+	if len(m.Order) != 1 || m.Site == nil || *m.Site != "LA" || !m.Temp {
+		t.Fatalf("merge = %+v", m)
+	}
+	// Later site requirements win.
+	m2 := m.Merge(Reqd{Site: &ny})
+	if *m2.Site != "NY" {
+		t.Error("later site must win")
+	}
+	p := &Props{Order: []expr.ColID{col("T", "A"), col("T", "B")}, Site: "LA", Temp: true}
+	if !m.SatisfiedBy(p) {
+		t.Error("props satisfy merged requirements")
+	}
+	p.Site = "NY"
+	if m.SatisfiedBy(p) {
+		t.Error("site mismatch must not satisfy")
+	}
+	if !(Reqd{}).Empty() || m.Empty() {
+		t.Error("Empty()")
+	}
+	if !strings.Contains(m.String(), "site=LA") {
+		t.Errorf("String = %s", m.String())
+	}
+}
+
+func TestReqdPathCols(t *testing.T) {
+	r := Reqd{PathCols: []expr.ColID{col("T", "A")}}
+	p := &Props{Paths: []PathInfo{{Name: "ix", Cols: []expr.ColID{col("T", "A"), col("T", "B")}}}}
+	if !r.SatisfiedBy(p) {
+		t.Error("prefix-matching path satisfies")
+	}
+	p2 := &Props{Paths: []PathInfo{{Name: "ix", Cols: []expr.ColID{col("T", "B")}}}}
+	if r.SatisfiedBy(p2) {
+		t.Error("non-prefix path must not satisfy")
+	}
+	if p.PathOn([]expr.ColID{col("T", "A")}) == nil {
+		t.Error("PathOn")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	base := &Props{Cost: Cost{Total: 10}, Rescan: Cost{Total: 10}, Site: ""}
+	cheaper := &Props{Cost: Cost{Total: 5}, Rescan: Cost{Total: 5}, Site: ""}
+	ordered := &Props{Cost: Cost{Total: 12}, Rescan: Cost{Total: 12}, Site: "",
+		Order: []expr.ColID{col("T", "A")}}
+	if !Dominates(cheaper, base) {
+		t.Error("cheaper same-properties plan dominates")
+	}
+	if Dominates(base, cheaper) {
+		t.Error("pricier plan must not dominate")
+	}
+	if Dominates(cheaper, ordered) {
+		t.Error("an ordered plan is shielded by its order")
+	}
+	if Dominates(ordered, base) {
+		t.Error("pricier ordered plan must not dominate unordered")
+	}
+	remote := &Props{Cost: Cost{Total: 1}, Site: "NY"}
+	if Dominates(remote, base) {
+		t.Error("different sites never dominate")
+	}
+	temp := &Props{Cost: Cost{Total: 12}, Temp: true}
+	if Dominates(cheaper, temp) {
+		t.Error("a temp is shielded from non-temps")
+	}
+	cheapRescan := &Props{Cost: Cost{Total: 11}, Rescan: Cost{Total: 1}}
+	if Dominates(base, cheapRescan) {
+		t.Error("a cheap-rescan plan is shielded")
+	}
+}
+
+// TestDominatesIsAntisymmetricUnderStrictCost property-checks that two
+// plans cannot dominate each other unless identical in the compared
+// dimensions.
+func TestDominatesIsAntisymmetricUnderStrictCost(t *testing.T) {
+	f := func(c1, c2 uint16, ordered1, ordered2, temp1, temp2 bool) bool {
+		mk := func(c uint16, ordered, temp bool) *Props {
+			p := &Props{Cost: Cost{Total: float64(c)}, Rescan: Cost{Total: float64(c)}, Temp: temp}
+			if ordered {
+				p.Order = []expr.ColID{col("T", "A")}
+			}
+			return p
+		}
+		a := mk(c1, ordered1, temp1)
+		b := mk(c2, ordered2, temp2)
+		if Dominates(a, b) && Dominates(b, a) {
+			// Both directions only when costs tie and properties equal.
+			return c1 == c2 && ordered1 == ordered2 && (temp1 == temp2 || !temp1 && !temp2)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostArithmetic(t *testing.T) {
+	a := Cost{IO: 1, CPU: 2, Msg: 3, Bytes: 4, Total: 5}
+	b := Cost{IO: 10, CPU: 20, Msg: 30, Bytes: 40, Total: 50}
+	s := a.Add(b)
+	if s.IO != 11 || s.CPU != 22 || s.Msg != 33 || s.Bytes != 44 || s.Total != 55 {
+		t.Errorf("add = %+v", s)
+	}
+	h := a.Scale(2)
+	if h.IO != 2 || h.Total != 10 {
+		t.Errorf("scale = %+v", h)
+	}
+	if !strings.Contains(a.String(), "total=5.0") {
+		t.Errorf("String = %s", a.String())
+	}
+}
+
+func TestPropsCloneIsolation(t *testing.T) {
+	p := &Props{
+		Cols:  []expr.ColID{col("T", "A")},
+		Order: []expr.ColID{col("T", "A")},
+		Paths: []PathInfo{{Name: "ix"}},
+		Extra: map[string]string{"k": "v"},
+	}
+	c := p.Clone()
+	c.Cols[0] = col("X", "Y")
+	c.Extra["k"] = "changed"
+	if p.Cols[0] != col("T", "A") || p.Extra["k"] != "v" {
+		t.Error("Clone must not share mutable state")
+	}
+}
+
+func TestExplainAndFunctional(t *testing.T) {
+	inner := scan("EMP")
+	inner.Props = &Props{Tables: expr.NewTableSet("EMP"), Card: 10}
+	outer := scan("DEPT")
+	outer.Props = &Props{Tables: expr.NewTableSet("DEPT"), Card: 5}
+	j := &Node{Op: OpJoin, Flavor: MethodMG,
+		Preds:  []expr.Expr{&expr.Cmp{Op: expr.EQ, L: expr.C("DEPT", "DNO"), R: expr.C("EMP", "DNO")}},
+		Inputs: []*Node{outer, inner}, Origin: "JMeth#2"}
+	j.Props = &Props{Tables: expr.NewTableSet("DEPT", "EMP"), Card: 50, Preds: expr.NewPredSet()}
+
+	out := Explain(j)
+	for _, want := range []string{"JOIN(MG)", "ACCESS(heap)", "DEPT", "EMP", "«JMeth#2»", "card=50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	fn := Functional(j)
+	if !strings.Contains(fn, "JOIN(sort-merge, DEPT.DNO = EMP.DNO") {
+		t.Errorf("Functional = %s", fn)
+	}
+	verb := ExplainVerbose(j)
+	for _, want := range []string{"TABLES", "CARD", "COST"} {
+		if !strings.Contains(verb, want) {
+			t.Errorf("verbose missing %q", want)
+		}
+	}
+}
+
+func TestDescribeListsFigure2Fields(t *testing.T) {
+	p := &Props{
+		Tables: expr.NewTableSet("T"),
+		Cols:   []expr.ColID{col("T", "A")},
+		Preds:  expr.NewPredSet(pred("T", "A", 1)),
+		Order:  []expr.ColID{col("T", "A")},
+		Site:   "NY",
+		Temp:   true,
+		Paths:  []PathInfo{{Name: "ix", Cols: []expr.ColID{col("T", "A")}, Dynamic: true}},
+		Card:   7,
+		Extra:  map[string]string{"bucketized": "true"},
+	}
+	d := p.Describe()
+	for _, want := range []string{"TABLES", "COLS", "PREDS", "ORDER", "SITE", "TEMP", "PATHS", "CARD", "COST", "BUCKETIZED", "ix*"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestColHelpers(t *testing.T) {
+	a := []expr.ColID{col("T", "B"), col("T", "A")}
+	s := SortedCols(a)
+	if s[0] != col("T", "A") {
+		t.Error("SortedCols")
+	}
+	if a[0] != col("T", "B") {
+		t.Error("SortedCols must copy")
+	}
+	if !HasCol(a, col("T", "A")) || HasCol(a, col("T", "C")) {
+		t.Error("HasCol")
+	}
+	m := MergeCols(a, []expr.ColID{col("T", "A"), col("T", "C")})
+	if len(m) != 3 {
+		t.Errorf("MergeCols = %v", m)
+	}
+}

@@ -1,0 +1,334 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stars/internal/expr"
+)
+
+// Cost is the estimated resource vector of Section 3.1: total cost is a
+// linear combination of I/O, CPU, and communications costs [LOHM 85]. The
+// weighted Total is computed by the cost environment when a plan is priced
+// so that comparisons are a single float compare.
+type Cost struct {
+	// IO is page accesses (heap + index, read + write).
+	IO float64
+	// CPU is tuple-handling operations (comparisons, moves, hashes).
+	CPU float64
+	// Msg is messages sent between sites.
+	Msg float64
+	// Bytes is payload bytes shipped between sites.
+	Bytes float64
+	// Total is the weighted sum under the pricing environment's weights.
+	Total float64
+}
+
+// Add returns the component-wise sum of two costs.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{
+		IO: c.IO + o.IO, CPU: c.CPU + o.CPU,
+		Msg: c.Msg + o.Msg, Bytes: c.Bytes + o.Bytes,
+		Total: c.Total + o.Total,
+	}
+}
+
+// Scale returns the cost multiplied by k in every component.
+func (c Cost) Scale(k float64) Cost {
+	return Cost{IO: c.IO * k, CPU: c.CPU * k, Msg: c.Msg * k, Bytes: c.Bytes * k, Total: c.Total * k}
+}
+
+// String renders the cost for EXPLAIN output.
+func (c Cost) String() string {
+	return fmt.Sprintf("total=%.1f (io=%.1f cpu=%.1f msg=%.1f)", c.Total, c.IO, c.CPU, c.Msg)
+}
+
+// PathInfo is one element of the PATHS property: an available access path on
+// the (set of) tables a stream carries, as an ordered column list. Dynamic
+// marks indexes created during the query (Section 4.5.3) as opposed to
+// catalog indexes.
+type PathInfo struct {
+	// Name is the access-path name (catalog index name, or a generated
+	// name for dynamic indexes).
+	Name string
+	// Table is the stored table the path indexes.
+	Table string
+	// Quantifier is the range variable the path's columns are qualified
+	// by.
+	Quantifier string
+	// Cols is the ordered key-column list.
+	Cols []expr.ColID
+	// Clustered marks clustering indexes.
+	Clustered bool
+	// Dynamic marks indexes built at run time on temps.
+	Dynamic bool
+}
+
+// String renders the path for EXPLAIN output.
+func (p PathInfo) String() string {
+	tag := ""
+	if p.Dynamic {
+		tag = "*"
+	}
+	return p.Name + tag + "(" + colList(p.Cols) + ")"
+}
+
+// Props is the property vector of Figure 2: everything the optimizer knows
+// about the table (stream) a plan produces. Properties divide into
+// relational (WHAT: Tables, Cols, Preds), physical (HOW: Order, Site, Temp,
+// Paths), and estimated (HOW MUCH: Card, Cost). Extra carries
+// DBC-added properties (Section 5): unknown keys default to passing through
+// LOLEPOPs unchanged, exactly the paper's default action.
+type Props struct {
+	// Tables is the set of quantifiers joined into this stream.
+	Tables expr.TableSet
+	// Cols is the set of columns the stream carries.
+	Cols []expr.ColID
+	// Preds is the set of predicates applied so far.
+	Preds expr.PredSet
+	// Order is the tuple ordering as an ordered column list; empty means
+	// unknown.
+	Order []expr.ColID
+	// Site is where the stream is delivered ("" = query site).
+	Site string
+	// Temp reports whether the stream is materialized in a temporary
+	// table.
+	Temp bool
+	// TempName is the stored name of the materialization when Temp holds.
+	TempName string
+	// Paths is the set of available access paths on the stream's tables.
+	Paths []PathInfo
+	// Card is the estimated output cardinality.
+	Card float64
+	// Cost is the estimated cost to produce the stream once.
+	Cost Cost
+	// Rescan is the estimated cost to produce the stream again (the
+	// inner of a nested-loop join is re-evaluated per outer tuple; temps
+	// and index probes rescan far cheaper than they first cost).
+	Rescan Cost
+	// Extra holds DBC-added properties by name; LOLEPOPs that don't know
+	// a property leave it unchanged.
+	Extra map[string]string
+}
+
+// Clone returns a deep-enough copy: slices and maps are copied, expressions
+// (immutable) are shared.
+func (p *Props) Clone() *Props {
+	q := *p
+	q.Cols = append([]expr.ColID(nil), p.Cols...)
+	q.Order = append([]expr.ColID(nil), p.Order...)
+	q.Paths = append([]PathInfo(nil), p.Paths...)
+	if p.Extra != nil {
+		q.Extra = make(map[string]string, len(p.Extra))
+		for k, v := range p.Extra {
+			q.Extra[k] = v
+		}
+	}
+	return &q
+}
+
+// OrderSatisfies reports whether an available order satisfies a required one
+// — the paper's "order ⊑ a": the required columns must be a prefix of the
+// available ones.
+func OrderSatisfies(have, want []expr.ColID) bool {
+	if len(want) > len(have) {
+		return false
+	}
+	for i, w := range want {
+		if have[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// PathOn returns the first available path whose key columns have want as a
+// prefix, or nil — the OrderedStream2 condition "order ⊑ a".
+func (p *Props) PathOn(want []expr.ColID) *PathInfo {
+	for i := range p.Paths {
+		if OrderSatisfies(p.Paths[i].Cols, want) {
+			return &p.Paths[i]
+		}
+	}
+	return nil
+}
+
+// Reqd is a set of required properties accumulated on a stream argument
+// (the square-bracket annotations of Section 3.2). Requirements accumulate
+// across STAR references until Glue is referenced, which makes plans satisfy
+// them.
+type Reqd struct {
+	// Order, when non-empty, requires tuples ordered by this column list
+	// (prefix semantics).
+	Order []expr.ColID
+	// Site, when non-nil, requires delivery at the named site.
+	Site *string
+	// Temp requires the stream to be materialized as a temporary.
+	Temp bool
+	// PathCols, when non-empty, requires the PATHS property to contain an
+	// index whose key has these columns as a prefix (paths ≥ IX in
+	// Section 4.5.3).
+	PathCols []expr.ColID
+}
+
+// Empty reports whether no requirement is present.
+func (r Reqd) Empty() bool {
+	return len(r.Order) == 0 && r.Site == nil && !r.Temp && len(r.PathCols) == 0
+}
+
+// Merge accumulates other's requirements over r, with other (the later,
+// outer reference) winning conflicts; the paper accumulates requirements
+// from successive STAR references until Glue is called.
+func (r Reqd) Merge(other Reqd) Reqd {
+	out := r
+	if len(other.Order) > 0 {
+		out.Order = other.Order
+	}
+	if other.Site != nil {
+		out.Site = other.Site
+	}
+	if other.Temp {
+		out.Temp = true
+	}
+	if len(other.PathCols) > 0 {
+		out.PathCols = other.PathCols
+	}
+	return out
+}
+
+// SatisfiedBy reports whether a plan with properties p meets every
+// requirement.
+func (r Reqd) SatisfiedBy(p *Props) bool {
+	if len(r.Order) > 0 && !OrderSatisfies(p.Order, r.Order) {
+		return false
+	}
+	if r.Site != nil && p.Site != *r.Site {
+		return false
+	}
+	if r.Temp && !p.Temp {
+		return false
+	}
+	if len(r.PathCols) > 0 && p.PathOn(r.PathCols) == nil {
+		return false
+	}
+	return true
+}
+
+// String renders the requirements in the paper's [bracket] notation.
+func (r Reqd) String() string {
+	var parts []string
+	if len(r.Order) > 0 {
+		parts = append(parts, "order="+colList(r.Order))
+	}
+	if r.Site != nil {
+		parts = append(parts, "site="+*r.Site)
+	}
+	if r.Temp {
+		parts = append(parts, "temp")
+	}
+	if len(r.PathCols) > 0 {
+		parts = append(parts, "paths⊇ix("+colList(r.PathCols)+")")
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Dominates reports whether plan properties a are at least as good as b for
+// every retained physical property while costing no more — the pruning rule:
+// b can be discarded if some a dominates it. Cardinality and relational
+// properties are equal by construction within one plan-table entry.
+func Dominates(a, b *Props) bool {
+	if a.Cost.Total > b.Cost.Total {
+		return false
+	}
+	// a must offer every physical advantage b offers.
+	if !OrderSatisfies(a.Order, b.Order) {
+		return false
+	}
+	if a.Site != b.Site {
+		return false
+	}
+	if b.Temp && !a.Temp {
+		return false
+	}
+	for _, bp := range b.Paths {
+		if !bp.Dynamic {
+			continue
+		}
+		found := false
+		for _, ap := range a.Paths {
+			if ap.Dynamic && OrderSatisfies(ap.Cols, bp.Cols) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	// Cheaper rescan is an advantage for future NL inners.
+	if a.Rescan.Total > b.Rescan.Total*1.0001+1e-9 {
+		return false
+	}
+	return true
+}
+
+// Summary renders the property vector compactly, as in Figure 3's "ears".
+func (p *Props) Summary() string {
+	var parts []string
+	parts = append(parts, "card="+fmt.Sprintf("%.0f", p.Card))
+	if len(p.Order) > 0 {
+		parts = append(parts, "order="+colList(p.Order))
+	}
+	if p.Site != "" {
+		parts = append(parts, "site="+p.Site)
+	}
+	if p.Temp {
+		parts = append(parts, "temp")
+	}
+	parts = append(parts, fmt.Sprintf("cost=%.1f", p.Cost.Total))
+	return strings.Join(parts, " ")
+}
+
+// Describe renders the full property vector, one property per line, in the
+// layout of Figure 2 — used by experiment E2.
+func (p *Props) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  TABLES %s\n", strings.Join(p.Tables.Slice(), ", "))
+	fmt.Fprintf(&b, "  COLS   %s\n", colList(SortedCols(p.Cols)))
+	fmt.Fprintf(&b, "  PREDS  %s\n", p.Preds.String())
+	if len(p.Order) > 0 {
+		fmt.Fprintf(&b, "  ORDER  %s\n", colList(p.Order))
+	} else {
+		fmt.Fprintf(&b, "  ORDER  (unknown)\n")
+	}
+	site := p.Site
+	if site == "" {
+		site = "(query site)"
+	}
+	fmt.Fprintf(&b, "  SITE   %s\n", site)
+	fmt.Fprintf(&b, "  TEMP   %v\n", p.Temp)
+	if len(p.Paths) > 0 {
+		paths := make([]string, len(p.Paths))
+		for i, pa := range p.Paths {
+			paths[i] = pa.String()
+		}
+		sort.Strings(paths)
+		fmt.Fprintf(&b, "  PATHS  %s\n", strings.Join(paths, ", "))
+	} else {
+		fmt.Fprintf(&b, "  PATHS  (none)\n")
+	}
+	fmt.Fprintf(&b, "  CARD   %.1f\n", p.Card)
+	fmt.Fprintf(&b, "  COST   %s\n", p.Cost.String())
+	if len(p.Extra) > 0 {
+		keys := make([]string, 0, len(p.Extra))
+		for k := range p.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s %s\n", strings.ToUpper(k), p.Extra[k])
+		}
+	}
+	return b.String()
+}

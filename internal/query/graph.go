@@ -1,0 +1,186 @@
+// Package query models the optimizer's input: a query graph of quantifiers
+// (range variables over stored tables), a conjunctive predicate set, a
+// projection list, and root requirements (ORDER BY, delivery site). It also
+// answers the eligibility questions the enumeration and Glue need: which
+// predicates are eligible for a table set, which columns a quantifier must
+// supply, and which table-set pairs are joinable.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"stars/internal/catalog"
+	"stars/internal/expr"
+)
+
+// Quantifier is one range variable of the query.
+type Quantifier struct {
+	// Name is the range-variable name (the alias); predicates and columns
+	// are qualified by it.
+	Name string
+	// Table is the stored table the quantifier ranges over.
+	Table string
+}
+
+// Graph is one query's optimizer input.
+type Graph struct {
+	// Quants are the range variables in FROM order.
+	Quants []Quantifier
+	// Preds is the conjunctive WHERE clause.
+	Preds expr.PredSet
+	// Select is the projection as qualified columns; empty means every
+	// column of every quantifier.
+	Select []expr.ColID
+	// OrderBy is the required output order, if any.
+	OrderBy []expr.ColID
+}
+
+// Quant returns the named quantifier, or nil.
+func (g *Graph) Quant(name string) *Quantifier {
+	for i := range g.Quants {
+		if g.Quants[i].Name == name {
+			return &g.Quants[i]
+		}
+	}
+	return nil
+}
+
+// QuantNames returns the quantifier names in FROM order.
+func (g *Graph) QuantNames() []string {
+	out := make([]string, len(g.Quants))
+	for i, q := range g.Quants {
+		out[i] = q.Name
+	}
+	return out
+}
+
+// Validate resolves every quantifier, column, and predicate against the
+// catalog.
+func (g *Graph) Validate(cat *catalog.Catalog) error {
+	if len(g.Quants) == 0 {
+		return fmt.Errorf("query: no quantifiers")
+	}
+	seen := map[string]bool{}
+	for _, q := range g.Quants {
+		if seen[q.Name] {
+			return fmt.Errorf("query: duplicate quantifier %q", q.Name)
+		}
+		seen[q.Name] = true
+		if cat.Table(q.Table) == nil {
+			return fmt.Errorf("query: quantifier %q over unknown table %q", q.Name, q.Table)
+		}
+	}
+	check := func(c expr.ColID) error {
+		q := g.Quant(c.Table)
+		if q == nil {
+			return fmt.Errorf("query: column %s references unknown quantifier", c)
+		}
+		if cat.Table(q.Table).Column(c.Col) == nil {
+			return fmt.Errorf("query: column %s not in table %s", c, q.Table)
+		}
+		return nil
+	}
+	for _, p := range g.Preds.Slice() {
+		for _, c := range expr.Columns(p) {
+			if err := check(c); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range g.Select {
+		if err := check(c); err != nil {
+			return err
+		}
+	}
+	for _, c := range g.OrderBy {
+		if err := check(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SelectCols returns the projection, expanding the empty list to every
+// column of every quantifier in catalog order.
+func (g *Graph) SelectCols(cat *catalog.Catalog) []expr.ColID {
+	if len(g.Select) > 0 {
+		return g.Select
+	}
+	var out []expr.ColID
+	for _, q := range g.Quants {
+		t := cat.Table(q.Table)
+		if t == nil {
+			continue
+		}
+		for _, c := range t.Cols {
+			out = append(out, expr.ColID{Table: q.Name, Col: c.Name})
+		}
+	}
+	return out
+}
+
+// NeededCols returns the columns quantifier q must supply: its columns in
+// the select list, every predicate, and ORDER BY.
+func (g *Graph) NeededCols(cat *catalog.Catalog, q string) []expr.ColID {
+	seen := map[expr.ColID]bool{}
+	var out []expr.ColID
+	add := func(c expr.ColID) {
+		if c.Table == q && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, c := range g.SelectCols(cat) {
+		add(c)
+	}
+	for _, p := range g.Preds.Slice() {
+		for _, c := range expr.Columns(p) {
+			add(c)
+		}
+	}
+	for _, c := range g.OrderBy {
+		add(c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// EligibleWithin returns the predicates whose every column lies within the
+// quantifier set — the predicates a plan covering exactly those tables must
+// have applied.
+func (g *Graph) EligibleWithin(ts expr.TableSet) expr.PredSet {
+	return g.Preds.Filter(func(p expr.Expr) bool {
+		for _, c := range expr.Columns(p) {
+			if !ts.Contains(c.Table) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// NewlyEligible returns the predicates that become eligible when s1 and s2
+// join: eligible within s1 ∪ s2 but within neither side alone — the P
+// parameter of JoinRoot (Section 2.3).
+func (g *Graph) NewlyEligible(s1, s2 expr.TableSet) expr.PredSet {
+	both := g.EligibleWithin(s1.Union(s2))
+	return both.Minus(g.EligibleWithin(s1)).Minus(g.EligibleWithin(s2))
+}
+
+// Connected reports whether some predicate links the two (disjoint) sets —
+// the System-R "eligible join predicate" preference for joinable pairs.
+func (g *Graph) Connected(s1, s2 expr.TableSet) bool {
+	return !expr.JoinPreds(g.Preds, s1, s2).Empty()
+}
+
+// BasePreds returns the single-quantifier predicates of q — those eligible
+// at table-access time.
+func (g *Graph) BasePreds(q string) expr.PredSet {
+	return g.EligibleWithin(expr.NewTableSet(q))
+}
+
+// TableSet returns the full quantifier set of the query.
+func (g *Graph) TableSet() expr.TableSet {
+	return expr.NewTableSet(g.QuantNames()...)
+}

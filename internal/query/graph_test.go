@@ -1,0 +1,162 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"stars/internal/catalog"
+	"stars/internal/datum"
+	"stars/internal/expr"
+)
+
+func cat3() *catalog.Catalog {
+	c := catalog.New()
+	for _, n := range []string{"A", "B", "C"} {
+		c.AddTable(&catalog.Table{
+			Name: n,
+			Cols: []*catalog.Column{
+				{Name: "X", Type: datum.KindInt, NDV: 10},
+				{Name: "Y", Type: datum.KindInt, NDV: 10},
+			},
+			Card: 100,
+		})
+	}
+	return c
+}
+
+func chain3() *Graph {
+	return &Graph{
+		Quants: []Quantifier{{Name: "A", Table: "A"}, {Name: "B", Table: "B"}, {Name: "C", Table: "C"}},
+		Preds: expr.NewPredSet(
+			&expr.Cmp{Op: expr.EQ, L: expr.C("A", "Y"), R: expr.C("B", "X")},
+			&expr.Cmp{Op: expr.EQ, L: expr.C("B", "Y"), R: expr.C("C", "X")},
+			&expr.Cmp{Op: expr.EQ, L: expr.C("A", "X"), R: &expr.Const{Val: datum.NewInt(1)}},
+		),
+		Select: []expr.ColID{{Table: "A", Col: "X"}},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := chain3().Validate(cat3()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		wreck func(*Graph)
+		want  string
+	}{
+		{"no quantifiers", func(g *Graph) { g.Quants = nil }, "no quantifiers"},
+		{"dup quantifier", func(g *Graph) { g.Quants = append(g.Quants, Quantifier{Name: "A", Table: "A"}) }, "duplicate"},
+		{"unknown table", func(g *Graph) { g.Quants[0].Table = "NOPE" }, "unknown table"},
+		{"bad pred column", func(g *Graph) {
+			g.Preds = expr.NewPredSet(&expr.Cmp{Op: expr.EQ, L: expr.C("A", "Z"), R: expr.C("B", "X")})
+		}, "not in table"},
+		{"bad pred quantifier", func(g *Graph) {
+			g.Preds = expr.NewPredSet(&expr.Cmp{Op: expr.EQ, L: expr.C("Z", "X"), R: expr.C("B", "X")})
+		}, "unknown quantifier"},
+		{"bad select", func(g *Graph) { g.Select = []expr.ColID{{Table: "A", Col: "Z"}} }, "not in table"},
+		{"bad order by", func(g *Graph) { g.OrderBy = []expr.ColID{{Table: "Z", Col: "X"}} }, "unknown quantifier"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := chain3()
+			tc.wreck(g)
+			err := g.Validate(cat3())
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEligibleWithin(t *testing.T) {
+	g := chain3()
+	a := g.EligibleWithin(expr.NewTableSet("A"))
+	if a.Len() != 1 {
+		t.Fatalf("A-only preds = %s", a)
+	}
+	ab := g.EligibleWithin(expr.NewTableSet("A", "B"))
+	if ab.Len() != 2 {
+		t.Fatalf("AB preds = %s", ab)
+	}
+	abc := g.EligibleWithin(g.TableSet())
+	if abc.Len() != 3 {
+		t.Fatalf("all preds = %s", abc)
+	}
+}
+
+func TestNewlyEligible(t *testing.T) {
+	g := chain3()
+	a := expr.NewTableSet("A")
+	b := expr.NewTableSet("B")
+	ab := expr.NewTableSet("A", "B")
+	c := expr.NewTableSet("C")
+	p := g.NewlyEligible(a, b)
+	if p.Len() != 1 {
+		t.Fatalf("A⨝B newly eligible = %s", p)
+	}
+	p = g.NewlyEligible(ab, c)
+	if p.Len() != 1 {
+		t.Fatalf("AB⨝C newly eligible = %s", p)
+	}
+	// A and C are not directly connected.
+	if g.NewlyEligible(a, c).Len() != 0 {
+		t.Error("A⨝C has no spanning predicate")
+	}
+	if g.Connected(a, c) {
+		t.Error("A–C disconnected")
+	}
+	if !g.Connected(a, b) || !g.Connected(ab, c) {
+		t.Error("chain connectivity")
+	}
+}
+
+func TestBasePreds(t *testing.T) {
+	g := chain3()
+	if g.BasePreds("A").Len() != 1 || g.BasePreds("B").Len() != 0 {
+		t.Error("base preds per quantifier")
+	}
+}
+
+func TestNeededCols(t *testing.T) {
+	g := chain3()
+	g.OrderBy = []expr.ColID{{Table: "C", Col: "Y"}}
+	cat := cat3()
+	a := g.NeededCols(cat, "A")
+	// A.X (select + pred), A.Y (join pred).
+	if len(a) != 2 {
+		t.Fatalf("A needs %v", a)
+	}
+	c := g.NeededCols(cat, "C")
+	// C.X (join), C.Y (order by).
+	if len(c) != 2 {
+		t.Fatalf("C needs %v", c)
+	}
+}
+
+func TestSelectColsExpansion(t *testing.T) {
+	g := chain3()
+	g.Select = nil
+	all := g.SelectCols(cat3())
+	if len(all) != 6 {
+		t.Fatalf("empty select expands to all columns: %v", all)
+	}
+	g.Select = []expr.ColID{{Table: "B", Col: "Y"}}
+	if len(g.SelectCols(cat3())) != 1 {
+		t.Error("explicit select wins")
+	}
+}
+
+func TestQuantLookup(t *testing.T) {
+	g := chain3()
+	if g.Quant("B") == nil || g.Quant("Z") != nil {
+		t.Error("Quant")
+	}
+	names := g.QuantNames()
+	if len(names) != 3 || names[0] != "A" {
+		t.Errorf("names = %v", names)
+	}
+}

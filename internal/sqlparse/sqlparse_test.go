@@ -1,0 +1,217 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"stars/internal/datum"
+	"stars/internal/expr"
+	"stars/internal/workload"
+)
+
+func TestParseFigure1Query(t *testing.T) {
+	cat := workload.EmpDept()
+	g, err := Parse("SELECT DEPT.DNO, DEPT.MGR, EMP.NAME FROM DEPT, EMP "+
+		"WHERE DEPT.DNO = EMP.DNO AND DEPT.MGR = 'Haas'", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Quants) != 2 || g.Quants[0].Name != "DEPT" || g.Quants[1].Table != "EMP" {
+		t.Fatalf("quants = %+v", g.Quants)
+	}
+	if g.Preds.Len() != 2 {
+		t.Fatalf("preds = %s", g.Preds)
+	}
+	if len(g.Select) != 3 {
+		t.Fatalf("select = %v", g.Select)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	cat := workload.EmpDept()
+	// Self-join with AS and bare aliases.
+	g, err := Parse("SELECT E1.NAME, E2.NAME FROM EMP AS E1, EMP E2 "+
+		"WHERE E1.DNO = E2.DNO AND E1.ENO < E2.ENO", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Quants[0].Name != "E1" || g.Quants[0].Table != "EMP" || g.Quants[1].Name != "E2" {
+		t.Fatalf("quants = %+v", g.Quants)
+	}
+}
+
+func TestUnqualifiedResolution(t *testing.T) {
+	cat := workload.EmpDept()
+	g, err := Parse("SELECT MGR FROM DEPT WHERE BUDGET > 100", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Select[0] != (expr.ColID{Table: "DEPT", Col: "MGR"}) {
+		t.Fatalf("select = %v", g.Select)
+	}
+	// NAME exists only in EMP; resolves across the FROM list.
+	if _, err := Parse("SELECT NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO", cat); err != nil {
+		t.Fatal(err)
+	}
+	// DNO exists in both: ambiguous.
+	_, err = Parse("SELECT DNO FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO", cat)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("err = %v", err)
+	}
+	// Unknown column.
+	_, err = Parse("SELECT NOPE FROM DEPT", cat)
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStarSelect(t *testing.T) {
+	cat := workload.EmpDept()
+	g, err := Parse("SELECT * FROM DEPT", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Select) != 0 {
+		t.Error("bare * leaves Select empty (= all columns)")
+	}
+	g, err = Parse("SELECT DEPT.* FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Select) != 3 {
+		t.Fatalf("DEPT.* = %v", g.Select)
+	}
+	if _, err := Parse("SELECT *, MGR FROM DEPT", cat); err == nil {
+		t.Error("* mixed with items must fail")
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	cat := workload.EmpDept()
+	g, err := Parse("SELECT DNO, MGR FROM DEPT ORDER BY DNO, MGR", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.OrderBy) != 2 || g.OrderBy[0].Col != "DNO" {
+		t.Fatalf("order by = %v", g.OrderBy)
+	}
+}
+
+func TestOperatorsAndArithmetic(t *testing.T) {
+	cat := workload.EmpDept()
+	g, err := Parse("SELECT NAME FROM EMP WHERE SAL + 100 * 2 >= 500 AND ENO <> 3 AND DNO <= 50", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Preds.Len() != 3 {
+		t.Fatalf("preds = %s", g.Preds)
+	}
+	// Precedence: the GE predicate's left side is SAL + (100*2).
+	for _, p := range g.Preds.Slice() {
+		c, ok := p.(*expr.Cmp)
+		if !ok {
+			t.Fatal("non-comparison predicate")
+		}
+		if c.Op == expr.GE {
+			a, ok := c.L.(*expr.Arith)
+			if !ok || a.Op != expr.Add {
+				t.Fatalf("precedence: %s", p)
+			}
+			if m, ok := a.R.(*expr.Arith); !ok || m.Op != expr.Mul {
+				t.Fatalf("precedence: %s", p)
+			}
+		}
+	}
+	// Parentheses override.
+	g2, err := Parse("SELECT NAME FROM EMP WHERE (SAL + 100) * 2 >= 500", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g2.Preds.Slice()[0].(*expr.Cmp)
+	if m, ok := c.L.(*expr.Arith); !ok || m.Op != expr.Mul {
+		t.Fatalf("parens: %s", c)
+	}
+}
+
+func TestLiteralTypes(t *testing.T) {
+	cat := workload.EmpDept()
+	g, err := Parse("SELECT NAME FROM EMP WHERE SAL > 1.5 AND ENO = 3 AND NAME = 'bob'", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[datum.Kind]bool{}
+	for _, p := range g.Preds.Slice() {
+		c := p.(*expr.Cmp)
+		if k, ok := c.R.(*expr.Const); ok {
+			kinds[k.Val.Kind()] = true
+		}
+	}
+	if !kinds[datum.KindFloat] || !kinds[datum.KindInt] || !kinds[datum.KindString] {
+		t.Errorf("literal kinds = %v", kinds)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	cat := workload.EmpDept()
+	if _, err := Parse("select MGR from DEPT where BUDGET > 1 order by MGR", cat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotEqualsSpellings(t *testing.T) {
+	cat := workload.EmpDept()
+	for _, q := range []string{
+		"SELECT MGR FROM DEPT WHERE DNO <> 3",
+		"SELECT MGR FROM DEPT WHERE DNO != 3",
+	} {
+		g, err := Parse(q, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Preds.Slice()[0].(*expr.Cmp).Op != expr.NE {
+			t.Errorf("%q did not parse as NE", q)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := workload.EmpDept()
+	cases := []struct{ sql, want string }{
+		{"FROM DEPT", "expected SELECT"},
+		{"SELECT MGR DEPT", "expected FROM"},
+		{"SELECT MGR FROM", "table name"},
+		{"SELECT MGR FROM NOPE", "not found"},
+		{"SELECT MGR FROM DEPT WHERE", "expected"},
+		{"SELECT MGR FROM DEPT WHERE MGR", "comparison operator"},
+		{"SELECT MGR FROM DEPT WHERE MGR = 'x' extra", "unexpected"},
+		{"SELECT MGR FROM DEPT ORDER DNO", "expected BY"},
+		{"SELECT MGR FROM DEPT WHERE MGR = 'unclosed", "unterminated"},
+		{"SELECT MGR FROM DEPT WHERE (MGR = 'x'", "')'"},
+		{"SELECT MGR FROM DEPT WHERE MGR = !", "unexpected"},
+		{"SELECT MGR FROM DEPT WHERE DEPT.NOPE = 1", "not in table"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.sql, cat); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want substring %q", c.sql, err, c.want)
+		}
+	}
+}
+
+func TestParsedGraphOptimizes(t *testing.T) {
+	// End-to-end: everything Parse produces must survive Validate for the
+	// optimizer.
+	cat := workload.EmpDept()
+	for _, q := range []string{
+		"SELECT * FROM DEPT",
+		"SELECT DEPT.DNO, EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO ORDER BY DEPT.DNO",
+		"SELECT NAME FROM EMP WHERE SAL / 2 < 30000",
+	} {
+		g, err := Parse(q, cat)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if err := g.Validate(cat); err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+	}
+}

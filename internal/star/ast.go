@@ -1,0 +1,281 @@
+package star
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RuleSet is a named collection of STARs — the optimizer's repertoire as
+// data. Rule names are unique; later definitions replace earlier ones, which
+// is how a Database Customizer overrides a built-in strategy.
+type RuleSet struct {
+	rules map[string]*Rule
+	order []string
+}
+
+// NewRuleSet returns an empty rule set.
+func NewRuleSet() *RuleSet {
+	return &RuleSet{rules: map[string]*Rule{}}
+}
+
+// Add registers a rule, replacing any rule of the same name.
+func (rs *RuleSet) Add(r *Rule) {
+	if _, exists := rs.rules[r.Name]; !exists {
+		rs.order = append(rs.order, r.Name)
+	}
+	rs.rules[r.Name] = r
+}
+
+// Get returns the named rule, or nil.
+func (rs *RuleSet) Get(name string) *Rule { return rs.rules[name] }
+
+// Names returns the rule names in definition order.
+func (rs *RuleSet) Names() []string { return append([]string(nil), rs.order...) }
+
+// Merge copies every rule of o into rs (o's rules win name clashes).
+func (rs *RuleSet) Merge(o *RuleSet) {
+	for _, name := range o.order {
+		rs.Add(o.rules[name])
+	}
+}
+
+// Validate checks that every STAR referenced by a rule body resolves to a
+// rule, a LOLEPOP builder, or a helper function — the paper leaves "how to
+// verify that any given set of STARs is correct" open; undefined references
+// and ill-formed arities are the checkable part.
+func (rs *RuleSet) Validate(isBuilder, isHelper func(string) bool) error {
+	var errs []string
+	for _, name := range rs.order {
+		r := rs.rules[name]
+		r.walkCalls(func(c *Call) {
+			if c.Name == "Glue" {
+				return
+			}
+			if t := rs.rules[c.Name]; t != nil {
+				if len(c.Args) != len(t.Params) {
+					errs = append(errs, fmt.Sprintf("%s references %s with %d args, wants %d", name, c.Name, len(c.Args), len(t.Params)))
+				}
+				return
+			}
+			if isBuilder != nil && isBuilder(c.Name) {
+				return
+			}
+			if isHelper != nil && isHelper(c.Name) {
+				return
+			}
+			errs = append(errs, fmt.Sprintf("%s references undefined %s", name, c.Name))
+		})
+	}
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return fmt.Errorf("star: invalid rule set:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// Rule is one STAR: a named, parametrized non-terminal with alternative
+// definitions and optional where-bindings shared by all alternatives.
+type Rule struct {
+	// Name is the non-terminal's name.
+	Name string
+	// Params are the parameter names, bound positionally at reference.
+	Params []string
+	// Exclusive distinguishes the paper's `{` (exclusive: the first
+	// alternative whose condition holds is taken) from `[` (inclusive:
+	// every alternative whose condition holds contributes plans).
+	Exclusive bool
+	// Alts are the alternative definitions in order.
+	Alts []*Alt
+	// Where are shared bindings, evaluated in order after parameter
+	// binding and visible to conditions and bodies.
+	Where []Let
+	// Doc is the comment block preceding the rule in its source file.
+	Doc string
+}
+
+// Let is one where-binding: Name = Expr.
+type Let struct {
+	Name string
+	Expr RExpr
+}
+
+// Alt is one alternative definition: a body guarded by an optional condition
+// of applicability. Otherwise marks the paper's OTHERWISE guard, true iff no
+// earlier alternative's condition held.
+type Alt struct {
+	// Body is the plan-constructing expression.
+	Body RExpr
+	// Cond guards applicability; nil means unconditional.
+	Cond RExpr
+	// Otherwise marks an OTHERWISE alternative.
+	Otherwise bool
+}
+
+func (r *Rule) walkCalls(f func(*Call)) {
+	var rec func(e RExpr)
+	rec = func(e RExpr) {
+		switch n := e.(type) {
+		case *Call:
+			f(n)
+			for _, a := range n.Args {
+				rec(a)
+			}
+		case *Annot:
+			rec(n.Kid)
+			for _, ri := range n.Reqs {
+				if ri.Val != nil {
+					rec(ri.Val)
+				}
+			}
+		case *Forall:
+			rec(n.Set)
+			rec(n.Body)
+			if n.Cond != nil {
+				rec(n.Cond)
+			}
+		case *Logic:
+			for _, k := range n.Kids {
+				rec(k)
+			}
+		case *NotExpr:
+			rec(n.Kid)
+		}
+	}
+	for _, a := range r.Alts {
+		rec(a.Body)
+		if a.Cond != nil {
+			rec(a.Cond)
+		}
+	}
+	for _, l := range r.Where {
+		rec(l.Expr)
+	}
+}
+
+// RExpr is a rule-language expression node. Implementations: Ident, StrLit,
+// NumLit, EmptySet, AllCols, Call, Annot, Forall, Logic, NotExpr.
+type RExpr interface {
+	// String renders the expression in DSL syntax (round-trippable).
+	String() string
+}
+
+// Ident references a parameter or where-binding.
+type Ident struct{ Name string }
+
+// String implements RExpr.
+func (i *Ident) String() string { return i.Name }
+
+// StrLit is a quoted string literal.
+type StrLit struct{ Val string }
+
+// String implements RExpr.
+func (s *StrLit) String() string { return "'" + s.Val + "'" }
+
+// NumLit is a numeric literal.
+type NumLit struct{ Val float64 }
+
+// String implements RExpr.
+func (n *NumLit) String() string { return strings.TrimSuffix(fmt.Sprintf("%g", n.Val), ".0") }
+
+// EmptySet is the `{}` literal: the empty predicate set (the paper's φ).
+type EmptySet struct{}
+
+// String implements RExpr.
+func (e *EmptySet) String() string { return "{}" }
+
+// AllCols is the `*` literal: all columns of the stream.
+type AllCols struct{}
+
+// String implements RExpr.
+func (a *AllCols) String() string { return "*" }
+
+// Call references a STAR, a LOLEPOP, Glue, or a helper function by name.
+type Call struct {
+	Name string
+	Args []RExpr
+}
+
+// String implements RExpr.
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ReqItem is one required property inside an annotation's brackets.
+type ReqItem struct {
+	// Key is one of "order", "site", "temp", "paths".
+	Key string
+	// Val is the requirement's value expression; nil for the bare "temp"
+	// flag.
+	Val RExpr
+}
+
+// Annot attaches required properties to a stream-valued expression — the
+// paper's square-bracket notation, e.g. T2[order = sortCols(SP, T2)].
+type Annot struct {
+	Kid  RExpr
+	Reqs []ReqItem
+}
+
+// String implements RExpr.
+func (a *Annot) String() string {
+	parts := make([]string, len(a.Reqs))
+	for i, r := range a.Reqs {
+		if r.Val == nil {
+			parts[i] = r.Key
+		} else {
+			parts[i] = r.Key + " = " + r.Val.String()
+		}
+	}
+	return a.Kid.String() + "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Forall is the ∀ clause: evaluate Body once per element of Set with Var
+// bound, unioning the results (Section 2.2's IndexAccess STAR). Cond, when
+// present, guards each element — the paper's "∀a ∈ A: ... IF order ⊑ a"
+// shape, where the condition references the bound variable.
+type Forall struct {
+	Var  string
+	Set  RExpr
+	Body RExpr
+	Cond RExpr
+}
+
+// String implements RExpr.
+func (f *Forall) String() string {
+	s := "forall " + f.Var + " in " + f.Set.String() + ": " + f.Body.String()
+	if f.Cond != nil {
+		s += " if " + f.Cond.String()
+	}
+	return s
+}
+
+// Logic is an n-ary and/or over condition expressions.
+type Logic struct {
+	// OpAnd selects conjunction; otherwise disjunction.
+	OpAnd bool
+	Kids  []RExpr
+}
+
+// String implements RExpr.
+func (l *Logic) String() string {
+	op := " or "
+	if l.OpAnd {
+		op = " and "
+	}
+	parts := make([]string, len(l.Kids))
+	for i, k := range l.Kids {
+		parts[i] = k.String()
+	}
+	return "(" + strings.Join(parts, op) + ")"
+}
+
+// NotExpr negates a condition.
+type NotExpr struct{ Kid RExpr }
+
+// String implements RExpr.
+func (n *NotExpr) String() string { return "not " + n.Kid.String() }

@@ -1,0 +1,665 @@
+package star
+
+import (
+	"fmt"
+
+	"stars/internal/catalog"
+	"stars/internal/expr"
+	"stars/internal/plan"
+)
+
+// registerBuiltinBuilders installs the built-in LOLEPOP constructors. Each
+// implements the map-over-SAP semantics of Section 2.2: a reference whose
+// stream arguments are multi-valued produces one node per combination.
+func registerBuiltinBuilders(en *Engine) {
+	en.RegisterBuilder("ACCESS", biAccess)
+	en.RegisterBuilder("GET", biGet)
+	en.RegisterBuilder("SORT", biSort)
+	en.RegisterBuilder("SHIP", biShip)
+	en.RegisterBuilder("STORE", biStore)
+	en.RegisterBuilder("FILTER", biFilter)
+	en.RegisterBuilder("BUILDINDEX", biBuildIndex)
+	en.RegisterBuilder("JOIN", biJoin)
+	en.RegisterBuilder("IXAND", biIndexAnd)
+}
+
+// biIndexAnd builds IXAND nodes: the TID intersection of two index-probe
+// streams of the same quantifier (index ANDing).
+func biIndexAnd(en *Engine, args []Value) (Value, error) {
+	if len(args) != 2 || args[0].Kind != VSAP || args[1].Kind != VSAP {
+		return Null, fmt.Errorf("IXAND wants (plans, plans)")
+	}
+	var out []*plan.Node
+	for _, a := range args[0].SAP {
+		for _, b := range args[1].SAP {
+			if a.Key() == b.Key() {
+				// Intersecting a probe with itself is the probe.
+				en.Stats.PlansRejected++
+				continue
+			}
+			n := &plan.Node{Op: plan.OpIndexAnd, Inputs: []*plan.Node{a, b}}
+			priced, ok, err := en.price(n)
+			if err != nil {
+				return Null, err
+			}
+			if ok {
+				out = append(out, priced)
+			}
+		}
+	}
+	return SAPValue(out), nil
+}
+
+// price prices a freshly built node, returning (node, true) on success. A
+// pricing rejection (e.g. join inputs at different sites) drops the node.
+func (en *Engine) price(n *plan.Node) (*plan.Node, bool, error) {
+	if err := en.Cost.Price(n); err != nil {
+		en.Stats.PlansRejected++
+		return nil, false, nil
+	}
+	en.Stats.PlansBuilt++
+	return n, true, nil
+}
+
+// onlyQuantifier returns the single quantifier of a stream, erroring on
+// composites.
+func onlyQuantifier(sv *StreamVal, op string) (string, error) {
+	names := sv.Tables.Slice()
+	if len(names) != 1 {
+		return "", fmt.Errorf("%s wants a single-table stream, got {%s}", op, sortedTableKey(sv.Tables))
+	}
+	return names[0], nil
+}
+
+// resolveCols materializes a column-list argument for quantifier q: `*`
+// resolves to every column the query needs from q.
+func (en *Engine) resolveCols(v Value, q string) ([]expr.ColID, error) {
+	switch v.Kind {
+	case VCols:
+		return v.Cols, nil
+	case VAllCols:
+		if en.NeededCols == nil {
+			return nil, fmt.Errorf("no needed-columns resolver wired for '*'")
+		}
+		return en.NeededCols(q), nil
+	default:
+		return nil, fmt.Errorf("want columns or '*', got %s", v.Kind)
+	}
+}
+
+func wantPreds(v Value, op string) (expr.PredSet, error) {
+	if v.Kind != VPreds {
+		return expr.PredSet{}, fmt.Errorf("%s wants predicates, got %s", op, v.Kind)
+	}
+	return v.Preds, nil
+}
+
+// biAccess builds ACCESS nodes. Forms:
+//
+//	ACCESS('heap'|'btree', T, C, P)  — sequential scan of a base table
+//	ACCESS('heap'|'btree', sap, C, P) — scan of a materialized temp
+//	ACCESS('index', i, C, P)          — scan/probe of access method i
+func biAccess(en *Engine, args []Value) (Value, error) {
+	if len(args) != 4 {
+		return Null, fmt.Errorf("ACCESS wants (flavor, target, cols, preds)")
+	}
+	if args[0].Kind != VStr {
+		return Null, fmt.Errorf("ACCESS flavor must be a string")
+	}
+	flavor := args[0].Str
+	preds, err := wantPreds(args[3], "ACCESS")
+	if err != nil {
+		return Null, err
+	}
+	switch flavor {
+	case "heap", "btree":
+		switch args[1].Kind {
+		case VStream:
+			q, err := onlyQuantifier(args[1].Stream, "ACCESS")
+			if err != nil {
+				return Null, err
+			}
+			t := en.Cost.BaseTable(q)
+			if t == nil {
+				return Null, fmt.Errorf("ACCESS of unknown table for quantifier %q", q)
+			}
+			cols, err := en.resolveCols(args[2], q)
+			if err != nil {
+				return Null, err
+			}
+			fl := plan.FlavorHeap
+			if flavor == "btree" {
+				fl = plan.FlavorBTreeStore
+			}
+			n := &plan.Node{
+				Op: plan.OpAccess, Flavor: fl,
+				Table: t.Name, Quantifier: q,
+				Cols: cols, Preds: preds.Slice(),
+			}
+			priced, ok, err := en.price(n)
+			if err != nil {
+				return Null, err
+			}
+			if !ok {
+				return SAPValue(nil), nil
+			}
+			return SAPValue([]*plan.Node{priced}), nil
+		case VSAP:
+			var out []*plan.Node
+			for _, p := range args[1].SAP {
+				if p.Props == nil || !p.Props.Temp {
+					return Null, fmt.Errorf("ACCESS over plans requires materialized (temp) inputs")
+				}
+				cols := p.Props.Cols
+				if args[2].Kind == VCols {
+					cols = args[2].Cols
+				}
+				n := &plan.Node{
+					Op: plan.OpAccess, Flavor: plan.FlavorHeap,
+					Table: p.Props.TempName,
+					Cols:  append([]expr.ColID(nil), cols...),
+					Preds: preds.Slice(), Inputs: []*plan.Node{p},
+				}
+				priced, ok, err := en.price(n)
+				if err != nil {
+					return Null, err
+				}
+				if ok {
+					out = append(out, priced)
+				}
+			}
+			return SAPValue(out), nil
+		default:
+			return Null, fmt.Errorf("ACCESS target must be a stream or plans, got %s", args[1].Kind)
+		}
+	case "index":
+		if args[1].Kind != VStr {
+			return Null, fmt.Errorf("index ACCESS wants a path name")
+		}
+		path, pt := en.Cost.Cat.Path(args[1].Str)
+		if path == nil {
+			return Null, fmt.Errorf("index ACCESS of unknown path %q", args[1].Str)
+		}
+		if args[2].Kind != VCols || len(args[2].Cols) == 0 {
+			return Null, fmt.Errorf("index ACCESS wants explicit qualified columns")
+		}
+		cols := args[2].Cols
+		n := &plan.Node{
+			Op: plan.OpAccess, Flavor: plan.FlavorIndex,
+			Table: pt.Name, Quantifier: cols[0].Table, Path: path.Name,
+			Cols: cols, Preds: preds.Slice(),
+		}
+		priced, ok, err := en.price(n)
+		if err != nil {
+			return Null, err
+		}
+		if !ok {
+			return SAPValue(nil), nil
+		}
+		return SAPValue([]*plan.Node{priced}), nil
+	default:
+		return Null, fmt.Errorf("unknown ACCESS flavor %q", flavor)
+	}
+}
+
+// biGet builds GET nodes: for each input plan, fetch by TID the needed
+// columns of T not already in the stream, applying P. When nothing remains
+// to fetch or filter, the input passes through unchanged (index-only access).
+func biGet(en *Engine, args []Value) (Value, error) {
+	if len(args) != 4 {
+		return Null, fmt.Errorf("GET wants (input, table, cols, preds)")
+	}
+	if args[0].Kind != VSAP {
+		return Null, fmt.Errorf("GET input must be plans, got %s", args[0].Kind)
+	}
+	if args[1].Kind != VStream {
+		return Null, fmt.Errorf("GET table must be a stream, got %s", args[1].Kind)
+	}
+	q, err := onlyQuantifier(args[1].Stream, "GET")
+	if err != nil {
+		return Null, err
+	}
+	t := en.Cost.BaseTable(q)
+	if t == nil {
+		return Null, fmt.Errorf("GET from unknown table for quantifier %q", q)
+	}
+	want, err := en.resolveCols(args[2], q)
+	if err != nil {
+		return Null, err
+	}
+	preds, err := wantPreds(args[3], "GET")
+	if err != nil {
+		return Null, err
+	}
+	var out []*plan.Node
+	for _, p := range args[0].SAP {
+		var fetch []expr.ColID
+		for _, c := range want {
+			if !plan.HasCol(p.Props.Cols, c) {
+				fetch = append(fetch, c)
+			}
+		}
+		if len(fetch) == 0 && preds.Empty() {
+			out = append(out, p)
+			continue
+		}
+		n := &plan.Node{
+			Op: plan.OpGet, Table: t.Name, Quantifier: q,
+			Cols: fetch, Preds: preds.Slice(), Inputs: []*plan.Node{p},
+		}
+		priced, ok, err := en.price(n)
+		if err != nil {
+			return Null, err
+		}
+		if ok {
+			out = append(out, priced)
+		}
+	}
+	return SAPValue(out), nil
+}
+
+// unarySAP maps a node constructor over a SAP argument.
+func unarySAP(en *Engine, v Value, op string, mk func(*plan.Node) *plan.Node) (Value, error) {
+	if v.Kind != VSAP {
+		return Null, fmt.Errorf("%s input must be plans, got %s", op, v.Kind)
+	}
+	var out []*plan.Node
+	for _, p := range v.SAP {
+		n := mk(p)
+		if n == p {
+			out = append(out, p)
+			continue
+		}
+		priced, ok, err := en.price(n)
+		if err != nil {
+			return Null, err
+		}
+		if ok {
+			out = append(out, priced)
+		}
+	}
+	return SAPValue(out), nil
+}
+
+// biSort builds SORT nodes, passing through plans already in the required
+// order.
+func biSort(en *Engine, args []Value) (Value, error) {
+	if len(args) != 2 || args[1].Kind != VCols {
+		return Null, fmt.Errorf("SORT wants (input, cols)")
+	}
+	key := args[1].Cols
+	return unarySAP(en, args[0], "SORT", func(p *plan.Node) *plan.Node {
+		if plan.OrderSatisfies(p.Props.Order, key) {
+			return p
+		}
+		return &plan.Node{Op: plan.OpSort, SortCols: key, Inputs: []*plan.Node{p}}
+	})
+}
+
+// biShip builds SHIP nodes, passing through plans already at the site.
+func biShip(en *Engine, args []Value) (Value, error) {
+	if len(args) != 2 || args[1].Kind != VStr {
+		return Null, fmt.Errorf("SHIP wants (input, site)")
+	}
+	site := args[1].Str
+	return unarySAP(en, args[0], "SHIP", func(p *plan.Node) *plan.Node {
+		if p.Props.Site == site {
+			return p
+		}
+		return &plan.Node{Op: plan.OpShip, Site: site, Inputs: []*plan.Node{p}}
+	})
+}
+
+// biStore builds STORE nodes, passing through plans already materialized.
+func biStore(en *Engine, args []Value) (Value, error) {
+	if len(args) != 1 {
+		return Null, fmt.Errorf("STORE wants (input)")
+	}
+	return unarySAP(en, args[0], "STORE", func(p *plan.Node) *plan.Node {
+		if p.Props.Temp {
+			return p
+		}
+		return &plan.Node{Op: plan.OpStore, Table: en.NextTempName(), Inputs: []*plan.Node{p}}
+	})
+}
+
+// biFilter builds FILTER nodes.
+func biFilter(en *Engine, args []Value) (Value, error) {
+	if len(args) != 2 {
+		return Null, fmt.Errorf("FILTER wants (input, preds)")
+	}
+	preds, err := wantPreds(args[1], "FILTER")
+	if err != nil {
+		return Null, err
+	}
+	if preds.Empty() {
+		return args[0], nil
+	}
+	return unarySAP(en, args[0], "FILTER", func(p *plan.Node) *plan.Node {
+		return &plan.Node{Op: plan.OpFilter, Preds: preds.Slice(), Inputs: []*plan.Node{p}}
+	})
+}
+
+// biBuildIndex builds BUILDINDEX nodes over materialized temps.
+func biBuildIndex(en *Engine, args []Value) (Value, error) {
+	if len(args) != 2 || args[1].Kind != VCols {
+		return Null, fmt.Errorf("BUILDINDEX wants (input, keycols)")
+	}
+	key := args[1].Cols
+	return unarySAP(en, args[0], "BUILDINDEX", func(p *plan.Node) *plan.Node {
+		if p.Props.PathOn(key) != nil {
+			return p
+		}
+		return &plan.Node{Op: plan.OpBuildIndex, Path: en.NextIndexName(), SortCols: key, Inputs: []*plan.Node{p}}
+	})
+}
+
+// biJoin builds JOIN nodes over the cross product of the outer and inner
+// SAPs. Combinations whose property function rejects them (e.g. site
+// mismatch) are dropped and counted.
+func biJoin(en *Engine, args []Value) (Value, error) {
+	if len(args) != 5 {
+		return Null, fmt.Errorf("JOIN wants (method, outer, inner, preds, residual)")
+	}
+	if args[0].Kind != VStr {
+		return Null, fmt.Errorf("JOIN method must be a string")
+	}
+	if args[1].Kind != VSAP || args[2].Kind != VSAP {
+		return Null, fmt.Errorf("JOIN inputs must be plans")
+	}
+	applied, err := wantPreds(args[3], "JOIN")
+	if err != nil {
+		return Null, err
+	}
+	residual, err := wantPreds(args[4], "JOIN")
+	if err != nil {
+		return Null, err
+	}
+	var out []*plan.Node
+	for _, o := range args[1].SAP {
+		for _, i := range args[2].SAP {
+			if o.Props.Site != i.Props.Site {
+				en.Stats.PlansRejected++
+				continue
+			}
+			n := &plan.Node{
+				Op: plan.OpJoin, Flavor: args[0].Str,
+				Preds: applied.Slice(), Residual: residual.Slice(),
+				Inputs: []*plan.Node{o, i},
+			}
+			priced, ok, err := en.price(n)
+			if err != nil {
+				return Null, err
+			}
+			if ok {
+				out = append(out, priced)
+			}
+		}
+	}
+	return SAPValue(out), nil
+}
+
+// registerBuiltinHelpers installs the condition and helper functions the
+// built-in rule file references — the Section 4 classifiers and the
+// catalog-probing guards.
+func registerBuiltinHelpers(en *Engine) {
+	two := func(name string, f func(p expr.PredSet, t1, t2 expr.TableSet) expr.PredSet) {
+		en.RegisterHelper(name, func(en *Engine, args []Value) (Value, error) {
+			if len(args) != 3 || args[0].Kind != VPreds || args[1].Kind != VStream || args[2].Kind != VStream {
+				return Null, fmt.Errorf("%s wants (preds, stream, stream)", name)
+			}
+			return PredsValue(f(args[0].Preds, args[1].Stream.Tables, args[2].Stream.Tables)), nil
+		})
+	}
+	two("joinPreds", expr.JoinPreds)
+	two("sortablePreds", expr.SortablePreds)
+	two("hashablePreds", expr.HashablePreds)
+	two("indexablePreds", expr.IndexablePreds)
+
+	en.RegisterHelper("innerPreds", func(en *Engine, args []Value) (Value, error) {
+		if len(args) != 2 || args[0].Kind != VPreds || args[1].Kind != VStream {
+			return Null, fmt.Errorf("innerPreds wants (preds, stream)")
+		}
+		return PredsValue(expr.InnerPreds(args[0].Preds, args[1].Stream.Tables)), nil
+	})
+
+	setop := func(name string, f func(a, b expr.PredSet) expr.PredSet) {
+		en.RegisterHelper(name, func(en *Engine, args []Value) (Value, error) {
+			if len(args) != 2 || args[0].Kind != VPreds || args[1].Kind != VPreds {
+				return Null, fmt.Errorf("%s wants (preds, preds)", name)
+			}
+			return PredsValue(f(args[0].Preds, args[1].Preds)), nil
+		})
+	}
+	setop("union", func(a, b expr.PredSet) expr.PredSet { return a.Union(b) })
+	setop("minus", func(a, b expr.PredSet) expr.PredSet { return a.Minus(b) })
+	setop("intersect", func(a, b expr.PredSet) expr.PredSet { return a.Intersect(b) })
+
+	en.RegisterHelper("sortCols", func(en *Engine, args []Value) (Value, error) {
+		if len(args) != 2 || args[0].Kind != VPreds || args[1].Kind != VStream {
+			return Null, fmt.Errorf("sortCols wants (preds, stream)")
+		}
+		return ColsValue(expr.SortColsFor(args[0].Preds, args[1].Stream.Tables)), nil
+	})
+
+	en.RegisterHelper("indexCols", func(en *Engine, args []Value) (Value, error) {
+		if len(args) != 3 || args[0].Kind != VPreds || args[1].Kind != VPreds || args[2].Kind != VStream {
+			return Null, fmt.Errorf("indexCols wants (xp, ip, stream)")
+		}
+		return ColsValue(expr.IndexColsFor(args[0].Preds, args[1].Preds, args[2].Stream.Tables)), nil
+	})
+
+	en.RegisterHelper("nonempty", func(en *Engine, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Null, fmt.Errorf("nonempty wants one argument")
+		}
+		return BoolValue(args[0].Truthy()), nil
+	})
+	en.RegisterHelper("empty", func(en *Engine, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Null, fmt.Errorf("empty wants one argument")
+		}
+		return BoolValue(!args[0].Truthy()), nil
+	})
+
+	en.RegisterHelper("localQuery", func(en *Engine, args []Value) (Value, error) {
+		return BoolValue(en.Cost.Cat.LocalQuery(en.baseTables(en.QueryTables))), nil
+	})
+
+	en.RegisterHelper("allSites", func(en *Engine, args []Value) (Value, error) {
+		sites := en.Cost.Cat.AllSites(en.baseTables(en.QueryTables))
+		out := make([]Value, len(sites))
+		for i, s := range sites {
+			out[i] = StrValue(s)
+		}
+		return ListValue(out), nil
+	})
+
+	en.RegisterHelper("isComposite", func(en *Engine, args []Value) (Value, error) {
+		if len(args) != 1 || args[0].Kind != VStream {
+			return Null, fmt.Errorf("isComposite wants a stream")
+		}
+		return BoolValue(len(args[0].Stream.Tables) > 1), nil
+	})
+
+	en.RegisterHelper("siteDiffers", func(en *Engine, args []Value) (Value, error) {
+		if len(args) != 1 || args[0].Kind != VStream {
+			return Null, fmt.Errorf("siteDiffers wants a stream")
+		}
+		sv := args[0].Stream
+		if sv.Req.Site == nil {
+			return BoolValue(false), nil
+		}
+		var sites []string
+		if en.PlanSites != nil {
+			sites = en.PlanSites(sv.Tables)
+		}
+		for _, s := range sites {
+			if s == *sv.Req.Site {
+				return BoolValue(false), nil
+			}
+		}
+		return BoolValue(true), nil
+	})
+
+	en.RegisterHelper("stmgr", func(en *Engine, args []Value) (Value, error) {
+		if len(args) != 2 || args[1].Kind != VStr {
+			return Null, fmt.Errorf("stmgr wants (stream-or-plans, kind)")
+		}
+		switch args[0].Kind {
+		case VSAP:
+			// Temps are stored as heaps.
+			return BoolValue(args[1].Str == string(catalog.Heap)), nil
+		case VStream:
+			q, err := onlyQuantifier(args[0].Stream, "stmgr")
+			if err != nil {
+				return Null, err
+			}
+			t := en.Cost.BaseTable(q)
+			if t == nil {
+				return BoolValue(args[1].Str == string(catalog.Heap)), nil
+			}
+			return BoolValue(string(t.StorageKindOrDefault()) == args[1].Str), nil
+		default:
+			return Null, fmt.Errorf("stmgr wants a stream or plans, got %s", args[0].Kind)
+		}
+	})
+
+	en.RegisterHelper("indexes", func(en *Engine, args []Value) (Value, error) {
+		if len(args) != 1 || args[0].Kind != VStream {
+			return Null, fmt.Errorf("indexes wants a stream")
+		}
+		q, err := onlyQuantifier(args[0].Stream, "indexes")
+		if err != nil {
+			return Null, err
+		}
+		t := en.Cost.BaseTable(q)
+		if t == nil {
+			return ListValue(nil), nil
+		}
+		out := make([]Value, 0, len(t.Paths))
+		for _, p := range t.Paths {
+			out = append(out, StrValue(p.Name))
+		}
+		return ListValue(out), nil
+	})
+
+	en.RegisterHelper("pathPrefix", func(en *Engine, args []Value) (Value, error) {
+		// pathPrefix(T, i, o): the paper's "order ⊑ a" — the required
+		// order's columns are a prefix of access path i's key columns.
+		if len(args) != 3 || args[0].Kind != VStream || args[1].Kind != VStr || args[2].Kind != VCols {
+			return Null, fmt.Errorf("pathPrefix wants (stream, index, cols)")
+		}
+		q, err := onlyQuantifier(args[0].Stream, "pathPrefix")
+		if err != nil {
+			return Null, err
+		}
+		path, _ := en.Cost.Cat.Path(args[1].Str)
+		if path == nil {
+			return BoolValue(false), nil
+		}
+		keyCols := make([]expr.ColID, len(path.Cols))
+		for i, c := range path.Cols {
+			keyCols[i] = expr.ColID{Table: q, Col: c}
+		}
+		return BoolValue(plan.OrderSatisfies(keyCols, args[2].Cols)), nil
+	})
+
+	en.RegisterHelper("tidcol", func(en *Engine, args []Value) (Value, error) {
+		if len(args) != 1 || args[0].Kind != VStream {
+			return Null, fmt.Errorf("tidcol wants a stream")
+		}
+		q, err := onlyQuantifier(args[0].Stream, "tidcol")
+		if err != nil {
+			return Null, err
+		}
+		return ColsValue([]expr.ColID{{Table: q, Col: plan.TIDCol}}), nil
+	})
+
+	en.RegisterHelper("indexProbeCols", func(en *Engine, args []Value) (Value, error) {
+		if len(args) != 2 || args[0].Kind != VStream || args[1].Kind != VStr {
+			return Null, fmt.Errorf("indexProbeCols wants (stream, index)")
+		}
+		q, err := onlyQuantifier(args[0].Stream, "indexProbeCols")
+		if err != nil {
+			return Null, err
+		}
+		path, _ := en.Cost.Cat.Path(args[1].Str)
+		if path == nil {
+			return Null, fmt.Errorf("unknown index %q", args[1].Str)
+		}
+		cols := []expr.ColID{{Table: q, Col: plan.TIDCol}}
+		for _, c := range path.Cols {
+			cols = append(cols, expr.ColID{Table: q, Col: c})
+		}
+		return ColsValue(cols), nil
+	})
+
+	en.RegisterHelper("matchedPreds", func(en *Engine, args []Value) (Value, error) {
+		if len(args) != 3 || args[0].Kind != VPreds || args[1].Kind != VStream || args[2].Kind != VStr {
+			return Null, fmt.Errorf("matchedPreds wants (preds, stream, index)")
+		}
+		q, err := onlyQuantifier(args[1].Stream, "matchedPreds")
+		if err != nil {
+			return Null, err
+		}
+		path, _ := en.Cost.Cat.Path(args[2].Str)
+		if path == nil {
+			return Null, fmt.Errorf("unknown index %q", args[2].Str)
+		}
+		keyCols := make([]expr.ColID, len(path.Cols))
+		for i, c := range path.Cols {
+			keyCols[i] = expr.ColID{Table: q, Col: c}
+		}
+		return PredsValue(expr.MatchIndexPrefix(args[0].Preds, keyCols)), nil
+	})
+
+	en.RegisterHelper("projectionPays", func(en *Engine, args []Value) (Value, error) {
+		if len(args) != 2 || args[0].Kind != VStream || args[1].Kind != VPreds {
+			return Null, fmt.Errorf("projectionPays wants (stream, preds)")
+		}
+		return BoolValue(en.projectionPays(args[0].Stream, args[1].Preds)), nil
+	})
+}
+
+// baseTables maps quantifier names to base-table names for catalog queries.
+func (en *Engine) baseTables(quants []string) []string {
+	out := make([]string, 0, len(quants))
+	for _, q := range quants {
+		if t, ok := en.Cost.Quant[q]; ok {
+			out = append(out, t)
+		} else {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// projectionPays is the Section 4.5.2 heuristic: materializing the selected
+// and projected inner of a nested-loop join pays when the inner predicates
+// are selective and/or only a few columns are referenced, so that the temp
+// is a very small fraction of the inner table's bytes.
+func (en *Engine) projectionPays(sv *StreamVal, ip expr.PredSet) bool {
+	names := sv.Tables.Slice()
+	if len(names) != 1 {
+		return false
+	}
+	t := en.Cost.BaseTable(names[0])
+	if t == nil {
+		return false
+	}
+	sel := en.Cost.SetSelectivity(ip)
+	colWidth := 0
+	if en.NeededCols != nil {
+		for _, c := range en.NeededCols(names[0]) {
+			if col := t.Column(c.Col); col != nil {
+				colWidth += col.AvgWidth()
+			}
+		}
+	}
+	frac := 1.0
+	if rw := t.RowWidth(); rw > 0 && colWidth > 0 {
+		frac = float64(colWidth) / float64(rw)
+	}
+	return sel*frac < 0.05
+}

@@ -1,0 +1,348 @@
+package star
+
+import (
+	"testing"
+
+	"stars/internal/catalog"
+	"stars/internal/cost"
+	"stars/internal/datum"
+	"stars/internal/expr"
+	"stars/internal/plan"
+)
+
+// builderEngine wires an engine over EMP/DEPT-like tables for exercising
+// the real LOLEPOP builders directly.
+func builderEngine(t *testing.T) *Engine {
+	t.Helper()
+	cat := catalog.New()
+	cat.AddTable(&catalog.Table{
+		Name: "DEPT",
+		Cols: []*catalog.Column{
+			{Name: "DNO", Type: datum.KindInt, NDV: 100},
+			{Name: "MGR", Type: datum.KindString, NDV: 90},
+		},
+		Card: 100,
+	})
+	cat.AddTable(&catalog.Table{
+		Name: "EMP", StMgr: catalog.BTreeStore,
+		Cols: []*catalog.Column{
+			{Name: "DNO", Type: datum.KindInt, NDV: 100},
+			{Name: "NAME", Type: datum.KindString, NDV: 9000},
+		},
+		Card:  10000,
+		Order: []string{"DNO"},
+		Paths: []*catalog.AccessPath{
+			{Name: "EMPDNO", Table: "EMP", Cols: []string{"DNO"}},
+		},
+	})
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	env := cost.NewEnv(cat, cost.DefaultWeights)
+	env.BindQuantifier("DEPT", "DEPT")
+	env.BindQuantifier("EMP", "EMP")
+	en := NewEngine(NewRuleSet(), env)
+	en.QueryTables = []string{"DEPT", "EMP"}
+	en.NeededCols = func(q string) []expr.ColID {
+		if q == "DEPT" {
+			return []expr.ColID{{Table: "DEPT", Col: "DNO"}, {Table: "DEPT", Col: "MGR"}}
+		}
+		return []expr.ColID{{Table: "EMP", Col: "DNO"}, {Table: "EMP", Col: "NAME"}}
+	}
+	return en
+}
+
+func deptStream() Value { return StreamValue(expr.NewTableSet("DEPT")) }
+func empStream() Value  { return StreamValue(expr.NewTableSet("EMP")) }
+func noPreds() Value    { return PredsValue(expr.NewPredSet()) }
+
+// mustSAP returns a closure unwrapping a builder's (Value, error) result
+// into its plan slice, failing the test on error or non-SAP values.
+func mustSAP(t *testing.T) func(Value, error) []*plan.Node {
+	return func(v Value, err error) []*plan.Node {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Kind != VSAP {
+			t.Fatalf("want SAP, got %s", v.Kind)
+		}
+		return v.SAP
+	}
+}
+
+func TestAccessBuilderHeapAndBTree(t *testing.T) {
+	en := builderEngine(t)
+	heap := mustSAP(t)(biAccess(en, []Value{
+		StrValue("heap"), deptStream(), AllColsValue, noPreds(),
+	}))
+	if len(heap) != 1 || heap[0].Flavor != plan.FlavorHeap || heap[0].Table != "DEPT" {
+		t.Fatalf("heap = %+v", heap)
+	}
+	if len(heap[0].Cols) != 2 {
+		t.Errorf("'*' must resolve to the needed columns: %v", heap[0].Cols)
+	}
+	bt := mustSAP(t)(biAccess(en, []Value{
+		StrValue("btree"), empStream(), AllColsValue, noPreds(),
+	}))
+	if bt[0].Flavor != plan.FlavorBTreeStore {
+		t.Fatal("btree flavor")
+	}
+	if len(bt[0].Props.Order) == 0 {
+		t.Error("a btree-organized table yields its stored order")
+	}
+}
+
+func TestAccessBuilderIndex(t *testing.T) {
+	en := builderEngine(t)
+	cols := ColsValue([]expr.ColID{{Table: "EMP", Col: plan.TIDCol}, {Table: "EMP", Col: "DNO"}})
+	sap := mustSAP(t)(biAccess(en, []Value{StrValue("index"), StrValue("EMPDNO"), cols, noPreds()}))
+	n := sap[0]
+	if n.Flavor != plan.FlavorIndex || n.Path != "EMPDNO" || n.Quantifier != "EMP" {
+		t.Fatalf("index access = %+v", n)
+	}
+	if _, err := biAccess(en, []Value{StrValue("index"), StrValue("NOPE"), cols, noPreds()}); err == nil {
+		t.Error("unknown path must error")
+	}
+	if _, err := biAccess(en, []Value{StrValue("warp"), deptStream(), AllColsValue, noPreds()}); err == nil {
+		t.Error("unknown flavor must error")
+	}
+}
+
+func TestGetBuilderFetchesMissingColsOnly(t *testing.T) {
+	en := builderEngine(t)
+	cols := ColsValue([]expr.ColID{{Table: "EMP", Col: plan.TIDCol}, {Table: "EMP", Col: "DNO"}})
+	probe := mustSAP(t)(biAccess(en, []Value{StrValue("index"), StrValue("EMPDNO"), cols, noPreds()}))
+	got := mustSAP(t)(biGet(en, []Value{SAPValue(probe), empStream(), AllColsValue, noPreds()}))
+	if got[0].Op != plan.OpGet {
+		t.Fatal("GET node expected")
+	}
+	if len(got[0].Cols) != 1 || got[0].Cols[0].Col != "NAME" {
+		t.Fatalf("GET must fetch only NAME: %v", got[0].Cols)
+	}
+	// Index-only: if everything is already present and no predicates, the
+	// input passes through.
+	through := mustSAP(t)(biGet(en, []Value{
+		SAPValue(probe), empStream(),
+		ColsValue([]expr.ColID{{Table: "EMP", Col: "DNO"}}), noPreds(),
+	}))
+	if through[0] != probe[0] {
+		t.Error("index-only access must pass through unchanged")
+	}
+}
+
+func TestSortShipStoreBuildersPassThrough(t *testing.T) {
+	en := builderEngine(t)
+	base := mustSAP(t)(biAccess(en, []Value{StrValue("heap"), deptStream(), AllColsValue, noPreds()}))
+
+	key := ColsValue([]expr.ColID{{Table: "DEPT", Col: "DNO"}})
+	sorted := mustSAP(t)(biSort(en, []Value{SAPValue(base), key}))
+	if sorted[0].Op != plan.OpSort {
+		t.Fatal("SORT added")
+	}
+	resorted := mustSAP(t)(biSort(en, []Value{SAPValue(sorted), key}))
+	if resorted[0] != sorted[0] {
+		t.Error("already-ordered input must pass through")
+	}
+
+	shipped := mustSAP(t)(biShip(en, []Value{SAPValue(base), StrValue("X")}))
+	if shipped[0].Op != plan.OpShip || shipped[0].Props.Site != "X" {
+		t.Fatal("SHIP")
+	}
+	sameSite := mustSAP(t)(biShip(en, []Value{SAPValue(base), StrValue("")}))
+	if sameSite[0] != base[0] {
+		t.Error("shipping to the current site must pass through")
+	}
+
+	stored := mustSAP(t)(biStore(en, []Value{SAPValue(base)}))
+	if stored[0].Op != plan.OpStore || !stored[0].Props.Temp {
+		t.Fatal("STORE")
+	}
+	restored := mustSAP(t)(biStore(en, []Value{SAPValue(stored)}))
+	if restored[0] != stored[0] {
+		t.Error("an existing temp must pass through")
+	}
+
+	ixd := mustSAP(t)(biBuildIndex(en, []Value{SAPValue(stored), key}))
+	if ixd[0].Op != plan.OpBuildIndex {
+		t.Fatal("BUILDINDEX")
+	}
+	again := mustSAP(t)(biBuildIndex(en, []Value{SAPValue(ixd), key}))
+	if again[0] != ixd[0] {
+		t.Error("an existing path must pass through")
+	}
+}
+
+func TestFilterBuilder(t *testing.T) {
+	en := builderEngine(t)
+	base := mustSAP(t)(biAccess(en, []Value{StrValue("heap"), deptStream(), AllColsValue, noPreds()}))
+	p := expr.NewPredSet(&expr.Cmp{Op: expr.EQ,
+		L: expr.C("DEPT", "DNO"), R: &expr.Const{Val: datum.NewInt(1)}})
+	f := mustSAP(t)(biFilter(en, []Value{SAPValue(base), PredsValue(p)}))
+	if f[0].Op != plan.OpFilter || f[0].Props.Card >= base[0].Props.Card {
+		t.Fatal("FILTER must reduce card")
+	}
+	// Empty predicates: identity.
+	same, err := biFilter(en, []Value{SAPValue(base), noPreds()})
+	if err != nil || same.SAP[0] != base[0] {
+		t.Error("empty FILTER is the identity")
+	}
+}
+
+func TestJoinBuilderCrossProductAndSiteCheck(t *testing.T) {
+	en := builderEngine(t)
+	dept := mustSAP(t)(biAccess(en, []Value{StrValue("heap"), deptStream(), AllColsValue, noPreds()}))
+	emp := mustSAP(t)(biAccess(en, []Value{StrValue("btree"), empStream(), AllColsValue, noPreds()}))
+	empShipped := mustSAP(t)(biShip(en, []Value{SAPValue(emp), StrValue("X")}))
+
+	jp := expr.NewPredSet(&expr.Cmp{Op: expr.EQ,
+		L: expr.C("DEPT", "DNO"), R: expr.C("EMP", "DNO")})
+	both := append(append([]*plan.Node{}, emp...), empShipped...)
+	out := mustSAP(t)(biJoin(en, []Value{
+		StrValue(plan.MethodHA), SAPValue(dept), SAPValue(both),
+		PredsValue(jp), PredsValue(jp),
+	}))
+	// Only the co-located combination survives.
+	if len(out) != 1 {
+		t.Fatalf("joins = %d, want 1 (site mismatch dropped)", len(out))
+	}
+	if en.Stats.PlansRejected == 0 {
+		t.Error("rejected combination must be counted")
+	}
+}
+
+func TestHelperClassifiersThroughEngine(t *testing.T) {
+	en := builderEngine(t)
+	jp := &expr.Cmp{Op: expr.EQ, L: expr.C("DEPT", "DNO"), R: expr.C("EMP", "DNO")}
+	p := PredsValue(expr.NewPredSet(jp))
+	args := []Value{p, deptStream(), empStream()}
+	for _, h := range []string{"joinPreds", "sortablePreds", "hashablePreds", "indexablePreds"} {
+		v, err := en.helpers[h](en, args)
+		if err != nil || v.Preds.Len() != 1 {
+			t.Errorf("%s = %v, %v", h, v, err)
+		}
+	}
+	v, err := en.helpers["innerPreds"](en, []Value{p, empStream()})
+	if err != nil || v.Preds.Len() != 0 {
+		t.Errorf("innerPreds = %v", v)
+	}
+	sc, err := en.helpers["sortCols"](en, []Value{p, deptStream()})
+	if err != nil || len(sc.Cols) != 1 || sc.Cols[0].Col != "DNO" {
+		t.Errorf("sortCols = %v", sc)
+	}
+	ic, err := en.helpers["indexCols"](en, []Value{p, noPreds(), empStream()})
+	if err != nil || len(ic.Cols) != 1 {
+		t.Errorf("indexCols = %v", ic)
+	}
+}
+
+func TestCatalogProbingHelpers(t *testing.T) {
+	en := builderEngine(t)
+	v, err := en.helpers["indexes"](en, []Value{empStream()})
+	if err != nil || len(v.List) != 1 || v.List[0].Str != "EMPDNO" {
+		t.Fatalf("indexes = %v", v)
+	}
+	v, err = en.helpers["stmgr"](en, []Value{deptStream(), StrValue("heap")})
+	if err != nil || !v.Bool {
+		t.Error("DEPT is a heap")
+	}
+	v, err = en.helpers["stmgr"](en, []Value{empStream(), StrValue("btree")})
+	if err != nil || !v.Bool {
+		t.Error("EMP is btree-organized")
+	}
+	v, err = en.helpers["localQuery"](en, nil)
+	if err != nil || !v.Bool {
+		t.Error("single-site catalog is local")
+	}
+	v, err = en.helpers["allSites"](en, nil)
+	if err != nil || len(v.List) != 1 {
+		t.Errorf("allSites = %v", v)
+	}
+	v, err = en.helpers["isComposite"](en, []Value{StreamValue(expr.NewTableSet("A", "B"))})
+	if err != nil || !v.Bool {
+		t.Error("two-table stream is composite")
+	}
+	v, err = en.helpers["indexProbeCols"](en, []Value{empStream(), StrValue("EMPDNO")})
+	if err != nil || len(v.Cols) != 2 || v.Cols[0].Col != plan.TIDCol {
+		t.Errorf("indexProbeCols = %v", v)
+	}
+}
+
+func TestSiteDiffersHelper(t *testing.T) {
+	en := builderEngine(t)
+	en.PlanSites = func(t expr.TableSet) []string { return []string{"NY"} }
+	la := "LA"
+	annotated := Value{Kind: VStream, Stream: &StreamVal{
+		Tables: expr.NewTableSet("EMP"), Req: plan.Reqd{Site: &la},
+	}}
+	v, err := en.helpers["siteDiffers"](en, []Value{annotated})
+	if err != nil || !v.Bool {
+		t.Error("NY plans vs LA requirement must differ")
+	}
+	plain := empStream()
+	v, err = en.helpers["siteDiffers"](en, []Value{plain})
+	if err != nil || v.Bool {
+		t.Error("no site requirement: no difference")
+	}
+}
+
+// TestOrderedStreamSection2 evaluates the paper's Section 2.1 worked
+// example directly: OrderedStream's two alternative definitions, the second
+// gated by the "order ⊑ a" per-element condition.
+func TestOrderedStreamSection2(t *testing.T) {
+	en := builderEngine(t)
+	en.Rules = DefaultRules()
+	cols := ColsValue([]expr.ColID{{Table: "EMP", Col: "DNO"}, {Table: "EMP", Col: "NAME"}})
+
+	// Required order EMP.DNO: the EMPDNO index qualifies, so both the
+	// SORT-based and the index-based definitions produce plans.
+	sap, err := en.EvalRule("OrderedStream", []Value{
+		empStream(), cols, noPreds(),
+		ColsValue([]expr.ColID{{Table: "EMP", Col: "DNO"}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sap) != 2 {
+		t.Fatalf("plans = %d, want 2 (SORT and index)", len(sap))
+	}
+	var sawSequential, sawIndex bool
+	for _, p := range sap {
+		if !plan.OrderSatisfies(p.Props.Order, []expr.ColID{{Table: "EMP", Col: "DNO"}}) {
+			t.Fatalf("plan not in required order:\n%s", plan.Explain(p))
+		}
+		switch p.Op {
+		case plan.OpSort, plan.OpAccess:
+			// EMP is B-tree-organized on DNO here, so the SORT-based
+			// definition passes through as an already-ordered access.
+			sawSequential = true
+		case plan.OpGet:
+			sawIndex = true
+		}
+	}
+	if !sawSequential || !sawIndex {
+		t.Fatalf("expected both definitions to fire (sequential=%v index=%v)", sawSequential, sawIndex)
+	}
+
+	// Required order EMP.NAME: no index qualifies; only the SORT fires.
+	sap, err = en.EvalRule("OrderedStream", []Value{
+		empStream(), cols, noPreds(),
+		ColsValue([]expr.ColID{{Table: "EMP", Col: "NAME"}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sap) != 1 || sap[0].Op != plan.OpSort {
+		t.Fatalf("want only the SORT definition, got %d plans", len(sap))
+	}
+}
+
+func TestTempNamesUnique(t *testing.T) {
+	en := builderEngine(t)
+	if en.NextTempName() == en.NextTempName() {
+		t.Error("temp names")
+	}
+	if en.NextIndexName() == en.NextIndexName() {
+		t.Error("index names")
+	}
+}

@@ -1,0 +1,482 @@
+package star
+
+import (
+	"fmt"
+	"strings"
+
+	"stars/internal/cost"
+	"stars/internal/expr"
+	"stars/internal/plan"
+)
+
+// GlueRequest is what a Glue reference asks for: plans for a table set that
+// additionally apply the pushed predicates and satisfy the accumulated
+// required properties (Section 3.2).
+type GlueRequest struct {
+	// Tables is the quantifier set the stream must cover.
+	Tables expr.TableSet
+	// Push is the set of predicates the plans must additionally apply
+	// (e.g. JP ∪ IP pushed into a nested-loop inner). For single tables,
+	// Glue re-references the access STARs so plans can exploit these
+	// predicates; for composites it retrofits FILTER veneers.
+	Push expr.PredSet
+	// Req is the accumulated required-property set.
+	Req plan.Reqd
+	// All asks for every satisfying plan rather than only the cheapest.
+	All bool
+}
+
+// GlueFn is the Glue mechanism's entry point (package glue implements it;
+// the indirection keeps this package free of a dependency cycle, and mirrors
+// the paper's observation that Glue itself can be specified with STARs).
+type GlueFn func(req *GlueRequest) ([]*plan.Node, error)
+
+// LolepopBuilder constructs plan nodes for a LOLEPOP reference. Builders
+// receive the reference's argument values (with SAPs for stream arguments)
+// and implement the map-over-SAP semantics: one node per combination of
+// input alternatives. They price nodes through the engine's cost
+// environment.
+type LolepopBuilder func(en *Engine, args []Value) (Value, error)
+
+// HelperFunc is a condition or helper function referenced from rule text —
+// the Go analogue of the paper's compiled C condition functions.
+type HelperFunc func(en *Engine, args []Value) (Value, error)
+
+// Stats counts the work the engine performs; experiment E5 compares these
+// against the transformational baseline's counters.
+type Stats struct {
+	// RuleRefs counts STAR references evaluated.
+	RuleRefs int64
+	// AltsConsidered counts alternative definitions whose guard was
+	// evaluated.
+	AltsConsidered int64
+	// AltsFired counts alternatives whose guard held and whose body was
+	// evaluated.
+	AltsFired int64
+	// PlansBuilt counts plan nodes constructed by LOLEPOP builders.
+	PlansBuilt int64
+	// PlansRejected counts node combinations discarded (e.g. join inputs
+	// at different sites).
+	PlansRejected int64
+	// GlueCalls counts Glue references.
+	GlueCalls int64
+	// HelperCalls counts helper/condition invocations.
+	HelperCalls int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.RuleRefs += o.RuleRefs
+	s.AltsConsidered += o.AltsConsidered
+	s.AltsFired += o.AltsFired
+	s.PlansBuilt += o.PlansBuilt
+	s.PlansRejected += o.PlansRejected
+	s.GlueCalls += o.GlueCalls
+	s.HelperCalls += o.HelperCalls
+}
+
+// TraceEntry records one STAR reference for explain-origin output.
+type TraceEntry struct {
+	// Depth is the reference nesting depth.
+	Depth int
+	// Rule is the referenced STAR's name.
+	Rule string
+	// Args renders the reference's arguments.
+	Args string
+	// Alt is the 1-based index of a fired alternative; 0 for the
+	// reference header line.
+	Alt int
+	// Plans is the number of plans the alternative produced.
+	Plans int
+}
+
+// Engine evaluates STAR references. One engine serves one optimization; its
+// statistics and temp-name counters reset per query.
+type Engine struct {
+	// Rules is the repertoire.
+	Rules *RuleSet
+	// Cost prices constructed nodes.
+	Cost *cost.Env
+	// Glue is the Glue mechanism.
+	Glue GlueFn
+	// QueryTables lists the query's quantifiers (for localQuery and
+	// allSites).
+	QueryTables []string
+	// NeededCols resolves a quantifier to the columns the query needs
+	// from it (select list plus every predicate reference).
+	NeededCols func(q string) []expr.ColID
+	// PlanSites reports the sites at which plans for a table set already
+	// exist (falling back to catalog placement) — the C1 condition's
+	// "T2[site] ≠ T2![site]" test needs it.
+	PlanSites func(t expr.TableSet) []string
+	// Stats accumulates work counters.
+	Stats Stats
+	// Tracing enables TraceEntry capture.
+	Tracing bool
+	// Trace is the captured rule-firing log.
+	Trace []TraceEntry
+
+	builders map[string]LolepopBuilder
+	helpers  map[string]HelperFunc
+	depth    int
+	tempSeq  int
+	ixSeq    int
+}
+
+// maxDepth bounds rule recursion; the paper assumes the DBC writes STARs
+// without infinite cycles, and this turns a violation into an error instead
+// of a hang.
+const maxDepth = 200
+
+// NewEngine builds an engine with the built-in LOLEPOP builders and helper
+// functions registered.
+func NewEngine(rules *RuleSet, costEnv *cost.Env) *Engine {
+	en := &Engine{
+		Rules:    rules,
+		Cost:     costEnv,
+		builders: map[string]LolepopBuilder{},
+		helpers:  map[string]HelperFunc{},
+	}
+	registerBuiltinBuilders(en)
+	registerBuiltinHelpers(en)
+	return en
+}
+
+// RegisterBuilder installs a LOLEPOP builder under its reference name
+// (conventionally ALL CAPS, as in the paper's notation).
+func (en *Engine) RegisterBuilder(name string, b LolepopBuilder) { en.builders[name] = b }
+
+// RegisterHelper installs a helper/condition function.
+func (en *Engine) RegisterHelper(name string, h HelperFunc) { en.helpers[name] = h }
+
+// HasBuilder reports whether name is a registered LOLEPOP.
+func (en *Engine) HasBuilder(name string) bool { _, ok := en.builders[name]; return ok }
+
+// HasHelper reports whether name is a registered helper.
+func (en *Engine) HasHelper(name string) bool { _, ok := en.helpers[name]; return ok }
+
+// Validate checks the rule set against this engine's registries.
+func (en *Engine) Validate() error {
+	return en.Rules.Validate(en.HasBuilder, en.HasHelper)
+}
+
+// NextTempName returns a fresh temp-table name.
+func (en *Engine) NextTempName() string {
+	en.tempSeq++
+	return fmt.Sprintf("_t%d", en.tempSeq)
+}
+
+// NextIndexName returns a fresh dynamic-index name.
+func (en *Engine) NextIndexName() string {
+	en.ixSeq++
+	return fmt.Sprintf("_ix%d", en.ixSeq)
+}
+
+// EvalRule evaluates a reference of the named STAR with the given arguments
+// and returns its SAP. This is the paper's substitution step: replace the
+// reference with the alternative definitions whose conditions hold, binding
+// parameters to arguments.
+func (en *Engine) EvalRule(name string, args []Value) ([]*plan.Node, error) {
+	rule := en.Rules.Get(name)
+	if rule == nil {
+		return nil, fmt.Errorf("star: reference of undefined STAR %q", name)
+	}
+	if len(args) != len(rule.Params) {
+		return nil, fmt.Errorf("star: %s expects %d arguments, got %d", name, len(rule.Params), len(args))
+	}
+	if en.depth >= maxDepth {
+		return nil, fmt.Errorf("star: rule recursion exceeds %d at %s (cycle in STARs?)", maxDepth, name)
+	}
+	en.depth++
+	defer func() { en.depth-- }()
+	en.Stats.RuleRefs++
+
+	frame := make(map[string]Value, len(rule.Params)+len(rule.Where))
+	for i, p := range rule.Params {
+		frame[p] = args[i]
+	}
+	for _, let := range rule.Where {
+		v, err := en.evalExpr(let.Expr, frame)
+		if err != nil {
+			return nil, fmt.Errorf("star: %s where %s: %w", name, let.Name, err)
+		}
+		frame[let.Name] = v
+	}
+
+	var traceIdx int
+	if en.Tracing {
+		traceIdx = len(en.Trace)
+		en.Trace = append(en.Trace, TraceEntry{Depth: en.depth, Rule: name, Args: renderArgs(args)})
+	}
+
+	var out []*plan.Node
+	seen := map[string]bool{}
+	fired := false
+	for i, alt := range rule.Alts {
+		en.Stats.AltsConsidered++
+		applicable := true
+		switch {
+		case alt.Otherwise:
+			applicable = !fired
+		case alt.Cond != nil:
+			cv, err := en.evalExpr(alt.Cond, frame)
+			if err != nil {
+				return nil, fmt.Errorf("star: %s alternative %d condition: %w", name, i+1, err)
+			}
+			applicable = cv.Truthy()
+		}
+		if !applicable {
+			continue
+		}
+		fired = true
+		en.Stats.AltsFired++
+		v, err := en.evalExpr(alt.Body, frame)
+		if err != nil {
+			return nil, fmt.Errorf("star: %s alternative %d: %w", name, i+1, err)
+		}
+		if v.Kind != VSAP {
+			return nil, fmt.Errorf("star: %s alternative %d produced %s, want plans", name, i+1, v.Kind)
+		}
+		origin := fmt.Sprintf("%s#%d", name, i+1)
+		for _, p := range v.SAP {
+			if p.Origin == "" {
+				p.Origin = origin
+			}
+			k := p.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, p)
+			}
+		}
+		if en.Tracing {
+			en.Trace = append(en.Trace, TraceEntry{Depth: en.depth + 1, Rule: name, Alt: i + 1, Plans: len(v.SAP)})
+		}
+		if rule.Exclusive {
+			break
+		}
+	}
+	if en.Tracing {
+		en.Trace[traceIdx].Plans = len(out)
+	}
+	return out, nil
+}
+
+func renderArgs(args []Value) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// evalExpr evaluates one rule-language expression under the frame.
+func (en *Engine) evalExpr(e RExpr, frame map[string]Value) (Value, error) {
+	switch n := e.(type) {
+	case *Ident:
+		v, ok := frame[n.Name]
+		if !ok {
+			return Null, fmt.Errorf("unbound name %q", n.Name)
+		}
+		return v, nil
+	case *StrLit:
+		return StrValue(n.Val), nil
+	case *NumLit:
+		return NumValue(n.Val), nil
+	case *EmptySet:
+		return PredsValue(expr.NewPredSet()), nil
+	case *AllCols:
+		return AllColsValue, nil
+	case *Annot:
+		return en.evalAnnot(n, frame)
+	case *Forall:
+		return en.evalForall(n, frame)
+	case *Logic:
+		for _, k := range n.Kids {
+			v, err := en.evalExpr(k, frame)
+			if err != nil {
+				return Null, err
+			}
+			if n.OpAnd && !v.Truthy() {
+				return BoolValue(false), nil
+			}
+			if !n.OpAnd && v.Truthy() {
+				return BoolValue(true), nil
+			}
+		}
+		return BoolValue(n.OpAnd), nil
+	case *NotExpr:
+		v, err := en.evalExpr(n.Kid, frame)
+		if err != nil {
+			return Null, err
+		}
+		return BoolValue(!v.Truthy()), nil
+	case *Call:
+		return en.evalCall(n, frame)
+	default:
+		return Null, fmt.Errorf("unknown expression node %T", e)
+	}
+}
+
+func (en *Engine) evalAnnot(n *Annot, frame map[string]Value) (Value, error) {
+	kid, err := en.evalExpr(n.Kid, frame)
+	if err != nil {
+		return Null, err
+	}
+	if kid.Kind != VStream {
+		return Null, fmt.Errorf("required-property brackets apply to streams, not %s", kid.Kind)
+	}
+	var req plan.Reqd
+	for _, item := range n.Reqs {
+		var v Value
+		if item.Val != nil {
+			v, err = en.evalExpr(item.Val, frame)
+			if err != nil {
+				return Null, err
+			}
+		}
+		switch item.Key {
+		case "order":
+			if v.Kind != VCols {
+				return Null, fmt.Errorf("[order=...] wants columns, got %s", v.Kind)
+			}
+			req.Order = v.Cols
+		case "site":
+			if v.Kind != VStr {
+				return Null, fmt.Errorf("[site=...] wants a site name, got %s", v.Kind)
+			}
+			s := v.Str
+			req.Site = &s
+		case "temp":
+			if item.Val != nil {
+				return Null, fmt.Errorf("[temp] takes no value")
+			}
+			req.Temp = true
+		case "paths":
+			if v.Kind != VCols {
+				return Null, fmt.Errorf("[paths=...] wants index key columns, got %s", v.Kind)
+			}
+			req.PathCols = v.Cols
+		default:
+			return Null, fmt.Errorf("unknown required property %q", item.Key)
+		}
+	}
+	return kid.WithReq(req), nil
+}
+
+func (en *Engine) evalForall(n *Forall, frame map[string]Value) (Value, error) {
+	set, err := en.evalExpr(n.Set, frame)
+	if err != nil {
+		return Null, err
+	}
+	if set.Kind != VList {
+		return Null, fmt.Errorf("forall wants a list, got %s", set.Kind)
+	}
+	inner := make(map[string]Value, len(frame)+1)
+	for k, v := range frame {
+		inner[k] = v
+	}
+	var out []*plan.Node
+	seen := map[string]bool{}
+	for _, elem := range set.List {
+		inner[n.Var] = elem
+		if n.Cond != nil {
+			en.Stats.AltsConsidered++
+			cv, err := en.evalExpr(n.Cond, inner)
+			if err != nil {
+				return Null, err
+			}
+			if !cv.Truthy() {
+				continue
+			}
+			en.Stats.AltsFired++
+		}
+		v, err := en.evalExpr(n.Body, inner)
+		if err != nil {
+			return Null, err
+		}
+		if v.Kind != VSAP {
+			return Null, fmt.Errorf("forall body produced %s, want plans", v.Kind)
+		}
+		for _, p := range v.SAP {
+			k := p.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return SAPValue(out), nil
+}
+
+func (en *Engine) evalCall(n *Call, frame map[string]Value) (Value, error) {
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := en.evalExpr(a, frame)
+		if err != nil {
+			return Null, err
+		}
+		args[i] = v
+	}
+	// Glue is special: it bridges to the plan table.
+	if n.Name == "Glue" {
+		return en.evalGlue(args)
+	}
+	// A rule reference: the dictionary-lookup substitution step.
+	if en.Rules.Get(n.Name) != nil {
+		sap, err := en.EvalRule(n.Name, args)
+		if err != nil {
+			return Null, err
+		}
+		return SAPValue(sap), nil
+	}
+	if b, ok := en.builders[n.Name]; ok {
+		return b(en, args)
+	}
+	if h, ok := en.helpers[n.Name]; ok {
+		en.Stats.HelperCalls++
+		return h(en, args)
+	}
+	return Null, fmt.Errorf("reference of undefined name %q", n.Name)
+}
+
+// evalGlue handles Glue(stream, pushPreds): it hands the stream's table set,
+// accumulated requirements, and pushed predicates to the Glue mechanism.
+func (en *Engine) evalGlue(args []Value) (Value, error) {
+	if len(args) != 2 {
+		return Null, fmt.Errorf("Glue wants (stream, preds), got %d args", len(args))
+	}
+	if args[0].Kind != VStream {
+		return Null, fmt.Errorf("Glue's first argument must be a stream, got %s", args[0].Kind)
+	}
+	if args[1].Kind != VPreds {
+		return Null, fmt.Errorf("Glue's second argument must be predicates, got %s", args[1].Kind)
+	}
+	if en.Glue == nil {
+		return Null, fmt.Errorf("no Glue mechanism wired to the engine")
+	}
+	en.Stats.GlueCalls++
+	sv := args[0].Stream
+	plans, err := en.Glue(&GlueRequest{
+		Tables: sv.Tables,
+		Push:   args[1].Preds,
+		Req:    sv.Req,
+	})
+	if err != nil {
+		return Null, err
+	}
+	return SAPValue(plans), nil
+}
+
+// FormatTrace renders the captured trace as an indented firing log.
+func FormatTrace(entries []TraceEntry) string {
+	var b strings.Builder
+	for _, t := range entries {
+		indent := strings.Repeat("  ", t.Depth-1)
+		if t.Alt == 0 {
+			fmt.Fprintf(&b, "%s%s(%s) -> %d plans\n", indent, t.Rule, t.Args, t.Plans)
+		} else {
+			fmt.Fprintf(&b, "%s  alt#%d fired: %d plans\n", indent, t.Alt, t.Plans)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,332 @@
+package star
+
+import (
+	"strings"
+	"testing"
+
+	"stars/internal/catalog"
+	"stars/internal/cost"
+	"stars/internal/datum"
+	"stars/internal/expr"
+	"stars/internal/plan"
+)
+
+// stubEngine wires an engine over a tiny catalog with a stub LEAF builder
+// that manufactures one priced plan per call, so rule-evaluation semantics
+// can be tested in isolation from the real builders.
+func stubEngine(t *testing.T, ruleText string) *Engine {
+	t.Helper()
+	cat := catalog.New()
+	cat.AddTable(&catalog.Table{
+		Name: "T",
+		Cols: []*catalog.Column{{Name: "A", Type: datum.KindInt, NDV: 10}},
+		Card: 100,
+	})
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ParseRules(ruleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := cost.NewEnv(cat, cost.DefaultWeights)
+	env.BindQuantifier("T", "T")
+	en := NewEngine(rs, env)
+	en.QueryTables = []string{"T"}
+	en.NeededCols = func(q string) []expr.ColID {
+		return []expr.ColID{{Table: q, Col: "A"}}
+	}
+	// LEAF(name) manufactures a priced scan whose Origin records the name.
+	en.RegisterBuilder("LEAF", func(en *Engine, args []Value) (Value, error) {
+		name := "leaf"
+		if len(args) > 0 && args[0].Kind == VStr {
+			name = args[0].Str
+		}
+		n := &plan.Node{
+			Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "T", Quantifier: "T",
+			Cols:   []expr.ColID{{Table: "T", Col: "A"}},
+			Origin: "LEAF:" + name,
+			Preds: []expr.Expr{&expr.Cmp{Op: expr.EQ,
+				L: expr.C("T", "A"), R: &expr.Const{Val: datum.NewString(name)}}},
+		}
+		if err := en.Cost.Price(n); err != nil {
+			return Null, err
+		}
+		en.Stats.PlansBuilt++
+		return SAPValue([]*plan.Node{n}), nil
+	})
+	en.RegisterHelper("yes", func(*Engine, []Value) (Value, error) { return BoolValue(true), nil })
+	en.RegisterHelper("no", func(*Engine, []Value) (Value, error) { return BoolValue(false), nil })
+	en.RegisterHelper("items", func(*Engine, []Value) (Value, error) {
+		return ListValue([]Value{StrValue("a"), StrValue("b")}), nil
+	})
+	return en
+}
+
+func TestInclusiveAlternativesUnion(t *testing.T) {
+	en := stubEngine(t, `
+star R() = [
+  | LEAF('one')
+  | LEAF('two') if yes()
+  | LEAF('three') if no()
+]`)
+	sap, err := en.EvalRule("R", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sap) != 2 {
+		t.Fatalf("plans = %d, want 2 (third guarded out)", len(sap))
+	}
+	if en.Stats.AltsConsidered != 3 || en.Stats.AltsFired != 2 {
+		t.Errorf("stats = %+v", en.Stats)
+	}
+}
+
+func TestExclusiveTakesFirstMatch(t *testing.T) {
+	en := stubEngine(t, `
+star R() = {
+  | LEAF('one') if no()
+  | LEAF('two') if yes()
+  | LEAF('three')
+}`)
+	sap, err := en.EvalRule("R", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sap) != 1 || sap[0].Origin != "LEAF:two" {
+		t.Fatalf("plans = %v", sap)
+	}
+}
+
+func TestOtherwiseFiresOnlyWhenNothingElse(t *testing.T) {
+	en := stubEngine(t, `
+star Hit() = {
+  | LEAF('one') if yes()
+  | LEAF('fallback') otherwise
+}
+star Miss() = {
+  | LEAF('one') if no()
+  | LEAF('fallback') otherwise
+}`)
+	hit, err := en.EvalRule("Hit", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hit) != 1 || hit[0].Origin != "LEAF:one" {
+		t.Fatalf("hit = %v", hit)
+	}
+	miss, err := en.EvalRule("Miss", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(miss) != 1 || miss[0].Origin != "LEAF:fallback" {
+		t.Fatalf("miss = %v", miss)
+	}
+}
+
+func TestForallUnionsOverList(t *testing.T) {
+	en := stubEngine(t, `star R() = forall x in items(): LEAF(x)`)
+	sap, err := en.EvalRule("R", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sap) != 2 {
+		t.Fatalf("plans = %d", len(sap))
+	}
+	origins := sap[0].Origin + "," + sap[1].Origin
+	if !strings.Contains(origins, "LEAF:a") || !strings.Contains(origins, "LEAF:b") {
+		t.Errorf("origins = %s", origins)
+	}
+}
+
+func TestWhereBindingsVisibleToConditionsAndBodies(t *testing.T) {
+	en := stubEngine(t, `
+star R(P) = {
+  | LEAF('haspreds') if nonempty(Q)
+  | LEAF('none') otherwise
+} where
+  Q = P
+`)
+	withPreds := expr.NewPredSet(&expr.Cmp{Op: expr.EQ,
+		L: expr.C("T", "A"), R: &expr.Const{Val: datum.NewInt(1)}})
+	sap, err := en.EvalRule("R", []Value{PredsValue(withPreds)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sap[0].Origin != "LEAF:haspreds" {
+		t.Errorf("got %s", sap[0].Origin)
+	}
+	sap, err = en.EvalRule("R", []Value{PredsValue(expr.NewPredSet())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sap[0].Origin != "LEAF:none" {
+		t.Errorf("got %s", sap[0].Origin)
+	}
+}
+
+func TestAnnotationAccumulatesRequirements(t *testing.T) {
+	en := stubEngine(t, `
+star Outer(T, s) = Inner(T[site = s])
+star Inner(T) = Probe(T[temp])
+star Probe(T) = LEAF('x')
+`)
+	var seen *StreamVal
+	// Capture the accumulated requirements via a helper that records the
+	// stream it receives.
+	rs, err := ParseRules(`
+star Outer(T, s) = Inner(T[site = s])
+star Inner(T) = grab(T[temp])
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.Rules = rs
+	en.RegisterHelper("grab", func(en *Engine, args []Value) (Value, error) {
+		seen = args[0].Stream
+		return SAPValue(nil), nil
+	})
+	_, err = en.EvalRule("Outer", []Value{
+		StreamValue(expr.NewTableSet("T")), StrValue("LA"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen == nil || seen.Req.Site == nil || *seen.Req.Site != "LA" || !seen.Req.Temp {
+		t.Fatalf("accumulated req = %+v", seen)
+	}
+}
+
+func TestRecursionGuard(t *testing.T) {
+	en := stubEngine(t, `star R() = R()`)
+	_, err := en.EvalRule("R", nil)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestErrorsSurfaceWithRuleContext(t *testing.T) {
+	en := stubEngine(t, `star R(T) = Nope(T)`)
+	_, err := en.EvalRule("R", []Value{StreamValue(expr.NewTableSet("T"))})
+	if err == nil || !strings.Contains(err.Error(), "Nope") {
+		t.Fatalf("err = %v", err)
+	}
+	// Wrong arity.
+	if _, err := en.EvalRule("R", nil); err == nil || !strings.Contains(err.Error(), "arguments") {
+		t.Fatalf("arity err = %v", err)
+	}
+	// Unknown rule.
+	if _, err := en.EvalRule("Missing", nil); err == nil {
+		t.Fatal("unknown rule must error")
+	}
+	// Condition type errors.
+	en2 := stubEngine(t, `star R(T) = LEAF('x') if T[site = 'x']`)
+	_, err = en2.EvalRule("R", []Value{PredsValue(expr.NewPredSet())})
+	if err == nil {
+		t.Fatal("annotating a non-stream must error")
+	}
+}
+
+func TestDedupeAcrossAlternatives(t *testing.T) {
+	// Two alternatives producing structurally identical plans collapse.
+	en := stubEngine(t, `
+star R() = [
+  | LEAF('same')
+  | LEAF('same')
+]`)
+	sap, err := en.EvalRule("R", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sap) != 1 {
+		t.Fatalf("plans = %d, want deduped 1", len(sap))
+	}
+}
+
+func TestOriginTagging(t *testing.T) {
+	en := stubEngine(t, `star R() = Wrapped()
+star Wrapped() = LEAF('x')`)
+	// Strip the builder's own origin so the rule stamps it.
+	en.RegisterBuilder("LEAF", func(en *Engine, args []Value) (Value, error) {
+		n := &plan.Node{
+			Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "T", Quantifier: "T",
+			Cols: []expr.ColID{{Table: "T", Col: "A"}},
+		}
+		if err := en.Cost.Price(n); err != nil {
+			return Null, err
+		}
+		return SAPValue([]*plan.Node{n}), nil
+	})
+	sap, err := en.EvalRule("R", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sap[0].Origin != "Wrapped#1" {
+		t.Errorf("origin = %q (innermost rule wins)", sap[0].Origin)
+	}
+}
+
+func TestTraceCapturesFirings(t *testing.T) {
+	en := stubEngine(t, `star R() = Wrapped()
+star Wrapped() = LEAF('x')`)
+	en.Tracing = true
+	if _, err := en.EvalRule("R", nil); err != nil {
+		t.Fatal(err)
+	}
+	text := FormatTrace(en.Trace)
+	if !strings.Contains(text, "R()") || !strings.Contains(text, "Wrapped()") {
+		t.Errorf("trace = %s", text)
+	}
+}
+
+func TestGlueBridging(t *testing.T) {
+	en := stubEngine(t, `star R(T) = Glue(T[site = 'LA'], {})`)
+	var got *GlueRequest
+	en.Glue = func(req *GlueRequest) ([]*plan.Node, error) {
+		got = req
+		return nil, nil
+	}
+	if _, err := en.EvalRule("R", []Value{StreamValue(expr.NewTableSet("T"))}); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Req.Site == nil || *got.Req.Site != "LA" || !got.Tables.Contains("T") {
+		t.Fatalf("glue request = %+v", got)
+	}
+	if en.Stats.GlueCalls != 1 {
+		t.Error("glue call counted")
+	}
+	// Without a glue mechanism the reference errors.
+	en.Glue = nil
+	if _, err := en.EvalRule("R", []Value{StreamValue(expr.NewTableSet("T"))}); err == nil {
+		t.Fatal("Glue without a mechanism must error")
+	}
+}
+
+func TestValueTruthinessAndString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Null, false},
+		{BoolValue(true), true},
+		{BoolValue(false), false},
+		{NumValue(0), false},
+		{NumValue(2), true},
+		{PredsValue(expr.NewPredSet()), false},
+		{ColsValue(nil), false},
+		{ColsValue([]expr.ColID{{Table: "T", Col: "A"}}), true},
+		{ListValue(nil), false},
+		{SAPValue(nil), false},
+		{StrValue(""), true},
+		{AllColsValue, true},
+	}
+	for i, c := range cases {
+		if c.v.Truthy() != c.want {
+			t.Errorf("case %d: Truthy(%s) = %v", i, c.v, c.v.Truthy())
+		}
+		_ = c.v.String() // must not panic
+	}
+	if StreamValue(expr.NewTableSet("T")).String() != "{T}" {
+		t.Error("stream rendering")
+	}
+}

@@ -1,0 +1,176 @@
+package star
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates DSL token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokLBrace   // {
+	tokRBrace   // }
+	tokComma    // ,
+	tokEquals   // =
+	tokColon    // :
+	tokPipe     // |
+	tokStar     // *
+)
+
+// keywords of the rule DSL; they lex as tokIdent and the parser recognizes
+// them by text.
+var keywords = map[string]bool{
+	"star": true, "if": true, "otherwise": true, "forall": true,
+	"in": true, "where": true, "and": true, "or": true, "not": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	line int
+	// doc carries the comment block that immediately preceded the token
+	// (only populated for `star` keywords).
+	doc string
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return fmt.Sprintf("%q", t.text)
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes rule-file text. The DSL is whitespace-insensitive;
+// alternatives are separated by `|`, so rules may be laid out freely.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// lexAll tokenizes the entire input.
+func (l *lexer) lexAll() ([]token, error) {
+	var out []token
+	var pendingDoc []string
+	for {
+		l.skipSpace(&pendingDoc)
+		if l.pos >= len(l.src) {
+			out = append(out, token{kind: tokEOF, line: l.line})
+			return out, nil
+		}
+		startLine := l.line
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			tok := token{kind: tokIdent, text: text, line: startLine}
+			if text == "star" {
+				tok.doc = strings.Join(pendingDoc, "\n")
+			}
+			pendingDoc = nil
+			out = append(out, tok)
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			var n float64
+			if _, err := fmt.Sscanf(text, "%g", &n); err != nil {
+				return nil, fmt.Errorf("star: line %d: bad number %q", startLine, text)
+			}
+			out = append(out, token{kind: tokNumber, text: text, num: n, line: startLine})
+			pendingDoc = nil
+		case c == '\'':
+			l.pos++
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				if l.src[l.pos] == '\n' {
+					return nil, fmt.Errorf("star: line %d: unterminated string", startLine)
+				}
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("star: line %d: unterminated string", startLine)
+			}
+			text := l.src[start:l.pos]
+			l.pos++
+			out = append(out, token{kind: tokString, text: text, line: startLine})
+			pendingDoc = nil
+		default:
+			kind, ok := punct[c]
+			if !ok {
+				return nil, fmt.Errorf("star: line %d: unexpected character %q", startLine, string(c))
+			}
+			l.pos++
+			out = append(out, token{kind: kind, text: string(c), line: startLine})
+			if kind != tokPipe {
+				pendingDoc = nil
+			}
+		}
+	}
+}
+
+var punct = map[byte]tokKind{
+	'(': tokLParen, ')': tokRParen,
+	'[': tokLBracket, ']': tokRBracket,
+	'{': tokLBrace, '}': tokRBrace,
+	',': tokComma, '=': tokEquals, ':': tokColon,
+	'|': tokPipe, '*': tokStar,
+}
+
+// skipSpace consumes whitespace and comments, collecting comment text into
+// doc so rule definitions keep their documentation.
+func (l *lexer) skipSpace(doc *[]string) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			if doc != nil {
+				*doc = append(*doc, strings.TrimSpace(strings.TrimPrefix(l.src[start:l.pos], "#")))
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,68 @@
+package star
+
+import (
+	"strings"
+)
+
+// Format renders a rule set back into DSL text. Parse(Format(rs)) yields a
+// structurally identical rule set; the round-trip is property-tested.
+func Format(rs *RuleSet) string {
+	var b strings.Builder
+	for i, name := range rs.Names() {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(FormatRule(rs.Get(name)))
+	}
+	return b.String()
+}
+
+// FormatRule renders one rule in DSL syntax.
+func FormatRule(r *Rule) string {
+	var b strings.Builder
+	if r.Doc != "" {
+		for _, line := range strings.Split(r.Doc, "\n") {
+			b.WriteString("# ")
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("star ")
+	b.WriteString(r.Name)
+	b.WriteString("(")
+	b.WriteString(strings.Join(r.Params, ", "))
+	b.WriteString(") = ")
+	if len(r.Alts) == 1 && r.Alts[0].Cond == nil && !r.Alts[0].Otherwise && !r.Exclusive {
+		b.WriteString(r.Alts[0].Body.String())
+	} else {
+		open, close := "[", "]"
+		if r.Exclusive {
+			open, close = "{", "}"
+		}
+		b.WriteString(open)
+		for _, a := range r.Alts {
+			b.WriteString("\n  | ")
+			b.WriteString(a.Body.String())
+			switch {
+			case a.Cond != nil:
+				b.WriteString(" if ")
+				b.WriteString(a.Cond.String())
+			case a.Otherwise:
+				b.WriteString(" otherwise")
+			}
+		}
+		b.WriteString("\n")
+		b.WriteString(close)
+	}
+	if len(r.Where) > 0 {
+		b.WriteString(" where")
+		for _, l := range r.Where {
+			b.WriteString("\n  ")
+			b.WriteString(l.Name)
+			b.WriteString(" = ")
+			b.WriteString(l.Expr.String())
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package xform_test
+
+import (
+	"reflect"
+	"testing"
+
+	"stars/internal/cost"
+	"stars/internal/exec"
+	"stars/internal/opt"
+	"stars/internal/plan"
+	"stars/internal/storage"
+	"stars/internal/workload"
+	"stars/internal/xform"
+)
+
+// TestAgainstStarOptimizer optimizes the same chain queries with both
+// optimizers: the transformational search must find a valid plan and the
+// STAR optimizer's best must never be costlier (it has a superset of
+// strategies — temps, dynamic indexes, forced projection).
+func TestAgainstStarOptimizer(t *testing.T) {
+	maxN := 4
+	if testing.Short() {
+		maxN = 3 // n=4 exhausts ~200k plans; skip under -short
+	}
+	for n := 2; n <= maxN; n++ {
+		cat := workload.ChainCatalog(n, 400, 150, 60, 200, 90)
+		g := workload.ChainQuery(n)
+
+		xo := xform.New(cat, g, cost.DefaultWeights)
+		xr, err := xo.Optimize()
+		if err != nil {
+			t.Fatalf("n=%d xform: %v", n, err)
+		}
+		so := opt.New(cat, opt.Options{})
+		sr, err := so.Optimize(g)
+		if err != nil {
+			t.Fatalf("n=%d star: %v", n, err)
+		}
+		xc := xr.Best.Props.Cost.Total
+		sc := sr.Best.Props.Cost.Total
+		t.Logf("n=%d xform best=%.1f (explored %d, attempts %d) star best=%.1f (rules %d)",
+			n, xc, xr.Stats.PlansExplored, xr.Stats.Attempts, sc, sr.Stats.Star.RuleRefs)
+		if sc > xc*1.001 {
+			t.Errorf("n=%d STAR plan (%.1f) costlier than exhaustive transformational plan (%.1f)\nstar:\n%s\nxform:\n%s",
+				n, sc, xc, plan.Explain(sr.Best), plan.Explain(xr.Best))
+		}
+	}
+}
+
+// TestXformPlanExecutes runs the transformational optimizer's plan and
+// checks it against the oracle — the baseline is a real optimizer, not a
+// strawman.
+func TestXformPlanExecutes(t *testing.T) {
+	cat := workload.ChainCatalog(3, 150, 80, 40)
+	g := workload.ChainQuery(3)
+	cluster := storage.NewCluster()
+	workload.Populate(cluster, cat, 11)
+
+	xr, err := xform.New(cat, g, cost.DefaultWeights).Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := exec.NewRuntime(cluster, cat)
+	er, err := rt.Run(xr.Best)
+	if err != nil {
+		t.Fatalf("execute:\n%s\nerror: %v", plan.Explain(xr.Best), err)
+	}
+	want := workload.Oracle(cluster, cat, g)
+	got := workload.RenderRows(er.Schema, er.Rows, g.SelectCols(cat))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("xform plan disagrees with oracle (%d vs %d rows)\n%s",
+			len(got), len(want), plan.Explain(xr.Best))
+	}
+}

@@ -1,0 +1,208 @@
+// Package stars is the public face of a reproduction of Guy M. Lohman,
+// "Grammar-like Functional Rules for Representing Query Optimization
+// Alternatives" (SIGMOD 1988) — the Starburst STAR rule mechanism.
+//
+// The package wires together the pieces a user needs end to end:
+//
+//   - a catalog (tables, statistics, access paths, sites) loaded from JSON
+//     or built programmatically,
+//   - a SQL front end producing query graphs,
+//   - the STAR rule engine, whose repertoire of strategies is *data*: a
+//     rule file in the DSL of internal/star (see DefaultRuleText),
+//   - the Glue mechanism and the bottom-up optimizer driver,
+//   - a page-accurate storage engine and a query evaluator, so chosen plans
+//     actually run and report measured I/O for comparison against
+//     estimates.
+//
+// Quickstart:
+//
+//	cat := stars.EmpDeptCatalog()
+//	g, _ := stars.ParseSQL("SELECT DEPT.DNO, EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO AND DEPT.MGR = 'Haas'", cat)
+//	res, _ := stars.Optimize(cat, g, stars.Options{})
+//	fmt.Println(stars.Explain(res.Best))
+//
+// Extensibility (the paper's Section 5) is three registries: a new LOLEPOP
+// needs a property function (cost), a run-time routine (exec), and rules
+// that reference it — the rules being plain text. See examples/extensibility.
+package stars
+
+import (
+	"stars/internal/catalog"
+	"stars/internal/cost"
+	"stars/internal/exec"
+	"stars/internal/expr"
+	"stars/internal/glue"
+	"stars/internal/opt"
+	"stars/internal/plan"
+	"stars/internal/query"
+	"stars/internal/sqlparse"
+	"stars/internal/star"
+	"stars/internal/storage"
+	"stars/internal/workload"
+)
+
+// Re-exported core types. (Within this module the internal packages are
+// importable directly; these aliases define the supported surface.)
+type (
+	// Catalog is the system catalog: tables, statistics, paths, sites.
+	Catalog = catalog.Catalog
+	// Table describes one stored table.
+	Table = catalog.Table
+	// Column describes one column with statistics.
+	Column = catalog.Column
+	// AccessPath describes an index.
+	AccessPath = catalog.AccessPath
+	// Graph is a parsed, validated query.
+	Graph = query.Graph
+	// Quantifier is one range variable of a query.
+	Quantifier = query.Quantifier
+	// Plan is a query execution plan node (a LOLEPOP).
+	Plan = plan.Node
+	// Props is the property vector of a plan (Figure 2 of the paper).
+	Props = plan.Props
+	// RuleSet is a parsed set of STARs.
+	RuleSet = star.RuleSet
+	// Engine is the STAR expansion engine.
+	Engine = star.Engine
+	// Options tunes the optimizer.
+	Options = opt.Options
+	// Result is an optimization outcome (best plan, statistics, trace).
+	Result = opt.Result
+	// Cluster is the per-site stored data.
+	Cluster = storage.Cluster
+	// Runtime executes plans.
+	Runtime = exec.Runtime
+	// ExecResult is an execution outcome (rows plus measured resources).
+	ExecResult = exec.Result
+	// Weights are the cost model's linear-combination coefficients.
+	Weights = cost.Weights
+	// CostEnv prices plans; extension property functions register here.
+	CostEnv = cost.Env
+	// PropertyFunc transforms a property vector through a LOLEPOP.
+	PropertyFunc = cost.PropertyFunc
+	// IterBuilder supplies the run-time routine for a LOLEPOP.
+	IterBuilder = exec.IterBuilder
+	// ColID names a column as quantifier.column.
+	ColID = expr.ColID
+	// PredSet is a canonical predicate set.
+	PredSet = expr.PredSet
+)
+
+// DefaultWeights are the R*-flavored cost weights.
+var DefaultWeights = cost.DefaultWeights
+
+// DefaultRuleText is the built-in STAR repertoire as DSL text — the paper's
+// Section 4 join STARs plus access STARs.
+const DefaultRuleText = star.DefaultRuleText
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return catalog.New() }
+
+// LoadCatalog reads and validates a catalog JSON file.
+func LoadCatalog(path string) (*Catalog, error) { return catalog.Load(path) }
+
+// EmpDeptCatalog returns the paper's Section 2.1 example catalog.
+func EmpDeptCatalog() *Catalog { return workload.EmpDept() }
+
+// ParseSQL parses one SELECT statement against the catalog.
+func ParseSQL(sql string, cat *Catalog) (*Graph, error) { return sqlparse.Parse(sql, cat) }
+
+// ParseRules parses STAR rule text. Parsed rules can replace or extend the
+// built-in repertoire via Options.Rules.
+func ParseRules(text string) (*RuleSet, error) { return star.ParseRules(text) }
+
+// DefaultRules parses the built-in repertoire.
+func DefaultRules() *RuleSet { return star.DefaultRules() }
+
+// FormatRules renders a rule set back into DSL text.
+func FormatRules(rs *RuleSet) string { return star.Format(rs) }
+
+// Optimize builds all plans for the query with the STAR mechanism and
+// returns the cheapest satisfying the root requirements.
+func Optimize(cat *Catalog, g *Graph, o Options) (*Result, error) {
+	return opt.New(cat, o).Optimize(g)
+}
+
+// Explain renders a plan tree with one-line property summaries.
+func Explain(p *Plan) string { return plan.Explain(p) }
+
+// ExplainVerbose renders a plan tree with every node's full property vector
+// (the paper's Figure 2 layout).
+func ExplainVerbose(p *Plan) string { return plan.ExplainVerbose(p) }
+
+// Functional renders a plan in the paper's nested-function notation.
+func Functional(p *Plan) string { return plan.Functional(p) }
+
+// DOT renders a plan DAG in Graphviz dot syntax.
+func DOT(p *Plan) string { return plan.DOT(p) }
+
+// FormatTrace renders an optimization's rule-firing log.
+func FormatTrace(r *Result) string { return star.FormatTrace(r.Trace) }
+
+// NewCluster creates per-site storage for the named sites (the empty site is
+// the query site and always present).
+func NewCluster(sites ...string) *Cluster { return storage.NewCluster(sites...) }
+
+// Populate loads deterministic synthetic data matching the catalog's
+// statistics into the cluster.
+func Populate(c *Cluster, cat *Catalog, seed int64) { workload.Populate(c, cat, seed) }
+
+// PopulateEmpDept loads the EMP/DEPT demo data (department 42 is managed by
+// 'Haas').
+func PopulateEmpDept(c *Cluster, cat *Catalog, seed int64) {
+	workload.PopulateEmpDept(c, cat, seed)
+}
+
+// NewRuntime builds a query evaluator over the cluster.
+func NewRuntime(c *Cluster, cat *Catalog) *Runtime { return exec.NewRuntime(c, cat) }
+
+// Run optimizes and executes in one step, returning both results.
+func Run(cat *Catalog, cluster *Cluster, g *Graph, o Options) (*Result, *ExecResult, error) {
+	res, err := Optimize(cat, g, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt := NewRuntime(cluster, cat)
+	er, err := rt.Run(res.Best)
+	if err != nil {
+		return res, nil, err
+	}
+	return res, er, nil
+}
+
+// Project renders an execution result's rows onto the given output columns
+// (plans carry working columns like TIDs that callers rarely want to see).
+func Project(er *ExecResult, cols []ColID) [][]string {
+	idx := map[ColID]int{}
+	for i, c := range er.Schema {
+		idx[c] = i
+	}
+	out := make([][]string, 0, len(er.Rows))
+	for _, row := range er.Rows {
+		r := make([]string, len(cols))
+		for i, c := range cols {
+			if p, ok := idx[c]; ok && p < len(row) {
+				r[i] = row[p].String()
+			} else {
+				r[i] = "?"
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// GlueRequest and Value are re-exported for advanced extensions that add
+// helper functions or LOLEPOP builders to the rule engine.
+type (
+	// GlueRequest is what a Glue reference asks the plan table for.
+	GlueRequest = star.GlueRequest
+	// Value is a rule-language value.
+	Value = star.Value
+	// LolepopBuilder constructs plan nodes for a LOLEPOP reference.
+	LolepopBuilder = star.LolepopBuilder
+	// HelperFunc is a rule-language condition or helper.
+	HelperFunc = star.HelperFunc
+	// PlanTable is the Glue plan table.
+	PlanTable = glue.PlanTable
+)

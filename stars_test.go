@@ -1,0 +1,109 @@
+package stars_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stars"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cat := stars.EmpDeptCatalog()
+	g, err := stars.ParseSQL(
+		"SELECT DEPT.DNO, EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO AND DEPT.MGR = 'Haas'", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := stars.NewCluster()
+	stars.PopulateEmpDept(cluster, cat, 1)
+	res, er, err := stars.Run(cat, cluster, g, stars.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Stats.RowsOut == 0 {
+		t.Fatal("no rows")
+	}
+	out := stars.Explain(res.Best)
+	if !strings.Contains(out, "JOIN") {
+		t.Fatalf("explain:\n%s", out)
+	}
+	if !strings.Contains(stars.Functional(res.Best), "JOIN(") {
+		t.Error("functional notation")
+	}
+	if !strings.Contains(stars.ExplainVerbose(res.Best), "TABLES") {
+		t.Error("verbose explain")
+	}
+	rows := stars.Project(er, g.SelectCols(cat))
+	if len(rows) != int(er.Stats.RowsOut) || len(rows[0]) != 2 {
+		t.Fatalf("Project shape: %d rows × %d cols", len(rows), len(rows[0]))
+	}
+}
+
+func TestFacadeRules(t *testing.T) {
+	rs := stars.DefaultRules()
+	text := stars.FormatRules(rs)
+	rs2, err := stars.ParseRules(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs2.Names()) != len(rs.Names()) {
+		t.Error("round trip")
+	}
+}
+
+func TestFacadeCatalogFile(t *testing.T) {
+	cat := stars.EmpDeptCatalog()
+	path := filepath.Join(t.TempDir(), "cat.json")
+	if err := cat.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := stars.LoadCatalog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Table("EMP") == nil || loaded.Table("EMP").Card != 10000 {
+		t.Fatal("catalog round trip")
+	}
+	if _, err := stars.LoadCatalog(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := stars.LoadCatalog(bad); err == nil {
+		t.Fatal("bad json")
+	}
+}
+
+func TestFacadeTrace(t *testing.T) {
+	cat := stars.EmpDeptCatalog()
+	g, err := stars.ParseSQL("SELECT MGR FROM DEPT", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stars.Optimize(cat, g, stars.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stars.FormatTrace(res), "AccessRoot") {
+		t.Error("trace must show the access STAR")
+	}
+}
+
+// TestDefaultRuleTextIsTheRepertoire pins the paper's STAR names into the
+// shipped rule file so refactors cannot silently drop a strategy.
+func TestDefaultRuleTextIsTheRepertoire(t *testing.T) {
+	for _, want := range []string{
+		"JoinRoot", "PermutedJoin", "RemoteJoin", "SitedJoin", "JMeth",
+		"AccessRoot", "TableAccess", "IndexAccess",
+		"'NL'", "'MG'", "'HA'",
+		"sortablePreds", "hashablePreds", "indexablePreds", "innerPreds",
+		"projectionPays", "indexCols",
+		"IXAND", "tidcol", "OrderedStream", "pathPrefix",
+	} {
+		if !strings.Contains(stars.DefaultRuleText, want) {
+			t.Errorf("rule file lost %q", want)
+		}
+	}
+}
