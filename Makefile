@@ -1,0 +1,25 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test verify bench trace-demo experiments
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# The tier-1 verify recipe (ROADMAP.md).
+verify:
+	go build ./... && go vet ./... && go test ./... && go test -race ./...
+
+bench:
+	go test -bench=. -benchmem
+
+# Write a Chrome trace_event file of the Figure 3 Glue scenario
+# (optimization + execution) to trace.json; open it in chrome://tracing or
+# https://ui.perfetto.dev. See docs/OBSERVABILITY.md.
+trace-demo:
+	go run ./examples/tracedemo -o trace.json
+
+experiments:
+	go run ./cmd/starbench -e all -md > experiments_output.txt

@@ -232,6 +232,36 @@ func BenchmarkOptimizeChain(b *testing.B) {
 
 func chainName(n int) string { return "n=" + string(rune('0'+n)) }
 
+// BenchmarkObsOverhead quantifies what the observability instrumentation
+// costs a full optimization: "disabled" is the nil-sink fast path (the
+// default, which must stay within a few percent of the pre-instrumentation
+// baseline), "events" records the full event stream into a fresh sink per
+// iteration, and "metrics" aggregates counters/histograms while dropping
+// the event log.
+func BenchmarkObsOverhead(b *testing.B) {
+	cat := workload.EmpDept()
+	g := workload.Figure1Query()
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			optimize(b, cat, g, stars.Options{})
+		}
+	})
+	b.Run("events", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			optimize(b, cat, g, stars.Options{Obs: stars.NewSink()})
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		sink := stars.NewMetricsSink()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			optimize(b, cat, g, stars.Options{Obs: sink})
+		}
+	})
+}
+
 // BenchmarkExecuteFigure1 measures pure execution of a prepared plan.
 func BenchmarkExecuteFigure1(b *testing.B) {
 	cat := workload.EmpDept()

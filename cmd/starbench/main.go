@@ -8,6 +8,8 @@
 //	starbench -e E5           run one experiment
 //	starbench -e all          run every experiment (default)
 //	starbench -e all -md      also emit a Markdown summary table
+//	starbench -e all -metrics print Prometheus-style metrics aggregated
+//	                          across every optimization/execution run
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"stars"
 	"stars/internal/experiments"
 )
 
@@ -24,8 +27,18 @@ func main() {
 		exp      = flag.String("e", "all", "experiment id to run, or 'all'")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		markdown = flag.Bool("md", false, "emit a Markdown summary table after the reports")
+		metricsF = flag.Bool("metrics", false, "print Prometheus text-format metrics aggregated over all runs")
 	)
 	flag.Parse()
+
+	// A metrics-only sink (no event log) as the process default: every
+	// optimization the experiments run reports into it without per-call
+	// plumbing, and the unbounded event log stays off.
+	var sink *stars.Sink
+	if *metricsF {
+		sink = stars.NewMetricsSink()
+		stars.SetDefaultSink(sink)
+	}
 
 	if *list {
 		titles := experiments.Titles()
@@ -72,6 +85,13 @@ func main() {
 				verdict = "❌ mismatch"
 			}
 			fmt.Printf("| %s | %s | %s — %s |\n", rep.ID, rep.Title, verdict, rep.Summary)
+		}
+	}
+	if *metricsF {
+		fmt.Println("\n## Metrics (Prometheus text format)")
+		fmt.Println()
+		if err := sink.DumpMetrics(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
 	}
 	if failed > 0 {

@@ -6,9 +6,15 @@
 //
 //	starburst explain  -q "SELECT ..." [-catalog file.json] [-rules file.star] [-v] [-dot]
 //	starburst run      -q "SELECT ..." [-catalog file.json] [-rules file.star] [-seed 1] [-limit 10]
+//	                   [-analyze] [-trace-out trace.json] [-metrics]
 //	starburst trace    -q "SELECT ..." [-catalog file.json] [-rules file.star]
 //	starburst rules    [-rules file.star]     # print the active repertoire
 //	starburst catalog                         # dump the demo catalog as JSON
+//
+// Starting with a flag implies "run", and omitting -q uses the quickstart
+// EMP/DEPT query, so the one-liner observability demo is
+//
+//	starburst -analyze -trace-out=trace.json
 //
 // Without -catalog, the paper's EMP/DEPT demo catalog is used; try
 //
@@ -19,27 +25,40 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"stars"
 )
+
+// demoQuery is the quickstart query — the default when -q is omitted with
+// the demo catalog.
+const demoQuery = "SELECT DEPT.DNO, EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO AND DEPT.MGR = 'Haas'"
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
-	cmd := os.Args[1]
+	args := os.Args[1:]
+	cmd := "run"
+	if !strings.HasPrefix(args[0], "-") {
+		cmd = args[0]
+		args = args[1:]
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		q       = fs.String("q", "", "SQL query")
-		catPath = fs.String("catalog", "", "catalog JSON file (default: the EMP/DEPT demo catalog)")
-		rules   = fs.String("rules", "", "STAR rule file replacing the built-in repertoire")
-		verbose = fs.Bool("v", false, "explain with full property vectors")
-		dot     = fs.Bool("dot", false, "explain as Graphviz dot output")
-		seed    = fs.Int64("seed", 1, "data-generation seed for run")
-		limit   = fs.Int("limit", 10, "max rows to print for run")
+		q        = fs.String("q", "", "SQL query (default: the quickstart EMP/DEPT query)")
+		catPath  = fs.String("catalog", "", "catalog JSON file (default: the EMP/DEPT demo catalog)")
+		rules    = fs.String("rules", "", "STAR rule file replacing the built-in repertoire")
+		verbose  = fs.Bool("v", false, "explain with full property vectors")
+		dot      = fs.Bool("dot", false, "explain as Graphviz dot output")
+		seed     = fs.Int64("seed", 1, "data-generation seed for run")
+		limit    = fs.Int("limit", 10, "max rows to print for run")
+		analyze  = fs.Bool("analyze", false, "EXPLAIN ANALYZE: per-operator estimated vs actual rows/cost and Q-error (run only)")
+		traceOut = fs.String("trace-out", "", "write a Chrome trace_event JSON file (chrome://tracing, ui.perfetto.dev) to this path")
+		metricsF = fs.Bool("metrics", false, "print Prometheus-style metrics after the command")
 	)
-	if err := fs.Parse(os.Args[2:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 
@@ -77,13 +96,21 @@ func main() {
 		fmt.Println(string(b))
 	case "explain", "run", "trace":
 		if *q == "" {
-			fatal(fmt.Errorf("%s requires -q \"SELECT ...\"", cmd))
+			if !demo {
+				fatal(fmt.Errorf("%s requires -q \"SELECT ...\" with a custom catalog", cmd))
+			}
+			*q = demoQuery
 		}
 		g, err := stars.ParseSQL(*q, cat)
 		if err != nil {
 			fatal(err)
 		}
 		opts.Trace = cmd == "trace"
+		var sink *stars.Sink
+		if *analyze || *traceOut != "" || *metricsF {
+			sink = stars.NewSink()
+			opts.Obs = sink
+		}
 		res, err := stars.Optimize(cat, g, opts)
 		if err != nil {
 			fatal(err)
@@ -115,11 +142,17 @@ func main() {
 				stars.Populate(cluster, cat, *seed)
 			}
 			rt := stars.NewRuntime(cluster, cat)
+			rt.Obs = sink
+			rt.CollectOpStats = *analyze
 			er, err := rt.Run(res.Best)
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Print(stars.Explain(res.Best))
+			if *analyze {
+				fmt.Print(stars.ExplainAnalyze(res.Best, er))
+			} else {
+				fmt.Print(stars.Explain(res.Best))
+			}
 			fmt.Println()
 			sel := g.SelectCols(cat)
 			for i, c := range sel {
@@ -147,6 +180,27 @@ func main() {
 				res.Best.Props.Cost.Total, er.Stats.IO.TotalPages(),
 				er.Stats.Messages, er.Stats.BytesShipped,
 				er.Stats.ActualCost(stars.DefaultWeights))
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := sink.WriteChromeTrace(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote Chrome trace (%d events) to %s — open in chrome://tracing or https://ui.perfetto.dev\n",
+				sink.Len(), *traceOut)
+		}
+		if *metricsF {
+			fmt.Println()
+			if err := sink.DumpMetrics(os.Stdout); err != nil {
+				fatal(err)
+			}
 		}
 	default:
 		usage()

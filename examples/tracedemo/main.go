@@ -1,0 +1,72 @@
+// Command tracedemo optimizes and executes the Figure 3 Glue scenario —
+// EMP at LA, DEPT at NY, results ordered by DEPT.DNO and delivered at LA,
+// so Glue must veneer plans with SHIP and SORT — with full observability
+// on, and writes the whole run as a Chrome trace_event file.
+//
+//	go run ./examples/tracedemo [-o trace.json]
+//
+// Open the output in chrome://tracing or https://ui.perfetto.dev: the
+// opt.phase spans frame the bottom-up passes, star.rule spans nest by rule
+// reference depth, and glue.call spans show Figure 3's veneering at work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stars"
+)
+
+func main() {
+	out := flag.String("o", "trace.json", "Chrome trace output path")
+	flag.Parse()
+
+	cat := stars.EmpDeptCatalog()
+	cat.Sites = []string{"LA", "NY"}
+	cat.QuerySite = "LA"
+	cat.Table("DEPT").Site = "NY"
+
+	g, err := stars.ParseSQL(
+		"SELECT DEPT.DNO, EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO AND DEPT.MGR = 'Haas' ORDER BY DEPT.DNO",
+		cat)
+	if err != nil {
+		fatal(err)
+	}
+
+	sink := stars.NewSink()
+	res, err := stars.Optimize(cat, g, stars.Options{Obs: sink})
+	if err != nil {
+		fatal(err)
+	}
+
+	cluster := stars.NewCluster(cat.Sites...)
+	stars.PopulateEmpDept(cluster, cat, 1)
+	rt := stars.NewRuntime(cluster, cat)
+	rt.Obs = sink
+	rt.CollectOpStats = true
+	er, err := rt.Run(res.Best)
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sink.WriteChromeTrace(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(stars.ExplainAnalyze(res.Best, er))
+	fmt.Printf("\n%d rows; %d events captured\n", er.Stats.RowsOut, sink.Len())
+	fmt.Printf("wrote %s — open in chrome://tracing or https://ui.perfetto.dev\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracedemo:", err)
+	os.Exit(1)
+}

@@ -13,11 +13,13 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"stars/internal/catalog"
 	"stars/internal/cost"
 	"stars/internal/datum"
 	"stars/internal/expr"
+	"stars/internal/obs"
 	"stars/internal/plan"
 	"stars/internal/storage"
 )
@@ -29,6 +31,15 @@ type Runtime struct {
 	Cluster *storage.Cluster
 	// Cat is the catalog the plans were optimized against.
 	Cat *catalog.Catalog
+	// Obs, when enabled, receives an exec.run span per Run plus one
+	// exec.op event per plan node (when CollectOpStats is also set), and
+	// the run's resource counters as metrics. When nil, obs.Default is
+	// consulted, mirroring the optimizer's Options.Obs fallback.
+	Obs *obs.Sink
+	// CollectOpStats attributes rows/CPU/IO/messages to individual plan
+	// nodes (Result.Ops) — the raw material of EXPLAIN ANALYZE. Off by
+	// default: attribution snapshots counters around every operator call.
+	CollectOpStats bool
 
 	builders map[plan.Op]IterBuilder
 }
@@ -85,6 +96,43 @@ func (s ExecStats) ActualCost(w cost.Weights) float64 {
 		w.Byte*float64(s.BytesShipped)
 }
 
+// Add accumulates another execution's counters (mirrors star.Stats.Add).
+func (s *ExecStats) Add(o ExecStats) {
+	s.IO.Add(o.IO)
+	s.Messages += o.Messages
+	s.BytesShipped += o.BytesShipped
+	s.RowsOut += o.RowsOut
+	s.CPUOps += o.CPUOps
+}
+
+// OpStats is one plan node's observed execution profile, inclusive of its
+// subtree (like EXPLAIN ANALYZE's per-node actuals). Rows accumulate across
+// re-opens, so a nested-loop inner reports total rows over all probes;
+// Opens is the loop count.
+type OpStats struct {
+	// Opens counts Open calls (nested-loop inners re-open per outer row).
+	Opens int64
+	// Rows counts rows the operator produced, summed over all opens.
+	Rows int64
+	// CPUOps counts tuple-handling operations in the node's subtree.
+	CPUOps int64
+	// IO aggregates page-level counters attributed to the subtree.
+	IO storage.Counters
+	// Messages and BytesShipped count SHIP traffic in the subtree.
+	Messages     int64
+	BytesShipped int64
+	// Elapsed is wall-clock time spent inside the subtree's iterators.
+	Elapsed time.Duration
+}
+
+// ActualCost converts the node's observed counters into cost-model units.
+func (s OpStats) ActualCost(w cost.Weights) float64 {
+	return w.IO*float64(s.IO.TotalPages()) +
+		w.CPU*float64(s.CPUOps) +
+		w.Msg*float64(s.Messages) +
+		w.Byte*float64(s.BytesShipped)
+}
+
 // Result is one execution's output.
 type Result struct {
 	// Schema names the output columns positionally.
@@ -93,13 +141,33 @@ type Result struct {
 	Rows []datum.Row
 	// Stats is the observed resource usage.
 	Stats ExecStats
+	// Ops holds per-node actuals when Runtime.CollectOpStats was set.
+	Ops map[*plan.Node]*OpStats
 }
 
 // Run executes the plan and drains its output. Counters are measured from
 // zero for this run (the cluster's counters are reset).
-func (rt *Runtime) Run(root *plan.Node) (*Result, error) {
+func (rt *Runtime) Run(root *plan.Node) (result *Result, err error) {
 	rt.Cluster.ResetCounters()
 	ec := &Ctx{rt: rt, temps: map[*plan.Node]*tempHandle{}}
+	if rt.CollectOpStats {
+		ec.ops = map[*plan.Node]*OpStats{}
+	}
+	sink := rt.Obs
+	if sink == nil {
+		sink = obs.Default
+	}
+	var sp obs.Span
+	if sink.Enabled() {
+		sp = sink.StartSpan(obs.EvExecRun, string(root.Op), "", 0)
+		defer func() {
+			var rows int64
+			if result != nil {
+				rows = result.Stats.RowsOut
+			}
+			sp.End(rows)
+		}()
+	}
 	it, err := ec.build(root)
 	if err != nil {
 		return nil, err
@@ -107,7 +175,7 @@ func (rt *Runtime) Run(root *plan.Node) (*Result, error) {
 	if err := it.Open(nil); err != nil {
 		return nil, err
 	}
-	res := &Result{Schema: it.Schema()}
+	res := &Result{Schema: it.Schema(), Ops: ec.ops}
 	for {
 		row, ok, err := it.Next()
 		if err != nil {
@@ -127,7 +195,36 @@ func (rt *Runtime) Run(root *plan.Node) (*Result, error) {
 	res.Stats.BytesShipped = rt.Cluster.BytesShipped
 	res.Stats.RowsOut = int64(len(res.Rows))
 	res.Stats.CPUOps = ec.cpuOps
+	if sink.Enabled() {
+		for n, st := range ec.ops {
+			sink.Emit(obs.Event{Name: obs.EvExecOp, A1: string(n.Op), A2: n.Table,
+				N1: st.Rows, N2: st.IO.TotalPages()})
+		}
+		reg := sink.Registry()
+		reg.Counter("exec_rows_total").Add(res.Stats.RowsOut)
+		reg.Counter("exec_cpu_ops_total").Add(res.Stats.CPUOps)
+		reg.Counter("exec_pages_total").Add(res.Stats.IO.TotalPages())
+		reg.Counter("exec_messages_total").Add(res.Stats.Messages)
+		reg.Counter("exec_bytes_shipped_total").Add(res.Stats.BytesShipped)
+	}
 	return res, nil
+}
+
+// Actuals adapts a Result's per-node stats to plan.ExplainAnalyze's lookup,
+// translating observed counters into cost-model units under w.
+func Actuals(res *Result, w cost.Weights) func(*plan.Node) (plan.Actual, bool) {
+	return func(n *plan.Node) (plan.Actual, bool) {
+		st, ok := res.Ops[n]
+		if !ok {
+			return plan.Actual{}, false
+		}
+		return plan.Actual{
+			Rows:    st.Rows,
+			Loops:   st.Opens,
+			Cost:    st.ActualCost(w),
+			Elapsed: st.Elapsed,
+		}, true
+	}
 }
 
 // Ctx is per-execution state: temp materializations are memoized so a
@@ -136,6 +233,8 @@ type Ctx struct {
 	rt     *Runtime
 	temps  map[*plan.Node]*tempHandle
 	cpuOps int64
+	// ops, when non-nil, attributes actuals to plan nodes (CollectOpStats).
+	ops map[*plan.Node]*OpStats
 }
 
 // tempHandle is a materialized temp: its storage and positional schema.
@@ -159,13 +258,75 @@ type Iterator interface {
 	Close() error
 }
 
-// build constructs the Iterator for a node via the registry.
+// build constructs the Iterator for a node via the registry, wrapping it for
+// per-node attribution when CollectOpStats is on.
 func (ec *Ctx) build(n *plan.Node) (Iterator, error) {
 	b, ok := ec.rt.builders[n.Op]
 	if !ok {
 		return nil, fmt.Errorf("exec: no run-time routine registered for %s", n.Op)
 	}
-	return b(ec, n)
+	it, err := b(ec, n)
+	if err != nil || ec.ops == nil {
+		return it, err
+	}
+	st := ec.ops[n]
+	if st == nil {
+		st = &OpStats{}
+		ec.ops[n] = st
+	}
+	return &opIter{it: it, ec: ec, st: st}, nil
+}
+
+// opIter wraps an operator's Iterator, attributing each call's resource
+// deltas — CPU ticks, page I/O, SHIP traffic, wall time — to the node's
+// OpStats. Children are wrapped too and their calls nest inside the
+// parent's, so every node's stats are inclusive of its subtree.
+type opIter struct {
+	it Iterator
+	ec *Ctx
+	st *OpStats
+}
+
+func (o *opIter) Schema() []expr.ColID { return o.it.Schema() }
+
+// measure snapshots the execution's counters and returns a closure folding
+// the deltas into the node's stats.
+func (o *opIter) measure() func() {
+	ec, cl := o.ec, o.ec.rt.Cluster
+	t0 := time.Now()
+	cpu0 := ec.cpuOps
+	io0 := cl.TotalCounters()
+	msg0, bytes0 := cl.Messages, cl.BytesShipped
+	return func() {
+		o.st.Elapsed += time.Since(t0)
+		o.st.CPUOps += ec.cpuOps - cpu0
+		o.st.IO.Add(cl.TotalCounters().Sub(io0))
+		o.st.Messages += cl.Messages - msg0
+		o.st.BytesShipped += cl.BytesShipped - bytes0
+	}
+}
+
+func (o *opIter) Open(outer expr.Binding) error {
+	o.st.Opens++
+	done := o.measure()
+	defer done()
+	return o.it.Open(outer)
+}
+
+func (o *opIter) Next() (datum.Row, bool, error) {
+	done := o.measure()
+	defer done()
+	row, ok, err := o.it.Next()
+	if ok {
+		o.st.Rows++
+	}
+	return row, ok, err
+}
+
+func (o *opIter) Close() error {
+	done := o.measure()
+	defer done()
+	return o.it.Close()
 }
 
 // Build constructs the Iterator for an input node; extension run-time

@@ -1,0 +1,127 @@
+package exec_test
+
+import (
+	"strings"
+	"testing"
+
+	"stars/internal/cost"
+	"stars/internal/exec"
+	"stars/internal/obs"
+	"stars/internal/opt"
+	"stars/internal/plan"
+	"stars/internal/storage"
+	"stars/internal/workload"
+)
+
+func TestExecStatsAdd(t *testing.T) {
+	a := exec.ExecStats{
+		IO:       storage.Counters{HeapPageReads: 1, IndexPageReads: 2},
+		Messages: 3, BytesShipped: 4, RowsOut: 5, CPUOps: 6,
+	}
+	a.Add(exec.ExecStats{
+		IO:       storage.Counters{HeapPageReads: 10, HeapPageWrites: 7},
+		Messages: 30, BytesShipped: 40, RowsOut: 50, CPUOps: 60,
+	})
+	if a.IO.HeapPageReads != 11 || a.IO.HeapPageWrites != 7 || a.IO.IndexPageReads != 2 {
+		t.Errorf("IO = %+v", a.IO)
+	}
+	if a.Messages != 33 || a.BytesShipped != 44 || a.RowsOut != 55 || a.CPUOps != 66 {
+		t.Errorf("ExecStats.Add = %+v", a)
+	}
+}
+
+func TestCollectOpStatsAttributesActuals(t *testing.T) {
+	cat := workload.EmpDept()
+	cluster := storage.NewCluster()
+	workload.PopulateEmpDept(cluster, cat, 1)
+	res, err := opt.New(cat, opt.Options{}).Optimize(workload.Figure1Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := exec.NewRuntime(cluster, cat)
+	rt.CollectOpStats = true
+	sink := obs.NewSink()
+	rt.Obs = sink
+	er, err := rt.Run(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Ops) == 0 {
+		t.Fatal("CollectOpStats produced no per-node stats")
+	}
+	root := er.Ops[res.Best]
+	if root == nil {
+		t.Fatal("root node has no stats")
+	}
+	if root.Rows != er.Stats.RowsOut {
+		t.Errorf("root rows = %d, result has %d", root.Rows, er.Stats.RowsOut)
+	}
+	if root.Opens != 1 || root.Elapsed <= 0 {
+		t.Errorf("root stats = %+v", root)
+	}
+	// The root's inclusive counters cover the whole run.
+	if root.CPUOps != er.Stats.CPUOps {
+		t.Errorf("root CPU = %d, run total %d", root.CPUOps, er.Stats.CPUOps)
+	}
+	if root.IO.TotalPages() != er.Stats.IO.TotalPages() {
+		t.Errorf("root pages = %d, run total %d", root.IO.TotalPages(), er.Stats.IO.TotalPages())
+	}
+	// The sink saw the run span, per-op events, and the run counters.
+	var sawRun, sawOp bool
+	for _, e := range sink.Events() {
+		switch e.Name {
+		case obs.EvExecRun:
+			sawRun = true
+		case obs.EvExecOp:
+			sawOp = true
+		}
+	}
+	if !sawRun || !sawOp {
+		t.Errorf("events: run=%v op=%v", sawRun, sawOp)
+	}
+	if got := sink.Registry().Counter("exec_rows_total").Value(); got != er.Stats.RowsOut {
+		t.Errorf("exec_rows_total = %d, want %d", got, er.Stats.RowsOut)
+	}
+
+	// The Actuals adapter feeds EXPLAIN ANALYZE: every node annotated.
+	text := plan.ExplainAnalyze(res.Best, exec.Actuals(er, cost.DefaultWeights))
+	if strings.Contains(text, "never executed") {
+		t.Errorf("unexecuted node in:\n%s", text)
+	}
+	if !strings.Contains(text, "Q-err=") {
+		t.Errorf("no Q-error in:\n%s", text)
+	}
+}
+
+func TestCollectOpStatsOffLeavesOpsNil(t *testing.T) {
+	cat := workload.EmpDept()
+	cluster := storage.NewCluster()
+	workload.PopulateEmpDept(cluster, cat, 1)
+	res, err := opt.New(cat, opt.Options{}).Optimize(workload.Figure1Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := exec.NewRuntime(cluster, cat).Run(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Ops != nil {
+		t.Fatal("Ops must be nil when CollectOpStats is off")
+	}
+}
+
+func TestQError(t *testing.T) {
+	cases := []struct{ est, act, want float64 }{
+		{100, 100, 1},
+		{100, 50, 2},
+		{50, 100, 2},
+		{0, 10, 10}, // estimates clamp to one row
+		{10, 0, 10}, // actuals too
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := plan.QError(c.est, c.act); got != c.want {
+			t.Errorf("QError(%v, %v) = %v, want %v", c.est, c.act, got, c.want)
+		}
+	}
+}

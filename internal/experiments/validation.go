@@ -65,7 +65,7 @@ func spearman(a, b []float64) float64 {
 func e11() (*Report, error) {
 	rep := &Report{
 		Claim:   "The property functions' cost estimates are well established and validated [MACK 86]: across a query's alternative plans, estimated cost should rank plans in close to the measured order, and the chosen plan should be at or near the measured optimum.",
-		Headers: []string{"query", "plans executed", "rank correlation", "chosen plan's measured rank", "est/actual (chosen)"},
+		Headers: []string{"query", "plans executed", "rank correlation", "chosen plan's measured rank", "est/actual (chosen)", "max op Q-error"},
 	}
 	cases := []struct {
 		name  string
@@ -167,15 +167,44 @@ func e11() (*Report, error) {
 				ok = false
 			}
 		}
+		// Per-operator validation: re-run the chosen plan with actuals
+		// attribution and compare every node's estimated cardinality
+		// against what it produced (per open, so nested-loop inners
+		// compare per probe) — the EXPLAIN ANALYZE Q-error.
+		rtA := exec.NewRuntime(cluster, res.Engine.Cost.Cat)
+		rtA.CollectOpStats = true
+		erA, err := rtA.Run(res.Best)
+		if err != nil {
+			return nil, fmt.Errorf("%s: analyzing chosen plan: %w", c.name, err)
+		}
+		maxQ, worst := 0.0, ""
+		var walk func(n *plan.Node)
+		walk = func(n *plan.Node) {
+			if st := erA.Ops[n]; st != nil && n.Props != nil {
+				actRows := float64(st.Rows)
+				if st.Opens > 1 {
+					actRows /= float64(st.Opens)
+				}
+				if q := plan.QError(n.Props.Card, actRows); q > maxQ {
+					maxQ, worst = q, string(n.Op)
+				}
+			}
+			for _, in := range n.Inputs {
+				walk(in)
+			}
+		}
+		walk(res.Best)
 		rep.Rows = append(rep.Rows, []string{
 			c.name, fi(int64(len(plans))), fmt.Sprintf("%.2f", rho), chosenRank, ratio,
+			fmt.Sprintf("%.2f (%s)", maxQ, worst),
 		})
 		if rho < 0.5 {
 			ok = false
 		}
 	}
 	rep.Notes = append(rep.Notes,
-		"measured cost applies the cost-model weights to the executed page/tuple/message counters, so the two columns share units")
+		"measured cost applies the cost-model weights to the executed page/tuple/message counters, so the two columns share units",
+		"max op Q-error is the worst per-operator cardinality error factor max(est/act, act/est) in the chosen plan, from an EXPLAIN ANALYZE re-run (operator in parentheses); see docs/OBSERVABILITY.md")
 	rep.OK = ok
 	rep.Summary = "estimates rank alternatives close to their measured order and the chosen plan lands at or near the measured optimum — the model tracks the simulated substrate as [MACK 86] found for R*"
 	if !ok {

@@ -298,3 +298,11 @@ func TestCheapestOf(t *testing.T) {
 		t.Error("cheapest")
 	}
 }
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Calls: 1, Hits: 2, Misses: 3, Veneers: 4}
+	a.Add(Stats{Calls: 10, Hits: 20, Misses: 30, Veneers: 40})
+	if a != (Stats{Calls: 11, Hits: 22, Misses: 33, Veneers: 44}) {
+		t.Errorf("Stats.Add = %+v", a)
+	}
+}

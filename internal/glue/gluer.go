@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stars/internal/expr"
+	"stars/internal/obs"
 	"stars/internal/plan"
 	"stars/internal/query"
 	"stars/internal/star"
@@ -20,6 +21,14 @@ type Stats struct {
 	Misses int64
 	// Veneers counts Glue operators injected.
 	Veneers int64
+}
+
+// Add accumulates another run's counters (mirrors star.Stats.Add).
+func (s *Stats) Add(o Stats) {
+	s.Calls += o.Calls
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Veneers += o.Veneers
 }
 
 // Gluer is the Glue mechanism wired to a STAR engine, a query, and a plan
@@ -45,8 +54,13 @@ type Gluer struct {
 const AccessRootRule = "AccessRoot"
 
 // Glue implements star.GlueFn. See the package comment for the three steps.
-func (g *Gluer) Glue(req *star.GlueRequest) ([]*plan.Node, error) {
+func (g *Gluer) Glue(req *star.GlueRequest) (result []*plan.Node, err error) {
 	g.Stats.Calls++
+	var sp obs.Span
+	if g.Engine.Obs.Enabled() {
+		sp = g.Engine.Obs.StartSpan(obs.EvGlue, req.Tables.Key(), req.Req.String(), 0)
+		defer func() { sp.End(int64(len(result))) }()
+	}
 	base := g.Graph.EligibleWithin(req.Tables)
 	// Pushed predicates split into static ones (columns within the table
 	// set; applicable once) and bound ones (columns referencing the outer
@@ -114,9 +128,15 @@ func (g *Gluer) Glue(req *star.GlueRequest) ([]*plan.Node, error) {
 func (g *Gluer) ensurePlans(tables expr.TableSet, preds expr.PredSet) ([]*plan.Node, error) {
 	if plans := g.Table.Lookup(tables, preds.Key()); len(plans) > 0 {
 		g.Stats.Hits++
+		if g.Engine.Obs.Enabled() {
+			g.Engine.Obs.Emit(obs.Event{Name: obs.EvGlueHit, A1: tables.Key(), N1: int64(len(plans))})
+		}
 		return plans, nil
 	}
 	g.Stats.Misses++
+	if g.Engine.Obs.Enabled() {
+		g.Engine.Obs.Emit(obs.Event{Name: obs.EvGlueMiss, A1: tables.Key()})
+	}
 	names := tables.Slice()
 	if len(names) == 1 {
 		q := names[0]
@@ -249,6 +269,9 @@ func (g *Gluer) addVeneer(n *plan.Node) (*plan.Node, error) {
 	}
 	n.Origin = "Glue"
 	g.Stats.Veneers++
+	if g.Engine.Obs.Enabled() {
+		g.Engine.Obs.Emit(obs.Event{Name: obs.EvVeneer, A1: string(n.Op), N1: 1})
+	}
 	return n, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"stars/internal/expr"
+	"stars/internal/obs"
 	"stars/internal/plan"
 )
 
@@ -30,6 +31,9 @@ type PlanTable struct {
 	Inserted      int64
 	Pruned        int64
 	PruneDisabled bool
+	// Obs, when enabled, receives plantable.insert / plantable.prune
+	// events.
+	Obs *obs.Sink
 }
 
 // NewPlanTable returns an empty plan table.
@@ -61,13 +65,17 @@ func (pt *PlanTable) Insert(tables expr.TableSet, predsKey string, plans []*plan
 	cur := byPreds[predsKey]
 	for _, p := range plans {
 		pt.Inserted++
-		cur = pt.addPruned(cur, p)
+		cur = pt.addPruned(tk, cur, p)
 	}
 	byPreds[predsKey] = cur
+	if pt.Obs.Enabled() {
+		pt.Obs.Emit(obs.Event{Name: obs.EvPlanInsert, A1: tk, A2: predsKey,
+			N1: int64(len(plans)), N2: int64(len(cur))})
+	}
 	return cur
 }
 
-func (pt *PlanTable) addPruned(cur []*plan.Node, p *plan.Node) []*plan.Node {
+func (pt *PlanTable) addPruned(tk string, cur []*plan.Node, p *plan.Node) []*plan.Node {
 	if pt.PruneDisabled {
 		for _, q := range cur {
 			if q == p || q.Key() == p.Key() {
@@ -82,6 +90,9 @@ func (pt *PlanTable) addPruned(cur []*plan.Node, p *plan.Node) []*plan.Node {
 		}
 		if plan.Dominates(q.Props, p.Props) {
 			pt.Pruned++
+			if pt.Obs.Enabled() {
+				pt.Obs.Emit(obs.Event{Name: obs.EvPlanPrune, A1: tk, N1: 1})
+			}
 			return cur
 		}
 	}
@@ -89,6 +100,9 @@ func (pt *PlanTable) addPruned(cur []*plan.Node, p *plan.Node) []*plan.Node {
 	for _, q := range cur {
 		if plan.Dominates(p.Props, q.Props) {
 			pt.Pruned++
+			if pt.Obs.Enabled() {
+				pt.Obs.Emit(obs.Event{Name: obs.EvPlanPrune, A1: tk, N1: 1})
+			}
 			continue
 		}
 		out = append(out, q)

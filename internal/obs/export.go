@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ndjsonEvent is the NDJSON wire form of one event.
+type ndjsonEvent struct {
+	Seq   int64   `json:"seq"`
+	TUs   float64 `json:"t_us"`
+	Kind  string  `json:"kind"`
+	Name  string  `json:"name"`
+	A1    string  `json:"a1,omitempty"`
+	A2    string  `json:"a2,omitempty"`
+	Depth int     `json:"depth,omitempty"`
+	Span  int64   `json:"span,omitempty"`
+	N1    int64   `json:"n1,omitempty"`
+	N2    int64   `json:"n2,omitempty"`
+}
+
+// WriteNDJSON writes the event log as newline-delimited JSON, one event per
+// line — the machine-readable export for ad-hoc analysis (jq, DuckDB, ...).
+func (s *Sink) WriteNDJSON(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range s.Events() {
+		if err := enc.Encode(ndjsonEvent{
+			Seq: e.Seq, TUs: float64(e.T.Microseconds()), Kind: e.Kind.String(),
+			Name: e.Name, A1: e.A1, A2: e.A2, Depth: e.Depth, Span: e.Span,
+			N1: e.N1, N2: e.N2,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON Array
+// / JSON Object formats both read in chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON Object container format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the event log in Chrome's trace_event JSON Object
+// format: spans become duration ("B"/"E") events, instants become "i"
+// events, so an optimization/execution run opens directly in
+// chrome://tracing or https://ui.perfetto.dev.
+func (s *Sink) WriteChromeTrace(w io.Writer) error {
+	if s == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	events := s.Events()
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	for _, e := range events {
+		ce := chromeEvent{Name: e.Name, TsUs: float64(e.T.Nanoseconds()) / 1e3, Pid: 1, Tid: 1}
+		if e.A1 != "" {
+			ce.Name = e.Name + " " + e.A1
+		}
+		switch e.Kind {
+		case KindSpanBegin:
+			ce.Phase = "B"
+			ce.Args = chromeArgs(e)
+		case KindSpanEnd:
+			ce.Phase = "E"
+			ce.Args = map[string]any{"n1": e.N1}
+		default:
+			ce.Phase = "i"
+			ce.Scope = "t"
+			ce.Args = chromeArgs(e)
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// chromeArgs packs an event's payload into trace-viewer args.
+func chromeArgs(e Event) map[string]any {
+	args := map[string]any{}
+	if e.A2 != "" {
+		args["detail"] = e.A2
+	}
+	if e.Depth != 0 {
+		args["depth"] = e.Depth
+	}
+	if e.N1 != 0 {
+		args["n1"] = e.N1
+	}
+	if e.N2 != 0 {
+		args["n2"] = e.N2
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// DumpMetrics is a convenience wrapper rendering the sink's registry in
+// Prometheus text format; the nil sink writes nothing.
+func (s *Sink) DumpMetrics(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	return s.Registry().WritePrometheus(w)
+}
+
+// Summary returns a one-line event/metric census for logs.
+func (s *Sink) Summary() string {
+	if s == nil {
+		return "obs: disabled"
+	}
+	return fmt.Sprintf("obs: %d events", s.Len())
+}

@@ -1,0 +1,349 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metrics. Metric names may carry a literal label set
+// in curly braces (`star_rule_seconds{name="JoinRoot"}`); the Prometheus
+// writer splices extra labels (histogram `le`) into it. All methods are
+// safe on a nil registry and for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	histos   map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		histos:   map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing int64. The nil counter discards.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64. The nil gauge discards.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed log-scale bucket layout every duration histogram
+// shares: upper bounds of 1µs·2^i for i = 0..25 (1µs .. ~33.6s), plus +Inf.
+// A fixed layout keeps Observe allocation-free and histograms mergeable.
+const histBuckets = 26
+
+// bucketBound returns bucket i's upper bound.
+func bucketBound(i int) time.Duration { return time.Microsecond << uint(i) }
+
+// bucketFor returns the index of the first bucket whose bound is >= d.
+func bucketFor(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	us := uint64(d) / uint64(time.Microsecond)
+	// ceil(log2(us)): position of the highest set bit, +1 unless a power
+	// of two.
+	idx := 0
+	for b := us; b > 1; b >>= 1 {
+		idx++
+	}
+	if us&(us-1) != 0 {
+		idx++
+	}
+	if idx >= histBuckets {
+		return histBuckets // overflow -> +Inf bucket
+	}
+	return idx
+}
+
+// Histogram is a fixed log-scale duration histogram. The nil histogram
+// discards.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [histBuckets + 1]int64 // +1 = the +Inf bucket
+	sum    time.Duration
+	n      int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := bucketFor(d)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += d
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the total observed duration (0 for nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot copies the bucket state under the lock.
+func (h *Histogram) snapshot() (counts [histBuckets + 1]int64, sum time.Duration, n int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counts, h.sum, h.n
+}
+
+// Counter returns (creating on first use) the named counter; nil registry
+// returns the nil counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histos[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histos[name]; h == nil {
+		h = &Histogram{}
+		r.histos[name] = h
+	}
+	return h
+}
+
+// splitName separates a metric name from its literal label block:
+// `x_seconds{name="R"}` -> ("x_seconds", `name="R"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// joinLabels merges two label blocks into a rendered {..} suffix.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "" && b == "":
+		return ""
+	case a == "":
+		return "{" + b + "}"
+	case b == "":
+		return "{" + a + "}"
+	default:
+		return "{" + a + "," + b + "}"
+	}
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (types: counter, gauge, histogram), sorted by name for stable
+// output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	counterNames := sortedKeysC(r.counters)
+	gaugeNames := sortedKeysG(r.gauges)
+	histoNames := sortedKeysH(r.histos)
+	r.mu.RUnlock()
+
+	typed := map[string]bool{}
+	for _, name := range counterNames {
+		base, labels := splitName(name)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(labels, ""), r.Counter(name).Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gaugeNames {
+		base, labels := splitName(name)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", base); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(labels, ""), r.Gauge(name).Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range histoNames {
+		base, labels := splitName(name)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+				return err
+			}
+		}
+		counts, sum, n := r.Histogram(name).snapshot()
+		cum := int64(0)
+		for i := 0; i <= histBuckets; i++ {
+			cum += counts[i]
+			le := "+Inf"
+			if i < histBuckets {
+				le = formatSeconds(bucketBound(i).Seconds())
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				base, joinLabels(labels, `le="`+le+`"`), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, joinLabels(labels, ""),
+			formatSeconds(sum.Seconds())); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, joinLabels(labels, ""), n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatSeconds renders a seconds value without exponent noise for the
+// common microsecond..second magnitudes.
+func formatSeconds(s float64) string {
+	if s == math.Trunc(s) {
+		return fmt.Sprintf("%.0f", s)
+	}
+	return fmt.Sprintf("%g", s)
+}
+
+func sortedKeysC(m map[string]*Counter) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysG(m map[string]*Gauge) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysH(m map[string]*Histogram) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,265 @@
+// Package obs is the observability layer shared by the optimizer and the
+// executor: a concurrency-safe event sink, a hierarchical span tracer, and a
+// metrics registry (counters, gauges, fixed-bucket log-scale duration
+// histograms), built on the standard library only.
+//
+// The design constraint is that the *disabled* path must cost nothing: every
+// entry point is safe on a nil *Sink (and nil *Registry, *Counter, ...), so
+// instrumented code writes
+//
+//	en.Obs.Emit(obs.Event{Name: obs.EvAltFired, ...})
+//
+// unconditionally and pays only a nil check plus a stack-allocated Event
+// when observability is off. BenchmarkObsOverhead in the repository root
+// verifies the disabled-path overhead stays under a few percent.
+//
+// Event taxonomy, metric names, and exporter formats are documented in
+// docs/OBSERVABILITY.md.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies an event: a point-in-time instant, or the begin/end pair
+// of a span.
+type Kind uint8
+
+const (
+	// KindInstant is a point event.
+	KindInstant Kind = iota
+	// KindSpanBegin opens a span; a KindSpanEnd with the same Span id
+	// closes it.
+	KindSpanBegin
+	// KindSpanEnd closes a span.
+	KindSpanEnd
+)
+
+// String renders the kind for exporters.
+func (k Kind) String() string {
+	switch k {
+	case KindSpanBegin:
+		return "begin"
+	case KindSpanEnd:
+		return "end"
+	default:
+		return "instant"
+	}
+}
+
+// Event names — the taxonomy. Span names double as the base of the duration
+// histogram the span observes into (dots become underscores, "_seconds" is
+// appended): a "star.rule" span feeds star_rule_seconds{name="<rule>"}.
+const (
+	// EvRule spans one STAR reference; A1 is the rule name, A2 the
+	// rendered arguments, end N1 the SAP size returned.
+	EvRule = "star.rule"
+	// EvAltFired marks an alternative whose condition held; A1 rule,
+	// N1 1-based alternative index, N2 plans the body produced.
+	EvAltFired = "star.alt.fired"
+	// EvAltRejected marks an alternative whose condition failed (or an
+	// OTHERWISE skipped because an earlier alternative fired); A1 rule,
+	// N1 1-based alternative index.
+	EvAltRejected = "star.alt.rejected"
+	// EvGlue spans one Glue reference; A1 is the table-set key, A2 the
+	// required properties, end N1 the number of satisfying plans.
+	EvGlue = "glue.call"
+	// EvGlueHit / EvGlueMiss mark plan-table lookup outcomes inside Glue;
+	// A1 is the table-set key.
+	EvGlueHit  = "glue.hit"
+	EvGlueMiss = "glue.miss"
+	// EvVeneer marks a Glue operator injected over a plan; A1 is the
+	// LOLEPOP name (SHIP, SORT, STORE, BUILDINDEX, FILTER, ...).
+	EvVeneer = "glue.veneer"
+	// EvPlanInsert marks a plan-table insertion; A1 table-set key, N1
+	// plans offered, N2 plans retained in the entry afterwards.
+	EvPlanInsert = "plantable.insert"
+	// EvPlanPrune marks a dominance decision; A1 table-set key, N1 0 when
+	// the incoming plan was rejected as dominated, 1 when an existing plan
+	// was evicted by the incoming one.
+	EvPlanPrune = "plantable.prune"
+	// EvPhase spans one optimizer phase; A1 names it ("access", "join-2",
+	// ..., "root").
+	EvPhase = "opt.phase"
+	// EvPair marks one joinable partition handed to the root join STAR;
+	// A1 renders "{left}|{right}".
+	EvPair = "opt.pair"
+	// EvExecRun spans one plan execution; end N1 is the result row count.
+	EvExecRun = "exec.run"
+	// EvExecOp reports one operator's actuals after a run; A1 describes
+	// the node, N1 rows produced, N2 inclusive tuple operations.
+	EvExecOp = "exec.op"
+)
+
+// Event is one observation. Sequence number and timestamp are assigned by
+// the sink; callers fill the rest. The two string and two numeric payload
+// slots keep the struct flat (no per-event allocations on the emit path).
+type Event struct {
+	// Seq is the sink-assigned sequence number (1-based).
+	Seq int64
+	// T is the offset from the sink's start time.
+	T time.Duration
+	// Kind is instant, span-begin, or span-end.
+	Kind Kind
+	// Name is the taxonomy name (Ev* constants).
+	Name string
+	// A1 and A2 are string payloads (rule name, table-set key, ...).
+	A1, A2 string
+	// Depth is the caller's nesting depth, when meaningful (STAR
+	// recursion depth).
+	Depth int
+	// Span links a begin to its end (sink-assigned id).
+	Span int64
+	// N1 and N2 are numeric payloads (alternative index, plan counts,
+	// row counts).
+	N1, N2 int64
+}
+
+// Sink collects events and owns a metrics registry. It is safe for
+// concurrent use; the nil sink discards everything at nil-check cost.
+type Sink struct {
+	mu      sync.Mutex
+	start   time.Time
+	events  []Event
+	seq     int64
+	spanSeq atomic.Int64
+	drop    bool // metrics-only: count, but keep no event log
+	reg     *Registry
+}
+
+// NewSink returns a sink that records events and metrics.
+func NewSink() *Sink {
+	return &Sink{start: time.Now(), reg: NewRegistry()}
+}
+
+// NewMetricsSink returns a sink that maintains metrics but discards the
+// event log — the shape long-running aggregation (cmd/starbench -metrics)
+// wants, since the event log grows without bound.
+func NewMetricsSink() *Sink {
+	s := NewSink()
+	s.drop = true
+	return s
+}
+
+// Default, when non-nil, is the fallback sink the optimizer and executor
+// use when none is injected explicitly — the process-wide aggregation point
+// (prometheus's default-registry idiom). It stays nil unless a tool opts
+// in.
+var Default *Sink
+
+// Enabled reports whether the sink records anything; instrumented code uses
+// it to guard argument rendering that would otherwise allocate.
+func (s *Sink) Enabled() bool { return s != nil }
+
+// Registry returns the sink's metrics registry (nil for the nil sink —
+// every Registry method is nil-safe too).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Emit records an instant event. Seq and T are assigned here.
+func (s *Sink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	if !s.drop {
+		e.Seq = s.seq
+		e.T = time.Since(s.start)
+		e.Kind = KindInstant
+		s.events = append(s.events, e)
+	}
+	s.mu.Unlock()
+}
+
+// append records a pre-filled span event under the lock.
+func (s *Sink) append(e Event) {
+	s.mu.Lock()
+	s.seq++
+	if !s.drop {
+		e.Seq = s.seq
+		s.events = append(s.events, e)
+	}
+	s.mu.Unlock()
+}
+
+// Span is an open interval produced by StartSpan. The zero Span (from a nil
+// sink) is a no-op.
+type Span struct {
+	s    *Sink
+	id   int64
+	name string
+	a1   string
+	t0   time.Duration
+}
+
+// StartSpan opens a span. depth is the caller's nesting depth (0 when not
+// meaningful). Ending the span also observes its duration into the
+// histogram named after the span (see the Ev* docs).
+func (s *Sink) StartSpan(name, a1, a2 string, depth int) Span {
+	if s == nil {
+		return Span{}
+	}
+	id := s.spanSeq.Add(1)
+	t := time.Since(s.start)
+	s.append(Event{Kind: KindSpanBegin, Name: name, A1: a1, A2: a2, Depth: depth, Span: id, T: t})
+	return Span{s: s, id: id, name: name, a1: a1, t0: t}
+}
+
+// End closes the span, recording n1 as the end event's numeric payload and
+// observing the duration histogram.
+func (sp Span) End(n1 int64) {
+	if sp.s == nil {
+		return
+	}
+	t := time.Since(sp.s.start)
+	sp.s.append(Event{Kind: KindSpanEnd, Name: sp.name, A1: sp.a1, Span: sp.id, T: t, N1: n1})
+	sp.s.reg.Histogram(spanHistName(sp.name, sp.a1)).Observe(t - sp.t0)
+}
+
+// spanHistName derives the histogram name a span observes into:
+// "star.rule" + "JoinRoot" -> `star_rule_seconds{name="JoinRoot"}`.
+func spanHistName(name, a1 string) string {
+	base := make([]byte, 0, len(name)+len(a1)+18)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '.' {
+			c = '_'
+		}
+		base = append(base, c)
+	}
+	base = append(base, "_seconds"...)
+	if a1 != "" {
+		base = append(base, `{name="`...)
+		base = append(base, a1...)
+		base = append(base, `"}`...)
+	}
+	return string(base)
+}
+
+// Events returns a copy of the recorded event log.
+func (s *Sink) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Len returns the number of events seen (including dropped ones on a
+// metrics-only sink).
+func (s *Sink) Len() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}

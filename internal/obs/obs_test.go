@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSinkIsSafeAndFree(t *testing.T) {
+	var s *Sink
+	if s.Enabled() {
+		t.Fatal("nil sink reports enabled")
+	}
+	// Every entry point must tolerate the nil receiver.
+	s.Emit(Event{Name: EvAltFired, A1: "R", N1: 1})
+	sp := s.StartSpan(EvRule, "R", "args", 3)
+	sp.End(7)
+	if got := s.Events(); got != nil {
+		t.Fatalf("nil sink recorded %v", got)
+	}
+	if err := s.WriteNDJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("nil-sink chrome trace is not JSON: %v", err)
+	}
+	s.Registry().Counter("x").Add(1)
+	s.Registry().Histogram("y").Observe(time.Millisecond)
+	s.Registry().Gauge("z").Set(9)
+
+	// The disabled fast path must not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Emit(Event{Name: EvAltFired, A1: "R", N1: 1, N2: 2})
+		sp := s.StartSpan(EvRule, "R", "", 1)
+		sp.End(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-sink emit allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestSinkRecordsEventsAndSpans(t *testing.T) {
+	s := NewSink()
+	sp := s.StartSpan(EvRule, "JoinRoot", "T1, T2", 1)
+	s.Emit(Event{Name: EvAltFired, A1: "JoinRoot", Depth: 2, N1: 1, N2: 3})
+	s.Emit(Event{Name: EvAltRejected, A1: "JoinRoot", Depth: 2, N1: 2})
+	sp.End(3)
+
+	events := s.Events()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	if events[0].Kind != KindSpanBegin || events[0].A1 != "JoinRoot" || events[0].Depth != 1 {
+		t.Errorf("begin event = %+v", events[0])
+	}
+	if events[3].Kind != KindSpanEnd || events[3].Span != events[0].Span || events[3].N1 != 3 {
+		t.Errorf("end event = %+v", events[3])
+	}
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	// The span observed its duration histogram.
+	h := s.Registry().Histogram(`star_rule_seconds{name="JoinRoot"}`)
+	if h.Count() != 1 {
+		t.Errorf("span histogram count = %d, want 1", h.Count())
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	s := NewSink()
+	reg := s.Registry()
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				reg.Counter("c_total").Add(1)
+				reg.Gauge("g").Add(1)
+				reg.Histogram("h_seconds").Observe(time.Duration(i) * time.Microsecond)
+				s.Emit(Event{Name: EvPair, N1: int64(i)})
+				sp := s.StartSpan(EvGlue, "T", "", 0)
+				sp.End(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c_total").Value(); got != workers*each {
+		t.Errorf("counter = %d, want %d", got, workers*each)
+	}
+	if got := reg.Gauge("g").Value(); got != workers*each {
+		t.Errorf("gauge = %d, want %d", got, workers*each)
+	}
+	if got := reg.Histogram("h_seconds").Count(); got != workers*each {
+		t.Errorf("histogram count = %d, want %d", got, workers*each)
+	}
+	if got := s.Len(); got != workers*each*3 {
+		t.Errorf("event count = %d, want %d", got, workers*each*3)
+	}
+}
+
+func TestMetricsSinkDropsEventsKeepsMetrics(t *testing.T) {
+	s := NewMetricsSink()
+	s.Emit(Event{Name: EvPair})
+	sp := s.StartSpan(EvPhase, "access", "", 0)
+	sp.End(0)
+	if got := s.Events(); len(got) != 0 {
+		t.Fatalf("metrics sink kept %d events", len(got))
+	}
+	if h := s.Registry().Histogram(`opt_phase_seconds{name="access"}`); h.Count() != 1 {
+		t.Errorf("metrics sink lost the span histogram")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},         // 1024µs -> 2^10
+		{time.Second, 20},              // ~1.05M µs -> 2^20
+		{2 * time.Minute, histBuckets}, // past the last bound -> +Inf
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	s := NewSink()
+	reg := s.Registry()
+	reg.Counter("star_rule_refs_total").Add(42)
+	reg.Gauge("plantable_plans").Set(17)
+	reg.Histogram(`star_rule_seconds{name="AccessRoot"}`).Observe(3 * time.Microsecond)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE star_rule_refs_total counter",
+		"star_rule_refs_total 42",
+		"# TYPE plantable_plans gauge",
+		"plantable_plans 17",
+		"# TYPE star_rule_seconds histogram",
+		`star_rule_seconds_bucket{name="AccessRoot",le="+Inf"} 1`,
+		`star_rule_seconds_count{name="AccessRoot"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// Buckets must be cumulative and end at the total count.
+	if !strings.Contains(text, `star_rule_seconds_bucket{name="AccessRoot",le="4e-06"} 1`) {
+		t.Errorf("expected the 4µs bucket to contain the 3µs observation:\n%s", text)
+	}
+}
+
+func TestExportersProduceValidJSON(t *testing.T) {
+	s := NewSink()
+	sp := s.StartSpan(EvPhase, "access", "", 0)
+	s.Emit(Event{Name: EvVeneer, A1: "SORT", N1: 1})
+	sp.End(2)
+
+	var nd bytes.Buffer
+	if err := s.WriteNDJSON(&nd); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(nd.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("ndjson has %d lines, want 3", len(lines))
+	}
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("ndjson line %q: %v", line, err)
+		}
+	}
+
+	var ct bytes.Buffer
+	if err := s.WriteChromeTrace(&ct); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(ct.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v", err)
+	}
+	if len(trace.TraceEvents) != 3 {
+		t.Fatalf("chrome trace has %d events, want 3", len(trace.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, e := range trace.TraceEvents {
+		phases[e["ph"].(string)]++
+	}
+	if phases["B"] != 1 || phases["E"] != 1 || phases["i"] != 1 {
+		t.Errorf("phases = %v, want one each of B/E/i", phases)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"stars/internal/cost"
 	"stars/internal/expr"
 	"stars/internal/glue"
+	"stars/internal/obs"
 	"stars/internal/plan"
 	"stars/internal/query"
 	"stars/internal/star"
@@ -44,7 +45,14 @@ type Options struct {
 	Weights cost.Weights
 	// Rules overrides the repertoire; nil loads the built-in rule set.
 	Rules *star.RuleSet
-	// Trace captures the rule-firing log.
+	// Obs, when non-nil, receives the optimization's event stream (rule
+	// spans, Glue and plan-table events, phase spans) and metrics. When
+	// nil, obs.Default is consulted; when that is nil too, observability
+	// is off and costs only nil checks.
+	Obs *obs.Sink
+	// Trace captures the rule-firing log (Result.Trace). It is sugar for
+	// injecting a private sink via Obs: the log is reconstructed from the
+	// event stream.
 	Trace bool
 	// JoinRoot overrides the root join STAR's name; default "JoinRoot".
 	JoinRoot string
@@ -79,8 +87,13 @@ type Result struct {
 	Best *plan.Node
 	// Stats aggregates effort counters.
 	Stats Stats
-	// Trace is the rule-firing log when Options.Trace was set.
+	// Trace is the rule-firing log when Options.Trace was set
+	// (reconstructed from the observability event stream).
 	Trace []star.TraceEntry
+	// Obs is the sink the optimization reported into (nil when
+	// observability was off) — callers export it (NDJSON, Chrome trace,
+	// Prometheus text) or inspect its metrics.
+	Obs *obs.Sink
 	// Table is the final plan table (alternatives for every subset).
 	Table *glue.PlanTable
 	// Engine is the rule engine used (for inspecting registries in
@@ -120,10 +133,21 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 	if rules == nil {
 		rules = star.DefaultRules()
 	}
+	// Resolve the sink: an explicit Options.Obs wins; Options.Trace without
+	// one gets a private sink so the trace can be reconstructed; otherwise
+	// the process-wide obs.Default (nil when observability is off).
+	sink := o.Opts.Obs
+	if sink == nil && o.Opts.Trace {
+		sink = obs.NewSink()
+	}
+	if sink == nil {
+		sink = obs.Default
+	}
+
 	en := star.NewEngine(rules, env)
 	en.QueryTables = g.QuantNames()
 	en.NeededCols = func(q string) []expr.ColID { return g.NeededCols(o.Cat, q) }
-	en.Tracing = o.Opts.Trace
+	en.Obs = sink
 	if o.Opts.Prepare != nil {
 		o.Opts.Prepare(en)
 	}
@@ -133,13 +157,18 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 
 	table := glue.NewPlanTable()
 	table.PruneDisabled = o.Opts.DisablePruning
+	table.Obs = sink
 	gl := &glue.Gluer{Engine: en, Graph: g, Table: table, KeepAll: o.Opts.KeepAllGlue}
 	en.Glue = gl.Glue
 	en.PlanSites = gl.PlanSites
 
-	res := &Result{Table: table, Engine: en}
+	res := &Result{Table: table, Engine: en, Obs: sink}
 
 	// Phase 1: access plans for every quantifier (Section 2.3).
+	var accessSp obs.Span
+	if sink.Enabled() {
+		accessSp = sink.StartSpan(obs.EvPhase, "access", "", 0)
+	}
 	for _, q := range g.Quants {
 		ts := expr.NewTableSet(q.Name)
 		preds := g.BasePreds(q.Name)
@@ -156,6 +185,7 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 		}
 		table.Insert(ts, preds.Key(), sap)
 	}
+	accessSp.End(int64(table.Size()))
 
 	// Phase 2: bottom-up join enumeration over quantifier subsets.
 	if err := o.enumerate(g, en, table, res); err != nil {
@@ -164,6 +194,10 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 
 	// Phase 3: root requirements — deliver at the query site in the
 	// requested order.
+	var rootSp obs.Span
+	if sink.Enabled() {
+		rootSp = sink.StartSpan(obs.EvPhase, "root", "", 0)
+	}
 	rootReq := plan.Reqd{Order: g.OrderBy}
 	site := o.Cat.QuerySite
 	rootReq.Site = &site
@@ -172,6 +206,7 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 		return nil, fmt.Errorf("opt: root requirements: %w", err)
 	}
 	res.Best = glue.CheapestOf(best)
+	rootSp.End(int64(len(best)))
 
 	res.Stats.Star = en.Stats
 	res.Stats.Glue = gl.Stats
@@ -179,8 +214,33 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 	res.Stats.PlansInserted = table.Inserted
 	res.Stats.PlansPruned = table.Pruned
 	res.Stats.Elapsed = time.Since(start)
-	res.Trace = en.Trace
+	if sink.Enabled() {
+		publishMetrics(sink.Registry(), res)
+		res.Trace = star.TraceFromEvents(sink.Events())
+	}
 	return res, nil
+}
+
+// publishMetrics folds one optimization's counters into the sink's registry
+// so long-running processes (starbench -metrics) accumulate across queries.
+func publishMetrics(reg *obs.Registry, res *Result) {
+	st := res.Stats
+	reg.Counter("star_rule_refs_total").Add(st.Star.RuleRefs)
+	reg.Counter("star_alts_considered_total").Add(st.Star.AltsConsidered)
+	reg.Counter("star_alts_fired_total").Add(st.Star.AltsFired)
+	reg.Counter("star_alts_rejected_total").Add(st.Star.AltsRejected)
+	reg.Counter("star_plans_built_total").Add(st.Star.PlansBuilt)
+	reg.Counter("star_plans_rejected_total").Add(st.Star.PlansRejected)
+	reg.Counter("glue_calls_total").Add(st.Glue.Calls)
+	reg.Counter("glue_hits_total").Add(st.Glue.Hits)
+	reg.Counter("glue_misses_total").Add(st.Glue.Misses)
+	reg.Counter("glue_veneers_total").Add(st.Glue.Veneers)
+	reg.Counter("plantable_inserted_total").Add(st.PlansInserted)
+	reg.Counter("plantable_pruned_total").Add(st.PlansPruned)
+	reg.Counter("opt_subsets_total").Add(st.Subsets)
+	reg.Counter("opt_pairs_total").Add(st.Pairs)
+	reg.Gauge("plantable_plans").Set(st.PlansRetained)
+	reg.Histogram("opt_elapsed_seconds").Observe(st.Elapsed)
 }
 
 // joinRootName returns the configured root join STAR.
@@ -214,8 +274,14 @@ func (o *Optimizer) enumerate(g *query.Graph, en *star.Engine, table *glue.PlanT
 		return ts
 	}
 
+	sink := res.Obs
 	full := uint32(1<<n) - 1
 	for size := 2; size <= n; size++ {
+		var sizeSp obs.Span
+		if sink.Enabled() {
+			sizeSp = sink.StartSpan(obs.EvPhase, fmt.Sprintf("join-%d", size), "", 0)
+		}
+		sizePairs := res.Stats.Pairs
 		for mask := uint32(1); mask <= full; mask++ {
 			if bits.OnesCount32(mask) != size {
 				continue
@@ -255,6 +321,10 @@ func (o *Optimizer) enumerate(g *query.Graph, en *star.Engine, table *glue.PlanT
 			}
 			for _, pr := range pairs {
 				res.Stats.Pairs++
+				if sink.Enabled() {
+					sink.Emit(obs.Event{Name: obs.EvPair,
+						A1: setOf(pr.s1).Key(), A2: setOf(pr.s2).Key()})
+				}
 				p := g.NewlyEligible(setOf(pr.s1), setOf(pr.s2))
 				sap, err := en.EvalRule(o.joinRootName(), []star.Value{
 					star.StreamValue(setOf(pr.s1)),
@@ -268,6 +338,7 @@ func (o *Optimizer) enumerate(g *query.Graph, en *star.Engine, table *glue.PlanT
 				table.Insert(S, eligible.Key(), sap)
 			}
 		}
+		sizeSp.End(res.Stats.Pairs - sizePairs)
 	}
 	if len(table.Entry(g.TableSet())) == 0 {
 		return fmt.Errorf("opt: no complete plan produced (disconnected join graph? enable CartesianProducts)")

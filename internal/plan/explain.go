@@ -3,7 +3,9 @@ package plan
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
+	"time"
 )
 
 // Explain renders the plan tree in an indented, Figure-1-like layout: each
@@ -87,6 +89,61 @@ func describeNode(n *Node) string {
 		parts = append(parts, "«"+n.Origin+"»")
 	}
 	return strings.Join(parts, " ")
+}
+
+// Actual is one node's observed execution profile, supplied by the caller
+// (this package deliberately does not depend on the evaluator). Rows is the
+// total over all opens; Loops is the open count (a nested-loop inner opens
+// once per outer row).
+type Actual struct {
+	// Rows is the observed output cardinality, summed over all loops.
+	Rows int64
+	// Loops counts how many times the operator was opened.
+	Loops int64
+	// Cost is the observed cost in the cost model's units.
+	Cost float64
+	// Elapsed is wall-clock time inside the operator's subtree.
+	Elapsed time.Duration
+}
+
+// QError is the standard cardinality-estimation error metric: the factor by
+// which the estimate is off, max(est/act, act/est), always >= 1. Both sides
+// are clamped to one row so empty streams compare sanely.
+func QError(est, act float64) float64 {
+	est = math.Max(est, 1)
+	act = math.Max(act, 1)
+	return math.Max(est/act, act/est)
+}
+
+// ExplainAnalyze renders the plan tree annotated with estimated versus
+// actual cardinality and cost plus the per-node Q-error — the optimizer
+// validation view (EXPLAIN ANALYZE). actuals maps a node to its observed
+// profile; nodes it does not cover print estimates only.
+func ExplainAnalyze(n *Node, actuals func(*Node) (Actual, bool)) string {
+	var b strings.Builder
+	writeAnalyze(&b, n, 0, actuals)
+	return b.String()
+}
+
+func writeAnalyze(w io.Writer, n *Node, depth int, actuals func(*Node) (Actual, bool)) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(w, "%s%s", indent, describeNode(n))
+	fmt.Fprintln(w)
+	var estRows, estCost float64
+	if n.Props != nil {
+		estRows = n.Props.Card
+		estCost = n.Props.Cost.Total
+	}
+	if a, ok := actuals(n); ok {
+		fmt.Fprintf(w, "%s  (est rows=%.0f cost=%.0f) (actual rows=%d loops=%d cost=%.0f time=%s) Q-err=%.2f\n",
+			indent, estRows, estCost, a.Rows, a.Loops, a.Cost,
+			a.Elapsed.Round(time.Microsecond), QError(estRows, float64(a.Rows)))
+	} else {
+		fmt.Fprintf(w, "%s  (est rows=%.0f cost=%.0f) (never executed)\n", indent, estRows, estCost)
+	}
+	for _, in := range n.Inputs {
+		writeAnalyze(w, in, depth+1, actuals)
+	}
 }
 
 // Functional renders the plan in the paper's nested-function notation, e.g.

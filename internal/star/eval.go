@@ -6,6 +6,7 @@ import (
 
 	"stars/internal/cost"
 	"stars/internal/expr"
+	"stars/internal/obs"
 	"stars/internal/plan"
 )
 
@@ -53,6 +54,9 @@ type Stats struct {
 	// AltsFired counts alternatives whose guard held and whose body was
 	// evaluated.
 	AltsFired int64
+	// AltsRejected counts alternatives whose guard failed (or OTHERWISE
+	// arms skipped because an earlier alternative fired).
+	AltsRejected int64
 	// PlansBuilt counts plan nodes constructed by LOLEPOP builders.
 	PlansBuilt int64
 	// PlansRejected counts node combinations discarded (e.g. join inputs
@@ -69,13 +73,16 @@ func (s *Stats) Add(o Stats) {
 	s.RuleRefs += o.RuleRefs
 	s.AltsConsidered += o.AltsConsidered
 	s.AltsFired += o.AltsFired
+	s.AltsRejected += o.AltsRejected
 	s.PlansBuilt += o.PlansBuilt
 	s.PlansRejected += o.PlansRejected
 	s.GlueCalls += o.GlueCalls
 	s.HelperCalls += o.HelperCalls
 }
 
-// TraceEntry records one STAR reference for explain-origin output.
+// TraceEntry records one STAR reference for explain-origin output. Entries
+// are derived from the observability event stream (TraceFromEvents); the
+// engine itself only emits obs events.
 type TraceEntry struct {
 	// Depth is the reference nesting depth.
 	Depth int
@@ -83,11 +90,14 @@ type TraceEntry struct {
 	Rule string
 	// Args renders the reference's arguments.
 	Args string
-	// Alt is the 1-based index of a fired alternative; 0 for the
-	// reference header line.
+	// Alt is the 1-based index of an alternative; 0 for the reference
+	// header line.
 	Alt int
 	// Plans is the number of plans the alternative produced.
 	Plans int
+	// Rejected marks an alternative whose condition failed (or an
+	// OTHERWISE arm skipped because an earlier alternative fired).
+	Rejected bool
 }
 
 // Engine evaluates STAR references. One engine serves one optimization; its
@@ -111,10 +121,10 @@ type Engine struct {
 	PlanSites func(t expr.TableSet) []string
 	// Stats accumulates work counters.
 	Stats Stats
-	// Tracing enables TraceEntry capture.
-	Tracing bool
-	// Trace is the captured rule-firing log.
-	Trace []TraceEntry
+	// Obs receives rule-reference spans (with per-rule latency) and
+	// alternative fired/rejected events. The nil sink costs a nil check;
+	// see package obs.
+	Obs *obs.Sink
 
 	builders map[string]LolepopBuilder
 	helpers  map[string]HelperFunc
@@ -176,7 +186,7 @@ func (en *Engine) NextIndexName() string {
 // and returns its SAP. This is the paper's substitution step: replace the
 // reference with the alternative definitions whose conditions hold, binding
 // parameters to arguments.
-func (en *Engine) EvalRule(name string, args []Value) ([]*plan.Node, error) {
+func (en *Engine) EvalRule(name string, args []Value) (out []*plan.Node, err error) {
 	rule := en.Rules.Get(name)
 	if rule == nil {
 		return nil, fmt.Errorf("star: reference of undefined STAR %q", name)
@@ -188,8 +198,16 @@ func (en *Engine) EvalRule(name string, args []Value) ([]*plan.Node, error) {
 		return nil, fmt.Errorf("star: rule recursion exceeds %d at %s (cycle in STARs?)", maxDepth, name)
 	}
 	en.depth++
-	defer func() { en.depth-- }()
 	en.Stats.RuleRefs++
+	var sp obs.Span
+	if en.Obs.Enabled() {
+		// renderArgs allocates, so the span opens only behind the guard.
+		sp = en.Obs.StartSpan(obs.EvRule, name, renderArgs(args), en.depth)
+	}
+	defer func() {
+		sp.End(int64(len(out)))
+		en.depth--
+	}()
 
 	frame := make(map[string]Value, len(rule.Params)+len(rule.Where))
 	for i, p := range rule.Params {
@@ -203,13 +221,6 @@ func (en *Engine) EvalRule(name string, args []Value) ([]*plan.Node, error) {
 		frame[let.Name] = v
 	}
 
-	var traceIdx int
-	if en.Tracing {
-		traceIdx = len(en.Trace)
-		en.Trace = append(en.Trace, TraceEntry{Depth: en.depth, Rule: name, Args: renderArgs(args)})
-	}
-
-	var out []*plan.Node
 	seen := map[string]bool{}
 	fired := false
 	for i, alt := range rule.Alts {
@@ -226,6 +237,8 @@ func (en *Engine) EvalRule(name string, args []Value) ([]*plan.Node, error) {
 			applicable = cv.Truthy()
 		}
 		if !applicable {
+			en.Stats.AltsRejected++
+			en.Obs.Emit(obs.Event{Name: obs.EvAltRejected, A1: name, Depth: en.depth + 1, N1: int64(i + 1)})
 			continue
 		}
 		fired = true
@@ -248,15 +261,10 @@ func (en *Engine) EvalRule(name string, args []Value) ([]*plan.Node, error) {
 				out = append(out, p)
 			}
 		}
-		if en.Tracing {
-			en.Trace = append(en.Trace, TraceEntry{Depth: en.depth + 1, Rule: name, Alt: i + 1, Plans: len(v.SAP)})
-		}
+		en.Obs.Emit(obs.Event{Name: obs.EvAltFired, A1: name, Depth: en.depth + 1, N1: int64(i + 1), N2: int64(len(v.SAP))})
 		if rule.Exclusive {
 			break
 		}
-	}
-	if en.Tracing {
-		en.Trace[traceIdx].Plans = len(out)
 	}
 	return out, nil
 }
@@ -467,14 +475,44 @@ func (en *Engine) evalGlue(args []Value) (Value, error) {
 	return SAPValue(plans), nil
 }
 
+// TraceFromEvents reconstructs the rule-firing log from an observability
+// event stream, in emission order: each rule-reference span becomes a header
+// entry (its Plans filled in from the span's end event) and each
+// fired/rejected alternative becomes a child entry — so FormatTrace shows
+// the full fanout, rejections included.
+func TraceFromEvents(events []obs.Event) []TraceEntry {
+	var out []TraceEntry
+	open := map[int64]int{}
+	for _, e := range events {
+		switch {
+		case e.Name == obs.EvRule && e.Kind == obs.KindSpanBegin:
+			open[e.Span] = len(out)
+			out = append(out, TraceEntry{Depth: e.Depth, Rule: e.A1, Args: e.A2})
+		case e.Name == obs.EvRule && e.Kind == obs.KindSpanEnd:
+			if i, ok := open[e.Span]; ok {
+				out[i].Plans = int(e.N1)
+				delete(open, e.Span)
+			}
+		case e.Name == obs.EvAltFired && e.Kind == obs.KindInstant:
+			out = append(out, TraceEntry{Depth: e.Depth, Rule: e.A1, Alt: int(e.N1), Plans: int(e.N2)})
+		case e.Name == obs.EvAltRejected && e.Kind == obs.KindInstant:
+			out = append(out, TraceEntry{Depth: e.Depth, Rule: e.A1, Alt: int(e.N1), Rejected: true})
+		}
+	}
+	return out
+}
+
 // FormatTrace renders the captured trace as an indented firing log.
 func FormatTrace(entries []TraceEntry) string {
 	var b strings.Builder
 	for _, t := range entries {
 		indent := strings.Repeat("  ", t.Depth-1)
-		if t.Alt == 0 {
+		switch {
+		case t.Alt == 0:
 			fmt.Fprintf(&b, "%s%s(%s) -> %d plans\n", indent, t.Rule, t.Args, t.Plans)
-		} else {
+		case t.Rejected:
+			fmt.Fprintf(&b, "%s  alt#%d rejected\n", indent, t.Alt)
+		default:
 			fmt.Fprintf(&b, "%s  alt#%d fired: %d plans\n", indent, t.Alt, t.Plans)
 		}
 	}

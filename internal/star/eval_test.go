@@ -8,6 +8,7 @@ import (
 	"stars/internal/cost"
 	"stars/internal/datum"
 	"stars/internal/expr"
+	"stars/internal/obs"
 	"stars/internal/plan"
 )
 
@@ -269,13 +270,49 @@ star Wrapped() = LEAF('x')`)
 func TestTraceCapturesFirings(t *testing.T) {
 	en := stubEngine(t, `star R() = Wrapped()
 star Wrapped() = LEAF('x')`)
-	en.Tracing = true
+	en.Obs = obs.NewSink()
 	if _, err := en.EvalRule("R", nil); err != nil {
 		t.Fatal(err)
 	}
-	text := FormatTrace(en.Trace)
+	text := FormatTrace(TraceFromEvents(en.Obs.Events()))
 	if !strings.Contains(text, "R()") || !strings.Contains(text, "Wrapped()") {
 		t.Errorf("trace = %s", text)
+	}
+	// The span tracer also measured per-rule latency.
+	if h := en.Obs.Registry().Histogram(`star_rule_seconds{name="Wrapped"}`); h.Count() != 1 {
+		t.Errorf("rule latency histogram count = %d, want 1", h.Count())
+	}
+}
+
+func TestTraceRecordsRejectedAlternatives(t *testing.T) {
+	en := stubEngine(t, `
+star R() = [
+  | LEAF('a') if no()
+  | LEAF('b') if yes()
+]`)
+	en.Obs = obs.NewSink()
+	if _, err := en.EvalRule("R", nil); err != nil {
+		t.Fatal(err)
+	}
+	entries := TraceFromEvents(en.Obs.Events())
+	var sawRejected, sawFired bool
+	for _, e := range entries {
+		if e.Rejected && e.Alt == 1 {
+			sawRejected = true
+		}
+		if !e.Rejected && e.Alt == 2 {
+			sawFired = true
+		}
+	}
+	if !sawRejected || !sawFired {
+		t.Fatalf("trace misses rejection fanout: %+v", entries)
+	}
+	text := FormatTrace(entries)
+	if !strings.Contains(text, "alt#1 rejected") || !strings.Contains(text, "alt#2 fired") {
+		t.Errorf("trace = %s", text)
+	}
+	if en.Stats.AltsRejected != 1 {
+		t.Errorf("AltsRejected = %d, want 1", en.Stats.AltsRejected)
 	}
 }
 

@@ -145,6 +145,20 @@ func (c *Counters) TotalPages() int64 {
 	return c.HeapPageReads + c.HeapPageWrites + c.IndexPageReads + c.IndexPageWrites
 }
 
+// Sub returns the numeric counter deltas c - o; buffer-pool state is not
+// carried. The evaluator uses it to attribute I/O to individual operators
+// from before/after snapshots.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		HeapPageReads:   c.HeapPageReads - o.HeapPageReads,
+		HeapPageWrites:  c.HeapPageWrites - o.HeapPageWrites,
+		IndexPageReads:  c.IndexPageReads - o.IndexPageReads,
+		IndexPageWrites: c.IndexPageWrites - o.IndexPageWrites,
+		RowsRead:        c.RowsRead - o.RowsRead,
+		BufferHits:      c.BufferHits - o.BufferHits,
+	}
+}
+
 // HeapFile is a page-structured pile of rows. Pages hold a fixed number of
 // slots derived from the schema's average row width, mirroring how the
 // catalog derives page counts, so scans touch about as many pages as the

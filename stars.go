@@ -32,6 +32,7 @@ import (
 	"stars/internal/exec"
 	"stars/internal/expr"
 	"stars/internal/glue"
+	"stars/internal/obs"
 	"stars/internal/opt"
 	"stars/internal/plan"
 	"stars/internal/query"
@@ -123,8 +124,35 @@ func Optimize(cat *Catalog, g *Graph, o Options) (*Result, error) {
 	return opt.New(cat, o).Optimize(g)
 }
 
+// Sink collects the optimizer's and evaluator's observability stream:
+// events (rule spans, Glue calls, plan-table churn, executor operators) and
+// metrics (counters, gauges, latency histograms). A nil *Sink is valid
+// everywhere and costs only a nil check — observability off is the default.
+type Sink = obs.Sink
+
+// NewSink returns an enabled sink recording both events and metrics; pass it
+// via Options.Obs or Runtime.Obs, then export with its WriteNDJSON,
+// WriteChromeTrace, or DumpMetrics methods.
+func NewSink() *Sink { return obs.NewSink() }
+
+// NewMetricsSink returns a sink that aggregates metrics but drops the event
+// log — for long-running processes where an unbounded event log would leak.
+func NewMetricsSink() *Sink { return obs.NewMetricsSink() }
+
+// SetDefaultSink installs the process-wide fallback sink consulted whenever
+// Options.Obs is nil (the prometheus default-registry idiom). Pass nil to
+// turn the fallback off.
+func SetDefaultSink(s *Sink) { obs.Default = s }
+
 // Explain renders a plan tree with one-line property summaries.
 func Explain(p *Plan) string { return plan.Explain(p) }
+
+// ExplainAnalyze renders a plan annotated with estimated versus actual
+// cardinality/cost and the per-node Q-error. The execution must have run
+// with Runtime.CollectOpStats set, or every node prints "(never executed)".
+func ExplainAnalyze(p *Plan, er *ExecResult) string {
+	return plan.ExplainAnalyze(p, exec.Actuals(er, cost.DefaultWeights))
+}
 
 // ExplainVerbose renders a plan tree with every node's full property vector
 // (the paper's Figure 2 layout).
