@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test verify bench trace-demo experiments
+.PHONY: build test verify bench trace-demo dag-demo experiments
 
 build:
 	go build ./...
@@ -20,6 +20,12 @@ bench:
 # https://ui.perfetto.dev. See docs/OBSERVABILITY.md.
 trace-demo:
 	go run ./examples/tracedemo -o trace.json
+
+# Same scenario, plus the search-space provenance DAG as Graphviz dot and
+# the winning plan's derivation chain (Why "best"). Render the DAG with
+# `dot -Tsvg dag.dot > dag.svg`. See docs/OBSERVABILITY.md.
+dag-demo:
+	go run ./examples/tracedemo -o trace.json -dag dag.dot
 
 experiments:
 	go run ./cmd/starbench -e all -md > experiments_output.txt

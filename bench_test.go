@@ -16,6 +16,7 @@ import (
 	"stars/internal/datum"
 	"stars/internal/exec"
 	"stars/internal/expr"
+	"stars/internal/obs"
 	"stars/internal/opt"
 	"stars/internal/star"
 	"stars/internal/storage"
@@ -237,7 +238,10 @@ func chainName(n int) string { return "n=" + string(rune('0'+n)) }
 // default, which must stay within a few percent of the pre-instrumentation
 // baseline), "events" records the full event stream into a fresh sink per
 // iteration, and "metrics" aggregates counters/histograms while dropping
-// the event log.
+// the event log. "emit-disabled" isolates the nil-sink emit itself with the
+// enriched provenance payload (fingerprints, costs): it must report
+// 0 B/op, 0 allocs/op — the payload rides in the Event's flat value fields
+// and every string render sits behind an Enabled() guard.
 func BenchmarkObsOverhead(b *testing.B) {
 	cat := workload.EmpDept()
 	g := workload.Figure1Query()
@@ -245,6 +249,21 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			optimize(b, cat, g, stars.Options{})
+		}
+	})
+	b.Run("emit-disabled", func(b *testing.B) {
+		var sink *stars.Sink
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if sink.Enabled() {
+				b.Fatal("nil sink reports enabled")
+			}
+			sink.Emit(obs.Event{Name: obs.EvPlanPrune, A1: "DEPT,EMP",
+				A2: "c02d0ccb80ef20c4", A3: "32dd2088733d3006",
+				N1: 1, F1: 111.7, F2: 2.0})
+			sink.Emit(obs.Event{Name: obs.EvPlanOffer, A1: "DEPT,EMP",
+				A2: "c02d0ccb80ef20c4", A3: "JMeth#1 JOIN(NL)",
+				F1: 111.7, F2: 111})
 		}
 	})
 	b.Run("events", func(b *testing.B) {

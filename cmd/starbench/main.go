@@ -10,9 +10,15 @@
 //	starbench -e all -md      also emit a Markdown summary table
 //	starbench -e all -metrics print Prometheus-style metrics aggregated
 //	                          across every optimization/execution run
+//	starbench -json out.json  also write machine-readable per-experiment
+//	                          results (schema starbench/v1): verdicts, the
+//	                          regenerated tables, wall-clock ns and heap
+//	                          allocations, and per-experiment optimizer
+//	                          counters (plans enumerated, prune rate, ...)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,20 +28,53 @@ import (
 	"stars/internal/experiments"
 )
 
+// jsonSchema tags the -json export; bump on incompatible changes.
+const jsonSchema = "starbench/v1"
+
+// jsonExperiment is one experiment's machine-readable result.
+type jsonExperiment struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Claim     string     `json:"claim,omitempty"`
+	OK        bool       `json:"ok"`
+	Summary   string     `json:"summary,omitempty"`
+	ElapsedNS int64      `json:"elapsed_ns"`
+	Allocs    uint64     `json:"allocs"`
+	Headers   []string   `json:"headers,omitempty"`
+	Rows      [][]string `json:"rows,omitempty"`
+	Notes     []string   `json:"notes,omitempty"`
+	// PlansEnumerated counts plans the rule engine built during the
+	// experiment; PruneRate is plan-table prunes over inserts.
+	PlansEnumerated int64   `json:"plans_enumerated"`
+	PlansPruned     int64   `json:"plans_pruned"`
+	PruneRate       float64 `json:"prune_rate"`
+	// Metrics are the experiment's deltas of every optimizer/executor
+	// counter (see DumpMetrics for the name catalog).
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+	Error   string           `json:"error,omitempty"`
+}
+
+type jsonDoc struct {
+	Schema      string           `json:"schema"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
 func main() {
 	var (
 		exp      = flag.String("e", "all", "experiment id to run, or 'all'")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		markdown = flag.Bool("md", false, "emit a Markdown summary table after the reports")
 		metricsF = flag.Bool("metrics", false, "print Prometheus text-format metrics aggregated over all runs")
+		jsonOut  = flag.String("json", "", "write machine-readable per-experiment results (schema starbench/v1) to this path")
 	)
 	flag.Parse()
 
 	// A metrics-only sink (no event log) as the process default: every
 	// optimization the experiments run reports into it without per-call
-	// plumbing, and the unbounded event log stays off.
+	// plumbing, and the unbounded event log stays off. -json brackets each
+	// experiment with counter snapshots to attribute the totals.
 	var sink *stars.Sink
-	if *metricsF {
+	if *metricsF || *jsonOut != "" {
 		sink = stars.NewMetricsSink()
 		stars.SetDefaultSink(sink)
 	}
@@ -48,23 +87,34 @@ func main() {
 		return
 	}
 
-	var reports []*experiments.Report
+	ids := []string{*exp}
 	if strings.EqualFold(*exp, "all") {
-		var errs []error
-		reports, errs = experiments.RunAll()
-		for _, err := range errs {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-		}
-		if len(errs) > 0 {
-			defer os.Exit(1)
-		}
-	} else {
-		rep, err := experiments.Run(*exp)
+		ids = experiments.IDs()
+	}
+
+	var (
+		reports []*experiments.Report
+		results []jsonExperiment
+		errs    []error
+	)
+	for _, id := range ids {
+		before := sink.Registry().Counters()
+		rep, err := experiments.Run(id)
 		if err != nil {
+			errs = append(errs, err)
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
+			results = append(results, jsonExperiment{ID: id, Error: err.Error()})
+			continue
 		}
-		reports = []*experiments.Report{rep}
+		reports = append(reports, rep)
+		if *jsonOut != "" {
+			results = append(results, toJSON(rep, counterDelta(before, sink.Registry().Counters())))
+		}
+	}
+	if len(errs) > 0 && strings.EqualFold(*exp, "all") {
+		defer os.Exit(1)
+	} else if len(errs) > 0 {
+		os.Exit(1)
 	}
 
 	failed := 0
@@ -94,8 +144,57 @@ func main() {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, results); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d experiment result(s) to %s\n", len(results), *jsonOut)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) did not match the paper's shape\n", failed)
 		os.Exit(1)
 	}
+}
+
+// toJSON converts a report plus its counter deltas into the wire form.
+func toJSON(rep *experiments.Report, metrics map[string]int64) jsonExperiment {
+	out := jsonExperiment{
+		ID: rep.ID, Title: rep.Title, Claim: rep.Claim,
+		OK: rep.OK, Summary: rep.Summary,
+		ElapsedNS: rep.Elapsed.Nanoseconds(), Allocs: rep.Allocs,
+		Headers: rep.Headers, Rows: rep.Rows, Notes: rep.Notes,
+		PlansEnumerated: metrics["star_plans_built_total"],
+		PlansPruned:     metrics["plantable_pruned_total"],
+		Metrics:         metrics,
+	}
+	if ins := metrics["plantable_inserted_total"]; ins > 0 {
+		out.PruneRate = float64(out.PlansPruned) / float64(ins)
+	}
+	return out
+}
+
+// counterDelta subtracts snapshot a from b, keeping nonzero deltas.
+func counterDelta(a, b map[string]int64) map[string]int64 {
+	out := map[string]int64{}
+	for name, v := range b {
+		if d := v - a[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+func writeJSON(path string, results []jsonExperiment) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(jsonDoc{Schema: jsonSchema, Experiments: results})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

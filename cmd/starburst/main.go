@@ -8,8 +8,20 @@
 //	starburst run      -q "SELECT ..." [-catalog file.json] [-rules file.star] [-seed 1] [-limit 10]
 //	                   [-analyze] [-trace-out trace.json] [-metrics]
 //	starburst trace    -q "SELECT ..." [-catalog file.json] [-rules file.star]
+//	starburst diff     -q "SELECT ..." [-ablate pruning|keepall|leftdeep|cartesian]
+//	starburst diff     a.json b.json          # diff two saved provenance DAGs
 //	starburst rules    [-rules file.star]     # print the active repertoire
 //	starburst catalog                         # dump the demo catalog as JSON
+//
+// explain, run, and trace additionally accept the provenance flags
+//
+//	-why best|<fp>      print a plan's full derivation chain (STAR
+//	                    alternatives fired, Glue veneers applied)
+//	-whynot <fp>        print the forensics of a plan's rejection: the
+//	                    dominating plan, both costs, or the failing
+//	                    conditions of applicability
+//	-dag-out file       write the search-space provenance DAG (Graphviz
+//	                    dot, or stable JSON when the path ends in .json)
 //
 // Starting with a flag implies "run", and omitting -q uses the quickstart
 // EMP/DEPT query, so the one-liner observability demo is
@@ -57,6 +69,10 @@ func main() {
 		analyze  = fs.Bool("analyze", false, "EXPLAIN ANALYZE: per-operator estimated vs actual rows/cost and Q-error (run only)")
 		traceOut = fs.String("trace-out", "", "write a Chrome trace_event JSON file (chrome://tracing, ui.perfetto.dev) to this path")
 		metricsF = fs.Bool("metrics", false, "print Prometheus-style metrics after the command")
+		why      = fs.String("why", "", "print the derivation chain of a plan: 'best' or a 16-hex-digit fingerprint")
+		whyNot   = fs.String("whynot", "", "explain why the plan with this fingerprint was pruned, rejected, or never derived")
+		dagOut   = fs.String("dag-out", "", "write the search-space provenance DAG to this path (Graphviz dot; stable JSON if it ends in .json)")
+		ablate   = fs.String("ablate", "pruning", "diff variant: pruning|keepall|leftdeep|cartesian")
 	)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -94,7 +110,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(string(b))
-	case "explain", "run", "trace":
+	case "explain", "run", "trace", "diff":
+		if cmd == "diff" && fs.NArg() == 2 {
+			diffFiles(fs.Arg(0), fs.Arg(1))
+			return
+		}
 		if *q == "" {
 			if !demo {
 				fatal(fmt.Errorf("%s requires -q \"SELECT ...\" with a custom catalog", cmd))
@@ -105,9 +125,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if cmd == "diff" {
+			diffRuns(cat, g, opts, *ablate)
+			return
+		}
 		opts.Trace = cmd == "trace"
 		var sink *stars.Sink
-		if *analyze || *traceOut != "" || *metricsF {
+		if *analyze || *traceOut != "" || *metricsF || *why != "" || *whyNot != "" || *dagOut != "" {
 			sink = stars.NewSink()
 			opts.Obs = sink
 		}
@@ -181,6 +205,27 @@ func main() {
 				er.Stats.Messages, er.Stats.BytesShipped,
 				er.Stats.ActualCost(stars.DefaultWeights))
 		}
+		if *why != "" || *whyNot != "" || *dagOut != "" {
+			dag, err := stars.Provenance(res)
+			if err != nil {
+				fatal(err)
+			}
+			if *why != "" {
+				text, err := dag.Why(*why)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println()
+				fmt.Print(text)
+			}
+			if *whyNot != "" {
+				fmt.Println()
+				fmt.Print(dag.WhyNot(*whyNot))
+			}
+			if *dagOut != "" {
+				writeDAG(dag, *dagOut)
+			}
+		}
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
@@ -208,6 +253,82 @@ func main() {
 	}
 }
 
+// writeDAG exports the provenance DAG, picking the format by extension.
+func writeDAG(dag *stars.ProvenanceDAG, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = dag.WriteJSON(f)
+	} else {
+		err = dag.WriteDOT(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote provenance DAG (%s) to %s\n", dag.Summary(), path)
+}
+
+// diffRuns optimizes the query twice — baseline options (A) versus one
+// ablation (B) — and prints the provenance diff.
+func diffRuns(cat *stars.Catalog, g *stars.Graph, opts stars.Options, ablate string) {
+	variant := opts
+	switch ablate {
+	case "pruning":
+		variant.DisablePruning = true
+	case "keepall":
+		variant.KeepAllGlue = true
+	case "leftdeep":
+		variant.NoCompositeInners = true
+	case "cartesian":
+		variant.CartesianProducts = true
+	default:
+		fatal(fmt.Errorf("unknown -ablate %q (want pruning, keepall, leftdeep, or cartesian)", ablate))
+	}
+	opts.Obs = stars.NewSink()
+	variant.Obs = stars.NewSink()
+	resA, err := stars.Optimize(cat, g, opts)
+	if err != nil {
+		fatal(err)
+	}
+	resB, err := stars.Optimize(cat, g, variant)
+	if err != nil {
+		fatal(err)
+	}
+	dagA, err := stars.Provenance(resA)
+	if err != nil {
+		fatal(err)
+	}
+	dagB, err := stars.Provenance(resB)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("A = baseline, B = -ablate=%s variant\n", ablate)
+	fmt.Print(stars.DiffProvenance(dagA, dagB).Format())
+}
+
+// diffFiles diffs two provenance DAGs saved with -dag-out=....json.
+func diffFiles(pathA, pathB string) {
+	load := func(path string) *stars.ProvenanceDAG {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dag, err := stars.ReadProvenance(f)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		return dag
+	}
+	fmt.Printf("A = %s, B = %s\n", pathA, pathB)
+	fmt.Print(stars.DiffProvenance(load(pathA), load(pathB)).Format())
+}
+
 func loadCatalog(path string) (cat *stars.Catalog, demo bool, err error) {
 	if path == "" {
 		return stars.EmpDeptCatalog(), true, nil
@@ -217,7 +338,7 @@ func loadCatalog(path string) (cat *stars.Catalog, demo bool, err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: starburst {explain|run|trace|rules|catalog} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: starburst {explain|run|trace|diff|rules|catalog} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'starburst <cmd> -h' for the command's flags")
 }
 

@@ -3,11 +3,16 @@
 // so Glue must veneer plans with SHIP and SORT — with full observability
 // on, and writes the whole run as a Chrome trace_event file.
 //
-//	go run ./examples/tracedemo [-o trace.json]
+//	go run ./examples/tracedemo [-o trace.json] [-dag dag.dot]
 //
 // Open the output in chrome://tracing or https://ui.perfetto.dev: the
 // opt.phase spans frame the bottom-up passes, star.rule spans nest by rule
 // reference depth, and glue.call spans show Figure 3's veneering at work.
+//
+// With -dag, the run's search-space provenance DAG is also written as
+// Graphviz dot (render with `dot -Tsvg dag.dot > dag.svg`) and the winning
+// plan's derivation chain — including the SHIP and SORT veneers Glue
+// injected — is printed via Why("best").
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 
 func main() {
 	out := flag.String("o", "trace.json", "Chrome trace output path")
+	dagOut := flag.String("dag", "", "also write the provenance DAG as Graphviz dot to this path")
 	flag.Parse()
 
 	cat := stars.EmpDeptCatalog()
@@ -64,6 +70,31 @@ func main() {
 	fmt.Print(stars.ExplainAnalyze(res.Best, er))
 	fmt.Printf("\n%d rows; %d events captured\n", er.Stats.RowsOut, sink.Len())
 	fmt.Printf("wrote %s — open in chrome://tracing or https://ui.perfetto.dev\n", *out)
+
+	if *dagOut != "" {
+		dag, err := stars.Provenance(res)
+		if err != nil {
+			fatal(err)
+		}
+		why, err := dag.Why("best")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(why)
+		df, err := os.Create(*dagOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dag.WriteDOT(df); err != nil {
+			fatal(err)
+		}
+		if err := df.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%s) — render with `dot -Tsvg %s > dag.svg`\n",
+			*dagOut, dag.Summary(), *dagOut)
+	}
 }
 
 func fatal(err error) {

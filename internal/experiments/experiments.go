@@ -10,8 +10,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Report is one experiment's regenerated table.
@@ -31,6 +33,10 @@ type Report struct {
 	OK bool
 	// Summary is a one-line paper-vs-measured verdict for EXPERIMENTS.md.
 	Summary string
+	// Elapsed and Allocs profile the experiment's single run: wall-clock
+	// time and heap allocation count, filled in by Run for starbench -json.
+	Elapsed time.Duration
+	Allocs  uint64
 }
 
 // Format renders the report as an aligned text table.
@@ -144,10 +150,18 @@ func Titles() map[string]string {
 func Run(id string) (*Report, error) {
 	for _, r := range registry {
 		if strings.EqualFold(r.id, id) {
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
 			rep, err := r.fn()
+			elapsed := time.Since(start)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", r.id, err)
 			}
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			rep.Elapsed = elapsed
+			rep.Allocs = after.Mallocs - before.Mallocs
 			rep.ID = r.id
 			if rep.Title == "" {
 				rep.Title = r.title

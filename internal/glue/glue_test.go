@@ -8,6 +8,7 @@ import (
 	"stars/internal/cost"
 	"stars/internal/datum"
 	"stars/internal/expr"
+	"stars/internal/obs"
 	"stars/internal/plan"
 	"stars/internal/query"
 	"stars/internal/star"
@@ -97,6 +98,80 @@ func TestPlanTableInsertLookupAndPruning(t *testing.T) {
 	pt.Insert(ts, "k", []*plan.Node{cheap})
 	if pt.Size() != 2 {
 		t.Error("idempotent insert")
+	}
+}
+
+// TestPlanTablePruneForensics checks the enriched event stream: every offer
+// carries the plan's fingerprint and cost, and every prune decision names
+// victim and dominator with costs and the correct direction (0 = incoming
+// rejected on arrival, 1 = existing evicted by a later arrival).
+func TestPlanTablePruneForensics(t *testing.T) {
+	pt := NewPlanTable()
+	pt.Obs = obs.NewSink()
+	ts := deptSet()
+	pricey := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorBTreeStore, Table: "DEPT",
+		Origin: "TableAccess#2", Props: &plan.Props{Cost: plan.Cost{Total: 50}}}
+	cheap := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "DEPT",
+		Origin: "TableAccess#1", Props: &plan.Props{Cost: plan.Cost{Total: 5}}}
+
+	// pricey arrives first and is later evicted by cheap.
+	pt.Insert(ts, "k", []*plan.Node{pricey})
+	pt.Insert(ts, "k", []*plan.Node{cheap})
+
+	var offers, prunes []obs.Event
+	for _, e := range pt.Obs.Events() {
+		switch e.Name {
+		case obs.EvPlanOffer:
+			offers = append(offers, e)
+		case obs.EvPlanPrune:
+			prunes = append(prunes, e)
+		}
+	}
+	if len(offers) != 2 {
+		t.Fatalf("offers = %d, want 2", len(offers))
+	}
+	for _, e := range offers {
+		if e.A1 != "DEPT" || e.A2 == "" || e.F1 == 0 {
+			t.Errorf("offer lacks key/fingerprint/cost: %+v", e)
+		}
+	}
+	if offers[0].A3 != "TableAccess#2 ACCESS(btree)" {
+		t.Errorf("offer detail = %q", offers[0].A3)
+	}
+	if len(prunes) != 1 {
+		t.Fatalf("prunes = %d, want 1", len(prunes))
+	}
+	e := prunes[0]
+	if e.N1 != 1 {
+		t.Errorf("direction = %d, want 1 (existing plan evicted)", e.N1)
+	}
+	if e.A2 != pricey.Fingerprint() || e.A3 != cheap.Fingerprint() {
+		t.Errorf("victim/dominator = %q/%q, want %q/%q", e.A2, e.A3,
+			pricey.Fingerprint(), cheap.Fingerprint())
+	}
+	if e.F1 != 50 || e.F2 != 5 {
+		t.Errorf("victim/dominator costs = %.1f/%.1f, want 50/5", e.F1, e.F2)
+	}
+
+	// The reverse order: the incoming plan is rejected on arrival.
+	pt2 := NewPlanTable()
+	pt2.Obs = obs.NewSink()
+	cheap2 := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "DEPT",
+		Props: &plan.Props{Cost: plan.Cost{Total: 5}}}
+	pricey2 := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorBTreeStore, Table: "DEPT",
+		Props: &plan.Props{Cost: plan.Cost{Total: 50}}}
+	pt2.Insert(ts, "k", []*plan.Node{cheap2})
+	pt2.Insert(ts, "k", []*plan.Node{pricey2})
+	for _, e := range pt2.Obs.Events() {
+		if e.Name != obs.EvPlanPrune {
+			continue
+		}
+		if e.N1 != 0 {
+			t.Errorf("direction = %d, want 0 (incoming rejected)", e.N1)
+		}
+		if e.A2 != pricey2.Fingerprint() || e.A3 != cheap2.Fingerprint() {
+			t.Errorf("victim/dominator = %q/%q", e.A2, e.A3)
+		}
 	}
 }
 

@@ -270,7 +270,12 @@ func (g *Gluer) addVeneer(n *plan.Node) (*plan.Node, error) {
 	n.Origin = "Glue"
 	g.Stats.Veneers++
 	if g.Engine.Obs.Enabled() {
-		g.Engine.Obs.Emit(obs.Event{Name: obs.EvVeneer, A1: string(n.Op), N1: 1})
+		e := obs.Event{Name: obs.EvVeneer, A1: string(n.Op), A2: n.Fingerprint(), N1: 1,
+			F1: n.Props.Cost.Total}
+		if in := n.Outer(); in != nil {
+			e.A3 = in.Fingerprint()
+		}
+		g.Engine.Obs.Emit(e)
 	}
 	return n, nil
 }

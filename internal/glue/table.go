@@ -65,6 +65,11 @@ func (pt *PlanTable) Insert(tables expr.TableSet, predsKey string, plans []*plan
 	cur := byPreds[predsKey]
 	for _, p := range plans {
 		pt.Inserted++
+		if pt.Obs.Enabled() {
+			pt.Obs.Emit(obs.Event{Name: obs.EvPlanOffer, A1: tk,
+				A2: p.Fingerprint(), A3: offerDetail(p),
+				F1: p.Props.Cost.Total, F2: p.Props.Card})
+		}
 		cur = pt.addPruned(tk, cur, p)
 	}
 	byPreds[predsKey] = cur
@@ -90,9 +95,7 @@ func (pt *PlanTable) addPruned(tk string, cur []*plan.Node, p *plan.Node) []*pla
 		}
 		if plan.Dominates(q.Props, p.Props) {
 			pt.Pruned++
-			if pt.Obs.Enabled() {
-				pt.Obs.Emit(obs.Event{Name: obs.EvPlanPrune, A1: tk, N1: 1})
-			}
+			pt.emitPrune(tk, p, q, 0) // incoming p rejected, dominated by existing q
 			return cur
 		}
 	}
@@ -100,14 +103,51 @@ func (pt *PlanTable) addPruned(tk string, cur []*plan.Node, p *plan.Node) []*pla
 	for _, q := range cur {
 		if plan.Dominates(p.Props, q.Props) {
 			pt.Pruned++
-			if pt.Obs.Enabled() {
-				pt.Obs.Emit(obs.Event{Name: obs.EvPlanPrune, A1: tk, N1: 1})
-			}
+			pt.emitPrune(tk, q, p, 1) // existing q evicted by incoming p
 			continue
 		}
 		out = append(out, q)
 	}
 	return append(out, p)
+}
+
+// emitPrune records one dominance decision with the identity and cost of
+// both the victim and the dominator — the forensic record provenance.WhyNot
+// answers from. direction is 0 when the incoming plan was rejected, 1 when
+// an existing plan was evicted.
+func (pt *PlanTable) emitPrune(tk string, victim, dominator *plan.Node, direction int64) {
+	if !pt.Obs.Enabled() {
+		return
+	}
+	pt.Obs.Emit(obs.Event{Name: obs.EvPlanPrune, A1: tk, N1: direction,
+		A2: victim.Fingerprint(), A3: dominator.Fingerprint(),
+		F1: victim.Props.Cost.Total, F2: dominator.Props.Cost.Total})
+}
+
+// offerDetail renders the origin and operator of an offered plan for the
+// plantable.offer event ("JMeth#2 JOIN(MG)").
+func offerDetail(p *plan.Node) string {
+	origin := p.Origin
+	if origin == "" {
+		origin = "?"
+	}
+	head := string(p.Op)
+	if p.Flavor != "" {
+		head += "(" + p.Flavor + ")"
+	}
+	return origin + " " + head
+}
+
+// ForEach visits every retained plan, keyed by table-set and predicate key,
+// in unspecified order — provenance walks the final population through it.
+func (pt *PlanTable) ForEach(fn func(tablesKey, predsKey string, p *plan.Node)) {
+	for tk, byPreds := range pt.entries {
+		for pk, plans := range byPreds {
+			for _, p := range plans {
+				fn(tk, pk, p)
+			}
+		}
+	}
 }
 
 // Entry returns every plan stored for the table set across all predicate

@@ -14,10 +14,13 @@ type ndjsonEvent struct {
 	Name  string  `json:"name"`
 	A1    string  `json:"a1,omitempty"`
 	A2    string  `json:"a2,omitempty"`
+	A3    string  `json:"a3,omitempty"`
 	Depth int     `json:"depth,omitempty"`
 	Span  int64   `json:"span,omitempty"`
 	N1    int64   `json:"n1,omitempty"`
 	N2    int64   `json:"n2,omitempty"`
+	F1    float64 `json:"f1,omitempty"`
+	F2    float64 `json:"f2,omitempty"`
 }
 
 // WriteNDJSON writes the event log as newline-delimited JSON, one event per
@@ -30,8 +33,8 @@ func (s *Sink) WriteNDJSON(w io.Writer) error {
 	for _, e := range s.Events() {
 		if err := enc.Encode(ndjsonEvent{
 			Seq: e.Seq, TUs: float64(e.T.Microseconds()), Kind: e.Kind.String(),
-			Name: e.Name, A1: e.A1, A2: e.A2, Depth: e.Depth, Span: e.Span,
-			N1: e.N1, N2: e.N2,
+			Name: e.Name, A1: e.A1, A2: e.A2, A3: e.A3, Depth: e.Depth, Span: e.Span,
+			N1: e.N1, N2: e.N2, F1: e.F1, F2: e.F2,
 		}); err != nil {
 			return err
 		}
@@ -97,6 +100,9 @@ func chromeArgs(e Event) map[string]any {
 	if e.A2 != "" {
 		args["detail"] = e.A2
 	}
+	if e.A3 != "" {
+		args["detail2"] = e.A3
+	}
 	if e.Depth != 0 {
 		args["depth"] = e.Depth
 	}
@@ -105,6 +111,12 @@ func chromeArgs(e Event) map[string]any {
 	}
 	if e.N2 != 0 {
 		args["n2"] = e.N2
+	}
+	if e.F1 != 0 {
+		args["f1"] = e.F1
+	}
+	if e.F2 != 0 {
+		args["f2"] = e.F2
 	}
 	if len(args) == 0 {
 		return nil

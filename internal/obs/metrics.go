@@ -179,6 +179,22 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Counters snapshots every counter's current value by name. Nil registry
+// returns an empty map. Two snapshots bracket a unit of work; their
+// per-name deltas attribute the registry's monotonic totals to it.
+func (r *Registry) Counters() map[string]int64 {
+	out := map[string]int64{}
+	if r == nil {
+		return out
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
 // Gauge returns (creating on first use) the named gauge.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {

@@ -61,7 +61,8 @@ const (
 	EvAltFired = "star.alt.fired"
 	// EvAltRejected marks an alternative whose condition failed (or an
 	// OTHERWISE skipped because an earlier alternative fired); A1 rule,
-	// N1 1-based alternative index.
+	// N1 1-based alternative index, A2 the failing condition of
+	// applicability in DSL syntax (so WHYNOT can cite it).
 	EvAltRejected = "star.alt.rejected"
 	// EvGlue spans one Glue reference; A1 is the table-set key, A2 the
 	// required properties, end N1 the number of satisfying plans.
@@ -71,14 +72,24 @@ const (
 	EvGlueHit  = "glue.hit"
 	EvGlueMiss = "glue.miss"
 	// EvVeneer marks a Glue operator injected over a plan; A1 is the
-	// LOLEPOP name (SHIP, SORT, STORE, BUILDINDEX, FILTER, ...).
+	// LOLEPOP name (SHIP, SORT, STORE, BUILDINDEX, FILTER, ...), A2 the
+	// veneer node's fingerprint, A3 its input plan's fingerprint, F1 its
+	// estimated total cost.
 	EvVeneer = "glue.veneer"
-	// EvPlanInsert marks a plan-table insertion; A1 table-set key, N1
-	// plans offered, N2 plans retained in the entry afterwards.
+	// EvPlanInsert marks a plan-table insertion; A1 table-set key, A2 the
+	// predicate key, N1 plans offered, N2 plans retained in the entry
+	// afterwards.
 	EvPlanInsert = "plantable.insert"
+	// EvPlanOffer marks one plan offered to a plan-table entry, before
+	// dominance is decided; A1 table-set key, A2 the plan fingerprint,
+	// A3 "origin desc" (the STAR alternative that built it and the
+	// operator), F1 estimated total cost, F2 estimated cardinality.
+	// Provenance reconstructs pruned plans' identities from these.
+	EvPlanOffer = "plantable.offer"
 	// EvPlanPrune marks a dominance decision; A1 table-set key, N1 0 when
 	// the incoming plan was rejected as dominated, 1 when an existing plan
-	// was evicted by the incoming one.
+	// was evicted by the incoming one. A2 is the victim's fingerprint, A3
+	// the dominator's, F1 the victim's total cost, F2 the dominator's.
 	EvPlanPrune = "plantable.prune"
 	// EvPhase spans one optimizer phase; A1 names it ("access", "join-2",
 	// ..., "root").
@@ -105,16 +116,19 @@ type Event struct {
 	Kind Kind
 	// Name is the taxonomy name (Ev* constants).
 	Name string
-	// A1 and A2 are string payloads (rule name, table-set key, ...).
-	A1, A2 string
+	// A1, A2, and A3 are string payloads (rule name, table-set key, plan
+	// fingerprints, ...).
+	A1, A2, A3 string
 	// Depth is the caller's nesting depth, when meaningful (STAR
 	// recursion depth).
 	Depth int
 	// Span links a begin to its end (sink-assigned id).
 	Span int64
-	// N1 and N2 are numeric payloads (alternative index, plan counts,
+	// N1 and N2 are integer payloads (alternative index, plan counts,
 	// row counts).
 	N1, N2 int64
+	// F1 and F2 are float payloads (estimated costs, cardinalities).
+	F1, F2 float64
 }
 
 // Sink collects events and owns a metrics registry. It is safe for

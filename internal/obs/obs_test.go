@@ -36,9 +36,15 @@ func TestNilSinkIsSafeAndFree(t *testing.T) {
 	s.Registry().Histogram("y").Observe(time.Millisecond)
 	s.Registry().Gauge("z").Set(9)
 
-	// The disabled fast path must not allocate.
+	// The disabled fast path must not allocate — including the enriched
+	// provenance payloads (victim/dominator fingerprints and costs ride in
+	// the Event's flat value fields).
 	allocs := testing.AllocsPerRun(100, func() {
 		s.Emit(Event{Name: EvAltFired, A1: "R", N1: 1, N2: 2})
+		s.Emit(Event{Name: EvPlanPrune, A1: "DEPT,EMP", A2: "c02d0ccb80ef20c4",
+			A3: "32dd2088733d3006", N1: 1, F1: 111.7, F2: 2.0})
+		s.Emit(Event{Name: EvPlanOffer, A1: "DEPT,EMP", A2: "c02d0ccb80ef20c4",
+			A3: "JMeth#1 JOIN(NL)", F1: 111.7, F2: 111})
 		sp := s.StartSpan(EvRule, "R", "", 1)
 		sp.End(0)
 	})
@@ -214,5 +220,45 @@ func TestExportersProduceValidJSON(t *testing.T) {
 	}
 	if phases["B"] != 1 || phases["E"] != 1 || phases["i"] != 1 {
 		t.Errorf("phases = %v, want one each of B/E/i", phases)
+	}
+}
+
+// TestExportersRoundTripProvenancePayload checks the enriched event fields
+// (A3, F1, F2) survive both exporters through encoding/json.
+func TestExportersRoundTripProvenancePayload(t *testing.T) {
+	s := NewSink()
+	s.Emit(Event{Name: EvPlanPrune, A1: "DEPT,EMP", A2: "victimfp00000000",
+		A3: "dominatorfp00000", N1: 1, F1: 111.7, F2: 2.5})
+
+	var nd bytes.Buffer
+	if err := s.WriteNDJSON(&nd); err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(nd.Bytes()), &obj); err != nil {
+		t.Fatalf("ndjson line: %v", err)
+	}
+	if obj["a3"] != "dominatorfp00000" || obj["f1"] != 111.7 || obj["f2"] != 2.5 {
+		t.Errorf("ndjson lost provenance fields: %v", obj)
+	}
+
+	var ct bytes.Buffer
+	if err := s.WriteChromeTrace(&ct); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(ct.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome trace: %v", err)
+	}
+	if len(trace.TraceEvents) != 1 {
+		t.Fatalf("chrome trace has %d events, want 1", len(trace.TraceEvents))
+	}
+	args := trace.TraceEvents[0].Args
+	if args["detail2"] != "dominatorfp00000" || args["f1"] != 111.7 || args["f2"] != 2.5 {
+		t.Errorf("chrome trace lost provenance fields: %v", args)
 	}
 }

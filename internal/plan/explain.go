@@ -41,6 +41,10 @@ func writeExplain(w io.Writer, n *Node, depth int, verbose bool) {
 	}
 }
 
+// Describe returns the one-line operator description EXPLAIN and DOT use —
+// the operator, flavor, and its load-bearing parameters.
+func (n *Node) Describe() string { return describeNode(n) }
+
 func describeNode(n *Node) string {
 	var parts []string
 	head := string(n.Op)

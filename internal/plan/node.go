@@ -122,6 +122,7 @@ type Node struct {
 	Origin string
 
 	key string // memoized Key; nodes are immutable once built
+	fp  string // memoized Fingerprint
 }
 
 // Outer returns the first input (the outer stream of a join).
@@ -224,6 +225,25 @@ func (n *Node) Key() string {
 		n.key = b.String()
 	}
 	return n.key
+}
+
+// Fingerprint returns a short, stable identity for the plan's structure: the
+// 64-bit FNV-1a hash of Key() as 16 hex digits. Two plans with the same
+// operators, parameters, and inputs share a fingerprint across runs and
+// processes, which is what lets provenance diff two optimizations and lets
+// the CLI's -whynot address a plan the optimizer discarded.
+func (n *Node) Fingerprint() string {
+	if n.fp == "" {
+		const offset64, prime64 = 14695981039346656037, 1099511628211
+		h := uint64(offset64)
+		k := n.Key()
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= prime64
+		}
+		n.fp = fmt.Sprintf("%016x", h)
+	}
+	return n.fp
 }
 
 func (n *Node) writeKey(b *strings.Builder) {

@@ -1,0 +1,149 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffEntry is one plan's fate across two runs. Status strings are those of
+// Plan.Status, plus "absent" when the run never derived the plan.
+type DiffEntry struct {
+	FP      string  `json:"fp"`
+	Desc    string  `json:"desc"`
+	Tables  string  `json:"tables,omitempty"`
+	StatusA string  `json:"status_a"`
+	StatusB string  `json:"status_b"`
+	CostA   float64 `json:"cost_a,omitempty"`
+	CostB   float64 `json:"cost_b,omitempty"`
+}
+
+// DiffReport compares two derivation DAGs — typically an ablation (STAR
+// catalog change, pruning off, left-deep only) against a baseline.
+type DiffReport struct {
+	// OnlyA and OnlyB are plans derived in exactly one run.
+	OnlyA []DiffEntry `json:"only_a,omitempty"`
+	OnlyB []DiffEntry `json:"only_b,omitempty"`
+	// StatusChanged are plans both runs derived whose fate differs
+	// (pruned in one, retained or chosen in the other, ...).
+	StatusChanged []DiffEntry `json:"status_changed,omitempty"`
+	// CostChanged are plans with the same fate but a different estimated
+	// cost (a cost-model or statistics change).
+	CostChanged []DiffEntry `json:"cost_changed,omitempty"`
+	// BestA and BestB are the winning fingerprints; BestCost* their costs.
+	BestA       string  `json:"best_a,omitempty"`
+	BestB       string  `json:"best_b,omitempty"`
+	BestCostA   float64 `json:"best_cost_a,omitempty"`
+	BestCostB   float64 `json:"best_cost_b,omitempty"`
+	BestChanged bool    `json:"best_changed"`
+	PlansA      int     `json:"plans_a"`
+	PlansB      int     `json:"plans_b"`
+	RejectionsA int     `json:"rejections_a"`
+	RejectionsB int     `json:"rejections_b"`
+	// PrunedOnlyInOneRun are plans pruned in exactly one of the runs —
+	// the footprint of a pruning ablation.
+	PrunedOnlyInOneRun []DiffEntry `json:"pruned_only,omitempty"`
+}
+
+// Diff compares two DAGs by plan fingerprint and reports plans gained and
+// lost, fate changes, cost deltas, and the change (if any) of winning plan.
+func Diff(a, b *DAG) *DiffReport {
+	r := &DiffReport{
+		BestA: a.BestFP, BestB: b.BestFP,
+		PlansA: len(a.Plans), PlansB: len(b.Plans),
+		RejectionsA: len(a.Rejections), RejectionsB: len(b.Rejections),
+	}
+	if na := a.Plans[a.BestFP]; na != nil {
+		r.BestCostA = na.Cost
+	}
+	if nb := b.Plans[b.BestFP]; nb != nil {
+		r.BestCostB = nb.Cost
+	}
+	r.BestChanged = a.BestFP != b.BestFP
+
+	fps := make([]string, 0, len(a.Plans)+len(b.Plans))
+	seen := map[string]bool{}
+	for fp := range a.Plans {
+		fps = append(fps, fp)
+		seen[fp] = true
+	}
+	for fp := range b.Plans {
+		if !seen[fp] {
+			fps = append(fps, fp)
+		}
+	}
+	sort.Strings(fps)
+
+	for _, fp := range fps {
+		na, nb := a.Plans[fp], b.Plans[fp]
+		switch {
+		case nb == nil:
+			r.OnlyA = append(r.OnlyA, entry(fp, na, nil))
+		case na == nil:
+			r.OnlyB = append(r.OnlyB, entry(fp, nil, nb))
+		default:
+			e := entry(fp, na, nb)
+			if e.StatusA != e.StatusB {
+				r.StatusChanged = append(r.StatusChanged, e)
+			} else if e.CostA != e.CostB {
+				r.CostChanged = append(r.CostChanged, e)
+			}
+		}
+		// A plan pruned in exactly one run is the pruning ablation's
+		// footprint: the alternatives dominance would have discarded.
+		pa, pb := na != nil && na.Status() == "pruned", nb != nil && nb.Status() == "pruned"
+		if pa != pb {
+			r.PrunedOnlyInOneRun = append(r.PrunedOnlyInOneRun, entry(fp, na, nb))
+		}
+	}
+	return r
+}
+
+func entry(fp string, a, b *Plan) DiffEntry {
+	e := DiffEntry{FP: fp, StatusA: "absent", StatusB: "absent"}
+	if a != nil {
+		e.Desc, e.Tables, e.StatusA, e.CostA = a.Desc, a.Tables, a.Status(), a.Cost
+	}
+	if b != nil {
+		e.Desc, e.Tables, e.StatusB, e.CostB = b.Desc, b.Tables, b.Status(), b.Cost
+	}
+	return e
+}
+
+// Format renders the report as a readable run-A-vs-run-B summary.
+func (r *DiffReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "provenance diff: %d plans (A) vs %d plans (B); %d vs %d rejected alternatives\n",
+		r.PlansA, r.PlansB, r.RejectionsA, r.RejectionsB)
+	if r.BestChanged {
+		fmt.Fprintf(&b, "WINNER CHANGED: A chose %s (cost=%.1f), B chose %s (cost=%.1f)\n",
+			r.BestA, r.BestCostA, r.BestB, r.BestCostB)
+	} else {
+		fmt.Fprintf(&b, "same winner: %s (cost %.1f vs %.1f)\n", r.BestA, r.BestCostA, r.BestCostB)
+	}
+	section := func(title string, es []DiffEntry, render func(DiffEntry) string) {
+		if len(es) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s (%d):\n", title, len(es))
+		for _, e := range es {
+			fmt.Fprintf(&b, "  %s\n", render(e))
+		}
+	}
+	section("plans only in A", r.OnlyA, func(e DiffEntry) string {
+		return fmt.Sprintf("%s %s {%s} cost=%.1f [%s]", e.FP, e.Desc, e.Tables, e.CostA, e.StatusA)
+	})
+	section("plans only in B", r.OnlyB, func(e DiffEntry) string {
+		return fmt.Sprintf("%s %s {%s} cost=%.1f [%s]", e.FP, e.Desc, e.Tables, e.CostB, e.StatusB)
+	})
+	section("fate changed", r.StatusChanged, func(e DiffEntry) string {
+		return fmt.Sprintf("%s %s {%s}: %s (A) -> %s (B)", e.FP, e.Desc, e.Tables, e.StatusA, e.StatusB)
+	})
+	section("cost changed", r.CostChanged, func(e DiffEntry) string {
+		return fmt.Sprintf("%s %s {%s}: %.1f (A) -> %.1f (B), delta %+.1f", e.FP, e.Desc, e.Tables, e.CostA, e.CostB, e.CostB-e.CostA)
+	})
+	if len(r.PrunedOnlyInOneRun) > 0 {
+		fmt.Fprintf(&b, "pruned in exactly one run: %d plan(s)\n", len(r.PrunedOnlyInOneRun))
+	}
+	return b.String()
+}

@@ -98,6 +98,9 @@ type TraceEntry struct {
 	// Rejected marks an alternative whose condition failed (or an
 	// OTHERWISE arm skipped because an earlier alternative fired).
 	Rejected bool
+	// Cond is the failing condition of applicability (DSL syntax) for a
+	// rejected alternative.
+	Cond string
 }
 
 // Engine evaluates STAR references. One engine serves one optimization; its
@@ -238,7 +241,16 @@ func (en *Engine) EvalRule(name string, args []Value) (out []*plan.Node, err err
 		}
 		if !applicable {
 			en.Stats.AltsRejected++
-			en.Obs.Emit(obs.Event{Name: obs.EvAltRejected, A1: name, Depth: en.depth + 1, N1: int64(i + 1)})
+			if en.Obs.Enabled() {
+				// Name the failing condition of applicability so WHYNOT
+				// can cite it; rendering allocates, so only when observed.
+				cond := "OTHERWISE: an earlier alternative fired"
+				if !alt.Otherwise && alt.Cond != nil {
+					cond = alt.Cond.String()
+				}
+				en.Obs.Emit(obs.Event{Name: obs.EvAltRejected, A1: name, A2: cond,
+					Depth: en.depth + 1, N1: int64(i + 1)})
+			}
 			continue
 		}
 		fired = true
@@ -496,7 +508,7 @@ func TraceFromEvents(events []obs.Event) []TraceEntry {
 		case e.Name == obs.EvAltFired && e.Kind == obs.KindInstant:
 			out = append(out, TraceEntry{Depth: e.Depth, Rule: e.A1, Alt: int(e.N1), Plans: int(e.N2)})
 		case e.Name == obs.EvAltRejected && e.Kind == obs.KindInstant:
-			out = append(out, TraceEntry{Depth: e.Depth, Rule: e.A1, Alt: int(e.N1), Rejected: true})
+			out = append(out, TraceEntry{Depth: e.Depth, Rule: e.A1, Alt: int(e.N1), Rejected: true, Cond: e.A2})
 		}
 	}
 	return out
@@ -510,6 +522,8 @@ func FormatTrace(entries []TraceEntry) string {
 		switch {
 		case t.Alt == 0:
 			fmt.Fprintf(&b, "%s%s(%s) -> %d plans\n", indent, t.Rule, t.Args, t.Plans)
+		case t.Rejected && t.Cond != "":
+			fmt.Fprintf(&b, "%s  alt#%d rejected: %s\n", indent, t.Alt, t.Cond)
 		case t.Rejected:
 			fmt.Fprintf(&b, "%s  alt#%d rejected\n", indent, t.Alt)
 		default:

@@ -316,6 +316,34 @@ star R() = [
 	}
 }
 
+// TestRejectedEventCarriesCondition checks the alt-rejected event names the
+// failing condition of applicability in DSL syntax — the text WhyNot and
+// the trace cite.
+func TestRejectedEventCarriesCondition(t *testing.T) {
+	en := stubEngine(t, `
+star R() = [
+  | LEAF('a') if no()
+  | LEAF('b') if yes()
+]`)
+	en.Obs = obs.NewSink()
+	if _, err := en.EvalRule("R", nil); err != nil {
+		t.Fatal(err)
+	}
+	var cond string
+	for _, e := range en.Obs.Events() {
+		if e.Name == obs.EvAltRejected && e.Kind == obs.KindInstant {
+			cond = e.A2
+		}
+	}
+	if cond != "no()" {
+		t.Errorf("rejected event condition = %q, want %q", cond, "no()")
+	}
+	text := FormatTrace(TraceFromEvents(en.Obs.Events()))
+	if !strings.Contains(text, "rejected: no()") {
+		t.Errorf("trace does not cite the failing condition:\n%s", text)
+	}
+}
+
 func TestGlueBridging(t *testing.T) {
 	en := stubEngine(t, `star R(T) = Glue(T[site = 'LA'], {})`)
 	var got *GlueRequest

@@ -27,6 +27,8 @@
 package stars
 
 import (
+	"io"
+
 	"stars/internal/catalog"
 	"stars/internal/cost"
 	"stars/internal/exec"
@@ -35,6 +37,7 @@ import (
 	"stars/internal/obs"
 	"stars/internal/opt"
 	"stars/internal/plan"
+	"stars/internal/provenance"
 	"stars/internal/query"
 	"stars/internal/sqlparse"
 	"stars/internal/star"
@@ -219,6 +222,28 @@ func Project(er *ExecResult, cols []ColID) [][]string {
 	}
 	return out
 }
+
+// ProvenanceDAG is the search-space provenance of one optimization run:
+// every plan derived, kept, pruned (with dominator identity and costs), and
+// every STAR alternative rejected (with the failing condition). Query it
+// with Why/WhyNot, export it with WriteDOT/WriteJSON, compare runs with
+// DiffProvenance.
+type ProvenanceDAG = provenance.DAG
+
+// ProvenanceDiffReport compares two ProvenanceDAGs plan by plan.
+type ProvenanceDiffReport = provenance.DiffReport
+
+// Provenance reconstructs the derivation DAG of an optimization run. The
+// run must have been observed: set Options.Obs to NewSink() (a metrics-only
+// sink has no event log and is rejected).
+func Provenance(r *Result) (*ProvenanceDAG, error) { return provenance.FromResult(r) }
+
+// ReadProvenance loads a DAG previously saved with its WriteJSON method.
+func ReadProvenance(r io.Reader) (*ProvenanceDAG, error) { return provenance.ReadJSON(r) }
+
+// DiffProvenance compares two derivation DAGs — typically a baseline against
+// an ablation (pruning off, left-deep only, Cartesian products on).
+func DiffProvenance(a, b *ProvenanceDAG) *ProvenanceDiffReport { return provenance.Diff(a, b) }
 
 // GlueRequest and Value are re-exported for advanced extensions that add
 // helper functions or LOLEPOP builders to the rule engine.
