@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test verify bench trace-demo dag-demo experiments
+.PHONY: build test verify bench trace-demo dag-demo serve serve-demo experiments
 
 build:
 	go build ./...
@@ -26,6 +26,18 @@ trace-demo:
 # `dot -Tsvg dag.dot > dag.svg`. See docs/OBSERVABILITY.md.
 dag-demo:
 	go run ./examples/tracedemo -o trace.json -dag dag.dot
+
+# Run the optimizer as a long-lived HTTP daemon on :8080 (POST /optimize,
+# GET /metrics, GET /events, /healthz, /readyz, /debug/pprof). Ctrl-C or
+# SIGTERM drains gracefully. See docs/SERVING.md.
+serve:
+	go run ./cmd/starburst serve
+
+# Self-contained serving demo: start an in-process daemon on an ephemeral
+# port, POST the Figure 1 query concurrently, tail the live /events stream,
+# and print the returned EXPLAIN. See docs/SERVING.md.
+serve-demo:
+	go run ./examples/servedemo -n 3
 
 experiments:
 	go run ./cmd/starbench -e all -md > experiments_output.txt

@@ -12,6 +12,17 @@
 //	starburst diff     a.json b.json          # diff two saved provenance DAGs
 //	starburst rules    [-rules file.star]     # print the active repertoire
 //	starburst catalog                         # dump the demo catalog as JSON
+//	starburst serve    [-addr :8080] [-catalog file.json] [-rules file.star]
+//	                   [-max-inflight 64] [-timeout 30s] [-drain-timeout 10s]
+//	                   [-event-buffer 1024] [-seed 1]
+//
+// serve runs the optimizer as a long-lived HTTP daemon: POST /optimize
+// answers concurrent optimization (and execution) requests with
+// per-request trace isolation, GET /metrics serves Prometheus metrics
+// aggregated across requests, GET /events streams live observability
+// events (NDJSON, or SSE via Accept: text/event-stream), plus /healthz,
+// /readyz, and /debug/pprof. SIGINT/SIGTERM drain gracefully. See
+// docs/SERVING.md.
 //
 // explain, run, and trace additionally accept the provenance flags
 //
@@ -34,10 +45,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"stars"
 )
@@ -73,6 +89,11 @@ func main() {
 		whyNot   = fs.String("whynot", "", "explain why the plan with this fingerprint was pruned, rejected, or never derived")
 		dagOut   = fs.String("dag-out", "", "write the search-space provenance DAG to this path (Graphviz dot; stable JSON if it ends in .json)")
 		ablate   = fs.String("ablate", "pruning", "diff variant: pruning|keepall|leftdeep|cartesian")
+		addr     = fs.String("addr", ":8080", "serve: listen address")
+		maxInfl  = fs.Int("max-inflight", 64, "serve: max concurrently admitted /optimize requests (excess get 503)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "serve: per-request optimize+execute deadline (504 on expiry)")
+		drainT   = fs.Duration("drain-timeout", 10*time.Second, "serve: max wait for in-flight requests on shutdown")
+		eventBuf = fs.Int("event-buffer", 1024, "serve: per-subscriber /events buffer (full buffers drop, never block)")
 	)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -98,6 +119,27 @@ func main() {
 	}
 
 	switch cmd {
+	case "serve":
+		srv, err := stars.NewServer(stars.ServerConfig{
+			Addr:         *addr,
+			Catalog:      cat,
+			Demo:         demo,
+			Options:      opts,
+			Seed:         *seed,
+			MaxInflight:  *maxInfl,
+			Timeout:      *timeout,
+			DrainTimeout: *drainT,
+			EventBuffer:  *eventBuf,
+			Log:          log.New(os.Stderr, "starburst serve: ", log.LstdFlags),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := srv.Run(ctx); err != nil {
+			fatal(err)
+		}
 	case "rules":
 		rs := opts.Rules
 		if rs == nil {
@@ -338,7 +380,7 @@ func loadCatalog(path string) (cat *stars.Catalog, demo bool, err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: starburst {explain|run|trace|diff|rules|catalog} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: starburst {explain|run|trace|diff|rules|catalog|serve} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'starburst <cmd> -h' for the command's flags")
 }
 

@@ -1,0 +1,165 @@
+// Command servedemo demonstrates the optimizer-as-a-service surface end to
+// end: it starts a `starburst serve` daemon in-process on an ephemeral
+// port (or talks to an already-running one via -addr), subscribes to the
+// live /events stream, POSTs the paper's Figure 1 query to /optimize, and
+// prints the returned EXPLAIN alongside the events the optimization
+// streamed while it ran — each tagged with its request id.
+//
+//	go run ./examples/servedemo            # self-contained
+//	go run ./examples/servedemo -addr localhost:8080   # against a daemon
+//	go run ./examples/servedemo -n 16      # 16 concurrent requests
+//
+// See docs/SERVING.md for the endpoint and schema reference.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"stars"
+)
+
+// figure1SQL is the paper's Figure 1 EMP/DEPT join.
+const figure1SQL = "SELECT DEPT.DNO, EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO AND DEPT.MGR = 'Haas'"
+
+func main() {
+	addr := flag.String("addr", "", "daemon address (default: start one in-process)")
+	n := flag.Int("n", 1, "number of concurrent /optimize requests to send")
+	tail := flag.Int("tail", 12, "max streamed events to echo per request")
+	flag.Parse()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	base := "http://" + *addr
+	if *addr == "" {
+		// Self-contained mode: serve on an ephemeral port in-process.
+		srv, err := stars.NewServer(stars.ServerConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ctx, ln) }()
+		defer func() {
+			cancel()
+			if err := <-done; err != nil {
+				fatal(err)
+			}
+			fmt.Println("\ndaemon drained cleanly")
+		}()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("started in-process daemon at %s\n", base)
+	}
+
+	// Tail the live event stream on its own goroutine, grouping lines by
+	// request id so concurrent requests demonstrably don't interleave
+	// their traces.
+	events := make(map[string][]string)
+	var evMu sync.Mutex
+	streamReady := make(chan struct{})
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		req, _ := http.NewRequestWithContext(ctx, "GET", base+"/events", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fatal(fmt.Errorf("subscribe /events: %w", err))
+		}
+		defer resp.Body.Close()
+		close(streamReady)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+		for sc.Scan() {
+			var e struct {
+				Req  string `json:"req"`
+				Name string `json:"name"`
+			}
+			if json.Unmarshal(sc.Bytes(), &e) != nil {
+				continue
+			}
+			evMu.Lock()
+			events[e.Req] = append(events[e.Req], sc.Text())
+			evMu.Unlock()
+		}
+	}()
+	<-streamReady
+
+	// Post the Figure 1 query (n times, concurrently, to show isolation).
+	type reply struct {
+		RequestID string `json:"request_id"`
+		Plan      struct {
+			Explain string `json:"explain"`
+			Cost    struct{ Total float64 }
+		} `json:"plan"`
+		Stats struct {
+			RuleRefs  int64   `json:"rule_refs"`
+			PruneRate float64 `json:"prune_rate"`
+			ElapsedUs int64   `json:"elapsed_us"`
+		} `json:"stats"`
+	}
+	replies := make([]reply, *n)
+	var wg sync.WaitGroup
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"sql": figure1SQL})
+			resp, err := http.Post(base+"/optimize", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := json.Marshal(resp.Header)
+				fatal(fmt.Errorf("/optimize: HTTP %d %s", resp.StatusCode, msg))
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&replies[i]); err != nil {
+				fatal(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Give the tail a beat to drain the buffered stream.
+	time.Sleep(200 * time.Millisecond)
+
+	fmt.Printf("\n== EXPLAIN (request %s) ==\n%s", replies[0].RequestID, replies[0].Plan.Explain)
+	for _, r := range replies {
+		fmt.Printf("request %s: %d rule refs, prune rate %.2f, optimized in %dµs\n",
+			r.RequestID, r.Stats.RuleRefs, r.Stats.PruneRate, r.Stats.ElapsedUs)
+	}
+
+	evMu.Lock()
+	defer evMu.Unlock()
+	for _, r := range replies {
+		lines := events[r.RequestID]
+		fmt.Printf("\n== /events tail for %s (%d events streamed) ==\n", r.RequestID, len(lines))
+		for i, l := range lines {
+			if i >= *tail {
+				fmt.Printf("... and %d more\n", len(lines)-*tail)
+				break
+			}
+			fmt.Println(l)
+		}
+		if *n > 1 {
+			break // one tail is enough when demonstrating concurrency
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "servedemo:", err)
+	os.Exit(1)
+}

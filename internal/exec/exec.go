@@ -33,7 +33,7 @@ type Runtime struct {
 	Cat *catalog.Catalog
 	// Obs, when enabled, receives an exec.run span per Run plus one
 	// exec.op event per plan node (when CollectOpStats is also set), and
-	// the run's resource counters as metrics. When nil, obs.Default is
+	// the run's resource counters as metrics. When nil, obs.DefaultSink() is
 	// consulted, mirroring the optimizer's Options.Obs fallback.
 	Obs *obs.Sink
 	// CollectOpStats attributes rows/CPU/IO/messages to individual plan
@@ -155,7 +155,7 @@ func (rt *Runtime) Run(root *plan.Node) (result *Result, err error) {
 	}
 	sink := rt.Obs
 	if sink == nil {
-		sink = obs.Default
+		sink = obs.DefaultSink()
 	}
 	var sp obs.Span
 	if sink.Enabled() {

@@ -12,6 +12,7 @@ type ndjsonEvent struct {
 	TUs   float64 `json:"t_us"`
 	Kind  string  `json:"kind"`
 	Name  string  `json:"name"`
+	Req   string  `json:"req,omitempty"`
 	A1    string  `json:"a1,omitempty"`
 	A2    string  `json:"a2,omitempty"`
 	A3    string  `json:"a3,omitempty"`
@@ -23,6 +24,22 @@ type ndjsonEvent struct {
 	F2    float64 `json:"f2,omitempty"`
 }
 
+// ndjsonOf converts an event to its wire form.
+func ndjsonOf(e Event) ndjsonEvent {
+	return ndjsonEvent{
+		Seq: e.Seq, TUs: float64(e.T.Microseconds()), Kind: e.Kind.String(),
+		Name: e.Name, Req: e.Req, A1: e.A1, A2: e.A2, A3: e.A3,
+		Depth: e.Depth, Span: e.Span, N1: e.N1, N2: e.N2, F1: e.F1, F2: e.F2,
+	}
+}
+
+// EncodeNDJSON writes one event as a single NDJSON line — the framing both
+// the batch export below and a server's live /events stream use, so a tail
+// of the live stream is jq-compatible with a saved trace file.
+func EncodeNDJSON(w io.Writer, e Event) error {
+	return json.NewEncoder(w).Encode(ndjsonOf(e))
+}
+
 // WriteNDJSON writes the event log as newline-delimited JSON, one event per
 // line — the machine-readable export for ad-hoc analysis (jq, DuckDB, ...).
 func (s *Sink) WriteNDJSON(w io.Writer) error {
@@ -31,11 +48,7 @@ func (s *Sink) WriteNDJSON(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	for _, e := range s.Events() {
-		if err := enc.Encode(ndjsonEvent{
-			Seq: e.Seq, TUs: float64(e.T.Microseconds()), Kind: e.Kind.String(),
-			Name: e.Name, A1: e.A1, A2: e.A2, A3: e.A3, Depth: e.Depth, Span: e.Span,
-			N1: e.N1, N2: e.N2, F1: e.F1, F2: e.F2,
-		}); err != nil {
+		if err := enc.Encode(ndjsonOf(e)); err != nil {
 			return err
 		}
 	}
@@ -97,6 +110,9 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 // chromeArgs packs an event's payload into trace-viewer args.
 func chromeArgs(e Event) map[string]any {
 	args := map[string]any{}
+	if e.Req != "" {
+		args["req"] = e.Req
+	}
 	if e.A2 != "" {
 		args["detail"] = e.A2
 	}

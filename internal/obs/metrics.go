@@ -158,6 +158,18 @@ func (h *Histogram) snapshot() (counts [histBuckets + 1]int64, sum time.Duration
 	return h.counts, h.sum, h.n
 }
 
+// addSnapshot folds another histogram's snapshot into h — sound because
+// every histogram shares the fixed bucket layout.
+func (h *Histogram) addSnapshot(counts [histBuckets + 1]int64, sum time.Duration, n int64) {
+	h.mu.Lock()
+	for i := range h.counts {
+		h.counts[i] += counts[i]
+	}
+	h.sum += sum
+	h.n += n
+	h.mu.Unlock()
+}
+
 // Counter returns (creating on first use) the named counter; nil registry
 // returns the nil counter.
 func (r *Registry) Counter(name string) *Counter {
@@ -193,6 +205,36 @@ func (r *Registry) Counters() map[string]int64 {
 		out[name] = c.Value()
 	}
 	return out
+}
+
+// Merge folds another registry's counters and histograms into r, by name —
+// how a server aggregates per-request registries into its process-wide one
+// while keeping each request's metrics isolated. Counters add; histograms
+// merge bucket-wise (the fixed layout makes that exact). Gauges are
+// point-in-time readings with no meaningful cross-request sum and are
+// skipped. Safe for concurrent use on both registries; nil receiver or
+// source is a no-op.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	o.mu.RLock()
+	counters := make(map[string]*Counter, len(o.counters))
+	for name, c := range o.counters {
+		counters[name] = c
+	}
+	histos := make(map[string]*Histogram, len(o.histos))
+	for name, h := range o.histos {
+		histos[name] = h
+	}
+	o.mu.RUnlock()
+	for name, c := range counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, h := range histos {
+		counts, sum, n := h.snapshot()
+		r.Histogram(name).addSnapshot(counts, sum, n)
+	}
 }
 
 // Gauge returns (creating on first use) the named gauge.

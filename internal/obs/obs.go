@@ -112,6 +112,10 @@ type Event struct {
 	Seq int64
 	// T is the offset from the sink's start time.
 	T time.Duration
+	// Req is the request id the event belongs to, stamped by the sink
+	// when it carries a tag (NewRequestSink). Empty outside a server:
+	// batch tools run one query per process and need no disambiguation.
+	Req string
 	// Kind is instant, span-begin, or span-end.
 	Kind Kind
 	// Name is the taxonomy name (Ev* constants).
@@ -139,7 +143,9 @@ type Sink struct {
 	events  []Event
 	seq     int64
 	spanSeq atomic.Int64
-	drop    bool // metrics-only: count, but keep no event log
+	drop    bool   // metrics-only: count, but keep no event log
+	tag     string // request id stamped into every event's Req field
+	tees    []func(Event)
 	reg     *Registry
 }
 
@@ -157,11 +163,56 @@ func NewMetricsSink() *Sink {
 	return s
 }
 
-// Default, when non-nil, is the fallback sink the optimizer and executor
-// use when none is injected explicitly — the process-wide aggregation point
-// (prometheus's default-registry idiom). It stays nil unless a tool opts
-// in.
-var Default *Sink
+// NewRequestSink returns a sink whose every event is stamped with the
+// request id req before being recorded or fanned out — the per-request
+// isolation unit of a long-running server: each concurrent optimization
+// writes into its own sink, so traces never interleave, and the Req field
+// keeps attribution after streams from many requests are merged.
+func NewRequestSink(req string) *Sink {
+	s := NewSink()
+	s.tag = req
+	return s
+}
+
+// Tag returns the sink's request id ("" for untagged and nil sinks).
+func (s *Sink) Tag() string {
+	if s == nil {
+		return ""
+	}
+	return s.tag
+}
+
+// Tee registers fn to be called with every event the sink sees (after Seq,
+// T, and Req are stamped), including on metrics-only sinks that drop their
+// own log — the fan-out hook live event streaming subscribes through. fn is
+// invoked under the sink's lock so subscribers observe one sink's events in
+// order; it must be fast, must not block, and must not call back into the
+// sink. Tee must be called before the sink is shared across goroutines.
+func (s *Sink) Tee(fn func(Event)) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tees = append(s.tees, fn)
+	s.mu.Unlock()
+}
+
+// defaultSink is the process-wide fallback sink, swapped atomically: it is
+// read on every instrumented emit path (optimizer, executor) and may be
+// installed or replaced while those run concurrently (a serving daemon, a
+// test), so a plain package variable would be a data race.
+var defaultSink atomic.Pointer[Sink]
+
+// DefaultSink returns the fallback sink the optimizer and executor use when
+// none is injected explicitly — the process-wide aggregation point
+// (prometheus's default-registry idiom). Nil unless a tool opted in via
+// SetDefault.
+func DefaultSink() *Sink { return defaultSink.Load() }
+
+// SetDefault installs (or, with nil, removes) the process-wide fallback
+// sink. Safe to call concurrently with optimizations in flight; they pick
+// up the new sink on their next resolution.
+func SetDefault(s *Sink) { defaultSink.Store(s) }
 
 // Enabled reports whether the sink records anything; instrumented code uses
 // it to guard argument rendering that would otherwise allocate.
@@ -176,18 +227,24 @@ func (s *Sink) Registry() *Registry {
 	return s.reg
 }
 
-// Emit records an instant event. Seq and T are assigned here.
+// Emit records an instant event. Seq, T, and Req are assigned here.
 func (s *Sink) Emit(e Event) {
 	if s == nil {
 		return
 	}
+	e.Kind = KindInstant
 	s.mu.Lock()
 	s.seq++
+	e.Seq = s.seq
+	e.T = time.Since(s.start)
+	if e.Req == "" {
+		e.Req = s.tag
+	}
 	if !s.drop {
-		e.Seq = s.seq
-		e.T = time.Since(s.start)
-		e.Kind = KindInstant
 		s.events = append(s.events, e)
+	}
+	for _, fn := range s.tees {
+		fn(e)
 	}
 	s.mu.Unlock()
 }
@@ -196,9 +253,15 @@ func (s *Sink) Emit(e Event) {
 func (s *Sink) append(e Event) {
 	s.mu.Lock()
 	s.seq++
+	e.Seq = s.seq
+	if e.Req == "" {
+		e.Req = s.tag
+	}
 	if !s.drop {
-		e.Seq = s.seq
 		s.events = append(s.events, e)
+	}
+	for _, fn := range s.tees {
+		fn(e)
 	}
 	s.mu.Unlock()
 }

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRequestSinkTagsEvents: every event recorded by a request sink carries
+// the request id, on the emit path, the span path, and the tee fan-out.
+func TestRequestSinkTagsEvents(t *testing.T) {
+	s := NewRequestSink("r42")
+	if s.Tag() != "r42" {
+		t.Fatalf("Tag() = %q, want r42", s.Tag())
+	}
+	var teed []Event
+	s.Tee(func(e Event) { teed = append(teed, e) })
+
+	s.Emit(Event{Name: EvAltFired, A1: "JoinRoot", N1: 1})
+	sp := s.StartSpan(EvRule, "JoinRoot", "", 1)
+	sp.End(3)
+
+	events := s.Events()
+	if len(events) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(events))
+	}
+	for _, e := range events {
+		if e.Req != "r42" {
+			t.Errorf("event %s has Req=%q, want r42", e.Name, e.Req)
+		}
+	}
+	if len(teed) != 3 {
+		t.Fatalf("teed %d events, want 3", len(teed))
+	}
+	for i, e := range teed {
+		if e != events[i] {
+			t.Errorf("tee event %d = %+v, want %+v", i, e, events[i])
+		}
+	}
+}
+
+// TestTeeSeesDroppedEvents: a metrics-only sink drops its own log but still
+// fans events out — a server's live stream works even when the per-request
+// log is off.
+func TestTeeSeesDroppedEvents(t *testing.T) {
+	s := NewMetricsSink()
+	var n int
+	s.Tee(func(Event) { n++ })
+	s.Emit(Event{Name: EvGlueHit})
+	s.Emit(Event{Name: EvGlueMiss})
+	if len(s.Events()) != 0 {
+		t.Errorf("metrics sink kept %d events", len(s.Events()))
+	}
+	if n != 2 {
+		t.Errorf("tee saw %d events, want 2", n)
+	}
+}
+
+// TestNDJSONCarriesRequestID: the req field round-trips through the NDJSON
+// exporter and the single-event encoder agrees with the batch writer.
+func TestNDJSONCarriesRequestID(t *testing.T) {
+	s := NewRequestSink("req-7")
+	s.Emit(Event{Name: EvPlanPrune, A1: "EMP"})
+
+	var batch bytes.Buffer
+	if err := s.WriteNDJSON(&batch); err != nil {
+		t.Fatal(err)
+	}
+	var single bytes.Buffer
+	if err := EncodeNDJSON(&single, s.Events()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if batch.String() != single.String() {
+		t.Errorf("EncodeNDJSON framing diverges from WriteNDJSON:\n%s\n%s",
+			single.String(), batch.String())
+	}
+	var line map[string]any
+	if err := json.Unmarshal(single.Bytes(), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line["req"] != "req-7" {
+		t.Errorf(`req = %v, want "req-7" in %s`, line["req"], single.String())
+	}
+	// Untagged sinks omit the field entirely.
+	u := NewSink()
+	u.Emit(Event{Name: EvGlueHit})
+	var out bytes.Buffer
+	if err := u.WriteNDJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), `"req"`) {
+		t.Errorf("untagged event leaked a req field: %s", out.String())
+	}
+}
+
+// TestDefaultSinkAtomic: installing, reading, and clearing the process-wide
+// default sink from many goroutines is race-free (run under -race).
+func TestDefaultSinkAtomic(t *testing.T) {
+	old := DefaultSink()
+	defer SetDefault(old)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				SetDefault(NewMetricsSink())
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				DefaultSink().Emit(Event{Name: EvGlueHit})
+			}
+		}()
+	}
+	wg.Wait()
+	SetDefault(nil)
+	if DefaultSink() != nil {
+		t.Error("SetDefault(nil) did not clear the default sink")
+	}
+}
+
+// TestRegistryMerge: counters add, histograms merge bucket-exactly, gauges
+// are left alone, and merging from/into nil is a no-op.
+func TestRegistryMerge(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("star_rule_refs_total").Add(5)
+	dst.Histogram("opt_elapsed_seconds").Observe(2 * time.Millisecond)
+	dst.Gauge("plantable_plans").Set(9)
+
+	src := NewRegistry()
+	src.Counter("star_rule_refs_total").Add(3)
+	src.Counter("glue_calls_total").Add(7)
+	src.Histogram("opt_elapsed_seconds").Observe(4 * time.Millisecond)
+	src.Histogram("opt_elapsed_seconds").Observe(8 * time.Second)
+	src.Gauge("plantable_plans").Set(100)
+
+	dst.Merge(src)
+
+	if got := dst.Counter("star_rule_refs_total").Value(); got != 8 {
+		t.Errorf("merged counter = %d, want 8", got)
+	}
+	if got := dst.Counter("glue_calls_total").Value(); got != 7 {
+		t.Errorf("new counter = %d, want 7", got)
+	}
+	h := dst.Histogram("opt_elapsed_seconds")
+	if h.Count() != 3 {
+		t.Errorf("merged histogram count = %d, want 3", h.Count())
+	}
+	if want := 2*time.Millisecond + 4*time.Millisecond + 8*time.Second; h.Sum() != want {
+		t.Errorf("merged histogram sum = %v, want %v", h.Sum(), want)
+	}
+	if got := dst.Gauge("plantable_plans").Value(); got != 9 {
+		t.Errorf("gauge after merge = %d, want 9 (gauges must not merge)", got)
+	}
+	// Source is untouched; nil endpoints are no-ops.
+	if got := src.Counter("star_rule_refs_total").Value(); got != 3 {
+		t.Errorf("source counter mutated: %d", got)
+	}
+	dst.Merge(nil)
+	(*Registry)(nil).Merge(src)
+}

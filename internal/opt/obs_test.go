@@ -95,16 +95,16 @@ func TestConcurrentOptimizeSharedSink(t *testing.T) {
 }
 
 // TestDefaultSinkFallback: with no Options.Obs, optimizations report into
-// obs.Default when one is installed.
+// obs.DefaultSink() when one is installed.
 func TestDefaultSinkFallback(t *testing.T) {
-	old := obs.Default
-	obs.Default = obs.NewMetricsSink()
-	defer func() { obs.Default = old }()
+	old := obs.DefaultSink()
+	obs.SetDefault(obs.NewMetricsSink())
+	defer obs.SetDefault(old)
 	res, err := New(workload.EmpDept(), Options{}).Optimize(workload.Figure1Query())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := obs.Default.Registry().Counter("star_rule_refs_total").Value(); got != res.Stats.Star.RuleRefs {
+	if got := obs.DefaultSink().Registry().Counter("star_rule_refs_total").Value(); got != res.Stats.Star.RuleRefs {
 		t.Errorf("default sink counter = %d, want %d", got, res.Stats.Star.RuleRefs)
 	}
 }

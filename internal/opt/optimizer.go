@@ -47,7 +47,7 @@ type Options struct {
 	Rules *star.RuleSet
 	// Obs, when non-nil, receives the optimization's event stream (rule
 	// spans, Glue and plan-table events, phase spans) and metrics. When
-	// nil, obs.Default is consulted; when that is nil too, observability
+	// nil, obs.DefaultSink() is consulted; when that is nil too, observability
 	// is off and costs only nil checks.
 	Obs *obs.Sink
 	// Trace captures the rule-firing log (Result.Trace). It is sugar for
@@ -135,13 +135,13 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 	}
 	// Resolve the sink: an explicit Options.Obs wins; Options.Trace without
 	// one gets a private sink so the trace can be reconstructed; otherwise
-	// the process-wide obs.Default (nil when observability is off).
+	// the process-wide obs.DefaultSink (nil when observability is off).
 	sink := o.Opts.Obs
 	if sink == nil && o.Opts.Trace {
 		sink = obs.NewSink()
 	}
 	if sink == nil {
-		sink = obs.Default
+		sink = obs.DefaultSink()
 	}
 
 	en := star.NewEngine(rules, env)

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"encoding/json"
+
+	"stars/internal/cost"
+	"stars/internal/exec"
+	"stars/internal/expr"
+	"stars/internal/opt"
+	"stars/internal/plan"
+)
+
+// SchemaV1 identifies the request/response JSON schema of every /optimize
+// round-trip and error body. Documented in docs/SERVING.md.
+const SchemaV1 = "stars/serve/v1"
+
+// OptimizeRequest is the POST /optimize body.
+type OptimizeRequest struct {
+	// SQL is the query text (one SELECT statement).
+	SQL string `json:"sql"`
+	// Format selects the plan rendering(s) returned: "tree" (EXPLAIN,
+	// the default), "functional" (the paper's nested-function notation),
+	// or "both".
+	Format string `json:"format,omitempty"`
+	// Verbose renders the tree with full property vectors.
+	Verbose bool `json:"verbose,omitempty"`
+	// Provenance embeds the run's derivation DAG (stars/provenance/v1).
+	Provenance bool `json:"provenance,omitempty"`
+	// Execute also runs the chosen plan against the daemon's generated
+	// data. Executions are serialized server-side (the storage cluster is
+	// a shared resource); optimization itself is fully concurrent.
+	Execute bool `json:"execute,omitempty"`
+	// Analyze implies Execute and returns EXPLAIN ANALYZE text with
+	// per-operator estimated-vs-actual figures.
+	Analyze bool `json:"analyze,omitempty"`
+	// Limit caps the rows echoed back when executing (default 100, -1 for
+	// all).
+	Limit int `json:"limit,omitempty"`
+}
+
+// OptimizeResponse is the POST /optimize success body.
+type OptimizeResponse struct {
+	Schema    string `json:"schema"`
+	RequestID string `json:"request_id"`
+	SQL       string `json:"sql"`
+	// Plan describes the chosen plan.
+	Plan PlanJSON `json:"plan"`
+	// Stats are the optimizer-effort counters for this request.
+	Stats StatsJSON `json:"stats"`
+	// Metrics is the request's private counter snapshot (star_*, glue_*,
+	// plantable_*, opt_*, exec_*). The daemon's /metrics endpoint serves
+	// the same names aggregated across all requests.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+	// Provenance is the derivation DAG (stars/provenance/v1) when
+	// requested.
+	Provenance json.RawMessage `json:"provenance,omitempty"`
+	// Execution reports the run when Execute/Analyze was requested.
+	Execution *ExecutionJSON `json:"execution,omitempty"`
+}
+
+// PlanJSON renders the chosen plan.
+type PlanJSON struct {
+	// Explain is the indented tree rendering (empty when Format is
+	// "functional").
+	Explain string `json:"explain,omitempty"`
+	// Functional is the paper's nested-function notation (set when Format
+	// is "functional" or "both").
+	Functional string `json:"functional,omitempty"`
+	// Fingerprint identifies the plan stably across runs and processes.
+	Fingerprint string `json:"fingerprint"`
+	// EstimatedRows is the optimizer's output-cardinality estimate.
+	EstimatedRows float64 `json:"estimated_rows"`
+	// Cost is the estimated resource vector.
+	Cost CostJSON `json:"cost"`
+}
+
+// CostJSON is the estimated resource vector of a plan.
+type CostJSON struct {
+	Total float64 `json:"total"`
+	IO    float64 `json:"io"`
+	CPU   float64 `json:"cpu"`
+	Msg   float64 `json:"msg"`
+	Bytes float64 `json:"bytes"`
+}
+
+// costJSON converts a plan cost.
+func costJSON(c plan.Cost) CostJSON {
+	return CostJSON{Total: c.Total, IO: c.IO, CPU: c.CPU, Msg: c.Msg, Bytes: c.Bytes}
+}
+
+// StatsJSON reports one optimization's effort counters.
+type StatsJSON struct {
+	RuleRefs      int64   `json:"rule_refs"`
+	AltsFired     int64   `json:"alts_fired"`
+	AltsRejected  int64   `json:"alts_rejected"`
+	PlansBuilt    int64   `json:"plans_built"`
+	PlansInserted int64   `json:"plans_inserted"`
+	PlansPruned   int64   `json:"plans_pruned"`
+	PlansRetained int64   `json:"plans_retained"`
+	Subsets       int64   `json:"subsets"`
+	Pairs         int64   `json:"pairs"`
+	PruneRate     float64 `json:"prune_rate"`
+	ElapsedUs     int64   `json:"elapsed_us"`
+	Events        int64   `json:"events"`
+}
+
+// statsJSON converts optimizer stats; events is the request sink's census.
+func statsJSON(st opt.Stats, events int64) StatsJSON {
+	out := StatsJSON{
+		RuleRefs:      st.Star.RuleRefs,
+		AltsFired:     st.Star.AltsFired,
+		AltsRejected:  st.Star.AltsRejected,
+		PlansBuilt:    st.Star.PlansBuilt,
+		PlansInserted: st.PlansInserted,
+		PlansPruned:   st.PlansPruned,
+		PlansRetained: st.PlansRetained,
+		Subsets:       st.Subsets,
+		Pairs:         st.Pairs,
+		ElapsedUs:     st.Elapsed.Microseconds(),
+		Events:        events,
+	}
+	if st.PlansInserted+st.PlansPruned > 0 {
+		out.PruneRate = float64(st.PlansPruned) / float64(st.PlansInserted+st.PlansPruned)
+	}
+	return out
+}
+
+// ExecutionJSON reports one plan execution.
+type ExecutionJSON struct {
+	// Columns names the projected output columns.
+	Columns []string `json:"columns"`
+	// Rows is the (possibly truncated) result set, rendered as strings.
+	Rows [][]string `json:"rows"`
+	// RowCount is the full result cardinality before truncation.
+	RowCount int64 `json:"row_count"`
+	// Truncated reports whether Rows was capped by the request's Limit.
+	Truncated bool `json:"truncated,omitempty"`
+	// ActualCost is the measured resource usage in cost-model units,
+	// directly comparable with plan.cost.total.
+	ActualCost float64 `json:"actual_cost"`
+	Pages      int64   `json:"pages"`
+	Messages   int64   `json:"messages"`
+	Bytes      int64   `json:"bytes_shipped"`
+	CPUOps     int64   `json:"cpu_ops"`
+	// Analyze is the EXPLAIN ANALYZE rendering when requested.
+	Analyze string `json:"analyze,omitempty"`
+}
+
+// executionJSON converts an execution result under the given weights,
+// projecting rows onto the query's SELECT list (plans carry working columns
+// like TIDs that API clients don't want).
+func executionJSON(er *exec.Result, w cost.Weights, cols []expr.ColID, limit int) *ExecutionJSON {
+	out := &ExecutionJSON{
+		RowCount:   er.Stats.RowsOut,
+		ActualCost: er.Stats.ActualCost(w),
+		Pages:      er.Stats.IO.TotalPages(),
+		Messages:   er.Stats.Messages,
+		Bytes:      er.Stats.BytesShipped,
+		CPUOps:     er.Stats.CPUOps,
+	}
+	idx := map[expr.ColID]int{}
+	for i, c := range er.Schema {
+		idx[c] = i
+	}
+	for _, c := range cols {
+		out.Columns = append(out.Columns, c.String())
+	}
+	n := len(er.Rows)
+	if limit >= 0 && n > limit {
+		n = limit
+		out.Truncated = true
+	}
+	out.Rows = make([][]string, 0, n)
+	for _, row := range er.Rows[:n] {
+		r := make([]string, len(cols))
+		for i, c := range cols {
+			if p, ok := idx[c]; ok && p < len(row) {
+				r[i] = row[p].String()
+			} else {
+				r[i] = "?"
+			}
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out
+}
+
+// ErrorResponse is every non-200 JSON body.
+type ErrorResponse struct {
+	Schema    string `json:"schema"`
+	RequestID string `json:"request_id,omitempty"`
+	Error     string `json:"error"`
+}

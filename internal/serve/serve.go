@@ -1,0 +1,494 @@
+// Package serve is the optimizer-as-a-service layer: a long-running HTTP
+// daemon that optimizes (and optionally executes) queries concurrently and
+// exposes the repository's whole observability surface live — Prometheus
+// metrics aggregated across requests, a streaming NDJSON/SSE event feed,
+// per-request provenance, and pprof.
+//
+// The concurrency design is per-request isolation: every /optimize request
+// gets its own obs.Sink tagged with a request id, so concurrent
+// optimizations never interleave their traces. Each event is tee'd to the
+// live /events fan-out (bounded per-subscriber buffers, drops counted, slow
+// tails never stall an optimization), and each request's private metrics
+// registry is merged into the server's process-wide registry after the
+// request, keeping /metrics an exact aggregate of per-request figures.
+//
+// Operationally: an admission gate bounds in-flight optimizations
+// (Config.MaxInflight, excess rejected with 503), a per-request timeout
+// bounds latency (504), and cancellation of the Run/Serve context drains
+// gracefully — readiness flips to 503, event streams end, and in-flight
+// requests finish before the listener closes. See docs/SERVING.md.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stars/internal/catalog"
+	"stars/internal/cost"
+	"stars/internal/exec"
+	"stars/internal/obs"
+	"stars/internal/opt"
+	"stars/internal/plan"
+	"stars/internal/provenance"
+	"stars/internal/query"
+	"stars/internal/sqlparse"
+	"stars/internal/storage"
+	"stars/internal/workload"
+)
+
+// Event names the daemon emits into each request's sink (and therefore the
+// live /events stream), alongside the optimizer's and executor's taxonomy.
+const (
+	// EvRequest marks a request entering the service; A1 is the endpoint,
+	// A2 the SQL text.
+	EvRequest = "serve.request"
+	// EvRequestDone marks its completion; N1 is the HTTP status, F1 the
+	// wall-clock seconds spent.
+	EvRequestDone = "serve.request.done"
+)
+
+// Config tunes the daemon. The zero value serves the EMP/DEPT demo catalog
+// on :8080.
+type Config struct {
+	// Addr is the listen address for Run (default ":8080").
+	Addr string
+	// Catalog is the catalog queries are optimized against; nil selects
+	// the paper's EMP/DEPT demo catalog.
+	Catalog *catalog.Catalog
+	// Demo populates the EMP/DEPT demo data instead of synthetic data
+	// matching catalog statistics. Implied when Catalog is nil.
+	Demo bool
+	// Options are the base optimizer options; per-request sinks overwrite
+	// Options.Obs.
+	Options opt.Options
+	// Seed drives deterministic data generation for Execute requests.
+	Seed int64
+	// MaxInflight bounds concurrently admitted /optimize requests;
+	// excess requests are rejected with 503 (default 64).
+	MaxInflight int
+	// Timeout bounds one request's optimize+execute work; on expiry the
+	// client gets 504 (default 30s). Zero means the default; negative
+	// disables.
+	Timeout time.Duration
+	// DrainTimeout bounds the graceful drain after shutdown begins
+	// (default 10s).
+	DrainTimeout time.Duration
+	// EventBuffer is the per-subscriber /events buffer in events; a full
+	// buffer drops rather than blocks (default 1024).
+	EventBuffer int
+	// Limit is the default row cap echoed back by Execute when the
+	// request doesn't set one (default 100).
+	Limit int
+	// Log receives operational messages (start, drain); nil discards.
+	Log *log.Logger
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Catalog == nil {
+		c.Catalog = workload.EmpDept()
+		c.Demo = true
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 1024
+	}
+	if c.Limit == 0 {
+		c.Limit = 100
+	}
+	if c.Log == nil {
+		c.Log = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// Server is the daemon: an http.Handler plus the shared state behind it.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry // process-wide aggregate behind /metrics
+	bcast *broadcaster
+	mux   *http.ServeMux
+
+	inflight chan struct{} // admission-gate semaphore
+	reqSeq   atomic.Int64
+	ready    atomic.Bool
+	addr     atomic.Value // string: actual listen address
+
+	// Execution shares one storage cluster whose page/message counters
+	// are per-run state, so runs are serialized; optimization is not.
+	execMu  sync.Mutex
+	cluster *storage.Cluster
+
+	// testHold, when non-nil, blocks each request's worker until the
+	// channel yields — test hook for admission/timeout behavior.
+	testHold chan struct{}
+}
+
+// New builds a daemon. The execution cluster is populated once, up front,
+// so Execute requests don't race data generation.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Catalog.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: catalog: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      obs.NewRegistry(),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		cluster:  storage.NewCluster(cfg.Catalog.Sites...),
+	}
+	if cfg.Demo {
+		workload.PopulateEmpDept(s.cluster, cfg.Catalog, cfg.Seed)
+	} else {
+		workload.Populate(s.cluster, cfg.Catalog, cfg.Seed)
+	}
+	s.bcast = newBroadcaster(s.reg)
+
+	// Touch the service metrics so /metrics exposes them at zero before
+	// the first request — scrapers and smoke tests see the full surface
+	// immediately.
+	s.reg.Counter(`serve_requests_total{status="200"}`)
+	s.reg.Counter("serve_rejected_total")
+	s.reg.Gauge("serve_inflight")
+	s.reg.Histogram(`serve_request_seconds{path="/optimize"}`)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /optimize", s.handleOptimize)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the process-wide metrics registry behind /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Addr returns the actual listen address once Serve has bound it — the way
+// to find the port after listening on ":0".
+func (s *Server) Addr() string {
+	if a, ok := s.addr.Load().(string); ok {
+		return a
+	}
+	return s.cfg.Addr
+}
+
+// Run listens on Config.Addr and serves until ctx is cancelled, then drains
+// gracefully.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve serves HTTP on ln until ctx is cancelled, then drains: readiness
+// flips to 503 (load balancers stop routing), live event streams end, and
+// in-flight requests get up to Config.DrainTimeout to finish before the
+// listener closes. Returns nil after a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.addr.Store(ln.Addr().String())
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	s.ready.Store(true)
+	s.cfg.Log.Printf("serving on http://%s (max-inflight %d, timeout %s)",
+		ln.Addr(), s.cfg.MaxInflight, s.cfg.Timeout)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		s.ready.Store(false)
+		return err
+	case <-ctx.Done():
+	}
+	s.ready.Store(false)
+	s.cfg.Log.Printf("draining (timeout %s)", s.cfg.DrainTimeout)
+	s.bcast.closeAll()
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	<-errc // srv.Serve has returned http.ErrServerClosed
+	if err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	s.cfg.Log.Printf("drained")
+	return nil
+}
+
+// handleIndex is a plain-text map of the surface.
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, `starburst serve — optimizer as a service (schema %s)
+
+POST /optimize        optimize (and optionally execute) a query; JSON in/out
+GET  /metrics         Prometheus metrics, aggregated across all requests
+GET  /events          live observability events (NDJSON; SSE with Accept: text/event-stream)
+GET  /healthz         liveness
+GET  /readyz          readiness (503 while draining)
+GET  /debug/pprof/    Go profiling
+`, SchemaV1)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.cfg.Log.Printf("metrics write: %v", err)
+	}
+}
+
+// outcome is one request worker's result.
+type outcome struct {
+	status int
+	resp   *OptimizeResponse
+	err    error
+}
+
+// handleOptimize admits, times, and answers one optimization request.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	reqID := "r" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+	status := http.StatusOK
+	defer func() {
+		s.reg.Counter(`serve_requests_total{status="` + strconv.Itoa(status) + `"}`).Add(1)
+		s.reg.Histogram(`serve_request_seconds{path="/optimize"}`).Observe(time.Since(start))
+	}()
+
+	// Admission gate: reject rather than queue when MaxInflight requests
+	// are already being optimized — a loaded optimizer service degrades
+	// more predictably by shedding than by stacking latency.
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		status = http.StatusServiceUnavailable
+		s.reg.Counter("serve_rejected_total").Add(1)
+		s.writeError(w, status, reqID, fmt.Errorf("too many in-flight requests (max %d)", s.cfg.MaxInflight))
+		return
+	}
+	gauge := s.reg.Gauge("serve_inflight")
+	gauge.Add(1)
+
+	var req OptimizeRequest
+	body := io.LimitReader(r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		status = http.StatusBadRequest
+		gauge.Add(-1)
+		<-s.inflight
+		s.writeError(w, status, reqID, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			gauge.Add(-1)
+			<-s.inflight
+		}()
+		done <- s.do(reqID, req)
+	}()
+	select {
+	case out := <-done:
+		status = out.status
+		if out.err != nil {
+			s.writeError(w, status, reqID, out.err)
+			return
+		}
+		s.writeJSON(w, status, out.resp)
+	case <-ctx.Done():
+		// The worker finishes in the background (optimization is not
+		// cancellable mid-enumeration) and still merges its metrics;
+		// only the response is abandoned.
+		status = http.StatusGatewayTimeout
+		s.writeError(w, status, reqID, fmt.Errorf("request exceeded %s", s.cfg.Timeout))
+	}
+}
+
+// do performs one request's work: parse, optimize, optionally execute,
+// render. It owns the request's private sink and merges its metrics into
+// the shared registry on the way out.
+func (s *Server) do(reqID string, req OptimizeRequest) outcome {
+	if s.testHold != nil {
+		<-s.testHold
+	}
+	start := time.Now()
+	sink := obs.NewRequestSink(reqID)
+	sink.Tee(s.bcast.publish)
+	defer s.reg.Merge(sink.Registry())
+
+	status := http.StatusOK
+	defer func() {
+		sink.Emit(obs.Event{Name: EvRequestDone, A1: "/optimize",
+			N1: int64(status), F1: time.Since(start).Seconds()})
+	}()
+	sink.Emit(obs.Event{Name: EvRequest, A1: "/optimize", A2: req.SQL})
+
+	fail := func(st int, err error) outcome {
+		status = st
+		return outcome{status: st, err: err}
+	}
+	if req.SQL == "" {
+		return fail(http.StatusBadRequest, fmt.Errorf("missing \"sql\" field"))
+	}
+	g, err := sqlparse.Parse(req.SQL, s.cfg.Catalog)
+	if err != nil {
+		return fail(http.StatusBadRequest, err)
+	}
+	opts := s.cfg.Options
+	opts.Obs = sink
+	res, err := opt.New(s.cfg.Catalog, opts).Optimize(g)
+	if err != nil {
+		return fail(http.StatusUnprocessableEntity, err)
+	}
+
+	resp := &OptimizeResponse{
+		Schema:    SchemaV1,
+		RequestID: reqID,
+		SQL:       req.SQL,
+		Plan: PlanJSON{
+			Fingerprint:   res.Best.Fingerprint(),
+			EstimatedRows: res.Best.Props.Card,
+			Cost:          costJSON(res.Best.Props.Cost),
+		},
+	}
+	switch req.Format {
+	case "", "tree":
+		resp.Plan.Explain = s.explain(res.Best, req.Verbose)
+	case "functional":
+		resp.Plan.Functional = plan.Functional(res.Best)
+	case "both":
+		resp.Plan.Explain = s.explain(res.Best, req.Verbose)
+		resp.Plan.Functional = plan.Functional(res.Best)
+	default:
+		return fail(http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (want tree, functional, or both)", req.Format))
+	}
+
+	if req.Provenance {
+		dag, err := provenance.FromResult(res)
+		if err != nil {
+			return fail(http.StatusInternalServerError, fmt.Errorf("provenance: %w", err))
+		}
+		var buf bytes.Buffer
+		if err := dag.WriteJSON(&buf); err != nil {
+			return fail(http.StatusInternalServerError, fmt.Errorf("provenance: %w", err))
+		}
+		resp.Provenance = json.RawMessage(buf.Bytes())
+	}
+
+	if req.Execute || req.Analyze {
+		ex, err := s.execute(sink, res, g, req)
+		if err != nil {
+			return fail(http.StatusInternalServerError, fmt.Errorf("execute: %w", err))
+		}
+		resp.Execution = ex
+	}
+
+	resp.Stats = statsJSON(res.Stats, sink.Len())
+	resp.Metrics = sink.Registry().Counters()
+	return outcome{status: status, resp: resp}
+}
+
+// explain renders the plan tree.
+func (s *Server) explain(p *plan.Node, verbose bool) string {
+	if verbose {
+		return plan.ExplainVerbose(p)
+	}
+	return plan.Explain(p)
+}
+
+// execute runs the chosen plan against the daemon's data. Runs are
+// serialized: the storage cluster's resource counters are per-run state.
+func (s *Server) execute(sink *obs.Sink, res *opt.Result, g *query.Graph, req OptimizeRequest) (*ExecutionJSON, error) {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	rt := exec.NewRuntime(s.cluster, s.cfg.Catalog)
+	rt.Obs = sink
+	rt.CollectOpStats = req.Analyze
+	er, err := rt.Run(res.Best)
+	if err != nil {
+		return nil, err
+	}
+	limit := req.Limit
+	if limit == 0 {
+		limit = s.cfg.Limit
+	}
+	w := s.cfg.Options.Weights
+	if w == (cost.Weights{}) {
+		w = cost.DefaultWeights
+	}
+	out := executionJSON(er, w, g.SelectCols(s.cfg.Catalog), limit)
+	if req.Analyze {
+		out.Analyze = plan.ExplainAnalyze(res.Best, exec.Actuals(er, w))
+	}
+	return out, nil
+}
+
+// writeJSON writes a JSON response body.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.cfg.Log.Printf("response write: %v", err)
+	}
+}
+
+// writeError writes the uniform JSON error body.
+func (s *Server) writeError(w http.ResponseWriter, status int, reqID string, err error) {
+	s.writeJSON(w, status, ErrorResponse{Schema: SchemaV1, RequestID: reqID, Error: err.Error()})
+}

@@ -39,6 +39,7 @@ import (
 	"stars/internal/plan"
 	"stars/internal/provenance"
 	"stars/internal/query"
+	"stars/internal/serve"
 	"stars/internal/sqlparse"
 	"stars/internal/star"
 	"stars/internal/storage"
@@ -144,8 +145,28 @@ func NewMetricsSink() *Sink { return obs.NewMetricsSink() }
 
 // SetDefaultSink installs the process-wide fallback sink consulted whenever
 // Options.Obs is nil (the prometheus default-registry idiom). Pass nil to
-// turn the fallback off.
-func SetDefaultSink(s *Sink) { obs.Default = s }
+// turn the fallback off. The fallback is swapped atomically, so it is safe
+// to install or replace while optimizations run on other goroutines.
+func SetDefaultSink(s *Sink) { obs.SetDefault(s) }
+
+// NewRequestSink returns an enabled sink that stamps every event with the
+// given request id — the per-request isolation unit of a serving daemon:
+// concurrent optimizations each write into their own tagged sink, so traces
+// never interleave and merged streams stay attributable.
+func NewRequestSink(requestID string) *Sink { return obs.NewRequestSink(requestID) }
+
+// Server is the optimizer-as-a-service HTTP daemon behind `starburst
+// serve`: POST /optimize with live /metrics, /events, health, and pprof.
+// See docs/SERVING.md.
+type Server = serve.Server
+
+// ServerConfig tunes the daemon; the zero value serves the EMP/DEPT demo
+// catalog on :8080.
+type ServerConfig = serve.Config
+
+// NewServer builds the daemon. Start it with Run (listen + serve + graceful
+// drain when the context is cancelled) or mount Handler() yourself.
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
 
 // Explain renders a plan tree with one-line property summaries.
 func Explain(p *Plan) string { return plan.Explain(p) }

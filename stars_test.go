@@ -1,9 +1,11 @@
 package stars_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"stars"
@@ -105,5 +107,83 @@ func TestDefaultRuleTextIsTheRepertoire(t *testing.T) {
 		if !strings.Contains(stars.DefaultRuleText, want) {
 			t.Errorf("rule file lost %q", want)
 		}
+	}
+}
+
+// TestConcurrentOptimizeIsolation runs many optimizations in parallel —
+// some observed through per-request sinks, some through the process-wide
+// default fallback — and asserts (a) every result is correct, (b) every
+// event in a request sink carries that request's id and nothing else
+// (traces never interleave), and (c) both per-request and fallback metrics
+// registries accumulated work. Run under -race this also proves the
+// optimizer's shared inputs (catalog, rule set) tolerate concurrent reads.
+func TestConcurrentOptimizeIsolation(t *testing.T) {
+	cat := stars.EmpDeptCatalog()
+	queries := []string{
+		"SELECT DEPT.DNO, EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO AND DEPT.MGR = 'Haas'",
+		"SELECT EMP.NAME, EMP.SAL FROM EMP WHERE EMP.DNO = 42",
+		"SELECT DEPT.MGR, DEPT.BUDGET FROM DEPT WHERE DEPT.DNO = 7",
+		"SELECT EMP.NAME, DEPT.BUDGET FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO",
+		"SELECT EMP.ENO, EMP.ADDRESS FROM EMP WHERE EMP.SAL = 1000",
+	}
+
+	shared := stars.NewMetricsSink()
+	stars.SetDefaultSink(shared)
+	defer stars.SetDefaultSink(nil)
+
+	const n = 24
+	var wg sync.WaitGroup
+	sinks := make([]*stars.Sink, n)
+	results := make([]*stars.Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := stars.ParseSQL(queries[i%len(queries)], cat)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if i%3 == 0 {
+				// Options.Obs nil: exercises the atomic default-sink path.
+				results[i], errs[i] = stars.Optimize(cat, g, stars.Options{})
+				return
+			}
+			sink := stars.NewRequestSink(fmt.Sprintf("q%d", i))
+			sinks[i] = sink
+			results[i], errs[i] = stars.Optimize(cat, g, stars.Options{Obs: sink})
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i] == nil || results[i].Best == nil {
+			t.Fatalf("goroutine %d: no plan", i)
+		}
+	}
+	for i, sink := range sinks {
+		if sink == nil {
+			continue
+		}
+		id := fmt.Sprintf("q%d", i)
+		evs := sink.Events()
+		if len(evs) == 0 {
+			t.Fatalf("%s: sink recorded no events", id)
+		}
+		for _, e := range evs {
+			if e.Req != id {
+				t.Fatalf("%s: trace mixing — event %q tagged %q", id, e.Name, e.Req)
+			}
+		}
+		if sink.Registry().Counter("star_rule_refs_total").Value() == 0 {
+			t.Errorf("%s: per-request registry empty", id)
+		}
+	}
+	if shared.Registry().Counter("star_rule_refs_total").Value() == 0 {
+		t.Error("default fallback sink accumulated no metrics")
 	}
 }
