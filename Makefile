@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test verify bench trace-demo dag-demo serve serve-demo experiments
+.PHONY: build test verify bench enum-bench enum-check trace-demo dag-demo serve serve-demo experiments
 
 build:
 	go build ./...
@@ -14,6 +14,14 @@ verify:
 
 bench:
 	go test -bench=. -benchmem
+
+# Regenerate / gate the rank-parallel enumeration baseline
+# (docs/PERFORMANCE.md). CI runs enum-check on every push.
+enum-bench:
+	go run ./cmd/starbench -enum-bench BENCH_enumerate.json
+
+enum-check:
+	go run ./cmd/starbench -enum-check BENCH_enumerate.json
 
 # Write a Chrome trace_event file of the Figure 3 Glue scenario
 # (optimization + execution) to trace.json; open it in chrome://tracing or

@@ -233,6 +233,36 @@ func BenchmarkOptimizeChain(b *testing.B) {
 
 func chainName(n int) string { return "n=" + string(rune('0'+n)) }
 
+// BenchmarkEnumerate is the regression anchor for the rank-parallel join
+// enumeration (docs/PERFORMANCE.md): an 8-table chain and an 8-quantifier
+// star optimized serially (Parallelism 1) and with a rank fan-out of
+// GOMAXPROCS. cmd/starbench -enum-bench measures the same workloads when
+// regenerating BENCH_enumerate.json; allocs/op here is the number the
+// committed baseline's allocation gate watches.
+func BenchmarkEnumerate(b *testing.B) {
+	chainCat := workload.ChainCatalog(8, 400, 150, 60, 200, 90, 500, 120, 80)
+	chainQ := workload.ChainQuery(8)
+	starCat := workload.StarCatalog(8, 100000, 500)
+	starQ := workload.StarQuery(8)
+	for _, tc := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run("chain8/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				optimize(b, chainCat, chainQ, stars.Options{Parallelism: tc.par})
+			}
+		})
+		b.Run("star8/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				optimize(b, starCat, starQ, stars.Options{Parallelism: tc.par})
+			}
+		})
+	}
+}
+
 // BenchmarkObsOverhead quantifies what the observability instrumentation
 // costs a full optimization: "disabled" is the nil-sink fast path (the
 // default, which must stay within a few percent of the pre-instrumentation

@@ -1,0 +1,303 @@
+// The enumeration benchmark: starbench's second mode, dedicated to the
+// rank-parallel join enumeration (docs/PERFORMANCE.md).
+//
+//	starbench -enum-bench BENCH_enumerate.json   measure and write a baseline
+//	starbench -enum-check BENCH_enumerate.json   measure and gate against it
+//
+// Both modes run the same workloads — an 8-table chain and an 8-quantifier
+// star — once serially (Parallelism 1) and once at the full rank fan-out
+// (Parallelism GOMAXPROCS), verifying on every run that the two legs choose
+// plans with identical fingerprints, retain identically-sized plan tables,
+// and report identical effort counters. -enum-check additionally gates:
+//
+//   - correctness drift: the best-plan fingerprint must match the baseline's
+//     (cost-model changes must regenerate the baseline deliberately);
+//   - elapsed regression: the parallel leg must finish within tolerance of
+//     the baseline's, after normalizing for machine speed by the ratio of
+//     serial times (expected = baseline_parallel × serial/baseline_serial);
+//   - allocation regression: each leg's allocations must stay within
+//     tolerance of the baseline's (allocation counts are machine-independent);
+//   - speedup: when GOMAXPROCS >= 4, the best serial/parallel ratio across
+//     the workloads must reach minSpeedup (skipped on smaller machines,
+//     where there is no parallelism to measure).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"stars"
+	"stars/internal/query"
+	"stars/internal/workload"
+)
+
+// enumSchema tags the enumeration-baseline export; bump on incompatible
+// changes.
+const enumSchema = "starbench/enumerate/v1"
+
+const (
+	// enumTolerance is the relative slack the -enum-check gates allow on
+	// elapsed time and allocations before declaring a regression.
+	enumTolerance = 0.30
+	// minSpeedup is the serial/parallel ratio at least one workload must
+	// reach when the machine has enough cores to measure one.
+	minSpeedup = 2.0
+	// speedupCores is the GOMAXPROCS floor below which the speedup gate is
+	// skipped.
+	speedupCores = 4
+)
+
+// enumWorkload is one measured workload in the baseline document.
+type enumWorkload struct {
+	Name string `json:"name"`
+	// SerialNS and ParallelNS are the minimum wall-clock optimization times
+	// over the iterations, at Parallelism 1 and Parallelism GOMAXPROCS.
+	SerialNS   int64 `json:"serial_ns"`
+	ParallelNS int64 `json:"parallel_ns"`
+	// SerialAllocs and ParallelAllocs are heap allocations of one
+	// optimization (minimum over iterations).
+	SerialAllocs   uint64 `json:"serial_allocs"`
+	ParallelAllocs uint64 `json:"parallel_allocs"`
+	// Speedup is SerialNS over ParallelNS.
+	Speedup float64 `json:"speedup"`
+	// BestFingerprint identifies the chosen plan (identical across both
+	// legs by construction — verified before recording).
+	BestFingerprint string `json:"best_fingerprint"`
+	// PlansRetained and Pairs record the search effort, identical across
+	// legs.
+	PlansRetained int64 `json:"plans_retained"`
+	Pairs         int64 `json:"pairs"`
+}
+
+// enumDoc is the BENCH_enumerate.json schema.
+type enumDoc struct {
+	Schema string `json:"schema"`
+	// GOMAXPROCS is the core count of the machine that produced the
+	// numbers; the parallel leg ran at this fan-out.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Iterations is how many runs each (workload, leg) pair measured; the
+	// recorded numbers are minima.
+	Iterations int            `json:"iterations"`
+	Workloads  []enumWorkload `json:"workloads"`
+}
+
+// enumCase pairs a workload name with its fixture constructors.
+type enumCase struct {
+	name string
+	cat  func() *stars.Catalog
+	g    func() *query.Graph
+}
+
+func enumCases() []enumCase {
+	return []enumCase{
+		{
+			name: "chain8",
+			cat:  func() *stars.Catalog { return workload.ChainCatalog(8, 400, 150, 60, 200, 90, 500, 120, 80) },
+			g:    func() *query.Graph { return workload.ChainQuery(8) },
+		},
+		{
+			name: "star8",
+			cat:  func() *stars.Catalog { return workload.StarCatalog(8, 100000, 500) },
+			g:    func() *query.Graph { return workload.StarQuery(8) },
+		},
+	}
+}
+
+// measureOnce optimizes the case once at the given parallelism and returns
+// the elapsed time, the allocation count, and the result.
+func measureOnce(c enumCase, cat *stars.Catalog, par int) (time.Duration, uint64, *stars.Result, error) {
+	g := c.g()
+	// Collect before timing so one run's garbage isn't billed to the next
+	// run's wall clock.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := stars.Optimize(cat, g, stars.Options{Parallelism: par})
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("%s at parallelism %d: %w", c.name, par, err)
+	}
+	return elapsed, after.Mallocs - before.Mallocs, res, nil
+}
+
+// runEnumBench measures every workload at both parallelism legs, verifying
+// the determinism contract between them. The legs' iterations interleave —
+// serial, parallel, serial, parallel, ... — so a machine-speed drift over
+// the run (thermal throttling, a noisy neighbour) hits both legs equally
+// and cancels out of the serial/parallel ratio the -enum-check gates use.
+func runEnumBench(iters int) (*enumDoc, error) {
+	doc := &enumDoc{Schema: enumSchema, GOMAXPROCS: runtime.GOMAXPROCS(0), Iterations: iters}
+	for _, c := range enumCases() {
+		cat := c.cat()
+		var serialNS, parNS time.Duration
+		var serialAllocs, parAllocs uint64
+		var serialRes, parRes *stars.Result
+		for i := 0; i < iters; i++ {
+			elapsed, allocs, res, err := measureOnce(c, cat, 1)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 || elapsed < serialNS {
+				serialNS = elapsed
+			}
+			if i == 0 || allocs < serialAllocs {
+				serialAllocs = allocs
+			}
+			serialRes = res
+			elapsed, allocs, res, err = measureOnce(c, cat, doc.GOMAXPROCS)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 || elapsed < parNS {
+				parNS = elapsed
+			}
+			if i == 0 || allocs < parAllocs {
+				parAllocs = allocs
+			}
+			parRes = res
+		}
+		sfp, pfp := serialRes.Best.Fingerprint(), parRes.Best.Fingerprint()
+		if sfp != pfp {
+			return nil, fmt.Errorf("%s: serial best %s != parallel best %s — parallel enumeration is not deterministic",
+				c.name, sfp, pfp)
+		}
+		if s, p := serialRes.Stats.PlansRetained, parRes.Stats.PlansRetained; s != p {
+			return nil, fmt.Errorf("%s: serial retained %d plans, parallel %d", c.name, s, p)
+		}
+		if s, p := serialRes.Stats.Pairs, parRes.Stats.Pairs; s != p {
+			return nil, fmt.Errorf("%s: serial enumerated %d pairs, parallel %d", c.name, s, p)
+		}
+		doc.Workloads = append(doc.Workloads, enumWorkload{
+			Name:            c.name,
+			SerialNS:        serialNS.Nanoseconds(),
+			ParallelNS:      parNS.Nanoseconds(),
+			SerialAllocs:    serialAllocs,
+			ParallelAllocs:  parAllocs,
+			Speedup:         float64(serialNS) / float64(parNS),
+			BestFingerprint: sfp,
+			PlansRetained:   serialRes.Stats.PlansRetained,
+			Pairs:           serialRes.Stats.Pairs,
+		})
+		fmt.Fprintf(os.Stderr, "%-8s serial %v  parallel %v  speedup %.2fx  allocs %d/%d\n",
+			c.name, serialNS.Round(time.Millisecond), parNS.Round(time.Millisecond),
+			float64(serialNS)/float64(parNS), serialAllocs, parAllocs)
+	}
+	return doc, nil
+}
+
+// enumBenchMain handles -enum-bench: measure and (over)write the baseline.
+func enumBenchMain(path string, iters int) {
+	doc, err := runEnumBench(iters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(doc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote enumeration baseline to %s\n", path)
+}
+
+// enumCheckMain handles -enum-check: measure and gate against the baseline.
+func enumCheckMain(path string, iters int) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	var base enumDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "error: parsing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if base.Schema != enumSchema {
+		fmt.Fprintf(os.Stderr, "error: %s has schema %q, want %q\n", path, base.Schema, enumSchema)
+		os.Exit(1)
+	}
+	baseline := map[string]enumWorkload{}
+	for _, w := range base.Workloads {
+		baseline[w.Name] = w
+	}
+
+	cur, err := runEnumBench(iters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(os.Stderr, "FAIL: "+format+"\n", args...)
+	}
+	bestSpeedup := 0.0
+	for _, w := range cur.Workloads {
+		b, ok := baseline[w.Name]
+		if !ok {
+			fail("%s: not present in baseline %s — regenerate with -enum-bench", w.Name, path)
+			continue
+		}
+		if w.BestFingerprint != b.BestFingerprint {
+			fail("%s: best-plan fingerprint %s differs from baseline %s — if the cost model changed deliberately, regenerate the baseline",
+				w.Name, w.BestFingerprint, b.BestFingerprint)
+		}
+		if w.PlansRetained != b.PlansRetained || w.Pairs != b.Pairs {
+			fail("%s: search effort (%d plans, %d pairs) differs from baseline (%d plans, %d pairs)",
+				w.Name, w.PlansRetained, w.Pairs, b.PlansRetained, b.Pairs)
+		}
+		// Normalize the parallel-elapsed gate for machine speed: this
+		// machine's serial leg prices the machine, so scale the baseline's
+		// parallel time by the serial ratio before comparing. On a
+		// single-core machine both legs run the identical code path, so the
+		// comparison would only measure scheduler noise — skip it there.
+		if cur.GOMAXPROCS >= 2 {
+			expected := float64(b.ParallelNS) * float64(w.SerialNS) / float64(b.SerialNS)
+			if limit := expected * (1 + enumTolerance); float64(w.ParallelNS) > limit {
+				fail("%s: parallel leg took %v, over the normalized baseline %v by more than %.0f%%",
+					w.Name, time.Duration(w.ParallelNS), time.Duration(int64(expected)), enumTolerance*100)
+			}
+		}
+		if limit := float64(b.SerialAllocs) * (1 + enumTolerance); float64(w.SerialAllocs) > limit {
+			fail("%s: serial leg allocated %d, over baseline %d by more than %.0f%%",
+				w.Name, w.SerialAllocs, b.SerialAllocs, enumTolerance*100)
+		}
+		if limit := float64(b.ParallelAllocs) * (1 + enumTolerance); float64(w.ParallelAllocs) > limit {
+			fail("%s: parallel leg allocated %d, over baseline %d by more than %.0f%%",
+				w.Name, w.ParallelAllocs, b.ParallelAllocs, enumTolerance*100)
+		}
+		if w.Speedup > bestSpeedup {
+			bestSpeedup = w.Speedup
+		}
+	}
+	if cur.GOMAXPROCS >= speedupCores {
+		if bestSpeedup < minSpeedup {
+			fail("best parallel speedup %.2fx under the %.1fx floor at GOMAXPROCS=%d",
+				bestSpeedup, minSpeedup, cur.GOMAXPROCS)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "note: GOMAXPROCS=%d < %d, speedup gate skipped\n",
+			cur.GOMAXPROCS, speedupCores)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d enumeration gate(s) failed against %s\n", failures, path)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "enumeration gates passed against %s (best speedup %.2fx)\n", path, bestSpeedup)
+}

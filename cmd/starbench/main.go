@@ -15,6 +15,13 @@
 //	                          regenerated tables, wall-clock ns and heap
 //	                          allocations, and per-experiment optimizer
 //	                          counters (plans enumerated, prune rate, ...)
+//	starbench -parallel N     run every optimization with a join-enumeration
+//	                          fan-out of N workers (0 = GOMAXPROCS; results
+//	                          are identical at every level)
+//	starbench -enum-bench f   measure the enumeration workloads and write
+//	                          the baseline (schema starbench/enumerate/v1)
+//	starbench -enum-check f   measure and gate against a committed baseline
+//	                          (see enumbench.go for the gates)
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"stars"
@@ -55,19 +63,40 @@ type jsonExperiment struct {
 }
 
 type jsonDoc struct {
-	Schema      string           `json:"schema"`
+	Schema string `json:"schema"`
+	// Parallelism is the -parallel value the run used (0 = GOMAXPROCS);
+	// GOMAXPROCS records the machine's core budget, for interpreting the
+	// elapsed numbers.
+	Parallelism int              `json:"parallelism"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
 	Experiments []jsonExperiment `json:"experiments"`
 }
 
 func main() {
 	var (
-		exp      = flag.String("e", "all", "experiment id to run, or 'all'")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		markdown = flag.Bool("md", false, "emit a Markdown summary table after the reports")
-		metricsF = flag.Bool("metrics", false, "print Prometheus text-format metrics aggregated over all runs")
-		jsonOut  = flag.String("json", "", "write machine-readable per-experiment results (schema starbench/v1) to this path")
+		exp       = flag.String("e", "all", "experiment id to run, or 'all'")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		markdown  = flag.Bool("md", false, "emit a Markdown summary table after the reports")
+		metricsF  = flag.Bool("metrics", false, "print Prometheus text-format metrics aggregated over all runs")
+		jsonOut   = flag.String("json", "", "write machine-readable per-experiment results (schema starbench/v1) to this path")
+		parallel  = flag.Int("parallel", 1, "join-enumeration worker fan-out for every optimization (0 = GOMAXPROCS)")
+		enumBench = flag.String("enum-bench", "", "measure the enumeration workloads and write the baseline to this path")
+		enumCheck = flag.String("enum-check", "", "measure the enumeration workloads and gate against this baseline")
+		enumIters = flag.Int("enum-iters", 3, "iterations per (workload, parallelism) pair for -enum-bench/-enum-check")
 	)
 	flag.Parse()
+
+	// The process-default knob, rather than per-call Options plumbing,
+	// carries -parallel to every optimization the experiments run.
+	stars.SetDefaultParallelism(*parallel)
+	if *enumBench != "" {
+		enumBenchMain(*enumBench, *enumIters)
+		return
+	}
+	if *enumCheck != "" {
+		enumCheckMain(*enumCheck, *enumIters)
+		return
+	}
 
 	// A metrics-only sink (no event log) as the process default: every
 	// optimization the experiments run reports into it without per-call
@@ -145,7 +174,7 @@ func main() {
 		}
 	}
 	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, results); err != nil {
+		if err := writeJSON(*jsonOut, results, *parallel); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}
@@ -185,14 +214,15 @@ func counterDelta(a, b map[string]int64) map[string]int64 {
 	return out
 }
 
-func writeJSON(path string, results []jsonExperiment) error {
+func writeJSON(path string, results []jsonExperiment, parallelism int) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	err = enc.Encode(jsonDoc{Schema: jsonSchema, Experiments: results})
+	err = enc.Encode(jsonDoc{Schema: jsonSchema, Parallelism: parallelism,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Experiments: results})
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

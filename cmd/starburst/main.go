@@ -14,7 +14,12 @@
 //	starburst catalog                         # dump the demo catalog as JSON
 //	starburst serve    [-addr :8080] [-catalog file.json] [-rules file.star]
 //	                   [-max-inflight 64] [-timeout 30s] [-drain-timeout 10s]
-//	                   [-event-buffer 1024] [-seed 1]
+//	                   [-event-buffer 1024] [-seed 1] [-parallelism 1]
+//
+// Every command accepts -parallelism N: the join-enumeration worker fan-out
+// per optimization (0 = GOMAXPROCS). Results are identical at every level;
+// see docs/PERFORMANCE.md. serve defaults to 1 because concurrent requests
+// already keep a loaded server's cores busy.
 //
 // serve runs the optimizer as a long-lived HTTP daemon: POST /optimize
 // answers concurrent optimization (and execution) requests with
@@ -51,6 +56,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -94,6 +100,7 @@ func main() {
 		timeout  = fs.Duration("timeout", 30*time.Second, "serve: per-request optimize+execute deadline (504 on expiry)")
 		drainT   = fs.Duration("drain-timeout", 10*time.Second, "serve: max wait for in-flight requests on shutdown")
 		eventBuf = fs.Int("event-buffer", 1024, "serve: per-subscriber /events buffer (full buffers drop, never block)")
+		parallel = fs.Int("parallelism", 1, "join-enumeration worker fan-out per optimization (0 = GOMAXPROCS; results are identical at every level)")
 	)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -103,7 +110,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := stars.Options{}
+	opts := stars.Options{Parallelism: *parallel}
+	if *parallel == 0 {
+		// Options.Parallelism 0 defers to the process default; the flag's 0
+		// explicitly asks for GOMAXPROCS.
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	if *rules != "" {
 		text, err := os.ReadFile(*rules)
 		if err != nil {

@@ -97,6 +97,28 @@ func NewEnv(cat *catalog.Catalog, w Weights) *Env {
 	return e
 }
 
+// Fork returns a pricing environment for one worker of a parallel
+// enumeration: the catalog, weights, quantifier bindings, and property
+// functions are shared (they are read-only once optimization starts), while
+// the temp-table registry is copied so concurrent STORE pricing never races.
+// Fold a worker's temps back with AbsorbTemps.
+func (e *Env) Fork() *Env {
+	temps := make(map[string]*plan.Props, len(e.temps))
+	for name, p := range e.temps {
+		temps[name] = p
+	}
+	return &Env{Cat: e.Cat, W: e.W, Quant: e.Quant, funcs: e.funcs, temps: temps}
+}
+
+// AbsorbTemps copies the temps a forked environment registered back into e.
+// Workers namespace their temp names (star.Engine.Fork), so absorbing
+// several workers in any order yields the same registry.
+func (e *Env) AbsorbTemps(o *Env) {
+	for name, p := range o.temps {
+		e.temps[name] = p
+	}
+}
+
 // Register installs (or replaces) the property function for an Op. This is
 // the Section 5 extension point for new LOLEPOPs.
 func (e *Env) Register(op plan.Op, f PropertyFunc) { e.funcs[op] = f }

@@ -381,3 +381,83 @@ func TestStatsAdd(t *testing.T) {
 		t.Errorf("Stats.Add = %+v", a)
 	}
 }
+
+// TestOverlayIsolation pins the overlay contract the parallel enumeration
+// relies on: reads fall through to the frozen base, writes stay local, base
+// plans can reject (but never be evicted by) overlay offers, and Absorb
+// replays the deferred decisions into the base.
+func TestOverlayIsolation(t *testing.T) {
+	base := NewPlanTable()
+	ts := deptSet()
+	cheap := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "DEPT",
+		Props: &plan.Props{Cost: plan.Cost{Total: 5}}}
+	base.Insert(ts, "p", []*plan.Node{cheap})
+
+	ov := NewOverlay(base)
+	// Reads fall through.
+	if got := ov.Lookup(ts, "p"); len(got) != 1 || got[0] != cheap {
+		t.Fatalf("overlay lookup = %v", got)
+	}
+	// A dominated offer is rejected by the base plan without touching base.
+	dominated := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorBTreeStore, Table: "DEPT",
+		Props: &plan.Props{Cost: plan.Cost{Total: 50}}}
+	out := ov.Insert(ts, "p", []*plan.Node{dominated})
+	if len(out) != 1 || out[0] != cheap {
+		t.Fatalf("combined view after dominated offer = %v", out)
+	}
+	if ov.Pruned != 1 || base.Pruned != 0 {
+		t.Fatalf("pruned: overlay %d base %d", ov.Pruned, base.Pruned)
+	}
+	// A dominating offer is retained locally; the dominated base plan
+	// survives until Absorb (the base is frozen while tasks run).
+	winner := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "DEPT",
+		Props: &plan.Props{Cost: plan.Cost{Total: 1}}}
+	out = ov.Insert(ts, "p", []*plan.Node{winner})
+	if len(out) != 2 {
+		t.Fatalf("combined view after dominating offer = %d plans", len(out))
+	}
+	if got := base.Lookup(ts, "p"); len(got) != 1 || got[0] != cheap {
+		t.Fatalf("base mutated while overlay live: %v", got)
+	}
+	// Absorb replays the overlay's writes: the winner evicts the base plan.
+	base.Absorb(ov)
+	if got := base.Lookup(ts, "p"); len(got) != 1 || got[0] != winner {
+		t.Fatalf("base after absorb = %v", got)
+	}
+	// Counters fold: overlay offers (2, one rejected) plus the replayed
+	// insert (1 offer, evicting cheap) on top of the base's original one.
+	if base.Inserted != 1+2+1 || base.Pruned != 1+1 {
+		t.Fatalf("counters after absorb: inserted %d pruned %d", base.Inserted, base.Pruned)
+	}
+	if base.Size() != 1 {
+		t.Fatalf("base size = %d", base.Size())
+	}
+}
+
+// TestOverlayPruneDisabled pins the ablation path: with pruning off, an
+// overlay still dedupes identical plans against the frozen base by key.
+func TestOverlayPruneDisabled(t *testing.T) {
+	base := NewPlanTable()
+	base.PruneDisabled = true
+	ts := deptSet()
+	a := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "DEPT",
+		Props: &plan.Props{Cost: plan.Cost{Total: 5}}}
+	base.Insert(ts, "p", []*plan.Node{a})
+
+	ov := NewOverlay(base)
+	if !ov.PruneDisabled {
+		t.Fatal("overlay must inherit PruneDisabled")
+	}
+	dup := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "DEPT",
+		Props: &plan.Props{Cost: plan.Cost{Total: 5}}}
+	worse := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorBTreeStore, Table: "DEPT",
+		Props: &plan.Props{Cost: plan.Cost{Total: 50}}}
+	out := ov.Insert(ts, "p", []*plan.Node{dup, worse})
+	if len(out) != 2 {
+		t.Fatalf("combined view = %d plans (dup must dedupe, worse must stay)", len(out))
+	}
+	base.Absorb(ov)
+	if got := len(base.Lookup(ts, "p")); got != 2 {
+		t.Fatalf("base after absorb holds %d plans", got)
+	}
+}

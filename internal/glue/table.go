@@ -34,6 +34,27 @@ type PlanTable struct {
 	// Obs, when enabled, receives plantable.insert / plantable.prune
 	// events.
 	Obs *obs.Sink
+
+	// base, when non-nil, makes this table an overlay: reads fall through
+	// to base (which must stay frozen while the overlay is live), writes
+	// stay local, and dominance decisions consider base plans without
+	// evicting them — eviction is deferred to Absorb, which replays the
+	// overlay's writes into base in their original order. Overlays are the
+	// unit of isolation of the parallel join enumeration: each subset task
+	// writes into its own overlay over the committed smaller-subset
+	// entries, and the driver absorbs overlays at the rank barrier in
+	// ascending subset order, so the merged table is identical however the
+	// tasks were scheduled.
+	base *PlanTable
+	// order records locally-written entries in first-write order — the
+	// deterministic replay schedule Absorb follows.
+	order []entryRef
+}
+
+// entryRef identifies one locally-written overlay entry.
+type entryRef struct {
+	tables expr.TableSet
+	tk, pk string
 }
 
 // NewPlanTable returns an empty plan table.
@@ -41,20 +62,44 @@ func NewPlanTable() *PlanTable {
 	return &PlanTable{entries: map[string]map[string][]*plan.Node{}}
 }
 
+// NewOverlay returns an empty overlay table over base. The overlay inherits
+// base's pruning mode but reports into its own Obs sink (set by the caller)
+// and its own counters; Absorb folds both back.
+func NewOverlay(base *PlanTable) *PlanTable {
+	return &PlanTable{
+		entries:       map[string]map[string][]*plan.Node{},
+		base:          base,
+		PruneDisabled: base.PruneDisabled,
+	}
+}
+
 func tablesKey(t expr.TableSet) string { return strings.Join(t.Slice(), ",") }
 
 // Lookup returns the retained plans for exactly this table set and predicate
-// set (by canonical key), or nil.
+// set (by canonical key), or nil. On an overlay, base plans come first and
+// local plans after — the same order a serial run would have accumulated
+// them in, so cheapest-of tie-breaks stay deterministic.
 func (pt *PlanTable) Lookup(tables expr.TableSet, predsKey string) []*plan.Node {
-	byPreds := pt.entries[tablesKey(tables)]
-	if byPreds == nil {
-		return nil
+	tk := tablesKey(tables)
+	local := pt.entries[tk][predsKey]
+	if pt.base == nil {
+		return local
 	}
-	return byPreds[predsKey]
+	basePlans := pt.base.entries[tk][predsKey]
+	if len(basePlans) == 0 {
+		return local
+	}
+	if len(local) == 0 {
+		return basePlans
+	}
+	out := make([]*plan.Node, 0, len(basePlans)+len(local))
+	out = append(out, basePlans...)
+	return append(out, local...)
 }
 
 // Insert adds plans to the (tables, predsKey) entry, pruning dominated ones,
-// and returns the retained entry.
+// and returns the retained entry (on an overlay: the combined base + local
+// view, matching what a serial run's entry would hold).
 func (pt *PlanTable) Insert(tables expr.TableSet, predsKey string, plans []*plan.Node) []*plan.Node {
 	tk := tablesKey(tables)
 	byPreds := pt.entries[tk]
@@ -62,7 +107,10 @@ func (pt *PlanTable) Insert(tables expr.TableSet, predsKey string, plans []*plan
 		byPreds = map[string][]*plan.Node{}
 		pt.entries[tk] = byPreds
 	}
-	cur := byPreds[predsKey]
+	cur, touched := byPreds[predsKey]
+	if !touched && pt.base != nil {
+		pt.order = append(pt.order, entryRef{tables: tables, tk: tk, pk: predsKey})
+	}
 	for _, p := range plans {
 		pt.Inserted++
 		if pt.Obs.Enabled() {
@@ -70,24 +118,51 @@ func (pt *PlanTable) Insert(tables expr.TableSet, predsKey string, plans []*plan
 				A2: p.Fingerprint(), A3: offerDetail(p),
 				F1: p.Props.Cost.Total, F2: p.Props.Card})
 		}
-		cur = pt.addPruned(tk, cur, p)
+		cur = pt.addPruned(tk, predsKey, cur, p)
 	}
 	byPreds[predsKey] = cur
 	if pt.Obs.Enabled() {
 		pt.Obs.Emit(obs.Event{Name: obs.EvPlanInsert, A1: tk, A2: predsKey,
 			N1: int64(len(plans)), N2: int64(len(cur))})
 	}
-	return cur
+	if pt.base == nil {
+		return cur
+	}
+	return pt.Lookup(tables, predsKey)
 }
 
-func (pt *PlanTable) addPruned(tk string, cur []*plan.Node, p *plan.Node) []*plan.Node {
+func (pt *PlanTable) addPruned(tk, pk string, cur []*plan.Node, p *plan.Node) []*plan.Node {
+	var basePlans []*plan.Node
+	if pt.base != nil {
+		basePlans = pt.base.entries[tk][pk]
+	}
 	if pt.PruneDisabled {
+		for _, q := range basePlans {
+			if q == p || q.Key() == p.Key() {
+				return cur
+			}
+		}
 		for _, q := range cur {
 			if q == p || q.Key() == p.Key() {
 				return cur
 			}
 		}
 		return append(cur, p)
+	}
+	// Base plans are scanned first (they were retained first, exactly as in
+	// a serial run) and may reject the incoming plan, but are never evicted
+	// here: an overlay must not mutate its shared, frozen base. A base plan
+	// the incoming plan dominates is evicted later, when Absorb replays
+	// this write into the base on the barrier goroutine.
+	for _, q := range basePlans {
+		if q == p {
+			return cur
+		}
+		if plan.Dominates(q.Props, p.Props) {
+			pt.Pruned++
+			pt.emitPrune(tk, p, q, 0)
+			return cur
+		}
 	}
 	for _, q := range cur {
 		if q == p {
@@ -109,6 +184,40 @@ func (pt *PlanTable) addPruned(tk string, cur []*plan.Node, p *plan.Node) []*pla
 		out = append(out, q)
 	}
 	return append(out, p)
+}
+
+// Absorb replays an overlay's locally-retained plans into pt, in the
+// overlay's first-write order, and folds its churn counters. Replay goes
+// through the normal Insert path on the calling goroutine, so decisions an
+// overlay had to defer — a task's plan evicting a base plan it dominates,
+// or two tasks' equivalent veneers for a shared subset pruning one another —
+// are made here, with the usual offer/insert/prune events going to pt.Obs.
+// Absorbing a rank's overlays in ascending subset order therefore yields a
+// table whose contents are independent of how the tasks were scheduled.
+// Identity memos (Key/Fingerprint) of every plan in a touched entry are
+// populated before returning, so subsequent concurrent readers of pt never
+// race on the lazy memoization.
+func (pt *PlanTable) Absorb(o *PlanTable) {
+	for _, ref := range o.order {
+		plans := o.entries[ref.tk][ref.pk]
+		if len(plans) == 0 {
+			continue
+		}
+		pt.Insert(ref.tables, ref.pk, plans)
+		for _, p := range pt.entries[ref.tk][ref.pk] {
+			p.Fingerprint()
+		}
+	}
+	pt.Inserted += o.Inserted
+	pt.Pruned += o.Pruned
+}
+
+// MemoizeIdentities precomputes every retained plan's Key and Fingerprint
+// memos. The optimizer calls it before fanning readers of the table out to
+// worker goroutines: plan.Node memoizes lazily, which is a write, and must
+// happen while the table is still single-threaded.
+func (pt *PlanTable) MemoizeIdentities() {
+	pt.ForEach(func(_, _ string, p *plan.Node) { p.Fingerprint() })
 }
 
 // emitPrune records one dominance decision with the identity and cost of
@@ -140,7 +249,11 @@ func offerDetail(p *plan.Node) string {
 
 // ForEach visits every retained plan, keyed by table-set and predicate key,
 // in unspecified order — provenance walks the final population through it.
+// On an overlay, base plans are visited too.
 func (pt *PlanTable) ForEach(fn func(tablesKey, predsKey string, p *plan.Node)) {
+	if pt.base != nil {
+		pt.base.ForEach(fn)
+	}
 	for tk, byPreds := range pt.entries {
 		for pk, plans := range byPreds {
 			for _, p := range plans {
@@ -151,10 +264,16 @@ func (pt *PlanTable) ForEach(fn func(tablesKey, predsKey string, p *plan.Node)) 
 }
 
 // Entry returns every plan stored for the table set across all predicate
-// keys.
+// keys (on an overlay: base entries first, then local ones).
 func (pt *PlanTable) Entry(tables expr.TableSet) []*plan.Node {
+	tk := tablesKey(tables)
 	var out []*plan.Node
-	for _, plans := range pt.entries[tablesKey(tables)] {
+	if pt.base != nil {
+		for _, plans := range pt.base.entries[tk] {
+			out = append(out, plans...)
+		}
+	}
+	for _, plans := range pt.entries[tk] {
 		out = append(out, plans...)
 	}
 	return out
@@ -187,9 +306,13 @@ func (pt *PlanTable) Best(tables expr.TableSet) *plan.Node {
 	return best
 }
 
-// Size returns the total number of retained plans.
+// Size returns the total number of retained plans (including base plans on
+// an overlay).
 func (pt *PlanTable) Size() int {
 	n := 0
+	if pt.base != nil {
+		n = pt.base.Size()
+	}
 	for _, byPreds := range pt.entries {
 		for _, plans := range byPreds {
 			n += len(plans)

@@ -174,6 +174,63 @@ func NewRequestSink(req string) *Sink {
 	return s
 }
 
+// Child returns a fresh sink of the same shape as s (event-keeping or
+// metrics-only) for one unit of isolated work — e.g. one subset task of the
+// parallel join enumeration. Workers record into their child sink without
+// contending on the parent, and the parent later folds the child back in
+// with Absorb, in a deterministic order. Nil for the nil sink.
+func (s *Sink) Child() *Sink {
+	if s == nil {
+		return nil
+	}
+	return &Sink{start: time.Now(), reg: NewRegistry(), drop: s.drop}
+}
+
+// Absorb replays every event a child sink recorded into s, in the child's
+// order, and merges the child's metrics registry. Sequence numbers are
+// re-stamped from s's counter, span ids are remapped through s's span
+// counter (so absorbed spans never collide with s's own), timestamps are
+// re-based onto s's epoch preserving real durations, and s's request tag is
+// stamped onto untagged events — exactly what Emit would have done had the
+// work reported into s directly. Tees see the absorbed events in order.
+// No-op when either side is nil.
+func (s *Sink) Absorb(child *Sink) {
+	if s == nil || child == nil {
+		return
+	}
+	events := child.Events()
+	offset := child.start.Sub(s.start)
+	s.mu.Lock()
+	var spanMap map[int64]int64
+	for _, e := range events {
+		s.seq++
+		e.Seq = s.seq
+		e.T += offset
+		if e.Req == "" {
+			e.Req = s.tag
+		}
+		if e.Span != 0 {
+			if spanMap == nil {
+				spanMap = make(map[int64]int64)
+			}
+			ns, ok := spanMap[e.Span]
+			if !ok {
+				ns = s.spanSeq.Add(1)
+				spanMap[e.Span] = ns
+			}
+			e.Span = ns
+		}
+		if !s.drop {
+			s.events = append(s.events, e)
+		}
+		for _, fn := range s.tees {
+			fn(e)
+		}
+	}
+	s.mu.Unlock()
+	s.reg.Merge(child.Registry())
+}
+
 // Tag returns the sink's request id ("" for untagged and nil sinks).
 func (s *Sink) Tag() string {
 	if s == nil {

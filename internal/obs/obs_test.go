@@ -262,3 +262,91 @@ func TestExportersRoundTripProvenancePayload(t *testing.T) {
 		t.Errorf("chrome trace lost provenance fields: %v", args)
 	}
 }
+
+// TestChildAbsorb pins the worker-sink fold the parallel enumeration uses:
+// sequence numbers are re-stamped into the parent's stream, span links are
+// remapped without collisions, durations survive the time re-base, tees see
+// absorbed events, and the child's metrics merge.
+func TestChildAbsorb(t *testing.T) {
+	parent := NewSink()
+	var teed []string
+	parent.Tee(func(e Event) { teed = append(teed, e.Name) })
+	parentSp := parent.StartSpan(EvPhase, "join-2", "", 0)
+
+	c1, c2 := parent.Child(), parent.Child()
+	if !c1.Enabled() {
+		t.Fatal("child of an enabled sink must be enabled")
+	}
+	sp := c1.StartSpan(EvRule, "JoinRoot", "", 1)
+	time.Sleep(2 * time.Millisecond)
+	sp.End(3)
+	c1.Registry().Counter("worker_total").Add(2)
+	c2.Emit(Event{Name: EvPair, A1: "A", A2: "B"})
+	sp2 := c2.StartSpan(EvRule, "JoinRoot", "", 1)
+	sp2.End(1)
+
+	parent.Absorb(c1)
+	parent.Absorb(c2)
+	parentSp.End(0)
+
+	events := parent.Events()
+	// span-begin + (c1 begin/end) + (c2 pair, begin/end) + span-end.
+	if len(events) != 7 {
+		t.Fatalf("got %d events", len(events))
+	}
+	spans := map[int64][]Event{}
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d — absorb must re-stamp", i, e.Seq)
+		}
+		if e.Span != 0 {
+			spans[e.Span] = append(spans[e.Span], e)
+		}
+	}
+	// Three distinct spans (parent's, c1's, c2's), each with begin+end.
+	if len(spans) != 3 {
+		t.Fatalf("got %d distinct span ids, want 3 (children must be remapped)", len(spans))
+	}
+	for id, evs := range spans {
+		if len(evs) != 2 {
+			t.Fatalf("span %d has %d events", id, len(evs))
+		}
+		if d := evs[1].T - evs[0].T; d < 0 {
+			t.Fatalf("span %d duration %v negative after re-base", id, d)
+		}
+	}
+	// c1's timed span kept its ~2ms duration.
+	for _, evs := range spans {
+		if evs[0].Name == EvRule && evs[1].N1 == 3 {
+			if d := evs[1].T - evs[0].T; d < time.Millisecond {
+				t.Fatalf("absorbed span duration %v, want >= 1ms", d)
+			}
+		}
+	}
+	if len(teed) != 7 {
+		t.Fatalf("tee saw %d events", len(teed))
+	}
+	if got := parent.Registry().Counters()["worker_total"]; got != 2 {
+		t.Fatalf("merged counter = %d", got)
+	}
+	// A metrics-only parent's children inherit drop mode: events are
+	// dropped on absorb, metrics still merge.
+	mp := NewMetricsSink()
+	mc := mp.Child()
+	mc.Emit(Event{Name: EvPair})
+	mc.Registry().Counter("worker_total").Add(1)
+	mp.Absorb(mc)
+	if got := mp.Events(); got != nil {
+		t.Fatalf("metrics-only parent recorded %v", got)
+	}
+	if got := mp.Registry().Counters()["worker_total"]; got != 1 {
+		t.Fatalf("metrics-only merged counter = %d", got)
+	}
+	// Nil child and nil parent are no-ops.
+	parent.Absorb(nil)
+	var nilSink *Sink
+	if c := nilSink.Child(); c != nil {
+		t.Fatal("nil sink's child must be nil")
+	}
+	nilSink.Absorb(parent)
+}

@@ -9,7 +9,6 @@ package opt
 
 import (
 	"fmt"
-	"math/bits"
 	"time"
 
 	"stars/internal/catalog"
@@ -59,6 +58,14 @@ type Options struct {
 	// Prepare, when non-nil, customizes the engine after construction
 	// (extra builders/helpers for DBC extensions).
 	Prepare func(*star.Engine)
+	// Parallelism is the number of worker goroutines the bottom-up join
+	// enumeration fans each subset-size rank out to. 1 runs the rank
+	// single-threaded; 0 uses the process default (SetDefaultParallelism,
+	// falling back to GOMAXPROCS). Whatever the value, results are
+	// deterministic: every parallelism level chooses plans with identical
+	// fingerprints, retains an identical plan table, and reports identical
+	// counters. See docs/PERFORMANCE.md.
+	Parallelism int
 }
 
 // Stats aggregates optimization-effort counters for one query.
@@ -144,9 +151,18 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 		sink = obs.DefaultSink()
 	}
 
+	// Memoize the needed-columns resolution once per query: the engine,
+	// Glue, and every enumeration worker consult it repeatedly, and the
+	// underlying graph walk allocates. The map is read-only once built, so
+	// forked worker engines share it freely.
+	needed := make(map[string][]expr.ColID, len(g.Quants))
+	for _, q := range g.Quants {
+		needed[q.Name] = g.NeededCols(o.Cat, q.Name)
+	}
+
 	en := star.NewEngine(rules, env)
 	en.QueryTables = g.QuantNames()
-	en.NeededCols = func(q string) []expr.ColID { return g.NeededCols(o.Cat, q) }
+	en.NeededCols = func(q string) []expr.ColID { return needed[q] }
 	en.Obs = sink
 	if o.Opts.Prepare != nil {
 		o.Opts.Prepare(en)
@@ -174,7 +190,7 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 		preds := g.BasePreds(q.Name)
 		sap, err := en.EvalRule(glue.AccessRootRule, []star.Value{
 			star.StreamValue(ts),
-			star.ColsValue(g.NeededCols(o.Cat, q.Name)),
+			star.ColsValue(needed[q.Name]),
 			star.PredsValue(preds),
 		})
 		if err != nil {
@@ -187,8 +203,9 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 	}
 	accessSp.End(int64(table.Size()))
 
-	// Phase 2: bottom-up join enumeration over quantifier subsets.
-	if err := o.enumerate(g, en, table, res); err != nil {
+	// Phase 2: bottom-up join enumeration over quantifier subsets,
+	// rank-parallel (see parallel.go).
+	if err := o.enumerate(g, en, gl, table, res); err != nil {
 		return nil, err
 	}
 
@@ -249,99 +266,4 @@ func (o *Optimizer) joinRootName() string {
 		return o.Opts.JoinRoot
 	}
 	return "JoinRoot"
-}
-
-// enumerate walks quantifier subsets by size, referencing JoinRoot for each
-// joinable partition of each subset. Subsets are bitmasks over the
-// quantifier list; quantifier counts beyond 30 are rejected (well past what
-// dynamic-programming enumeration is for).
-func (o *Optimizer) enumerate(g *query.Graph, en *star.Engine, table *glue.PlanTable, res *Result) error {
-	n := len(g.Quants)
-	if n > 30 {
-		return fmt.Errorf("opt: %d quantifiers exceeds the enumeration limit", n)
-	}
-	if n == 1 {
-		return nil
-	}
-	names := g.QuantNames()
-	setOf := func(mask uint32) expr.TableSet {
-		ts := expr.TableSet{}
-		for i := 0; i < n; i++ {
-			if mask&(1<<i) != 0 {
-				ts[names[i]] = true
-			}
-		}
-		return ts
-	}
-
-	sink := res.Obs
-	full := uint32(1<<n) - 1
-	for size := 2; size <= n; size++ {
-		var sizeSp obs.Span
-		if sink.Enabled() {
-			sizeSp = sink.StartSpan(obs.EvPhase, fmt.Sprintf("join-%d", size), "", 0)
-		}
-		sizePairs := res.Stats.Pairs
-		for mask := uint32(1); mask <= full; mask++ {
-			if bits.OnesCount32(mask) != size {
-				continue
-			}
-			res.Stats.Subsets++
-			S := setOf(mask)
-			eligible := g.EligibleWithin(S)
-
-			type pair struct{ s1, s2 uint32 }
-			var connected, cartesian []pair
-			low := mask & (^mask + 1) // dedupe unordered partitions: s1 keeps the lowest bit
-			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
-				if sub&low == 0 {
-					continue
-				}
-				s1, s2 := sub, mask^sub
-				if o.Opts.NoCompositeInners &&
-					bits.OnesCount32(s1) > 1 && bits.OnesCount32(s2) > 1 {
-					continue
-				}
-				if len(table.Entry(setOf(s1))) == 0 || len(table.Entry(setOf(s2))) == 0 {
-					continue
-				}
-				if g.Connected(setOf(s1), setOf(s2)) {
-					connected = append(connected, pair{s1, s2})
-				} else {
-					cartesian = append(cartesian, pair{s1, s2})
-				}
-			}
-			pairs := connected
-			// Prefer predicate-connected pairs as System R and R* did;
-			// consider Cartesian products only when configured, or when
-			// nothing connects the subset at the final join (so queries
-			// with disconnected join graphs still plan).
-			if o.Opts.CartesianProducts || (len(connected) == 0 && mask == full) {
-				pairs = append(pairs, cartesian...)
-			}
-			for _, pr := range pairs {
-				res.Stats.Pairs++
-				if sink.Enabled() {
-					sink.Emit(obs.Event{Name: obs.EvPair,
-						A1: setOf(pr.s1).Key(), A2: setOf(pr.s2).Key()})
-				}
-				p := g.NewlyEligible(setOf(pr.s1), setOf(pr.s2))
-				sap, err := en.EvalRule(o.joinRootName(), []star.Value{
-					star.StreamValue(setOf(pr.s1)),
-					star.StreamValue(setOf(pr.s2)),
-					star.PredsValue(p),
-				})
-				if err != nil {
-					return fmt.Errorf("opt: joining {%s} with {%s}: %w",
-						setOf(pr.s1).Key(), setOf(pr.s2).Key(), err)
-				}
-				table.Insert(S, eligible.Key(), sap)
-			}
-		}
-		sizeSp.End(res.Stats.Pairs - sizePairs)
-	}
-	if len(table.Entry(g.TableSet())) == 0 {
-		return fmt.Errorf("opt: no complete plan produced (disconnected join graph? enable CartesianProducts)")
-	}
-	return nil
 }

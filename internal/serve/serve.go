@@ -90,6 +90,13 @@ type Config struct {
 	// Limit is the default row cap echoed back by Execute when the
 	// request doesn't set one (default 100).
 	Limit int
+	// Parallelism caps the join-enumeration worker fan-out of each
+	// optimize request (default 1: concurrency across requests already
+	// keeps a loaded server's cores busy, so intra-query fan-out only
+	// helps latency on idle servers; results are identical either way).
+	// Zero selects the default; negative means the process default
+	// (opt.SetDefaultParallelism / GOMAXPROCS).
+	Parallelism int
 	// Log receives operational messages (start, drain); nil discards.
 	Log *log.Logger
 }
@@ -120,6 +127,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Limit == 0 {
 		c.Limit = 100
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
+	} else if c.Parallelism < 0 {
+		c.Parallelism = 0 // process default (SetDefaultParallelism / GOMAXPROCS)
 	}
 	if c.Log == nil {
 		c.Log = log.New(io.Discard, "", 0)
@@ -391,6 +403,9 @@ func (s *Server) do(reqID string, req OptimizeRequest) outcome {
 	}
 	opts := s.cfg.Options
 	opts.Obs = sink
+	if opts.Parallelism == 0 {
+		opts.Parallelism = s.cfg.Parallelism
+	}
 	res, err := opt.New(s.cfg.Catalog, opts).Optimize(g)
 	if err != nil {
 		return fail(http.StatusUnprocessableEntity, err)

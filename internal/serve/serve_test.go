@@ -544,3 +544,29 @@ func truncate(s string, n int) string {
 	}
 	return s[:n] + "..."
 }
+
+// TestParallelismConfig pins the Config.Parallelism plumbing: the default
+// keeps per-request enumeration single-threaded, an explicit fan-out is
+// honored, and the chosen plan's fingerprint is identical either way.
+func TestParallelismConfig(t *testing.T) {
+	if got := (Config{}).withDefaults().Parallelism; got != 1 {
+		t.Errorf("default parallelism = %d, want 1", got)
+	}
+	if got := (Config{Parallelism: -1}).withDefaults().Parallelism; got != 0 {
+		t.Errorf("negative parallelism = %d, want 0 (process default)", got)
+	}
+	var fps [2]string
+	for i, par := range []int{1, 8} {
+		s := newTestServer(t, Config{Parallelism: par})
+		ts := httptest.NewServer(s.Handler())
+		status, resp, bad := postOptimize(t, ts.URL, OptimizeRequest{SQL: figure1SQL})
+		ts.Close()
+		if status != http.StatusOK {
+			t.Fatalf("parallelism %d: status %d (%+v)", par, status, bad)
+		}
+		fps[i] = resp.Plan.Fingerprint
+	}
+	if fps[0] != fps[1] {
+		t.Errorf("fingerprint depends on parallelism: %s vs %s", fps[0], fps[1])
+	}
+}
