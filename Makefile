@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test verify bench enum-bench enum-check trace-demo dag-demo serve serve-demo experiments
+.PHONY: build test verify lint bench enum-bench enum-check trace-demo dag-demo serve serve-demo experiments
 
 build:
 	go build ./...
@@ -11,6 +11,19 @@ test:
 # The tier-1 verify recipe (ROADMAP.md).
 verify:
 	go build ./... && go vet ./... && go test ./... && go test -race ./...
+
+# Static analysis: the STAR rule linter over the built-in and extension
+# repertoires (docs/LINTING.md), warnings fatal. CI also runs staticcheck
+# and govulncheck over the Go code; install them locally with
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+#   go install golang.org/x/vuln/cmd/govulncheck@latest
+lint:
+	go run ./cmd/starburst lint -werror
+	go run ./cmd/starburst lint -werror -ext semijoin
+	go run ./cmd/starburst lint -werror -ext bloom
+	go run ./cmd/starburst lint -werror -ext outerjoin
+	@command -v staticcheck >/dev/null && staticcheck ./... || echo "staticcheck not installed; skipping"
+	@command -v govulncheck >/dev/null && govulncheck ./... || echo "govulncheck not installed; skipping"
 
 bench:
 	go test -bench=. -benchmem

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stars"
+	"stars/ext/bloom"
+	"stars/ext/outerjoin"
+	"stars/ext/semijoin"
+)
+
+// lintMain is the `starburst lint` subcommand: statically check a STAR rule
+// set — references, arity, reachability, termination, property coverage,
+// kinds, hygiene — and report diagnostics with stable SCnnn codes.
+//
+//	starburst lint                       # the built-in repertoire
+//	starburst lint -rules my.star        # built-ins overlaid with a rule file
+//	starburst lint -ext semijoin,bloom   # an extension's spliced repertoire
+//	starburst lint -json                 # stars/lint/v1 JSON report
+//	starburst lint -werror               # exit nonzero on warnings too
+//
+// Exit status: 0 clean, 1 diagnostics at the failing level (errors, or any
+// finding under -werror), 2 usage errors.
+func lintMain(args []string) {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	var (
+		rulesPath = fs.String("rules", "", "STAR rule file merged over the base repertoire")
+		extList   = fs.String("ext", "", "comma-separated extensions whose repertoire to lint: semijoin, bloom, outerjoin")
+		catPath   = fs.String("catalog", "", "catalog JSON file (default: the EMP/DEPT demo catalog)")
+		jsonOut   = fs.Bool("json", false, "emit a stars/lint/v1 JSON report instead of text")
+		werror    = fs.Bool("werror", false, "treat warnings as errors (nonzero exit on any finding)")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	cat, _, err := loadCatalog(*catPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var opts stars.Options
+	target := "built-in repertoire"
+	if *extList != "" {
+		for _, name := range strings.Split(*extList, ",") {
+			var err error
+			switch strings.TrimSpace(name) {
+			case "semijoin":
+				err = semijoin.Install(&opts)
+			case "bloom":
+				err = bloom.Install(&opts)
+			case "outerjoin":
+				err = outerjoin.Install(&opts)
+			default:
+				err = fmt.Errorf("unknown -ext %q (want semijoin, bloom, or outerjoin)", name)
+			}
+			if err != nil {
+				fatal(err)
+			}
+		}
+		target = "ext " + *extList + " repertoire"
+	}
+	if *rulesPath != "" {
+		rs, err := loadRuleFile(*rulesPath)
+		if err != nil {
+			fatal(err)
+		}
+		base := opts.Rules
+		if base == nil {
+			base = stars.DefaultRules()
+		}
+		base.Merge(rs)
+		opts.Rules = base
+		target = *rulesPath + " (merged over the " + target + ")"
+	}
+
+	diags := stars.Lint(cat, opts)
+	if *jsonOut {
+		if err := stars.WriteLintJSON(os.Stdout, diags); err != nil {
+			fatal(err)
+		}
+	} else if len(diags) == 0 {
+		fmt.Printf("lint: %s: clean\n", target)
+	} else {
+		fmt.Print(stars.FormatLint(diags))
+		fmt.Printf("lint: %s: %d error(s), %d warning(s)\n",
+			target, stars.LintErrors(diags), stars.LintWarnings(diags))
+	}
+	if stars.LintErrors(diags) > 0 || (*werror && len(diags) > 0) {
+		os.Exit(1)
+	}
+}
+
+// loadRuleFile reads and parses a rule file, recording the path in source
+// positions so diagnostics point into the file.
+func loadRuleFile(path string) (*stars.RuleSet, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return stars.ParseRuleFile(string(text), path)
+}
+
+// autoLint is the warn-level lint run wherever a -rules file is loaded for
+// actual optimization: warnings go to stderr and the command proceeds;
+// errors abort with a pointer to `starburst lint` (the engine would reject
+// the rule set anyway, with blunter messages).
+func autoLint(cat *stars.Catalog, opts stars.Options) {
+	diags := stars.Lint(cat, opts)
+	if len(diags) == 0 {
+		return
+	}
+	fmt.Fprint(os.Stderr, stars.FormatLint(diags))
+	if n := stars.LintErrors(diags); n > 0 {
+		fatal(fmt.Errorf("rule set has %d lint error(s); see `starburst lint` for the catalog", n))
+	}
+}

@@ -11,6 +11,8 @@
 //	starburst diff     -q "SELECT ..." [-ablate pruning|keepall|leftdeep|cartesian]
 //	starburst diff     a.json b.json          # diff two saved provenance DAGs
 //	starburst rules    [-rules file.star]     # print the active repertoire
+//	starburst lint     [-rules file.star] [-ext semijoin,bloom,outerjoin]
+//	                   [-catalog file.json] [-json] [-werror]
 //	starburst catalog                         # dump the demo catalog as JSON
 //	starburst serve    [-addr :8080] [-catalog file.json] [-rules file.star]
 //	                   [-max-inflight 64] [-timeout 30s] [-drain-timeout 10s]
@@ -43,6 +45,13 @@
 // EMP/DEPT query, so the one-liner observability demo is
 //
 //	starburst -analyze -trace-out=trace.json
+//
+// lint statically checks a STAR rule set (stable SCnnn diagnostics:
+// undefined references, arity and kind mismatches, unreachable STARs, dead
+// alternatives, likely-nonterminating recursion, unsatisfiable required
+// properties, name hygiene — see docs/LINTING.md) and exits nonzero on
+// errors, or on any finding with -werror. The same analyzer runs
+// automatically, warn-level, whenever -rules files load.
 //
 // Without -catalog, the paper's EMP/DEPT demo catalog is used; try
 //
@@ -78,6 +87,10 @@ func main() {
 	if !strings.HasPrefix(args[0], "-") {
 		cmd = args[0]
 		args = args[1:]
+	}
+	if cmd == "lint" {
+		lintMain(args)
+		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
@@ -117,17 +130,18 @@ func main() {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	if *rules != "" {
-		text, err := os.ReadFile(*rules)
-		if err != nil {
-			fatal(err)
-		}
-		rs, err := stars.ParseRules(string(text))
+		rs, err := loadRuleFile(*rules)
 		if err != nil {
 			fatal(err)
 		}
 		base := stars.DefaultRules()
 		base.Merge(rs)
 		opts.Rules = base
+		// Loaded rule files are linted automatically: warnings to stderr,
+		// errors fatal. (serve boots through the same check in serve.New.)
+		if cmd != "serve" {
+			autoLint(cat, opts)
+		}
 	}
 
 	switch cmd {
@@ -392,7 +406,7 @@ func loadCatalog(path string) (cat *stars.Catalog, demo bool, err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: starburst {explain|run|trace|diff|rules|catalog|serve} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: starburst {explain|run|trace|diff|rules|lint|catalog|serve} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'starburst <cmd> -h' for the command's flags")
 }
 

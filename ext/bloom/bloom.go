@@ -87,6 +87,11 @@ func Install(o *opt.Options) error {
 			prev(en)
 		}
 		en.RegisterBuilder("BLOOM", buildNode)
+		en.DeclareSignature(star.Signature{
+			Name:   "BLOOM",
+			Args:   []star.ArgKind{star.KindStream, star.KindPreds, star.KindSAP, star.KindPreds},
+			Result: star.KindSAP,
+		})
 		en.Cost.Register(OpBloom, propertyFunc)
 	}
 	return nil

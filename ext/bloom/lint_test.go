@@ -1,0 +1,21 @@
+package bloom_test
+
+import (
+	"testing"
+
+	"stars"
+	"stars/ext/bloom"
+)
+
+// TestRepertoireLintsClean pins the acceptance criterion that the spliced
+// Bloomjoin repertoire — including the extension-declared BLOOM signature —
+// produces zero lint diagnostics.
+func TestRepertoireLintsClean(t *testing.T) {
+	var o stars.Options
+	if err := bloom.Install(&o); err != nil {
+		t.Fatal(err)
+	}
+	if diags := stars.Lint(stars.EmpDeptCatalog(), o); len(diags) != 0 {
+		t.Fatalf("bloom repertoire is not lint-clean:\n%s", stars.FormatLint(diags))
+	}
+}

@@ -1,0 +1,22 @@
+package outerjoin_test
+
+import (
+	"testing"
+
+	"stars"
+	"stars/ext/outerjoin"
+)
+
+// TestRepertoireLintsClean pins the acceptance criterion that the outer-join
+// repertoire lints clean: the `# lint: root` pragma on OuterJoinRoot and the
+// JoinRoot override keep both join entry points reachable, and the declared
+// OUTERJOIN signature type-checks the extension STAR.
+func TestRepertoireLintsClean(t *testing.T) {
+	var o stars.Options
+	if err := outerjoin.Install(&o); err != nil {
+		t.Fatal(err)
+	}
+	if diags := stars.Lint(stars.EmpDeptCatalog(), o); len(diags) != 0 {
+		t.Fatalf("outerjoin repertoire is not lint-clean:\n%s", stars.FormatLint(diags))
+	}
+}

@@ -39,6 +39,7 @@ const OpOuter plan.Op = "OUTERJOIN"
 const RuleText = `
 # Left outer join root: T1 is preserved; all predicates spanning the sides
 # form the ON condition. No PermutedJoin — outer joins do not commute.
+# lint: root
 star OuterJoinRoot(T1, T2, P) =
   OUTERJOIN(Glue(T1, {}), Glue(T2, union(JP, IP)), JP, minus(P, union(JP, IP)))
   where
@@ -66,6 +67,11 @@ func Install(o *opt.Options) error {
 			prev(en)
 		}
 		en.RegisterBuilder("OUTERJOIN", buildNode)
+		en.DeclareSignature(star.Signature{
+			Name:   "OUTERJOIN",
+			Args:   []star.ArgKind{star.KindSAP, star.KindSAP, star.KindPreds, star.KindPreds},
+			Result: star.KindSAP,
+		})
 		en.Cost.Register(OpOuter, propertyFunc)
 	}
 	return nil

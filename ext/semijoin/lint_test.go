@@ -1,0 +1,21 @@
+package semijoin_test
+
+import (
+	"testing"
+
+	"stars"
+	"stars/ext/semijoin"
+)
+
+// TestRepertoireLintsClean pins the acceptance criterion that the spliced
+// semijoin repertoire — including the extension-declared SEMIJOIN signature —
+// produces zero lint diagnostics.
+func TestRepertoireLintsClean(t *testing.T) {
+	var o stars.Options
+	if err := semijoin.Install(&o); err != nil {
+		t.Fatal(err)
+	}
+	if diags := stars.Lint(stars.EmpDeptCatalog(), o); len(diags) != 0 {
+		t.Fatalf("semijoin repertoire is not lint-clean:\n%s", stars.FormatLint(diags))
+	}
+}

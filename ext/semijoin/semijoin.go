@@ -64,6 +64,11 @@ func Install(o *opt.Options) error {
 			prev(en)
 		}
 		en.RegisterBuilder("SEMIJOIN", buildNode)
+		en.DeclareSignature(star.Signature{
+			Name:   "SEMIJOIN",
+			Args:   []star.ArgKind{star.KindStream, star.KindPreds, star.KindSAP, star.KindPreds},
+			Result: star.KindSAP,
+		})
 		en.Cost.Register(OpSemi, propertyFunc)
 	}
 	return nil

@@ -1,0 +1,37 @@
+package opt
+
+import (
+	"stars/internal/catalog"
+	"stars/internal/cost"
+	"stars/internal/star"
+	"stars/internal/starcheck"
+)
+
+// Lint statically checks the rule set an optimization with these options
+// would run: Options.Rules (or the built-in repertoire), with the signature
+// table of an engine after Options.Prepare — so extension-registered
+// builders and helpers resolve, and declared extension signatures get full
+// arity/kind checking — and Options.JoinRoot steering the reachability
+// roots. The probe engine never optimizes anything; it exists only to
+// collect what Prepare registers.
+//
+// This is the hook behind `starburst lint` and the automatic warn-level lint
+// wherever -rules files load (CLI commands, serve boot).
+func Lint(cat *catalog.Catalog, o Options) []starcheck.Diag {
+	rules := o.Rules
+	if rules == nil {
+		rules = star.DefaultRules()
+	}
+	w := o.Weights
+	if w == (cost.Weights{}) {
+		w = cost.DefaultWeights
+	}
+	en := star.NewEngine(rules, cost.NewEnv(cat, w))
+	if o.Prepare != nil {
+		o.Prepare(en)
+	}
+	return starcheck.Check(rules, starcheck.Config{
+		JoinRoot:   o.JoinRoot,
+		Signatures: en.Signatures(),
+	})
+}

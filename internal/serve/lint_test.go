@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"testing"
+
+	"stars/internal/opt"
+	"stars/internal/star"
+)
+
+// TestBootLintRejectsBrokenRules pins that a daemon refuses to boot on a
+// rule set with lint errors — a broken repertoire would fail every request.
+func TestBootLintRejectsBrokenRules(t *testing.T) {
+	rs := star.DefaultRules()
+	broken, err := star.ParseFile(`star JoinRoot(T1, T2, P) = Missing(T1, T2, P)`, "broken.star")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Merge(broken)
+	_, err = New(Config{Options: opt.Options{Rules: rs}})
+	if err == nil || !strings.Contains(err.Error(), "lint error") {
+		t.Fatalf("New = %v, want a lint-error refusal", err)
+	}
+}
+
+// TestBootLintLogsWarnings pins that warn-level findings are logged at boot
+// but do not prevent serving.
+func TestBootLintLogsWarnings(t *testing.T) {
+	rs := star.DefaultRules()
+	warned, err := star.ParseFile(`star Orphan(T, P) = Glue(T, P)`, "warn.star")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Merge(warned)
+	var buf bytes.Buffer
+	_, err = New(Config{
+		Options: opt.Options{Rules: rs},
+		Log:     log.New(&buf, "", 0),
+	})
+	if err != nil {
+		t.Fatalf("warnings must not refuse boot: %v", err)
+	}
+	if !strings.Contains(buf.String(), "SC010") || !strings.Contains(buf.String(), "Orphan") {
+		t.Fatalf("boot log is missing the SC010 warning:\n%s", buf.String())
+	}
+}
+
+// TestBootSkipsLintWithoutCustomRules pins that the default repertoire boots
+// without a lint pass (nil Options.Rules means nothing user-supplied to
+// check).
+func TestBootSkipsLintWithoutCustomRules(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := New(Config{Log: log.New(&buf, "", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "lint:") {
+		t.Fatalf("unexpected lint output for the built-in repertoire:\n%s", buf.String())
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"stars/internal/provenance"
 	"stars/internal/query"
 	"stars/internal/sqlparse"
+	"stars/internal/starcheck"
 	"stars/internal/storage"
 	"stars/internal/workload"
 )
@@ -167,6 +168,18 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Catalog.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: catalog: %w", err)
+	}
+	if cfg.Options.Rules != nil {
+		// A custom repertoire serves every request of a long-lived daemon,
+		// so it is linted at boot: warnings go to the log, errors refuse to
+		// start (they would fail every optimization anyway).
+		diags := opt.Lint(cfg.Catalog, cfg.Options)
+		for _, d := range diags {
+			cfg.Log.Printf("lint: %s", d)
+		}
+		if n := starcheck.Errors(diags); n > 0 {
+			return nil, fmt.Errorf("serve: rule set has %d lint error(s); run `starburst lint` for details", n)
+		}
 	}
 	s := &Server{
 		cfg:      cfg,

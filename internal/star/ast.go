@@ -2,7 +2,6 @@ package star
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -12,6 +11,26 @@ import (
 type RuleSet struct {
 	rules map[string]*Rule
 	order []string
+	// redefined records same-source redefinitions (see Redefinition); the
+	// parser populates it so the linter can flag definitions that silently
+	// drop alternatives. Merge does not record: overlaying one rule set on
+	// another is the intended customization mechanism.
+	redefined []Redefinition
+}
+
+// Redefinition records one rule definition that replaced an earlier
+// definition of the same name within a single parsed source — usually a
+// copy-paste mistake, since the earlier definition's alternatives are
+// silently dropped.
+type Redefinition struct {
+	// Name is the redefined rule's name.
+	Name string
+	// Pos locates the replacing definition.
+	Pos Pos
+	// PrevPos locates the replaced definition.
+	PrevPos Pos
+	// PrevAlts and NewAlts count the alternatives dropped and kept.
+	PrevAlts, NewAlts int
 }
 
 // NewRuleSet returns an empty rule set.
@@ -25,6 +44,23 @@ func (rs *RuleSet) Add(r *Rule) {
 		rs.order = append(rs.order, r.Name)
 	}
 	rs.rules[r.Name] = r
+}
+
+// addRecordingRedefinition is Add for the parser: a replacement within one
+// source file is recorded for the linter's hygiene pass.
+func (rs *RuleSet) addRecordingRedefinition(r *Rule) {
+	if prev, exists := rs.rules[r.Name]; exists {
+		rs.redefined = append(rs.redefined, Redefinition{
+			Name: r.Name, Pos: r.Pos, PrevPos: prev.Pos,
+			PrevAlts: len(prev.Alts), NewAlts: len(r.Alts),
+		})
+	}
+	rs.Add(r)
+}
+
+// Redefined returns the same-source redefinitions recorded at parse time.
+func (rs *RuleSet) Redefined() []Redefinition {
+	return append([]Redefinition(nil), rs.redefined...)
 }
 
 // Get returns the named rule, or nil.
@@ -44,34 +80,36 @@ func (rs *RuleSet) Merge(o *RuleSet) {
 // rule, a LOLEPOP builder, or a helper function — the paper leaves "how to
 // verify that any given set of STARs is correct" open; undefined references
 // and ill-formed arities are the checkable part.
+//
+// Validate is a thin rendering of the reference pass shared with the
+// starcheck linter (CheckRefs), so the two cannot drift; the linter adds
+// reachability, termination, coverage, and hygiene passes on top. Builders
+// and helpers known only by predicate have unknown arity here; use
+// Engine.Validate to arity-check against the engine's signature table.
 func (rs *RuleSet) Validate(isBuilder, isHelper func(string) bool) error {
-	var errs []string
-	for _, name := range rs.order {
-		r := rs.rules[name]
-		r.walkCalls(func(c *Call) {
-			if c.Name == "Glue" {
-				return
-			}
-			if t := rs.rules[c.Name]; t != nil {
-				if len(c.Args) != len(t.Params) {
-					errs = append(errs, fmt.Sprintf("%s references %s with %d args, wants %d", name, c.Name, len(c.Args), len(t.Params)))
-				}
-				return
-			}
-			if isBuilder != nil && isBuilder(c.Name) {
-				return
-			}
-			if isHelper != nil && isHelper(c.Name) {
-				return
-			}
-			errs = append(errs, fmt.Sprintf("%s references undefined %s", name, c.Name))
-		})
+	lookup := func(name string) (Signature, bool) {
+		if isBuilder != nil && isBuilder(name) {
+			return Signature{Name: name, ArityUnknown: true}, true
+		}
+		if isHelper != nil && isHelper(name) {
+			return Signature{Name: name, ArityUnknown: true}, true
+		}
+		return Signature{}, false
 	}
-	if len(errs) > 0 {
-		sort.Strings(errs)
-		return fmt.Errorf("star: invalid rule set:\n  %s", strings.Join(errs, "\n  "))
+	return refDiagsToError(CheckRefs(rs, lookup))
+}
+
+// refDiagsToError renders reference diagnostics as a single error, nil when
+// there are none.
+func refDiagsToError(diags []RefDiag) error {
+	if len(diags) == 0 {
+		return nil
 	}
-	return nil
+	msgs := make([]string, len(diags))
+	for i, d := range diags {
+		msgs[i] = d.Msg
+	}
+	return fmt.Errorf("star: invalid rule set:\n  %s", strings.Join(msgs, "\n  "))
 }
 
 // Rule is one STAR: a named, parametrized non-terminal with alternative
@@ -91,13 +129,33 @@ type Rule struct {
 	// binding and visible to conditions and bodies.
 	Where []Let
 	// Doc is the comment block preceding the rule in its source file.
+	// A doc line reading "lint: root" marks the rule as a linter entry
+	// point (see IsRoot).
 	Doc string
+	// Pos locates the rule's name in its source.
+	Pos Pos
+}
+
+// IsRoot reports whether the rule's doc comment carries the `lint: root`
+// pragma: the rule is an entry point referenced from outside the rule set
+// (directly by the driver or by an extension), so the linter must not flag
+// it — or anything it references — as unreachable.
+func (r *Rule) IsRoot() bool {
+	for _, line := range strings.Split(r.Doc, "\n") {
+		line = strings.ReplaceAll(strings.TrimSpace(line), " ", "")
+		if line == "lint:root" {
+			return true
+		}
+	}
+	return false
 }
 
 // Let is one where-binding: Name = Expr.
 type Let struct {
 	Name string
 	Expr RExpr
+	// Pos locates the binding's name.
+	Pos Pos
 }
 
 // Alt is one alternative definition: a body guarded by an optional condition
@@ -110,7 +168,14 @@ type Alt struct {
 	Cond RExpr
 	// Otherwise marks an OTHERWISE alternative.
 	Otherwise bool
+	// Pos locates the alternative's first token.
+	Pos Pos
 }
+
+// WalkCalls invokes f for every Call node in the rule's alternatives
+// (bodies and conditions) and where-bindings, in source order. The linter's
+// graph passes are built on it.
+func (r *Rule) WalkCalls(f func(*Call)) { r.walkCalls(f) }
 
 func (r *Rule) walkCalls(f func(*Call)) {
 	var rec func(e RExpr)
@@ -160,8 +225,34 @@ type RExpr interface {
 	String() string
 }
 
+// ExprPos returns the source position of an expression, falling back to the
+// zero Pos for nodes that carry none (literals).
+func ExprPos(e RExpr) Pos {
+	switch n := e.(type) {
+	case *Ident:
+		return n.Pos
+	case *Call:
+		return n.Pos
+	case *Annot:
+		return ExprPos(n.Kid)
+	case *Forall:
+		return n.Pos
+	case *NotExpr:
+		return ExprPos(n.Kid)
+	case *Logic:
+		if len(n.Kids) > 0 {
+			return ExprPos(n.Kids[0])
+		}
+	}
+	return Pos{}
+}
+
 // Ident references a parameter or where-binding.
-type Ident struct{ Name string }
+type Ident struct {
+	Name string
+	// Pos locates the identifier.
+	Pos Pos
+}
 
 // String implements RExpr.
 func (i *Ident) String() string { return i.Name }
@@ -194,6 +285,8 @@ func (a *AllCols) String() string { return "*" }
 type Call struct {
 	Name string
 	Args []RExpr
+	// Pos locates the called name.
+	Pos Pos
 }
 
 // String implements RExpr.
@@ -212,6 +305,8 @@ type ReqItem struct {
 	// Val is the requirement's value expression; nil for the bare "temp"
 	// flag.
 	Val RExpr
+	// Pos locates the requirement's key.
+	Pos Pos
 }
 
 // Annot attaches required properties to a stream-valued expression — the
@@ -243,6 +338,8 @@ type Forall struct {
 	Set  RExpr
 	Body RExpr
 	Cond RExpr
+	// Pos locates the `forall` keyword.
+	Pos Pos
 }
 
 // String implements RExpr.

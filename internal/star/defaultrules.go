@@ -56,6 +56,7 @@ star IndexAccess(T, C, P) = [
 # join flow reaches ordered streams through Glue instead (which also
 # considers plans that already exist), but the STAR is part of the paper's
 # repertoire and is directly referenceable.
+# lint: root
 star OrderedStream(T, C, P, o) = [
   | SORT(TableAccess(T, C, P), o)
   | forall i in indexes(T):
@@ -129,10 +130,14 @@ star JMeth(T1, T2, P) = [
   IP = innerPreds(P, T2)
 `
 
+// BuiltinFile is the pseudo file name diagnostics use for positions inside
+// the built-in rule text.
+const BuiltinFile = "<builtin>"
+
 // DefaultRules parses the built-in rule text. It panics only on programmer
 // error (the text is a compile-time constant covered by tests).
 func DefaultRules() *RuleSet {
-	rs, err := ParseRules(DefaultRuleText)
+	rs, err := ParseFile(DefaultRuleText, BuiltinFile)
 	if err != nil {
 		panic(fmt.Sprintf("star: built-in rules do not parse: %v", err))
 	}

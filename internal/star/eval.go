@@ -131,6 +131,9 @@ type Engine struct {
 
 	builders map[string]LolepopBuilder
 	helpers  map[string]HelperFunc
+	// declared holds extension-declared signatures (DeclareSignature) that
+	// upgrade static checks from existence-only to arity/kind checking.
+	declared SigTable
 	depth    int
 	tempSeq  int
 	ixSeq    int
@@ -184,6 +187,7 @@ func (en *Engine) Fork(costEnv *cost.Env, sink *obs.Sink, namePrefix string) *En
 		Obs:         sink,
 		builders:    builders,
 		helpers:     helpers,
+		declared:    en.declared.Clone(),
 		namePrefix:  namePrefix,
 	}
 }
@@ -201,9 +205,12 @@ func (en *Engine) HasBuilder(name string) bool { _, ok := en.builders[name]; ret
 // HasHelper reports whether name is a registered helper.
 func (en *Engine) HasHelper(name string) bool { _, ok := en.helpers[name]; return ok }
 
-// Validate checks the rule set against this engine's registries.
+// Validate checks the rule set against this engine's registries via the
+// shared reference pass (CheckRefs): undefined references, STAR and Glue
+// call shapes, and — for builders/helpers with known signatures, which all
+// builtins have — call arity.
 func (en *Engine) Validate() error {
-	return en.Rules.Validate(en.HasBuilder, en.HasHelper)
+	return refDiagsToError(CheckRefsSigs(en.Rules, en.Signatures()))
 }
 
 // NextTempName returns a fresh temp-table name ("_t1" on the root engine,

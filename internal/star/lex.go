@@ -6,6 +6,26 @@ import (
 	"unicode"
 )
 
+// Pos is a source position in a rule file. Line and Col are 1-based; File is
+// empty for rule text parsed without a name (ParseRules) and "<builtin>" for
+// the built-in repertoire. The zero Pos is "unknown".
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String renders "file:line:col", omitting the file when unnamed.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether the position was actually recorded.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
 // tokKind enumerates DSL token kinds.
 type tokKind uint8
 
@@ -39,6 +59,7 @@ type token struct {
 	text string
 	num  float64
 	line int
+	col  int
 	// doc carries the comment block that immediately preceded the token
 	// (only populated for `star` keywords).
 	doc string
@@ -61,11 +82,21 @@ func (t token) String() string {
 // alternatives are separated by `|`, so rules may be laid out freely.
 type lexer struct {
 	src  string
+	file string
 	pos  int
 	line int
+	// lineStart is the byte offset of the current line's first character,
+	// so columns are pos-lineStart+1.
+	lineStart int
 }
 
-func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+func newLexer(src, file string) *lexer { return &lexer{src: src, file: file, line: 1} }
+
+// col returns the 1-based column of byte offset p on the current line.
+func (l *lexer) col(p int) int { return p - l.lineStart + 1 }
+
+// at renders a position for lexer error messages.
+func (l *lexer) at(line, col int) Pos { return Pos{File: l.file, Line: line, Col: col} }
 
 // lexAll tokenizes the entire input.
 func (l *lexer) lexAll() ([]token, error) {
@@ -74,10 +105,11 @@ func (l *lexer) lexAll() ([]token, error) {
 	for {
 		l.skipSpace(&pendingDoc)
 		if l.pos >= len(l.src) {
-			out = append(out, token{kind: tokEOF, line: l.line})
+			out = append(out, token{kind: tokEOF, line: l.line, col: l.col(l.pos)})
 			return out, nil
 		}
 		startLine := l.line
+		startCol := l.col(l.pos)
 		c := l.src[l.pos]
 		switch {
 		case isIdentStart(rune(c)):
@@ -86,7 +118,7 @@ func (l *lexer) lexAll() ([]token, error) {
 				l.pos++
 			}
 			text := l.src[start:l.pos]
-			tok := token{kind: tokIdent, text: text, line: startLine}
+			tok := token{kind: tokIdent, text: text, line: startLine, col: startCol}
 			if text == "star" {
 				tok.doc = strings.Join(pendingDoc, "\n")
 			}
@@ -100,33 +132,33 @@ func (l *lexer) lexAll() ([]token, error) {
 			text := l.src[start:l.pos]
 			var n float64
 			if _, err := fmt.Sscanf(text, "%g", &n); err != nil {
-				return nil, fmt.Errorf("star: line %d: bad number %q", startLine, text)
+				return nil, fmt.Errorf("star: %s: bad number %q", l.at(startLine, startCol), text)
 			}
-			out = append(out, token{kind: tokNumber, text: text, num: n, line: startLine})
+			out = append(out, token{kind: tokNumber, text: text, num: n, line: startLine, col: startCol})
 			pendingDoc = nil
 		case c == '\'':
 			l.pos++
 			start := l.pos
 			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
 				if l.src[l.pos] == '\n' {
-					return nil, fmt.Errorf("star: line %d: unterminated string", startLine)
+					return nil, fmt.Errorf("star: %s: unterminated string", l.at(startLine, startCol))
 				}
 				l.pos++
 			}
 			if l.pos >= len(l.src) {
-				return nil, fmt.Errorf("star: line %d: unterminated string", startLine)
+				return nil, fmt.Errorf("star: %s: unterminated string", l.at(startLine, startCol))
 			}
 			text := l.src[start:l.pos]
 			l.pos++
-			out = append(out, token{kind: tokString, text: text, line: startLine})
+			out = append(out, token{kind: tokString, text: text, line: startLine, col: startCol})
 			pendingDoc = nil
 		default:
 			kind, ok := punct[c]
 			if !ok {
-				return nil, fmt.Errorf("star: line %d: unexpected character %q", startLine, string(c))
+				return nil, fmt.Errorf("star: %s: unexpected character %q", l.at(startLine, startCol), string(c))
 			}
 			l.pos++
-			out = append(out, token{kind: kind, text: string(c), line: startLine})
+			out = append(out, token{kind: kind, text: string(c), line: startLine, col: startCol})
 			if kind != tokPipe {
 				pendingDoc = nil
 			}
@@ -151,6 +183,7 @@ func (l *lexer) skipSpace(doc *[]string) {
 		case c == '\n':
 			l.line++
 			l.pos++
+			l.lineStart = l.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			l.pos++
 		case c == '#':

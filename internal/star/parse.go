@@ -4,7 +4,13 @@ import (
 	"fmt"
 )
 
-// ParseRules parses rule-file text into a RuleSet.
+// ParseRules parses rule-file text into a RuleSet. Diagnostics and AST
+// positions carry line:col but no file name; use ParseFile to attribute a
+// named source.
+func ParseRules(src string) (*RuleSet, error) { return ParseFile(src, "") }
+
+// ParseFile parses rule-file text into a RuleSet, attributing every position
+// (AST nodes, parse errors) to the given file name.
 //
 // The concrete syntax (whitespace-insensitive; `#` comments document the
 // following rule):
@@ -20,19 +26,19 @@ import (
 // arguments may carry required-property annotations `T[site = s, temp]`.
 // `{}` is the empty predicate set (the paper's φ) and `*` means "all
 // columns".
-func ParseRules(src string) (*RuleSet, error) {
-	toks, err := newLexer(src).lexAll()
+func ParseFile(src, file string) (*RuleSet, error) {
+	toks, err := newLexer(src, file).lexAll()
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, file: file}
 	rs := NewRuleSet()
 	for !p.atEOF() {
 		r, err := p.parseRule()
 		if err != nil {
 			return nil, err
 		}
-		rs.Add(r)
+		rs.addRecordingRedefinition(r)
 	}
 	return rs, nil
 }
@@ -40,10 +46,14 @@ func ParseRules(src string) (*RuleSet, error) {
 type parser struct {
 	toks []token
 	pos  int
+	file string
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
 func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+// at converts a token's position into a Pos carrying the source file name.
+func (p *parser) at(t token) Pos { return Pos{File: p.file, Line: t.line, Col: t.col} }
 
 func (p *parser) next() token {
 	t := p.toks[p.pos]
@@ -64,7 +74,7 @@ func (p *parser) peekIs(kind tokKind, text string) bool {
 func (p *parser) expect(kind tokKind, what string) (token, error) {
 	t := p.cur()
 	if t.kind != kind {
-		return t, fmt.Errorf("star: line %d: expected %s, found %s", t.line, what, t)
+		return t, fmt.Errorf("star: %s: expected %s, found %s", p.at(t), what, t)
 	}
 	return p.next(), nil
 }
@@ -80,7 +90,7 @@ func (p *parser) keyword(kw string) bool {
 func (p *parser) parseRule() (*Rule, error) {
 	t := p.cur()
 	if !p.keyword("star") {
-		return nil, fmt.Errorf("star: line %d: expected 'star', found %s", t.line, t)
+		return nil, fmt.Errorf("star: %s: expected 'star', found %s", p.at(t), t)
 	}
 	doc := t.doc
 	nameTok, err := p.expect(tokIdent, "rule name")
@@ -88,9 +98,9 @@ func (p *parser) parseRule() (*Rule, error) {
 		return nil, err
 	}
 	if keywords[nameTok.text] {
-		return nil, fmt.Errorf("star: line %d: %q is a reserved word", nameTok.line, nameTok.text)
+		return nil, fmt.Errorf("star: %s: %q is a reserved word", p.at(nameTok), nameTok.text)
 	}
-	r := &Rule{Name: nameTok.text, Doc: doc}
+	r := &Rule{Name: nameTok.text, Doc: doc, Pos: p.at(nameTok)}
 	if _, err := p.expect(tokLParen, "'('"); err != nil {
 		return nil, err
 	}
@@ -137,11 +147,12 @@ func (p *parser) parseBody(r *Rule) error {
 		r.Exclusive = true
 	default:
 		// Single unconditional alternative.
+		altPos := p.at(p.cur())
 		body, err := p.parseAltExpr()
 		if err != nil {
 			return err
 		}
-		alt := &Alt{Body: body}
+		alt := &Alt{Body: body, Pos: altPos}
 		if err := p.parseGuard(alt); err != nil {
 			return err
 		}
@@ -154,21 +165,22 @@ func (p *parser) parseBody(r *Rule) error {
 			break
 		}
 		if !p.peekIs(tokPipe, "") {
-			return fmt.Errorf("star: line %d: expected '|' or block close in %s, found %s", p.cur().line, r.Name, p.cur())
+			return fmt.Errorf("star: %s: expected '|' or block close in %s, found %s", p.at(p.cur()), r.Name, p.cur())
 		}
 		p.next()
+		altPos := p.at(p.cur())
 		body, err := p.parseAltExpr()
 		if err != nil {
 			return err
 		}
-		alt := &Alt{Body: body}
+		alt := &Alt{Body: body, Pos: altPos}
 		if err := p.parseGuard(alt); err != nil {
 			return err
 		}
 		r.Alts = append(r.Alts, alt)
 	}
 	if len(r.Alts) == 0 {
-		return fmt.Errorf("star: rule %s has no alternatives", r.Name)
+		return fmt.Errorf("star: %s: rule %s has no alternatives", r.Pos, r.Name)
 	}
 	return nil
 }
@@ -192,29 +204,30 @@ func (p *parser) parseWhere(r *Rule) error {
 		// A binding begins with IDENT '=': two-token lookahead.
 		if p.cur().kind != tokIdent || keywords[p.cur().text] || p.toks[p.pos+1].kind != tokEquals {
 			if len(r.Where) == 0 {
-				return fmt.Errorf("star: line %d: expected binding after 'where'", p.cur().line)
+				return fmt.Errorf("star: %s: expected binding after 'where'", p.at(p.cur()))
 			}
 			return nil
 		}
-		name := p.next().text
+		nameTok := p.next()
 		p.next() // '='
 		e, err := p.parseOr()
 		if err != nil {
 			return err
 		}
-		r.Where = append(r.Where, Let{Name: name, Expr: e})
+		r.Where = append(r.Where, Let{Name: nameTok.text, Expr: e, Pos: p.at(nameTok)})
 	}
 }
 
 // parseAltExpr parses an alternative body: a forall clause or an expression.
 func (p *parser) parseAltExpr() (RExpr, error) {
+	faTok := p.cur()
 	if p.keyword("forall") {
 		v, err := p.expect(tokIdent, "loop variable")
 		if err != nil {
 			return nil, err
 		}
 		if !p.keyword("in") {
-			return nil, fmt.Errorf("star: line %d: expected 'in' after forall variable", p.cur().line)
+			return nil, fmt.Errorf("star: %s: expected 'in' after forall variable", p.at(p.cur()))
 		}
 		set, err := p.parseOr()
 		if err != nil {
@@ -227,7 +240,7 @@ func (p *parser) parseAltExpr() (RExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		fa := &Forall{Var: v.text, Set: set, Body: body}
+		fa := &Forall{Var: v.text, Set: set, Body: body, Pos: p.at(faTok)}
 		// An `if` directly after a forall body guards each element (it may
 		// reference the loop variable); `otherwise` still belongs to the
 		// enclosing alternative.
@@ -305,7 +318,7 @@ func (p *parser) parsePostfix() (RExpr, error) {
 			if err != nil {
 				return nil, err
 			}
-			item := ReqItem{Key: key.text}
+			item := ReqItem{Key: key.text, Pos: p.at(key)}
 			if p.peekIs(tokEquals, "") {
 				p.next()
 				v, err := p.parseOr()
@@ -333,14 +346,14 @@ func (p *parser) parsePrimary() (RExpr, error) {
 	switch t.kind {
 	case tokIdent:
 		if keywords[t.text] && t.text != "forall" {
-			return nil, fmt.Errorf("star: line %d: unexpected keyword %q", t.line, t.text)
+			return nil, fmt.Errorf("star: %s: unexpected keyword %q", p.at(t), t.text)
 		}
 		p.next()
 		if !p.peekIs(tokLParen, "") {
-			return &Ident{Name: t.text}, nil
+			return &Ident{Name: t.text, Pos: p.at(t)}, nil
 		}
 		p.next()
-		c := &Call{Name: t.text}
+		c := &Call{Name: t.text, Pos: p.at(t)}
 		for !p.peekIs(tokRParen, "") {
 			a, err := p.parseAltExpr()
 			if err != nil {
@@ -382,6 +395,6 @@ func (p *parser) parsePrimary() (RExpr, error) {
 		}
 		return e, nil
 	default:
-		return nil, fmt.Errorf("star: line %d: unexpected %s", t.line, t)
+		return nil, fmt.Errorf("star: %s: unexpected %s", p.at(t), t)
 	}
 }

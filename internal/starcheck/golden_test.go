@@ -1,0 +1,92 @@
+package starcheck
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stars/internal/star"
+)
+
+var update = flag.Bool("update", false, "rewrite the lint corpus golden files")
+
+// corpusConfig picks the lint configuration for one corpus file. Files whose
+// name contains "noveneer" are linted with the SORT signature removed, so
+// the order-requirement coverage warning (SC032) has a positive case; every
+// other file uses the default configuration (auto roots, builtin
+// signatures).
+func corpusConfig(name string) Config {
+	if strings.Contains(name, "noveneer") {
+		sigs := star.BuiltinSignatures()
+		delete(sigs, "SORT")
+		return Config{Signatures: sigs}
+	}
+	return Config{}
+}
+
+// TestLintCorpus lints every testdata/lint fixture and compares the rendered
+// diagnostics against the checked-in golden file. Regenerate with
+//
+//	go test ./internal/starcheck -run TestLintCorpus -update
+func TestLintCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "lint", "*.star"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus files under testdata/lint")
+	}
+	for _, path := range files {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := star.ParseFile(string(src), name)
+			if err != nil {
+				t.Fatalf("corpus files must parse (broken syntax belongs in parse tests): %v", err)
+			}
+			got := Format(Check(rs, corpusConfig(name)))
+			goldenPath := strings.TrimSuffix(path, ".star") + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestCorpusCoversEveryCode enforces the acceptance criterion that every
+// diagnostic code the analyzer can emit has at least one positive case in
+// the corpus goldens.
+func TestCorpusCoversEveryCode(t *testing.T) {
+	goldens, err := filepath.Glob(filepath.Join("..", "..", "testdata", "lint", "*.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all strings.Builder
+	for _, path := range goldens {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all.Write(b)
+	}
+	for code := range severityOf {
+		if !strings.Contains(all.String(), "["+code+"]") {
+			t.Errorf("code %s has no positive case in testdata/lint", code)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package starcheck
+
+import (
+	"fmt"
+
+	"stars/internal/star"
+)
+
+// checkHygiene runs the name-hygiene pass over every rule: unused parameters
+// (SC040), unused where-bindings (SC041), where-bindings referencing later
+// bindings — unbound at evaluation time, since bindings evaluate in order
+// (SC042), same-source redefinitions that silently drop alternatives
+// (SC043), where-bindings shadowing parameters (SC044), and identifiers
+// bound by nothing at all (SC045).
+func checkHygiene(rs *star.RuleSet) []Diag {
+	var diags []Diag
+	for _, name := range rs.Names() {
+		diags = append(diags, hygieneInRule(rs.Get(name))...)
+	}
+	for _, red := range rs.Redefined() {
+		diags = append(diags, Diag{
+			Code: CodeRedefinition, Severity: severityOf[CodeRedefinition],
+			Rule: red.Name, Pos: red.Pos,
+			Msg: fmt.Sprintf("rule %s redefined, silently dropping the definition at %s (%d alternatives); later definitions win", red.Name, red.PrevPos, red.PrevAlts),
+		})
+	}
+	return diags
+}
+
+func hygieneInRule(r *star.Rule) []Diag {
+	var diags []Diag
+	report := func(code string, pos star.Pos, format string, args ...any) {
+		diags = append(diags, Diag{
+			Code: code, Severity: severityOf[code], Rule: r.Name, Pos: pos,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	params := map[string]bool{}
+	for _, p := range r.Params {
+		params[p] = true
+	}
+	whereIdx := map[string]int{}
+	for i, l := range r.Where {
+		whereIdx[l.Name] = i
+		if params[l.Name] {
+			report(CodeShadowedParam, l.Pos,
+				"where-binding %s of %s shadows the parameter of the same name", l.Name, r.Name)
+		}
+	}
+
+	used := map[string]bool{}
+	use := func(fromWhere int) func(id *star.Ident) {
+		return func(id *star.Ident) {
+			if j, isWhere := whereIdx[id.Name]; isWhere && !params[id.Name] {
+				if fromWhere >= 0 && j >= fromWhere {
+					if j == fromWhere {
+						report(CodeUseBeforeDef, id.Pos,
+							"where-binding %s of %s references itself; bindings evaluate in order and cannot recurse", id.Name, r.Name)
+					} else {
+						report(CodeUseBeforeDef, id.Pos,
+							"where-binding of %s references %s before its definition; bindings evaluate in order", r.Name, id.Name)
+					}
+				}
+				used[id.Name] = true
+				return
+			}
+			if params[id.Name] {
+				used[id.Name] = true
+				return
+			}
+			report(CodeUnboundName, id.Pos,
+				"%s references %s, which is not a parameter, where-binding, or forall variable", r.Name, id.Name)
+		}
+	}
+
+	for i, l := range r.Where {
+		walkFree(l.Expr, nil, use(i))
+	}
+	for _, alt := range r.Alts {
+		walkFree(alt.Body, nil, use(-1))
+		if alt.Cond != nil {
+			walkFree(alt.Cond, nil, use(-1))
+		}
+	}
+
+	for _, p := range r.Params {
+		if !used[p] {
+			report(CodeUnusedParam, r.Pos, "parameter %s of %s is never used", p, r.Name)
+		}
+	}
+	for _, l := range r.Where {
+		if !used[l.Name] && !params[l.Name] {
+			report(CodeUnusedWhere, l.Pos, "where-binding %s of %s is never used", l.Name, r.Name)
+		}
+	}
+	return diags
+}
+
+// walkFree invokes f for every identifier not bound by an enclosing forall —
+// the identifiers that resolve against the rule's parameters and
+// where-bindings. shadow may be nil.
+func walkFree(x star.RExpr, shadow map[string]bool, f func(id *star.Ident)) {
+	switch n := x.(type) {
+	case *star.Ident:
+		if !shadow[n.Name] {
+			f(n)
+		}
+	case *star.Call:
+		for _, a := range n.Args {
+			walkFree(a, shadow, f)
+		}
+	case *star.Annot:
+		walkFree(n.Kid, shadow, f)
+		for _, ri := range n.Reqs {
+			if ri.Val != nil {
+				walkFree(ri.Val, shadow, f)
+			}
+		}
+	case *star.Forall:
+		walkFree(n.Set, shadow, f)
+		inner := make(map[string]bool, len(shadow)+1)
+		for k := range shadow {
+			inner[k] = true
+		}
+		inner[n.Var] = true
+		walkFree(n.Body, inner, f)
+		if n.Cond != nil {
+			walkFree(n.Cond, inner, f)
+		}
+	case *star.Logic:
+		for _, k := range n.Kids {
+			walkFree(k, shadow, f)
+		}
+	case *star.NotExpr:
+		walkFree(n.Kid, shadow, f)
+	}
+}

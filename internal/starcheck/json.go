@@ -1,0 +1,53 @@
+package starcheck
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SchemaV1 identifies the JSON report layout emitted by WriteJSON.
+const SchemaV1 = "stars/lint/v1"
+
+// jsonDiag is one diagnostic in wire form.
+type jsonDiag struct {
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	Rule     string `json:"rule,omitempty"`
+	Alt      int    `json:"alt,omitempty"`
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the stars/lint/v1 document: the schema tag, the diagnostics
+// in Check's deterministic order, and severity totals.
+type jsonReport struct {
+	Schema      string     `json:"schema"`
+	Diagnostics []jsonDiag `json:"diagnostics"`
+	Errors      int        `json:"errors"`
+	Warnings    int        `json:"warnings"`
+}
+
+// WriteJSON writes the diagnostics as a stars/lint/v1 document. The
+// diagnostics array is always present (empty, not null, when clean) so
+// consumers can index it unconditionally.
+func WriteJSON(w io.Writer, diags []Diag) error {
+	rep := jsonReport{
+		Schema:      SchemaV1,
+		Diagnostics: make([]jsonDiag, 0, len(diags)),
+		Errors:      Errors(diags),
+		Warnings:    Warnings(diags),
+	}
+	for _, d := range diags {
+		rep.Diagnostics = append(rep.Diagnostics, jsonDiag{
+			Code: d.Code, Severity: d.Severity.String(),
+			Rule: d.Rule, Alt: d.Alt,
+			File: d.Pos.File, Line: d.Pos.Line, Col: d.Pos.Col,
+			Message: d.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

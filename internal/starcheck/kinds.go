@@ -1,0 +1,223 @@
+package starcheck
+
+import (
+	"fmt"
+
+	"stars/internal/star"
+)
+
+// reqKeys maps each required-property key to the static kind its value must
+// have and the veneer LOLEPOP Glue inserts to satisfy it (gluer.go: site →
+// SHIP, order → SORT, temp → STORE, paths → BUILDINDEX). A key whose veneer
+// is absent from the signature table is a requirement nothing can satisfy.
+var reqKeys = map[string]struct {
+	valKind star.ArgKind // 0 = the key takes no value (temp)
+	veneer  string
+}{
+	"order": {valKind: star.KindCols, veneer: "SORT"},
+	"site":  {valKind: star.KindStr, veneer: "SHIP"},
+	"temp":  {veneer: "STORE"},
+	"paths": {valKind: star.KindCols, veneer: "BUILDINDEX"},
+}
+
+// checkKinds runs the coverage & typing pass: required-property keys and
+// value kinds (SC030/SC031), veneer coverage for every requested property
+// (SC032), call-argument kinds against declared signatures (SC033), and
+// annotations on statically non-stream expressions (SC034). Kinds are
+// bitmask-static: parameters are untyped (KindAny) and satisfy everything;
+// only definite mismatches — an empty intersection — are reported.
+func checkKinds(rs *star.RuleSet, sigs star.SigTable) []Diag {
+	e := &kindEnv{rs: rs, sigs: sigs, veneerWarned: map[string]bool{}}
+	for _, name := range rs.Names() {
+		r := rs.Get(name)
+		vars := map[string]star.ArgKind{}
+		for _, p := range r.Params {
+			vars[p] = star.KindAny
+		}
+		for _, l := range r.Where {
+			e.walk(name, 0, l.Expr, vars)
+			vars[l.Name] = e.kind(l.Expr, vars)
+		}
+		for i, alt := range r.Alts {
+			e.walk(name, i+1, alt.Body, vars)
+			if alt.Cond != nil {
+				e.walk(name, i+1, alt.Cond, vars)
+				if k := e.kind(alt.Cond, vars); !k.Overlaps(star.KindBool) {
+					e.report(CodeArgKind, name, i+1, star.ExprPos(alt.Cond),
+						"condition of %s alternative %d is %s, wants bool", name, i+1, k)
+				}
+			}
+		}
+	}
+	return e.diags
+}
+
+// kindEnv carries the tables and accumulates diagnostics for one rule set.
+type kindEnv struct {
+	rs           *star.RuleSet
+	sigs         star.SigTable
+	veneerWarned map[string]bool // req key -> SC032 already emitted
+	diags        []Diag
+}
+
+func (e *kindEnv) report(code, rule string, alt int, pos star.Pos, format string, args ...any) {
+	e.diags = append(e.diags, Diag{
+		Code: code, Severity: severityOf[code], Rule: rule, Alt: alt, Pos: pos,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// kind infers the static kind mask of an expression. vars maps parameters
+// (KindAny), where-bindings (inferred), and forall variables (element kind)
+// in scope.
+func (e *kindEnv) kind(x star.RExpr, vars map[string]star.ArgKind) star.ArgKind {
+	switch n := x.(type) {
+	case *star.Ident:
+		if k, ok := vars[n.Name]; ok {
+			return k
+		}
+		return star.KindAny // unbound; the hygiene pass reports it
+	case *star.StrLit:
+		return star.KindStr
+	case *star.NumLit:
+		return star.KindNum
+	case *star.EmptySet:
+		return star.KindPreds
+	case *star.AllCols:
+		return star.KindAllCols
+	case *star.Annot:
+		return star.KindStream
+	case *star.Forall:
+		return star.KindSAP
+	case *star.Logic, *star.NotExpr:
+		return star.KindBool
+	case *star.Call:
+		if e.rs.Get(n.Name) != nil {
+			return star.KindSAP // a STAR expands to plan alternatives
+		}
+		if sig, ok := e.sigs[n.Name]; ok && sig.Result != 0 {
+			return sig.Result
+		}
+	}
+	return star.KindAny
+}
+
+// walk checks one expression tree. alt is the 1-based alternative (0 for
+// where-bindings).
+func (e *kindEnv) walk(rule string, alt int, x star.RExpr, vars map[string]star.ArgKind) {
+	switch n := x.(type) {
+	case *star.Call:
+		e.checkCall(rule, alt, n, vars)
+		for _, a := range n.Args {
+			e.walk(rule, alt, a, vars)
+		}
+	case *star.Annot:
+		e.checkAnnot(rule, alt, n, vars)
+		e.walk(rule, alt, n.Kid, vars)
+		for _, ri := range n.Reqs {
+			if ri.Val != nil {
+				e.walk(rule, alt, ri.Val, vars)
+			}
+		}
+	case *star.Forall:
+		e.walk(rule, alt, n.Set, vars)
+		setKind := e.kind(n.Set, vars)
+		if !setKind.Overlaps(star.KindList) {
+			e.report(CodeArgKind, rule, alt, posOr(star.ExprPos(n.Set), n.Pos),
+				"%s iterates forall over %s, which is %s, wants list", rule, n.Set, setKind)
+		}
+		elem := star.KindAny
+		if c, ok := n.Set.(*star.Call); ok {
+			if sig, found := e.sigs[c.Name]; found && sig.Elem != 0 {
+				elem = sig.Elem
+			}
+		}
+		inner := cloneVars(vars)
+		inner[n.Var] = elem
+		e.walk(rule, alt, n.Body, inner)
+		if n.Cond != nil {
+			e.walk(rule, alt, n.Cond, inner)
+		}
+	case *star.Logic:
+		for _, k := range n.Kids {
+			e.walk(rule, alt, k, vars)
+		}
+	case *star.NotExpr:
+		e.walk(rule, alt, n.Kid, vars)
+	}
+}
+
+// checkCall verifies argument kinds against the callee's signature (SC033).
+// STAR parameters are untyped, so STAR references check nothing here; arity
+// for every callable is the reference pass's job.
+func (e *kindEnv) checkCall(rule string, alt int, c *star.Call, vars map[string]star.ArgKind) {
+	if e.rs.Get(c.Name) != nil {
+		return
+	}
+	sig, ok := e.sigs[c.Name]
+	if !ok || sig.ArityUnknown || len(c.Args) != len(sig.Args) {
+		return
+	}
+	for i, a := range c.Args {
+		k := e.kind(a, vars)
+		if !k.Overlaps(sig.Args[i]) {
+			e.report(CodeArgKind, rule, alt, posOr(star.ExprPos(a), c.Pos),
+				"%s passes %s as argument %d of %s, which is %s, wants %s",
+				rule, a, i+1, c.Name, k, sig.Args[i])
+		}
+	}
+}
+
+// checkAnnot verifies one annotation: the annotated expression must be able
+// to be a stream (SC034), every key must be a known required property with a
+// well-shaped value (SC030/SC031), and every requested property must have a
+// registered veneer operator able to satisfy it (SC032).
+func (e *kindEnv) checkAnnot(rule string, alt int, a *star.Annot, vars map[string]star.ArgKind) {
+	if k := e.kind(a.Kid, vars); !k.Overlaps(star.KindStream) {
+		e.report(CodeAnnotNonStream, rule, alt, star.ExprPos(a.Kid),
+			"%s annotates %s with required properties, but it is %s, not a stream", rule, a.Kid, k)
+	}
+	for _, ri := range a.Reqs {
+		spec, known := reqKeys[ri.Key]
+		if !known {
+			e.report(CodeBadReqKey, rule, alt, ri.Pos,
+				"%s requests unknown required property %q (known: order, paths, site, temp)", rule, ri.Key)
+			continue
+		}
+		switch {
+		case spec.valKind == 0 && ri.Val != nil:
+			e.report(CodeBadReqValue, rule, alt, ri.Pos,
+				"%s gives required property %s a value, but %s is a bare flag", rule, ri.Key, ri.Key)
+		case spec.valKind != 0 && ri.Val == nil:
+			e.report(CodeBadReqValue, rule, alt, ri.Pos,
+				"%s requests required property %s without a value, wants %s = <%s>", rule, ri.Key, ri.Key, spec.valKind)
+		case spec.valKind != 0:
+			if k := e.kind(ri.Val, vars); !k.Overlaps(spec.valKind) {
+				e.report(CodeBadReqValue, rule, alt, posOr(star.ExprPos(ri.Val), ri.Pos),
+					"%s gives required property %s a %s value, wants %s", rule, ri.Key, k, spec.valKind)
+			}
+		}
+		if _, registered := e.sigs[spec.veneer]; !registered && !e.veneerWarned[ri.Key] {
+			e.veneerWarned[ri.Key] = true
+			e.report(CodeNoVeneer, rule, alt, ri.Pos,
+				"%s requests required property %s, but no %s operator is registered to satisfy it — Glue cannot enforce the requirement", rule, ri.Key, spec.veneer)
+		}
+	}
+}
+
+// posOr returns p unless it is the zero position, in which case fallback.
+func posOr(p, fallback star.Pos) star.Pos {
+	if p.IsValid() {
+		return p
+	}
+	return fallback
+}
+
+// cloneVars copies a scope map for a nested binder.
+func cloneVars(vars map[string]star.ArgKind) map[string]star.ArgKind {
+	out := make(map[string]star.ArgKind, len(vars)+1)
+	for k, v := range vars {
+		out[k] = v
+	}
+	return out
+}

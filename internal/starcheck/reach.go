@@ -1,0 +1,218 @@
+package starcheck
+
+import (
+	"fmt"
+
+	"stars/internal/star"
+)
+
+// checkReachability flags STARs no entry point transitively references
+// (SC010) and, under auto-rooting, conventional entry points that are missing
+// entirely (SC015). Dead rules are not errors — the evaluator never visits
+// them — but they are noise a Database Customizer almost certainly left
+// behind by accident (e.g. after renaming a STAR but not its references).
+func checkReachability(rs *star.RuleSet, roots []string, autoRooted bool) []Diag {
+	if len(roots) == 0 {
+		return nil
+	}
+	var diags []Diag
+	reached := map[string]bool{}
+	var visit func(name string)
+	visit = func(name string) {
+		r := rs.Get(name)
+		if r == nil || reached[name] {
+			return
+		}
+		reached[name] = true
+		r.WalkCalls(func(c *star.Call) {
+			if rs.Get(c.Name) != nil {
+				visit(c.Name)
+			}
+		})
+	}
+	for _, root := range roots {
+		if rs.Get(root) == nil {
+			if autoRooted {
+				diags = append(diags, Diag{
+					Code: CodeMissingRoot, Severity: severityOf[CodeMissingRoot], Rule: root,
+					Msg: fmt.Sprintf("entry-point STAR %s is not defined; the optimizer references it by name", root),
+				})
+			}
+			continue
+		}
+		visit(root)
+	}
+	for _, name := range rs.Names() {
+		if reached[name] {
+			continue
+		}
+		r := rs.Get(name)
+		diags = append(diags, Diag{
+			Code: CodeUnreachable, Severity: severityOf[CodeUnreachable], Rule: name, Pos: r.Pos,
+			Msg: fmt.Sprintf("STAR %s is unreachable from the entry points (%s); mark intended entry points with `# lint: root`", name, joinNames(roots)),
+		})
+	}
+	return diags
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// checkDeadAlternatives flags alternatives that can never fire given the
+// evaluator's semantics: in an exclusive rule the first applicable
+// alternative wins, so anything after an unconditional alternative is dead
+// (SC011), a verbatim-repeated guard is dead (SC012), and a complementary
+// guard pair (C then not C, or empty(x) then nonempty(x)) exhausts all cases,
+// killing everything after it (SC014). OTHERWISE — in either rule flavor —
+// fires only when no earlier alternative did, so an earlier unconditional
+// alternative (or exhaustive guard pair in an exclusive rule) makes it dead
+// (SC013). A self-contradictory guard (C and not C) is dead on its own
+// (SC014).
+func checkDeadAlternatives(rs *star.RuleSet) []Diag {
+	var diags []Diag
+	for _, name := range rs.Names() {
+		r := rs.Get(name)
+		diags = append(diags, deadAltsInRule(r)...)
+	}
+	return diags
+}
+
+func deadAltsInRule(r *star.Rule) []Diag {
+	var diags []Diag
+	// alwaysFires: some earlier alternative fires on every evaluation —
+	// kills later alternatives in exclusive rules and OTHERWISE everywhere.
+	alwaysFires := false
+	// firesFromUncond distinguishes SC011 (unconditional shadow) from SC014
+	// (complementary guard pair) in the message.
+	firesFromUncond := false
+	seenConds := map[string]int{} // cond text -> 1-based alt index (exclusive dedup)
+	var priorConds []star.RExpr   // guards seen so far, for complement detection
+
+	for i, alt := range r.Alts {
+		n := i + 1
+		diag := func(code, msg string) {
+			diags = append(diags, Diag{
+				Code: code, Severity: severityOf[code], Rule: r.Name, Alt: n, Pos: alt.Pos,
+				Msg: fmt.Sprintf("%s alternative %d %s", r.Name, n, msg),
+			})
+		}
+
+		if alt.Otherwise {
+			if alwaysFires {
+				why := "an earlier unconditional alternative always fires"
+				if !firesFromUncond {
+					why = "earlier guards cover every case"
+				}
+				diag(CodeOtherwiseNeverFires, "(OTHERWISE) can never fire: "+why)
+			}
+			// In an exclusive rule an OTHERWISE that does fire also breaks,
+			// and with no prior conditional alternative it always fires.
+			if r.Exclusive && !alwaysFires && !hasConditionalBefore(r.Alts[:i]) {
+				alwaysFires, firesFromUncond = true, true
+			}
+			continue
+		}
+
+		if alt.Cond == nil {
+			if r.Exclusive && alwaysFires {
+				if firesFromUncond {
+					diag(CodeShadowed, "is shadowed by an earlier unconditional alternative of this exclusive rule")
+				} else {
+					diag(CodeContradiction, "can never be reached: earlier guards cover every case")
+				}
+			}
+			if !alwaysFires {
+				alwaysFires, firesFromUncond = true, true
+			}
+			continue
+		}
+
+		// Guarded alternative.
+		if selfContradictory(alt.Cond) {
+			diag(CodeContradiction, fmt.Sprintf("has a self-contradictory condition %s and can never fire", alt.Cond))
+			continue
+		}
+		if r.Exclusive {
+			if alwaysFires {
+				if firesFromUncond {
+					diag(CodeShadowed, "is shadowed by an earlier unconditional alternative of this exclusive rule")
+				} else {
+					diag(CodeContradiction, "can never be reached: earlier guards cover every case")
+				}
+				continue
+			}
+			text := alt.Cond.String()
+			if prev, dup := seenConds[text]; dup {
+				diag(CodeDuplicateGuard, fmt.Sprintf("repeats alternative %d's condition %s and can never fire first", prev, text))
+				continue
+			}
+			seenConds[text] = n
+			for _, prior := range priorConds {
+				if complementary(prior, alt.Cond) {
+					// C then not-C: one of them always holds, so every
+					// later alternative (and OTHERWISE) is dead.
+					alwaysFires, firesFromUncond = true, false
+					break
+				}
+			}
+			priorConds = append(priorConds, alt.Cond)
+		}
+	}
+	return diags
+}
+
+// hasConditionalBefore reports whether any of the alternatives carries a
+// condition (an unconditional one would already have set alwaysFires).
+func hasConditionalBefore(alts []*star.Alt) bool {
+	for _, a := range alts {
+		if a.Cond != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// complementary reports whether two guards cannot both be false: `C` vs
+// `not C` textually, or the built-in predicate pair empty(x)/nonempty(x) on
+// the same argument.
+func complementary(a, b star.RExpr) bool {
+	if na, ok := a.(*star.NotExpr); ok && na.Kid.String() == b.String() {
+		return true
+	}
+	if nb, ok := b.(*star.NotExpr); ok && nb.Kid.String() == a.String() {
+		return true
+	}
+	ca, oka := a.(*star.Call)
+	cb, okb := b.(*star.Call)
+	if oka && okb && len(ca.Args) == 1 && len(cb.Args) == 1 &&
+		ca.Args[0].String() == cb.Args[0].String() {
+		return (ca.Name == "empty" && cb.Name == "nonempty") ||
+			(ca.Name == "nonempty" && cb.Name == "empty")
+	}
+	return false
+}
+
+// selfContradictory reports whether a guard is a conjunction containing a
+// complementary pair of conjuncts — statically never true.
+func selfContradictory(cond star.RExpr) bool {
+	l, ok := cond.(*star.Logic)
+	if !ok || !l.OpAnd {
+		return false
+	}
+	for i := range l.Kids {
+		for j := i + 1; j < len(l.Kids); j++ {
+			if complementary(l.Kids[i], l.Kids[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}

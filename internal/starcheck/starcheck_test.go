@@ -1,0 +1,336 @@
+package starcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stars/internal/star"
+)
+
+// TestDefaultRulesLintClean pins the acceptance criterion that the built-in
+// repertoire produces zero diagnostics under every pass.
+func TestDefaultRulesLintClean(t *testing.T) {
+	diags := Check(star.DefaultRules(), Config{})
+	if len(diags) != 0 {
+		t.Fatalf("default rules are not lint-clean:\n%s", Format(diags))
+	}
+}
+
+func parse(t *testing.T, src string) *star.RuleSet {
+	t.Helper()
+	rs, err := star.ParseFile(src, "test.star")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return rs
+}
+
+// codes extracts just the diagnostic codes, in order.
+func codes(diags []Diag) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Code
+	}
+	return out
+}
+
+func wantCodes(t *testing.T, diags []Diag, want ...string) {
+	t.Helper()
+	got := codes(diags)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("diagnostic codes = %v, want %v\n%s", got, want, Format(diags))
+	}
+}
+
+// noRoots disables the reachability pass for fragment-sized fixtures.
+var noRoots = Config{Roots: []string{}}
+
+func TestUndefinedReference(t *testing.T) {
+	rs := parse(t, `star A(T) = Bogus(T)`)
+	diags := Check(rs, noRoots)
+	wantCodes(t, diags, CodeUndefined)
+	if diags[0].Severity != SevError {
+		t.Fatalf("SC001 severity = %v, want error", diags[0].Severity)
+	}
+	if diags[0].Pos.File != "test.star" || diags[0].Pos.Line != 1 {
+		t.Fatalf("SC001 position = %v, want test.star:1", diags[0].Pos)
+	}
+}
+
+func TestStarAndGlueArity(t *testing.T) {
+	rs := parse(t, `
+star A(T, P) = Glue(T, P)
+star B(T) = A(T)
+star C(T) = Glue(T)
+`)
+	wantCodes(t, Check(rs, noRoots), CodeStarArity, CodeGlueShape)
+}
+
+func TestBuilderArity(t *testing.T) {
+	rs := parse(t, `star A(T, P) = SORT(STORE(Glue(T, P)))`)
+	wantCodes(t, Check(rs, noRoots), CodeCallArity)
+}
+
+func TestUnreachableAndMissingRoot(t *testing.T) {
+	rs := parse(t, `
+star AccessRoot(T, C, P) = ACCESS('heap', T, C, P)
+star Orphan(T, P) = Glue(T, P)
+`)
+	// Auto roots: AccessRoot exists, JoinRoot does not, Orphan is dead.
+	wantCodes(t, Check(rs, Config{}), CodeMissingRoot, CodeUnreachable)
+}
+
+func TestRootPragmaSuppressesUnreachable(t *testing.T) {
+	rs := parse(t, `
+star AccessRoot(T, C, P) = ACCESS('heap', T, C, P)
+star JoinRoot(T1, T2, P) = JOIN('NL', Glue(T1, {}), Glue(T2, P), P, {})
+# lint: root
+star Extra(T, P) = Glue(T, P)
+`)
+	wantCodes(t, Check(rs, Config{}))
+}
+
+func TestDeadAlternatives(t *testing.T) {
+	// Exclusive rule: unconditional alt 1 shadows alt 2 and the OTHERWISE.
+	rs := parse(t, `
+star A(T, P) = {
+  | Glue(T, P)
+  | Glue(T, {}) if localQuery()
+  | FILTER(Glue(T, {}), P) otherwise
+}
+`)
+	wantCodes(t, Check(rs, noRoots), CodeShadowed, CodeOtherwiseNeverFires)
+}
+
+func TestDuplicateGuard(t *testing.T) {
+	rs := parse(t, `
+star A(T, P) = {
+  | Glue(T, P) if localQuery()
+  | Glue(T, {}) if localQuery()
+  | FILTER(Glue(T, {}), P) otherwise
+}
+`)
+	wantCodes(t, Check(rs, noRoots), CodeDuplicateGuard)
+}
+
+func TestComplementaryGuardsKillLaterAlts(t *testing.T) {
+	rs := parse(t, `
+star A(T, P) = {
+  | Glue(T, P) if empty(P)
+  | Glue(T, {}) if nonempty(P)
+  | FILTER(Glue(T, {}), P) if localQuery()
+  | STORE(Glue(T, {})) otherwise
+}
+`)
+	wantCodes(t, Check(rs, noRoots), CodeContradiction, CodeOtherwiseNeverFires)
+}
+
+func TestSelfContradictoryGuard(t *testing.T) {
+	rs := parse(t, `
+star A(T, P) = [
+  | Glue(T, P) if nonempty(P) and empty(P)
+  | Glue(T, {})
+]
+`)
+	wantCodes(t, Check(rs, noRoots), CodeContradiction)
+}
+
+func TestInclusiveOtherwiseAfterUnconditional(t *testing.T) {
+	rs := parse(t, `
+star A(T, P) = [
+  | Glue(T, P)
+  | Glue(T, {}) otherwise
+]
+`)
+	wantCodes(t, Check(rs, noRoots), CodeOtherwiseNeverFires)
+}
+
+func TestInclusiveGuardedAltsAreFine(t *testing.T) {
+	rs := parse(t, `
+star A(T, P) = [
+  | Glue(T, P) if localQuery()
+  | Glue(T, {}) otherwise
+]
+`)
+	wantCodes(t, Check(rs, noRoots))
+}
+
+func TestSelfRecursion(t *testing.T) {
+	rs := parse(t, `star A(T, P) = [ | Glue(T, P) | A(T, P) ]`)
+	wantCodes(t, Check(rs, noRoots), CodeSelfRecursion)
+}
+
+func TestCycleWithoutDecreasingArg(t *testing.T) {
+	rs := parse(t, `
+star A(T, P) = B(T, union(P, P))
+star B(T, P) = [ | Glue(T, P) | A(T, P) if localQuery() ]
+`)
+	wantCodes(t, Check(rs, noRoots), CodeCycle)
+}
+
+func TestCycleWithDecreasingArgIsFine(t *testing.T) {
+	rs := parse(t, `
+star A(T, P) = B(T, minus(P, innerPreds(P, T)))
+star B(T, P) = [ | Glue(T, P) | A(T, P) if nonempty(P) ]
+`)
+	wantCodes(t, Check(rs, noRoots))
+}
+
+func TestReqKeyAndValueChecks(t *testing.T) {
+	rs := parse(t, `
+star A(T, P) = Glue(T[sorted = P], P)
+star B(T, P) = Glue(T[temp = P], P)
+star C(T, P) = Glue(T[order], P)
+star D(T, P) = Glue(T[order = 'abc'], P)
+`)
+	wantCodes(t, Check(rs, noRoots), CodeBadReqKey, CodeBadReqValue, CodeBadReqValue, CodeBadReqValue)
+}
+
+func TestNoVeneerWarning(t *testing.T) {
+	sigs := star.BuiltinSignatures()
+	delete(sigs, "SORT")
+	rs := parse(t, `
+star A(T, P) = Glue(T[order = sortCols(P, T)], P)
+star B(T, P) = Glue(T[order = sortCols(P, T)], P)
+`)
+	// SORT arity errors are impossible (no SORT calls); the order veneer
+	// warning fires once, not once per annotation.
+	wantCodes(t, Check(rs, Config{Roots: []string{}, Signatures: sigs}), CodeNoVeneer)
+}
+
+func TestArgKindMismatch(t *testing.T) {
+	rs := parse(t, `star A(T, P) = SORT(Glue(T, P), 'name')`)
+	wantCodes(t, Check(rs, noRoots), CodeArgKind)
+}
+
+func TestAnnotOnNonStream(t *testing.T) {
+	rs := parse(t, `star A(T, P) = Glue(sortCols(P, T)[temp], P)`)
+	wantCodes(t, Check(rs, noRoots), CodeAnnotNonStream)
+}
+
+func TestForallOverNonList(t *testing.T) {
+	rs := parse(t, `star A(T, P) = [ | forall i in tidcol(T): Glue(T[site = i], P) ]`)
+	wantCodes(t, Check(rs, noRoots), CodeArgKind)
+}
+
+func TestForallElemKindFlows(t *testing.T) {
+	// i ranges over indexes(T) (strings); SORT wants cols for arg 2.
+	rs := parse(t, `star A(T, P) = [ | forall i in indexes(T): SORT(Glue(T, P), i) ]`)
+	wantCodes(t, Check(rs, noRoots), CodeArgKind)
+}
+
+func TestConditionKind(t *testing.T) {
+	rs := parse(t, `star A(T, P) = [ | Glue(T, P) if tidcol(T) ]`)
+	wantCodes(t, Check(rs, noRoots), CodeArgKind)
+}
+
+func TestHygiene(t *testing.T) {
+	rs := parse(t, `
+star A(T, P, Extra) = [
+  | Glue(T, JP)
+] where
+  JP = union(P, HP)
+  HP = innerPreds(P, T)
+  Unused = joinPreds(P, T, T)
+`)
+	// Extra: unused param; JP references HP before its definition; Unused
+	// binding is dead.
+	wantCodes(t, Check(rs, noRoots), CodeUnusedParam, CodeUseBeforeDef, CodeUnusedWhere)
+}
+
+func TestWhereSelfReference(t *testing.T) {
+	rs := parse(t, `
+star A(T, P) = [ | Glue(T, JP) ] where
+  JP = union(JP, P)
+`)
+	wantCodes(t, Check(rs, noRoots), CodeUseBeforeDef)
+}
+
+func TestWhereShadowsParam(t *testing.T) {
+	rs := parse(t, `
+star A(T, P) = [ | Glue(T, P) ] where
+  P = innerPreds({}, T)
+`)
+	wantCodes(t, Check(rs, noRoots), CodeShadowedParam)
+}
+
+func TestUnboundName(t *testing.T) {
+	rs := parse(t, `star A(T) = Glue(T, Mystery)`)
+	wantCodes(t, Check(rs, noRoots), CodeUnboundName)
+}
+
+func TestForallVarIsBound(t *testing.T) {
+	rs := parse(t, `star A(T, P) = [ | forall i in indexes(T): Glue(T[site = i], P) ]`)
+	wantCodes(t, Check(rs, noRoots))
+}
+
+func TestRedefinitionInOneSource(t *testing.T) {
+	rs := parse(t, `
+star A(T, P) = [ | Glue(T, P) | FILTER(Glue(T, {}), P) ]
+star A(T, P) = Glue(T, P)
+`)
+	wantCodes(t, Check(rs, noRoots), CodeRedefinition)
+}
+
+func TestMergeDoesNotFlagRedefinition(t *testing.T) {
+	base := parse(t, `star A(T, P) = Glue(T, P)`)
+	over := parse(t, `star A(T, P) = FILTER(Glue(T, {}), P)`)
+	base.Merge(over)
+	wantCodes(t, Check(base, noRoots))
+}
+
+func TestWriteJSON(t *testing.T) {
+	rs := parse(t, `star A(T) = Bogus(T)`)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, Check(rs, noRoots)); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema      string `json:"schema"`
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+			Rule     string `json:"rule"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+		Errors   int `json:"errors"`
+		Warnings int `json:"warnings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, buf.String())
+	}
+	if rep.Schema != SchemaV1 {
+		t.Fatalf("schema = %q, want %q", rep.Schema, SchemaV1)
+	}
+	if len(rep.Diagnostics) != 1 || rep.Errors != 1 || rep.Warnings != 0 {
+		t.Fatalf("unexpected report: %s", buf.String())
+	}
+	d := rep.Diagnostics[0]
+	if d.Code != CodeUndefined || d.Severity != "error" || d.Rule != "A" ||
+		d.File != "test.star" || d.Line != 1 || d.Col == 0 || d.Message == "" {
+		t.Fatalf("unexpected diagnostic: %+v", d)
+	}
+}
+
+func TestWriteJSONEmptyDiagnosticsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"diagnostics": []`) {
+		t.Fatalf("clean report must carry an empty array, not null:\n%s", buf.String())
+	}
+}
+
+func TestFormatRendersPosition(t *testing.T) {
+	rs := parse(t, `star A(T) = Bogus(T)`)
+	out := Format(Check(rs, noRoots))
+	if !strings.Contains(out, "test.star:1:") || !strings.Contains(out, "error[SC001]") {
+		t.Fatalf("unexpected format:\n%s", out)
+	}
+}

@@ -1,0 +1,188 @@
+package starcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"stars/internal/star"
+)
+
+// checkTermination analyzes the STAR reference graph for recursion that the
+// engine's depth limit — not the rules — would have to stop. The paper's own
+// recursive STARs (the join permutation family) recurse on strictly smaller
+// predicate/table sets; the static proxy for "strictly smaller" is a
+// minus(...)-shaped argument somewhere on the cycle. Two findings:
+//
+//	SC021 (error): a STAR references itself passing its own parameters
+//	    through unchanged — every expansion reproduces the original
+//	    reference, so the recursion provably never bottoms out.
+//	SC020 (warning): a reference cycle none of whose edges passes a
+//	    structurally decreasing (minus-shaped) argument — nothing visibly
+//	    shrinks, so termination rests on conditions the analyzer cannot see.
+func checkTermination(rs *star.RuleSet) []Diag {
+	var diags []Diag
+
+	adj := map[string][]refEdge{}
+	for _, name := range rs.Names() {
+		r := rs.Get(name)
+		r.WalkCalls(func(c *star.Call) {
+			if rs.Get(c.Name) != nil {
+				adj[name] = append(adj[name], refEdge{to: c.Name, call: c})
+			}
+		})
+	}
+
+	// SC021: direct self-reference with the rule's own parameters unchanged.
+	// Suppress the weaker SC020 for these rules — the error subsumes it.
+	fatal := map[string]bool{}
+	for _, name := range rs.Names() {
+		r := rs.Get(name)
+		for _, e := range adj[name] {
+			if e.to != name || len(e.call.Args) != len(r.Params) {
+				continue
+			}
+			same := true
+			for i, a := range e.call.Args {
+				id, ok := a.(*star.Ident)
+				if !ok || id.Name != r.Params[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				fatal[name] = true
+				diags = append(diags, Diag{
+					Code: CodeSelfRecursion, Severity: severityOf[CodeSelfRecursion],
+					Rule: name, Pos: e.call.Pos,
+					Msg: fmt.Sprintf("%s references itself with its own arguments unchanged — expansion can never terminate", name),
+				})
+			}
+		}
+	}
+
+	// SC020: strongly connected components with no decreasing argument on
+	// any internal edge. Tarjan over definition order keeps output stable.
+	for _, scc := range sccs(rs.Names(), adj) {
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		selfLoop := false
+		if len(scc) == 1 {
+			for _, e := range adj[scc[0]] {
+				if e.to == scc[0] {
+					selfLoop = true
+					break
+				}
+			}
+			if !selfLoop {
+				continue
+			}
+		}
+		decreasing, allFatal := false, true
+		for _, n := range scc {
+			if !fatal[n] {
+				allFatal = false
+			}
+			for _, e := range adj[n] {
+				if inSCC[e.to] && hasDecreasingArg(e.call) {
+					decreasing = true
+				}
+			}
+		}
+		if decreasing || allFatal {
+			continue
+		}
+		members := append([]string(nil), scc...)
+		sort.Strings(members)
+		first := rs.Get(scc[0])
+		diags = append(diags, Diag{
+			Code: CodeCycle, Severity: severityOf[CodeCycle], Rule: scc[0], Pos: first.Pos,
+			Msg: fmt.Sprintf("recursive cycle %s passes no structurally decreasing argument (no minus(...) on any edge); only the engine's depth limit bounds expansion", cyclePath(members)),
+		})
+	}
+	return diags
+}
+
+// hasDecreasingArg reports whether any argument of the reference is a
+// minus(...) call — the repertoire's idiom for "the same set, strictly
+// reduced" (e.g. minus(P, matchedPreds(P, T, i))).
+func hasDecreasingArg(c *star.Call) bool {
+	for _, a := range c.Args {
+		if k, ok := a.(*star.Call); ok && k.Name == "minus" {
+			return true
+		}
+	}
+	return false
+}
+
+// cyclePath renders "A -> B -> A".
+func cyclePath(members []string) string {
+	out := ""
+	for _, m := range members {
+		out += m + " -> "
+	}
+	return out + members[0]
+}
+
+// refEdge is one STAR-to-STAR reference in the rule graph.
+type refEdge struct {
+	to   string
+	call *star.Call
+}
+
+// sccs returns the strongly connected components of the reference graph via
+// Tarjan's algorithm, visiting rules in definition order for determinism.
+// Each component lists its members in visitation order (root first).
+func sccs(names []string, adj map[string][]refEdge) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var out [][]string
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range adj[v] {
+			w := e.to
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			// comp pops in reverse visitation order; flip so the root and
+			// earliest-defined member leads.
+			for i, j := 0, len(comp)-1; i < j; i, j = i+1, j-1 {
+				comp[i], comp[j] = comp[j], comp[i]
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, name := range names {
+		if _, seen := index[name]; !seen {
+			strong(name)
+		}
+	}
+	return out
+}

@@ -42,6 +42,7 @@ import (
 	"stars/internal/serve"
 	"stars/internal/sqlparse"
 	"stars/internal/star"
+	"stars/internal/starcheck"
 	"stars/internal/storage"
 	"stars/internal/workload"
 )
@@ -116,6 +117,11 @@ func ParseSQL(sql string, cat *Catalog) (*Graph, error) { return sqlparse.Parse(
 // built-in repertoire via Options.Rules.
 func ParseRules(text string) (*RuleSet, error) { return star.ParseRules(text) }
 
+// ParseRuleFile parses STAR rule text recording the given file name in every
+// node's source position, so parse errors and lint diagnostics point at
+// file:line:col.
+func ParseRuleFile(text, file string) (*RuleSet, error) { return star.ParseFile(text, file) }
+
 // DefaultRules parses the built-in repertoire.
 func DefaultRules() *RuleSet { return star.DefaultRules() }
 
@@ -172,6 +178,44 @@ type ServerConfig = serve.Config
 // NewServer builds the daemon. Start it with Run (listen + serve + graceful
 // drain when the context is cancelled) or mount Handler() yourself.
 func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// LintDiag is one static-analysis finding over a rule set: a stable SCnnn
+// code, a severity, the rule (and alternative) concerned, a file:line:col
+// position, and a message. See docs/LINTING.md for the catalog.
+type LintDiag = starcheck.Diag
+
+// LintConfig tunes a lint run (entry-point roots, signature table).
+type LintConfig = starcheck.Config
+
+// LintSchemaV1 identifies the JSON layout WriteLintJSON emits.
+const LintSchemaV1 = starcheck.SchemaV1
+
+// Lint statically checks the rule set an optimization with these options
+// would run — Options.Rules (or the built-in repertoire) with whatever
+// Options.Prepare registers — and returns the findings, errors and warnings,
+// in deterministic order. This is the analyzer behind `starburst lint`; it
+// also runs automatically (warnings logged, errors fatal) wherever a -rules
+// file is loaded.
+func Lint(cat *Catalog, o Options) []LintDiag { return opt.Lint(cat, o) }
+
+// LintRuleSet checks one parsed rule set directly, without optimizer
+// options; the zero LintConfig checks against the built-in signatures with
+// the conventional entry points.
+func LintRuleSet(rs *RuleSet, cfg LintConfig) []LintDiag { return starcheck.Check(rs, cfg) }
+
+// FormatLint renders diagnostics one per line ("file:line:col:
+// severity[SCnnn]: message").
+func FormatLint(diags []LintDiag) string { return starcheck.Format(diags) }
+
+// WriteLintJSON writes diagnostics as a stars/lint/v1 JSON document.
+func WriteLintJSON(w io.Writer, diags []LintDiag) error { return starcheck.WriteJSON(w, diags) }
+
+// LintErrors counts the error-severity diagnostics (the `-werror` decision
+// is LintErrors+LintWarnings > 0 instead).
+func LintErrors(diags []LintDiag) int { return starcheck.Errors(diags) }
+
+// LintWarnings counts the warning-severity diagnostics.
+func LintWarnings(diags []LintDiag) int { return starcheck.Warnings(diags) }
 
 // Explain renders a plan tree with one-line property summaries.
 func Explain(p *Plan) string { return plan.Explain(p) }
