@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test verify lint bench enum-bench enum-check trace-demo dag-demo serve serve-demo experiments
+.PHONY: build test verify lint cover cover-demo bench enum-bench enum-check trace-demo dag-demo serve serve-demo experiments
 
 build:
 	go build ./...
@@ -24,6 +24,19 @@ lint:
 	go run ./cmd/starburst lint -werror -ext outerjoin
 	@command -v staticcheck >/dev/null && staticcheck ./... || echo "staticcheck not installed; skipping"
 	@command -v govulncheck >/dev/null && govulncheck ./... || echo "govulncheck not installed; skipping"
+
+# Dynamic coverage: which STAR alternatives the bundled workload corpus
+# actually exercises — lint's runtime complement (docs/COVERAGE.md). The
+# -min floor matches the CI gate.
+cover:
+	go run ./cmd/starburst cover -min 75
+
+# Self-contained coverage demo: optimize the corpus with event collection
+# on, fold the per-run opt.alt.coverage events together, cross-check the
+# static linter, and print the coverage table plus the annotated
+# rule-source view. See docs/COVERAGE.md.
+cover-demo:
+	go run ./examples/coverdemo -annotate
 
 bench:
 	go test -bench=. -benchmem

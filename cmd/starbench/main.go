@@ -10,6 +10,9 @@
 //	starbench -e all -md      also emit a Markdown summary table
 //	starbench -e all -metrics print Prometheus-style metrics aggregated
 //	                          across every optimization/execution run
+//	starbench -coverage       also print alternative-space utilization: how
+//	                          much of the STAR repertoire the coverage
+//	                          corpus exercises (deep report: starburst cover)
 //	starbench -json out.json  also write machine-readable per-experiment
 //	                          results (schema starbench/v1): verdicts, the
 //	                          regenerated tables, wall-clock ns and heap
@@ -83,6 +86,7 @@ func main() {
 		enumBench = flag.String("enum-bench", "", "measure the enumeration workloads and write the baseline to this path")
 		enumCheck = flag.String("enum-check", "", "measure the enumeration workloads and gate against this baseline")
 		enumIters = flag.Int("enum-iters", 3, "iterations per (workload, parallelism) pair for -enum-bench/-enum-check")
+		coverageF = flag.Bool("coverage", false, "also report alternative-space utilization: run the coverage corpus and print how much of the repertoire the workload exercises")
 	)
 	flag.Parse()
 
@@ -166,6 +170,9 @@ func main() {
 			fmt.Printf("| %s | %s | %s — %s |\n", rep.ID, rep.Title, verdict, rep.Summary)
 		}
 	}
+	if *coverageF {
+		reportCoverage()
+	}
 	if *metricsF {
 		fmt.Println("\n## Metrics (Prometheus text format)")
 		fmt.Println()
@@ -183,6 +190,33 @@ func main() {
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) did not match the paper's shape\n", failed)
 		os.Exit(1)
+	}
+}
+
+// reportCoverage runs the coverage workload corpus under the built-in
+// repertoire and prints alternative-space utilization alongside the
+// experiments' perf numbers: how much of the repertoire the representative
+// workload exercises (the deep report is `starburst cover`). Event-keeping
+// sinks are scoped to this section — the experiments themselves keep their
+// metrics-only observability.
+func reportCoverage() {
+	acc := stars.NewCoverageAccumulator()
+	for _, entry := range stars.WorkloadCorpus() {
+		sink := stars.NewSink()
+		if _, err := stars.Optimize(entry.Cat, entry.Query, stars.Options{Obs: sink}); err != nil {
+			fmt.Fprintf(os.Stderr, "coverage: %s: %v\n", entry.Name, err)
+			continue
+		}
+		acc.AddEvents(sink.Events())
+	}
+	rep := acc.Report(stars.DefaultRules())
+	s := rep.Summary
+	fmt.Println("\n## Alternative-space utilization (coverage corpus)")
+	fmt.Println()
+	fmt.Printf("%d/%d alternatives exercised (%.1f%%) across %d run(s); %d retained a plan, %d won\n",
+		s.Exercised, s.Alternatives, s.CoveragePct, rep.Runs, s.Retained, s.Winning)
+	if dead := rep.Dead(); len(dead) > 0 {
+		fmt.Printf("never exercised: %s\n", strings.Join(dead, ", "))
 	}
 }
 

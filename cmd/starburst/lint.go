@@ -42,39 +42,9 @@ func lintMain(args []string) {
 		fatal(err)
 	}
 
-	var opts stars.Options
-	target := "built-in repertoire"
-	if *extList != "" {
-		for _, name := range strings.Split(*extList, ",") {
-			var err error
-			switch strings.TrimSpace(name) {
-			case "semijoin":
-				err = semijoin.Install(&opts)
-			case "bloom":
-				err = bloom.Install(&opts)
-			case "outerjoin":
-				err = outerjoin.Install(&opts)
-			default:
-				err = fmt.Errorf("unknown -ext %q (want semijoin, bloom, or outerjoin)", name)
-			}
-			if err != nil {
-				fatal(err)
-			}
-		}
-		target = "ext " + *extList + " repertoire"
-	}
-	if *rulesPath != "" {
-		rs, err := loadRuleFile(*rulesPath)
-		if err != nil {
-			fatal(err)
-		}
-		base := opts.Rules
-		if base == nil {
-			base = stars.DefaultRules()
-		}
-		base.Merge(rs)
-		opts.Rules = base
-		target = *rulesPath + " (merged over the " + target + ")"
+	opts, target, err := repertoireOptions(*extList, *rulesPath)
+	if err != nil {
+		fatal(err)
 	}
 
 	diags := stars.Lint(cat, opts)
@@ -92,6 +62,46 @@ func lintMain(args []string) {
 	if stars.LintErrors(diags) > 0 || (*werror && len(diags) > 0) {
 		os.Exit(1)
 	}
+}
+
+// repertoireOptions resolves the -ext / -rules repertoire selection shared
+// by the lint and cover subcommands: extensions are installed first, then a
+// rule file is merged over the result (or over the built-ins). target names
+// the selection for messages.
+func repertoireOptions(extList, rulesPath string) (opts stars.Options, target string, err error) {
+	target = "built-in repertoire"
+	if extList != "" {
+		for _, name := range strings.Split(extList, ",") {
+			switch strings.TrimSpace(name) {
+			case "semijoin":
+				err = semijoin.Install(&opts)
+			case "bloom":
+				err = bloom.Install(&opts)
+			case "outerjoin":
+				err = outerjoin.Install(&opts)
+			default:
+				err = fmt.Errorf("unknown -ext %q (want semijoin, bloom, or outerjoin)", name)
+			}
+			if err != nil {
+				return opts, target, err
+			}
+		}
+		target = "ext " + extList + " repertoire"
+	}
+	if rulesPath != "" {
+		rs, err := loadRuleFile(rulesPath)
+		if err != nil {
+			return opts, target, err
+		}
+		base := opts.Rules
+		if base == nil {
+			base = stars.DefaultRules()
+		}
+		base.Merge(rs)
+		opts.Rules = base
+		target = rulesPath + " (merged over the " + target + ")"
+	}
+	return opts, target, nil
 }
 
 // loadRuleFile reads and parses a rule file, recording the path in source

@@ -13,6 +13,8 @@
 //	starburst rules    [-rules file.star]     # print the active repertoire
 //	starburst lint     [-rules file.star] [-ext semijoin,bloom,outerjoin]
 //	                   [-catalog file.json] [-json] [-werror]
+//	starburst cover    [-rules file.star] [-ext semijoin,bloom,outerjoin]
+//	                   [-json] [-annotate] [-min pct] [dag.json ...]
 //	starburst catalog                         # dump the demo catalog as JSON
 //	starburst serve    [-addr :8080] [-catalog file.json] [-rules file.star]
 //	                   [-max-inflight 64] [-timeout 30s] [-drain-timeout 10s]
@@ -53,6 +55,17 @@
 // errors, or on any finding with -werror. The same analyzer runs
 // automatically, warn-level, whenever -rules files load.
 //
+// cover is lint's dynamic complement: it optimizes the built-in workload
+// corpus (or replays saved provenance DAGs) and reports how often every
+// STAR alternative fired, built plans, survived pruning, and won —
+// flagging lint-clean alternatives the workload never exercises. -min N
+// makes it a CI gate, like `go test -cover` with a floor; see
+// docs/COVERAGE.md.
+//
+// diff exits 0 when the two runs (or saved DAGs) derive identical plan
+// sets with identical fates and costs, 1 when they differ — usable as a
+// plan-regression gate.
+//
 // Without -catalog, the paper's EMP/DEPT demo catalog is used; try
 //
 //	starburst run -q "SELECT DEPT.DNO, EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO AND DEPT.MGR = 'Haas'"
@@ -90,6 +103,10 @@ func main() {
 	}
 	if cmd == "lint" {
 		lintMain(args)
+		return
+	}
+	if cmd == "cover" {
+		coverMain(args)
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -376,10 +393,15 @@ func diffRuns(cat *stars.Catalog, g *stars.Graph, opts stars.Options, ablate str
 		fatal(err)
 	}
 	fmt.Printf("A = baseline, B = -ablate=%s variant\n", ablate)
-	fmt.Print(stars.DiffProvenance(dagA, dagB).Format())
+	rep := stars.DiffProvenance(dagA, dagB)
+	fmt.Print(rep.Format())
+	if rep.Changed() {
+		os.Exit(1)
+	}
 }
 
-// diffFiles diffs two provenance DAGs saved with -dag-out=....json.
+// diffFiles diffs two provenance DAGs saved with -dag-out=....json. Like
+// diff(1): exit 0 when the runs agree, 1 when they differ.
 func diffFiles(pathA, pathB string) {
 	load := func(path string) *stars.ProvenanceDAG {
 		f, err := os.Open(path)
@@ -394,7 +416,11 @@ func diffFiles(pathA, pathB string) {
 		return dag
 	}
 	fmt.Printf("A = %s, B = %s\n", pathA, pathB)
-	fmt.Print(stars.DiffProvenance(load(pathA), load(pathB)).Format())
+	rep := stars.DiffProvenance(load(pathA), load(pathB))
+	fmt.Print(rep.Format())
+	if rep.Changed() {
+		os.Exit(1)
+	}
 }
 
 func loadCatalog(path string) (cat *stars.Catalog, demo bool, err error) {
@@ -406,7 +432,7 @@ func loadCatalog(path string) (cat *stars.Catalog, demo bool, err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: starburst {explain|run|trace|diff|rules|lint|catalog|serve} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: starburst {explain|run|trace|diff|rules|lint|cover|catalog|serve} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'starburst <cmd> -h' for the command's flags")
 }
 

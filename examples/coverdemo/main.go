@@ -1,0 +1,55 @@
+// Command coverdemo measures alternative-space coverage of the built-in
+// STAR repertoire over the bundled workload corpus — the same aggregation
+// `starburst cover` and the serve daemon's /coverage endpoint perform —
+// and prints the coverage table plus the annotated rule-source view.
+//
+//	go run ./examples/coverdemo [-annotate]
+//
+// Every optimization run emits one opt.alt.coverage event per alternative
+// (including the ones that never fired); the accumulator folds the streams
+// together, the static linter marks arms the analyzer can already prove
+// dead, and the report separates "statically dead" from "statically clean
+// but dynamically dead on this workload" — the gap a linter alone cannot
+// see. See docs/COVERAGE.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stars"
+)
+
+func main() {
+	annotate := flag.Bool("annotate", false, "also print the annotated rule-source view")
+	flag.Parse()
+
+	acc := stars.NewCoverageAccumulator()
+	for _, entry := range stars.WorkloadCorpus() {
+		sink := stars.NewSink()
+		res, err := stars.Optimize(entry.Cat, entry.Query, stars.Options{Obs: sink})
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", entry.Name, err))
+		}
+		runs := acc.AddEvents(sink.Events())
+		fmt.Printf("optimized %-13s cost %.0f  (%d coverage run(s) folded in)\n",
+			entry.Name, res.Best.Props.Cost.Total, runs)
+	}
+
+	rep := acc.Report(stars.DefaultRules())
+	rep.MarkStaticallyDead(stars.StaticallyDeadAlts(stars.Lint(stars.EmpDeptCatalog(), stars.Options{})))
+
+	fmt.Println()
+	fmt.Print(rep.Format())
+
+	if *annotate {
+		fmt.Println()
+		fmt.Print(rep.Annotate())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coverdemo:", err)
+	os.Exit(1)
+}

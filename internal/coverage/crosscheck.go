@@ -1,0 +1,39 @@
+package coverage
+
+import (
+	"stars/internal/star"
+	"stars/internal/starcheck"
+)
+
+// CrossCheck runs the starcheck static analysis over the repertoire and
+// marks report alternatives the linter proves dead (StaticallyDead), then
+// refreshes the summary. The point is the converse of linting: after the
+// cross-check, a never-exercised alternative WITHOUT the static flag is
+// statically reachable yet dynamically dead on the measured workload — the
+// repertoire gap neither tool finds alone. cfg tailors the linter's entry
+// points (zero value auto-roots, matching `starburst lint`).
+func (r *Report) CrossCheck(rs *star.RuleSet, cfg starcheck.Config) {
+	if rs == nil {
+		return
+	}
+	r.MarkStaticallyDead(starcheck.StaticallyDead(starcheck.Check(rs, cfg)))
+}
+
+// MarkStaticallyDead applies a precomputed rule -> dead-alternative-set map
+// (see starcheck.StaticallyDead; ordinal 0 kills the whole rule) and
+// refreshes the summary.
+func (r *Report) MarkStaticallyDead(dead map[string]map[int]bool) {
+	for i := range r.Rules {
+		rr := &r.Rules[i]
+		m := dead[rr.Rule]
+		if m == nil {
+			continue
+		}
+		for j := range rr.Alternatives {
+			if m[0] || m[rr.Alternatives[j].Alt] {
+				rr.Alternatives[j].StaticallyDead = true
+			}
+		}
+	}
+	r.recompute()
+}

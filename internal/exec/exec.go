@@ -196,9 +196,8 @@ func (rt *Runtime) Run(root *plan.Node) (result *Result, err error) {
 	res.Stats.RowsOut = int64(len(res.Rows))
 	res.Stats.CPUOps = ec.cpuOps
 	if sink.Enabled() {
-		for n, st := range ec.ops {
-			sink.Emit(obs.Event{Name: obs.EvExecOp, A1: string(n.Op), A2: n.Table,
-				N1: st.Rows, N2: st.IO.TotalPages()})
+		if ec.ops != nil {
+			emitOpEvents(sink, root, ec.ops)
 		}
 		reg := sink.Registry()
 		reg.Counter("exec_rows_total").Add(res.Stats.RowsOut)
@@ -208,6 +207,46 @@ func (rt *Runtime) Run(root *plan.Node) (result *Result, err error) {
 		reg.Counter("exec_bytes_shipped_total").Add(res.Stats.BytesShipped)
 	}
 	return res, nil
+}
+
+// emitOpEvents reports per-operator actuals in a deterministic pre-order
+// walk of the executed plan (the ops map's iteration order is not stable),
+// pairing each exec.op event with an exec.feedback event that closes the
+// estimate-vs-actual loop: the node's fingerprint, the optimizer's estimated
+// cardinality, the observed row count, and the resulting Q-error. Feedback
+// consumers (the serve daemon's Q-error ledger) key on the fingerprint, so
+// the same operator is recognizable across requests and processes.
+func emitOpEvents(sink *obs.Sink, root *plan.Node, ops map[*plan.Node]*OpStats) {
+	reg := sink.Registry()
+	seen := map[*plan.Node]bool{}
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if st := ops[n]; st != nil {
+			sink.Emit(obs.Event{Name: obs.EvExecOp, A1: string(n.Op), A2: n.Table,
+				N1: st.Rows, N2: st.IO.TotalPages()})
+			var est float64
+			if n.Props != nil {
+				est = n.Props.Card
+			}
+			// A nested-loop inner's Rows sum over all opens; compare the
+			// per-open average against the per-open estimate.
+			act := float64(st.Rows)
+			if st.Opens > 1 {
+				act /= float64(st.Opens)
+			}
+			sink.Emit(obs.Event{Name: obs.EvExecFeedback, A1: string(n.Op), A2: n.Fingerprint(),
+				N1: st.Rows, N2: st.Opens, F1: est, F2: plan.QError(est, act)})
+			reg.Counter("qerror_observations_total").Add(1)
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(root)
 }
 
 // Actuals adapts a Result's per-node stats to plan.ExplainAnalyze's lookup,

@@ -19,6 +19,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	fgauges  map[string]*FloatGauge
 	histos   map[string]*Histogram
 }
 
@@ -27,6 +28,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
+		fgauges:  map[string]*FloatGauge{},
 		histos:   map[string]*Histogram{},
 	}
 }
@@ -75,6 +77,26 @@ func (g *Gauge) Value() int64 {
 		return 0
 	}
 	return g.v.Load()
+}
+
+// FloatGauge is a settable float64 for readings with fractional precision
+// (Q-error quantiles, coverage ratios). The nil float gauge discards.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 for nil).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
 }
 
 // histBuckets is the fixed log-scale bucket layout every duration histogram
@@ -237,6 +259,28 @@ func (r *Registry) Merge(o *Registry) {
 	}
 }
 
+// FloatGauge returns (creating on first use) the named float gauge. Like
+// int gauges, float gauges are point-in-time readings and are skipped by
+// Merge.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.fgauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.fgauges[name]; g == nil {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
+	}
+	return g
+}
+
 // Gauge returns (creating on first use) the named gauge.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
@@ -310,6 +354,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	counterNames := sortedKeysC(r.counters)
 	gaugeNames := sortedKeysG(r.gauges)
+	fgaugeNames := sortedKeysF(r.fgauges)
 	histoNames := sortedKeysH(r.histos)
 	r.mu.RUnlock()
 
@@ -335,6 +380,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 		}
 		if _, err := fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(labels, ""), r.Gauge(name).Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range fgaugeNames {
+		base, labels := splitName(name)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", base); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", base, joinLabels(labels, ""),
+			formatSeconds(r.FloatGauge(name).Value())); err != nil {
 			return err
 		}
 	}
@@ -380,6 +438,15 @@ func formatSeconds(s float64) string {
 }
 
 func sortedKeysC(m map[string]*Counter) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysF(m map[string]*FloatGauge) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

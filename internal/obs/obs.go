@@ -102,6 +102,26 @@ const (
 	// EvExecOp reports one operator's actuals after a run; A1 describes
 	// the node, N1 rows produced, N2 inclusive tuple operations.
 	EvExecOp = "exec.op"
+	// EvAltCoverage summarizes one STAR alternative's fate at the end of
+	// an optimization: A1 is the rule name, N1 the 1-based alternative
+	// ordinal, A2 the packed tallies ("fired=... rejected=... built=...
+	// retained=... pruned=... winner=..."), A3 the packed dominator
+	// attribution for pruned plans ("origin:count ..."). One event is
+	// emitted per alternative of the active repertoire — including
+	// never-exercised ones, so consumers see the whole alternative space.
+	// Pack and parse with AltCoverage.Event / ParseAltCoverage.
+	EvAltCoverage = "opt.alt.coverage"
+	// EvVeneerCoverage summarizes one Glue veneer operator's fate at the
+	// end of an optimization: A1 is the LOLEPOP name, A2 the packed
+	// tallies ("injected=... retained=... winner=..."). Pack and parse
+	// with VeneerCoverage.Event / ParseVeneerCoverage.
+	EvVeneerCoverage = "opt.veneer.coverage"
+	// EvExecFeedback closes the estimate-vs-actual loop after an execution
+	// with per-operator attribution: A1 is the operator name, A2 the plan
+	// node's fingerprint, N1 actual rows (summed over loops), N2 the loop
+	// (open) count, F1 the optimizer's estimated cardinality, F2 the
+	// resulting Q-error (max(est/act, act/est), both clamped to >= 1).
+	EvExecFeedback = "exec.feedback"
 )
 
 // Event is one observation. Sequence number and timestamp are assigned by
@@ -274,6 +294,12 @@ func SetDefault(s *Sink) { defaultSink.Store(s) }
 // Enabled reports whether the sink records anything; instrumented code uses
 // it to guard argument rendering that would otherwise allocate.
 func (s *Sink) Enabled() bool { return s != nil }
+
+// KeepsEvents reports whether the sink retains its event log (false for the
+// nil sink and for metrics-only sinks). Work whose output is derived from
+// the recorded log — coverage summaries, provenance — is skipped when the
+// log is dropped.
+func (s *Sink) KeepsEvents() bool { return s != nil && !s.drop }
 
 // Registry returns the sink's metrics registry (nil for the nil sink —
 // every Registry method is nil-safe too).

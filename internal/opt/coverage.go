@@ -1,0 +1,161 @@
+package opt
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"stars/internal/obs"
+	"stars/internal/plan"
+	"stars/internal/star"
+)
+
+// emitCoverage closes one observed optimization with a coverage summary:
+// one opt.alt.coverage event per alternative of the active repertoire (the
+// whole alternative space, so never-exercised arms are visible in the
+// stream) and one opt.veneer.coverage event per Glue operator seen, plus
+// coverage_* counters in the sink's registry. Firing and rejection tallies
+// come from the recorded event log; retained/pruned/winner attribution from
+// the final plan table and the chosen plan, per Origin ("Rule#alt"). The
+// tallies are a pure function of run state every parallelism level agrees
+// on, so the emitted events are byte-identical across Parallelism levels.
+//
+// Metrics-only sinks drop the event log the attribution reads, so coverage
+// is skipped for them (KeepsEvents) — use an event-keeping sink to collect
+// coverage.
+func emitCoverage(sink *obs.Sink, rules *star.RuleSet, res *Result) {
+	if !sink.KeepsEvents() {
+		return
+	}
+
+	altKey := func(rule string, alt int) string { return rule + "#" + strconv.Itoa(alt) }
+	alts := map[string]*obs.AltCoverage{}
+	var altOrder []string
+	for _, name := range rules.Names() {
+		r := rules.Get(name)
+		for i := range r.Alts {
+			k := altKey(name, i+1)
+			alts[k] = &obs.AltCoverage{Rule: name, Alt: i + 1}
+			altOrder = append(altOrder, k)
+		}
+	}
+	veneers := map[string]*obs.VeneerCoverage{}
+	veneer := func(op string) *obs.VeneerCoverage {
+		v := veneers[op]
+		if v == nil {
+			v = &obs.VeneerCoverage{Op: op}
+			veneers[op] = v
+		}
+		return v
+	}
+
+	// Event pass: firings and rejections per alternative, veneer
+	// injections, the fingerprint->origin map offers recorded, and the
+	// prune decisions to attribute afterwards.
+	originOf := map[string]string{}
+	var prunes []obs.Event
+	for _, e := range sink.Events() {
+		switch e.Name {
+		case obs.EvAltFired:
+			if c := alts[altKey(e.A1, int(e.N1))]; c != nil {
+				c.Fired++
+				c.Built += e.N2
+			}
+		case obs.EvAltRejected:
+			if e.Kind != obs.KindInstant {
+				continue
+			}
+			if c := alts[altKey(e.A1, int(e.N1))]; c != nil {
+				c.Rejected++
+			}
+		case obs.EvVeneer:
+			veneer(e.A1).Injected++
+			originOf[e.A2] = "Glue"
+		case obs.EvPlanOffer:
+			if i := strings.IndexByte(e.A3, ' '); i > 0 {
+				originOf[e.A2] = e.A3[:i]
+			}
+		case obs.EvPlanPrune:
+			prunes = append(prunes, e)
+		}
+	}
+
+	// Structure pass: every distinct plan node surviving in the final
+	// table (or on the chosen plan) counts once toward its origin's
+	// Retained; the chosen plan's derivation chain counts toward Winner.
+	count := func(root *plan.Node, seen map[string]bool, alt func(*obs.AltCoverage), ven func(*obs.VeneerCoverage)) {
+		var walk func(n *plan.Node)
+		walk = func(n *plan.Node) {
+			fp := n.Fingerprint()
+			if seen[fp] {
+				return
+			}
+			seen[fp] = true
+			originOf[fp] = n.Origin
+			if n.Origin == "Glue" {
+				ven(veneer(string(n.Op)))
+			} else if c := alts[n.Origin]; c != nil {
+				alt(c)
+			}
+			for _, in := range n.Inputs {
+				walk(in)
+			}
+		}
+		walk(root)
+	}
+	retained := map[string]bool{}
+	markRetained := func(c *obs.AltCoverage) { c.Retained++ }
+	markRetainedV := func(v *obs.VeneerCoverage) { v.Retained++ }
+	if res.Table != nil {
+		res.Table.ForEach(func(_, _ string, p *plan.Node) { count(p, retained, markRetained, markRetainedV) })
+	}
+	if res.Best != nil {
+		count(res.Best, retained, markRetained, markRetainedV)
+		count(res.Best, map[string]bool{},
+			func(c *obs.AltCoverage) { c.Winner++ },
+			func(v *obs.VeneerCoverage) { v.Winner++ })
+	}
+
+	// Prune attribution: the victim's origin takes the hit, the
+	// dominator's origin is named (Q: which alternative keeps beating
+	// this one). Veneer victims have no alternative to charge.
+	for _, e := range prunes {
+		c := alts[originOf[e.A2]]
+		if c == nil {
+			continue
+		}
+		c.Pruned++
+		dom := originOf[e.A3]
+		if dom == "" {
+			dom = "?"
+		}
+		if c.PrunedBy == nil {
+			c.PrunedBy = map[string]int64{}
+		}
+		c.PrunedBy[dom]++
+	}
+
+	// Emit in repertoire definition order (then sorted veneer ops) and
+	// publish the per-alternative counters — zero-valued ones included, so
+	// aggregating registries expose the full series surface immediately.
+	reg := sink.Registry()
+	reg.Counter("coverage_runs_total").Add(1)
+	for _, k := range altOrder {
+		c := alts[k]
+		sink.Emit(c.Event())
+		labels := `{rule="` + c.Rule + `",alt="` + strconv.Itoa(c.Alt) + `"}`
+		reg.Counter("coverage_alt_fired_total" + labels).Add(c.Fired)
+		reg.Counter("coverage_alt_retained_total" + labels).Add(c.Retained)
+		reg.Counter("coverage_alt_winner_total" + labels).Add(c.Winner)
+	}
+	ops := make([]string, 0, len(veneers))
+	for op := range veneers {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		v := veneers[op]
+		sink.Emit(v.Event())
+		reg.Counter(`coverage_veneer_injected_total{op="` + op + `"}`).Add(v.Injected)
+	}
+}

@@ -233,6 +233,7 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 	res.Stats.Elapsed = time.Since(start)
 	if sink.Enabled() {
 		publishMetrics(sink.Registry(), res)
+		emitCoverage(sink, rules, res)
 		res.Trace = star.TraceFromEvents(sink.Events())
 	}
 	return res, nil

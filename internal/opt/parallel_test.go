@@ -94,6 +94,35 @@ func assertEquivalent(t *testing.T, cat *catalog.Catalog, mkGraph func() *query.
 			t.Fatalf("event %d diverges\nserial:   %s\nparallel: %s", i, sl[i], pl[i])
 		}
 	}
+
+	// The coverage summary is part of the contract too: every observed run
+	// closes with one opt.alt.coverage event per alternative of the
+	// repertoire, and the parsed tallies — not just the raw event text —
+	// must agree across parallelism levels.
+	sc, pc := coverageTallies(t, serialSink), coverageTallies(t, parSink)
+	if len(sc) == 0 {
+		t.Fatalf("no %s events in the serial run's stream", obs.EvAltCoverage)
+	}
+	if !reflect.DeepEqual(sc, pc) {
+		t.Errorf("coverage tallies diverge\nserial:   %+v\nparallel: %+v", sc, pc)
+	}
+}
+
+// coverageTallies parses the run's opt.alt.coverage summary events.
+func coverageTallies(t *testing.T, sink *obs.Sink) []obs.AltCoverage {
+	t.Helper()
+	var out []obs.AltCoverage
+	for _, e := range sink.Events() {
+		if e.Name != obs.EvAltCoverage {
+			continue
+		}
+		c, ok := obs.ParseAltCoverage(e)
+		if !ok {
+			t.Fatalf("unparseable %s event: %+v", obs.EvAltCoverage, e)
+		}
+		out = append(out, c)
+	}
+	return out
 }
 
 func TestParallelMatchesSerialChain(t *testing.T) {

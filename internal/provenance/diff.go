@@ -45,6 +45,15 @@ type DiffReport struct {
 	PrunedOnlyInOneRun []DiffEntry `json:"pruned_only,omitempty"`
 }
 
+// Changed reports whether the two runs differ at all — different plan sets,
+// fates, costs, or winners. `starburst diff` exits non-zero when true, so
+// scripts and CI can use a provenance diff as a regression gate.
+func (r *DiffReport) Changed() bool {
+	return r.BestChanged ||
+		len(r.OnlyA) > 0 || len(r.OnlyB) > 0 ||
+		len(r.StatusChanged) > 0 || len(r.CostChanged) > 0
+}
+
 // Diff compares two DAGs by plan fingerprint and reports plans gained and
 // lost, fate changes, cost deltas, and the change (if any) of winning plan.
 func Diff(a, b *DAG) *DiffReport {

@@ -36,6 +36,7 @@ import (
 
 	"stars/internal/catalog"
 	"stars/internal/cost"
+	"stars/internal/coverage"
 	"stars/internal/exec"
 	"stars/internal/obs"
 	"stars/internal/opt"
@@ -43,6 +44,7 @@ import (
 	"stars/internal/provenance"
 	"stars/internal/query"
 	"stars/internal/sqlparse"
+	"stars/internal/star"
 	"stars/internal/starcheck"
 	"stars/internal/storage"
 	"stars/internal/workload"
@@ -147,6 +149,13 @@ type Server struct {
 	bcast *broadcaster
 	mux   *http.ServeMux
 
+	// rules is the effective repertoire (Config.Options.Rules or the
+	// built-ins) — the coverage universe behind /coverage.
+	rules *star.RuleSet
+	// ledger is the rolling coverage + Q-error view every request feeds
+	// (see internal/coverage).
+	ledger *coverage.Ledger
+
 	inflight chan struct{} // admission-gate semaphore
 	reqSeq   atomic.Int64
 	ready    atomic.Bool
@@ -181,11 +190,17 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: rule set has %d lint error(s); run `starburst lint` for details", n)
 		}
 	}
+	rules := cfg.Options.Rules
+	if rules == nil {
+		rules = star.DefaultRules()
+	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      obs.NewRegistry(),
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		cluster:  storage.NewCluster(cfg.Catalog.Sites...),
+		rules:    rules,
+		ledger:   coverage.NewLedger(0),
 	}
 	if cfg.Demo {
 		workload.PopulateEmpDept(s.cluster, cfg.Catalog, cfg.Seed)
@@ -201,10 +216,28 @@ func New(cfg Config) (*Server, error) {
 	s.reg.Counter("serve_rejected_total")
 	s.reg.Gauge("serve_inflight")
 	s.reg.Histogram(`serve_request_seconds{path="/optimize"}`)
+	// Same for the coverage and Q-error surface: every alternative of the
+	// effective repertoire gets its series at zero, so a scrape before (or
+	// without) traffic still shows the whole alternative space.
+	s.reg.Counter("coverage_runs_total")
+	s.reg.Counter("qerror_observations_total")
+	for _, name := range rules.Names() {
+		for i := range rules.Get(name).Alts {
+			labels := `{rule="` + name + `",alt="` + strconv.Itoa(i+1) + `"}`
+			s.reg.Counter("coverage_alt_fired_total" + labels)
+			s.reg.Counter("coverage_alt_retained_total" + labels)
+			s.reg.Counter("coverage_alt_winner_total" + labels)
+		}
+	}
+	for _, op := range []plan.Op{plan.OpShip, plan.OpSort, plan.OpStore, plan.OpBuildIndex, plan.OpFilter} {
+		s.reg.Counter(`coverage_veneer_injected_total{op="` + string(op) + `"}`)
+	}
+	s.ledger.PublishMetrics(s.reg, rules) // gauges at their empty-state values
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /optimize", s.handleOptimize)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /coverage", s.handleCoverage)
 	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -283,6 +316,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 
 POST /optimize        optimize (and optionally execute) a query; JSON in/out
 GET  /metrics         Prometheus metrics, aggregated across all requests
+GET  /coverage        rolling rule/alternative coverage and per-template Q-error ledger
 GET  /events          live observability events (NDJSON; SSE with Accept: text/event-stream)
 GET  /healthz         liveness
 GET  /readyz          readiness (503 while draining)
@@ -310,6 +344,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if err := s.reg.WritePrometheus(w); err != nil {
 		s.cfg.Log.Printf("metrics write: %v", err)
 	}
+}
+
+// handleCoverage renders the rolling coverage + Q-error ledger: which
+// alternatives of the serving repertoire requests have exercised so far,
+// and per-query-template estimate-vs-actual quality after execute+analyze
+// requests.
+func (s *Server) handleCoverage(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.ledger.Snapshot(s.rules))
 }
 
 // outcome is one request worker's result.
@@ -395,6 +437,14 @@ func (s *Server) do(reqID string, req OptimizeRequest) outcome {
 	sink := obs.NewRequestSink(reqID)
 	sink.Tee(s.bcast.publish)
 	defer s.reg.Merge(sink.Registry())
+	// LIFO puts this after the EvRequestDone emit below, so the whole
+	// stream is final: fold it into the rolling coverage/Q-error ledger
+	// and refresh the derived gauges. Counters reach the registry via the
+	// merge above.
+	defer func() {
+		s.ledger.Record(coverage.Template(req.SQL), sink.Events())
+		s.ledger.PublishMetrics(s.reg, s.rules)
+	}()
 
 	status := http.StatusOK
 	defer func() {

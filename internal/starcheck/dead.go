@@ -1,0 +1,40 @@
+package starcheck
+
+// StaticDeadCodes are the diagnostic codes that prove a rule or alternative
+// can never be exercised at runtime: SC010 (rule unreachable from any entry
+// point), SC011 (alternative shadowed by an earlier unconditional arm),
+// SC012 (verbatim-duplicate guard in an exclusive rule), SC013 (OTHERWISE
+// that can never fire), SC014 (guard contradiction). Coverage tooling uses
+// this set to separate expected zeros from genuine workload gaps.
+var StaticDeadCodes = map[string]bool{
+	CodeUnreachable:         true,
+	CodeShadowed:            true,
+	CodeDuplicateGuard:      true,
+	CodeOtherwiseNeverFires: true,
+	CodeContradiction:       true,
+}
+
+// StaticallyDead distills a diagnostic list to the (rule, alternative)
+// pairs the static analysis proves dead. The result maps rule name to the
+// set of dead 1-based alternative ordinals; ordinal 0 means the whole rule
+// is dead (SC010: unreachable). Diagnostics outside StaticDeadCodes are
+// ignored.
+func StaticallyDead(diags []Diag) map[string]map[int]bool {
+	dead := map[string]map[int]bool{}
+	for _, d := range diags {
+		if !StaticDeadCodes[d.Code] || d.Rule == "" {
+			continue
+		}
+		m := dead[d.Rule]
+		if m == nil {
+			m = map[int]bool{}
+			dead[d.Rule] = m
+		}
+		if d.Code == CodeUnreachable {
+			m[0] = true
+		} else if d.Alt > 0 {
+			m[d.Alt] = true
+		}
+	}
+	return dead
+}

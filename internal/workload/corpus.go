@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"fmt"
+
+	"stars/internal/catalog"
+	"stars/internal/query"
+)
+
+// CorpusEntry is one named workload query: a catalog and a query graph over
+// it, ready to optimize.
+type CorpusEntry struct {
+	// Name identifies the entry in reports ("figure1", "chain3", ...).
+	Name string
+	// Cat is the catalog the query runs against.
+	Cat *catalog.Catalog
+	// Query is the query graph.
+	Query *query.Graph
+}
+
+// Corpus returns the representative workload the coverage tooling runs:
+// the paper's Figure 1 query over the local and a distributed EMP/DEPT
+// catalog (the distributed variant exercises SHIP veneers, JoinSite and
+// RemoteJoin alternatives), chain joins of increasing width (composite
+// inners, join permutations), and star joins (fact-table fan-out). The
+// `starburst cover` command, `starbench -coverage`, and CI all share this
+// list so their coverage numbers agree.
+func Corpus() []CorpusEntry {
+	entries := []CorpusEntry{
+		{Name: "figure1", Cat: EmpDept(), Query: Figure1Query()},
+		{Name: "figure1-dist", Cat: DistributedEmpDept(), Query: Figure1Query()},
+	}
+	for _, n := range []int{2, 3, 4, 5} {
+		entries = append(entries, CorpusEntry{
+			Name:  fmt.Sprintf("chain%d", n),
+			Cat:   ChainCatalog(n),
+			Query: ChainQuery(n),
+		})
+	}
+	for _, k := range []int{3, 4} {
+		entries = append(entries, CorpusEntry{
+			Name:  fmt.Sprintf("star%d", k),
+			Cat:   StarCatalog(k, 100000, 1000),
+			Query: StarQuery(k),
+		})
+	}
+	return entries
+}
+
+// DistributedEmpDept is EmpDept spread over two sites: the query arrives at
+// LA but DEPT lives at NY, so every plan must SHIP something — the
+// distributed repertoire (JoinSite, RemoteJoin, SitedJoin, SHIP veneers)
+// gets exercised.
+func DistributedEmpDept() *catalog.Catalog {
+	cat := EmpDept()
+	cat.Sites = []string{"LA", "NY"}
+	cat.QuerySite = "LA"
+	cat.Table("DEPT").Site = "NY"
+	return cat
+}

@@ -31,6 +31,7 @@ import (
 
 	"stars/internal/catalog"
 	"stars/internal/cost"
+	"stars/internal/coverage"
 	"stars/internal/exec"
 	"stars/internal/expr"
 	"stars/internal/glue"
@@ -217,6 +218,14 @@ func LintErrors(diags []LintDiag) int { return starcheck.Errors(diags) }
 // LintWarnings counts the warning-severity diagnostics.
 func LintWarnings(diags []LintDiag) int { return starcheck.Warnings(diags) }
 
+// StaticallyDeadAlts distills lint diagnostics to the rule -> dead
+// 1-based-alternative-set map (ordinal 0 kills the whole rule) that
+// CoverageReport.MarkStaticallyDead consumes — the static side of the
+// "lint-clean but never exercised" cross-check.
+func StaticallyDeadAlts(diags []LintDiag) map[string]map[int]bool {
+	return starcheck.StaticallyDead(diags)
+}
+
 // Explain renders a plan tree with one-line property summaries.
 func Explain(p *Plan) string { return plan.Explain(p) }
 
@@ -314,6 +323,40 @@ func ReadProvenance(r io.Reader) (*ProvenanceDAG, error) { return provenance.Rea
 // DiffProvenance compares two derivation DAGs — typically a baseline against
 // an ablation (pruning off, left-deep only, Cartesian products on).
 func DiffProvenance(a, b *ProvenanceDAG) *ProvenanceDiffReport { return provenance.Diff(a, b) }
+
+// CoverageAccumulator aggregates per-alternative coverage across runs: feed
+// it the event streams of observed optimizations (AddEvents) or saved
+// provenance DAGs (AddDAG), then render with its Report method. See
+// docs/COVERAGE.md and `starburst cover`.
+type CoverageAccumulator = coverage.Accumulator
+
+// CoverageReport is the aggregated coverage view (JSON schema
+// stars/coverage/v1): per rule and alternative, how often it fired, built
+// plans, survived in the plan table, was pruned, and won.
+type CoverageReport = coverage.Report
+
+// CoverageLedger is the serving-time rolling view: coverage plus a
+// per-query-template Q-error digest (what `starburst serve` exposes at
+// GET /coverage).
+type CoverageLedger = coverage.Ledger
+
+// CoverageSchemaV1 identifies the coverage JSON layouts.
+const CoverageSchemaV1 = coverage.SchemaV1
+
+// NewCoverageAccumulator returns an empty coverage accumulator.
+func NewCoverageAccumulator() *CoverageAccumulator { return coverage.NewAccumulator() }
+
+// QueryTemplate normalizes a SQL text to its template (literals become '?',
+// whitespace collapses) — the CoverageLedger's aggregation key.
+func QueryTemplate(sql string) string { return coverage.Template(sql) }
+
+// WorkloadEntry is one named query of the coverage workload corpus.
+type WorkloadEntry = workload.CorpusEntry
+
+// WorkloadCorpus returns the representative workload `starburst cover`,
+// `starbench -coverage`, and CI share: Figure 1 local and distributed,
+// chain joins, and star joins.
+func WorkloadCorpus() []WorkloadEntry { return workload.Corpus() }
 
 // GlueRequest and Value are re-exported for advanced extensions that add
 // helper functions or LOLEPOP builders to the rule engine.
