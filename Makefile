@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test verify lint cover cover-demo bench enum-bench enum-check trace-demo dag-demo serve serve-demo experiments
+.PHONY: build test verify lint cover cover-demo bench enum-bench enum-check trend profile profile-demo trace-demo dag-demo serve serve-demo experiments
 
 build:
 	go build ./...
@@ -48,6 +48,24 @@ enum-bench:
 
 enum-check:
 	go run ./cmd/starbench -enum-check BENCH_enumerate.json
+
+# Perf-trend tracking: -enum-bench appends every measurement to
+# BENCH_history.jsonl; trend prints the trajectory and gates allocation
+# drift against the historical best (docs/PERFORMANCE.md § Profiling).
+trend:
+	go run ./cmd/starbench -trend
+
+# Self-profile the optimizer over the workload corpus (plus the chain8 and
+# star8 bench fixtures): per-phase/per-STAR time and allocation
+# attribution, activity meters, and — at -parallelism > 1 — per-rank
+# imbalance telemetry. See docs/PERFORMANCE.md § Profiling.
+profile:
+	go run ./cmd/starburst profile
+
+# Self-contained profiling demo: profile a star join serially and
+# rank-parallel and print the annotated breakdowns side by side.
+profile-demo:
+	go run ./examples/profiledemo
 
 # Write a Chrome trace_event file of the Figure 3 Glue scenario
 # (optimization + execution) to trace.json; open it in chrome://tracing or

@@ -190,8 +190,9 @@ func runEnumBench(iters int) (*enumDoc, error) {
 	return doc, nil
 }
 
-// enumBenchMain handles -enum-bench: measure and (over)write the baseline.
-func enumBenchMain(path string, iters int) {
+// enumBenchMain handles -enum-bench: measure, (over)write the baseline, and
+// append the measurement to the perf-history ledger ("" skips the append).
+func enumBenchMain(path string, iters int, historyPath string) {
 	doc, err := runEnumBench(iters)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -213,6 +214,13 @@ func enumBenchMain(path string, iters int) {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote enumeration baseline to %s\n", path)
+	if historyPath != "" {
+		if err := appendHistory(historyPath, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "error: appending history: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "appended measurement to %s\n", historyPath)
+	}
 }
 
 // enumCheckMain handles -enum-check: measure and gate against the baseline.

@@ -1,0 +1,226 @@
+// Perf-trend tracking: every -enum-bench run appends its measurements to an
+// append-only JSONL history, and -trend compares the newest entry against
+// the preceding ones to catch slow drift that single-baseline gating
+// (-enum-check) misses — a 5% alloc creep per PR never trips a 30% gate,
+// but the trend over ten entries does.
+//
+//	starbench -enum-bench BENCH_enumerate.json        # also appends to BENCH_history.jsonl
+//	starbench -trend                                  # gate the newest entry against history
+//	starbench -trend -trend-threshold 0.1             # tighter gate
+//	starbench -trend -history other.jsonl             # non-default ledger
+//
+// Only allocation counts are gated: they are machine-independent, so a
+// history accumulated across laptops and CI runners stays comparable.
+// Wall-clock and speedup figures are printed as an informational trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// historySchema tags each history line; bump on incompatible changes.
+const historySchema = "starbench/history/v1"
+
+// historyEntry is one appended measurement — an enumDoc plus provenance
+// (when it ran, at which commit) so the trajectory is attributable.
+type historyEntry struct {
+	Schema     string         `json:"schema"`
+	RecordedAt string         `json:"recorded_at"`
+	GitRev     string         `json:"git_rev"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Iterations int            `json:"iterations"`
+	Workloads  []enumWorkload `json:"workloads"`
+}
+
+// gitRev best-effort identifies the working tree's commit.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// appendHistory adds one measurement line to the ledger.
+func appendHistory(path string, doc *enumDoc) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	entry := historyEntry{
+		Schema:     historySchema,
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		GitRev:     gitRev(),
+		GOMAXPROCS: doc.GOMAXPROCS,
+		Iterations: doc.Iterations,
+		Workloads:  doc.Workloads,
+	}
+	enc := json.NewEncoder(f)
+	err = enc.Encode(entry)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readHistory loads the ledger, oldest first, skipping lines with foreign
+// schemas (forward compatibility) but failing on malformed JSON.
+func readHistory(path string) ([]historyEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var entries []historyEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e historyEntry
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if e.Schema != historySchema {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// trendGate compares the newest entry against the best (minimum) historical
+// allocation figures per workload and returns the failure messages. The
+// minimum — not the previous entry — is the reference, so a creep that
+// ratchets up a little every entry cannot walk the baseline up with it.
+// Serial allocations are fully machine-independent and compared across every
+// entry; parallel-leg allocations depend on the worker fan-out (per-worker
+// engine and table forks), so they are only compared against entries
+// recorded at the same GOMAXPROCS. Fingerprint changes are reported too:
+// plan drift should be a deliberate baseline regeneration, never a silent
+// side effect.
+func trendGate(entries []historyEntry, threshold float64) []string {
+	if len(entries) < 2 {
+		return nil
+	}
+	cur := entries[len(entries)-1]
+	type best struct {
+		serialAllocs   uint64
+		parallelAllocs uint64 // 0 = no same-GOMAXPROCS reference
+		fingerprint    string
+	}
+	ref := map[string]best{}
+	for _, e := range entries[:len(entries)-1] {
+		for _, w := range e.Workloads {
+			b := ref[w.Name]
+			if b.serialAllocs == 0 || w.SerialAllocs < b.serialAllocs {
+				b.serialAllocs = w.SerialAllocs
+			}
+			if e.GOMAXPROCS == cur.GOMAXPROCS &&
+				(b.parallelAllocs == 0 || w.ParallelAllocs < b.parallelAllocs) {
+				b.parallelAllocs = w.ParallelAllocs
+			}
+			b.fingerprint = w.BestFingerprint // latest historical plan
+			ref[w.Name] = b
+		}
+	}
+	var failures []string
+	for _, w := range cur.Workloads {
+		b, ok := ref[w.Name]
+		if !ok {
+			continue // new workload: nothing to compare yet
+		}
+		if limit := float64(b.serialAllocs) * (1 + threshold); float64(w.SerialAllocs) > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: serial allocs %d exceed the historical best %d by more than %.0f%%",
+				w.Name, w.SerialAllocs, b.serialAllocs, threshold*100))
+		}
+		if b.parallelAllocs > 0 {
+			if limit := float64(b.parallelAllocs) * (1 + threshold); float64(w.ParallelAllocs) > limit {
+				failures = append(failures, fmt.Sprintf(
+					"%s: parallel allocs %d exceed the historical best %d (at gomaxprocs=%d) by more than %.0f%%",
+					w.Name, w.ParallelAllocs, b.parallelAllocs, cur.GOMAXPROCS, threshold*100))
+			}
+		}
+		if b.fingerprint != "" && w.BestFingerprint != b.fingerprint {
+			failures = append(failures, fmt.Sprintf(
+				"%s: best-plan fingerprint %s differs from the previous entry's %s — regenerate baselines deliberately",
+				w.Name, w.BestFingerprint, b.fingerprint))
+		}
+	}
+	return failures
+}
+
+// trendMain handles -trend: print the trajectory and gate the newest entry.
+func trendMain(path string, threshold float64) {
+	entries, err := readHistory(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintf(os.Stderr, "error: %s holds no %s entries — record one with -enum-bench\n", path, historySchema)
+		os.Exit(1)
+	}
+
+	// The informational trajectory: elapsed and speedup are machine-bound,
+	// so they are shown, not gated.
+	byName := map[string][]historyEntry{}
+	var order []string
+	for _, e := range entries {
+		for _, w := range e.Workloads {
+			if _, ok := byName[w.Name]; !ok {
+				order = append(order, w.Name)
+			}
+			byName[w.Name] = append(byName[w.Name], e)
+		}
+	}
+	fmt.Printf("perf trend over %d entr%s of %s (gomaxprocs now %d)\n",
+		len(entries), map[bool]string{true: "y", false: "ies"}[len(entries) == 1],
+		path, runtime.GOMAXPROCS(0))
+	for _, name := range order {
+		fmt.Printf("\n%s:\n", name)
+		fmt.Printf("  %-12s %-10s %4s %12s %12s %14s %14s %9s\n",
+			"recorded", "rev", "P", "serial", "parallel", "serial-allocs", "par-allocs", "speedup")
+		for _, e := range byName[name] {
+			for _, w := range e.Workloads {
+				if w.Name != name {
+					continue
+				}
+				day := e.RecordedAt
+				if len(day) >= 10 {
+					day = day[:10]
+				}
+				fmt.Printf("  %-12s %-10s %4d %12s %12s %14d %14d %8.2fx\n",
+					day, e.GitRev, e.GOMAXPROCS,
+					time.Duration(w.SerialNS).Round(time.Millisecond),
+					time.Duration(w.ParallelNS).Round(time.Millisecond),
+					w.SerialAllocs, w.ParallelAllocs, w.Speedup)
+			}
+		}
+	}
+
+	failures := trendGate(entries, threshold)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
+		}
+		fmt.Fprintf(os.Stderr, "%d trend gate(s) failed against %s\n", len(failures), path)
+		os.Exit(1)
+	}
+	fmt.Printf("\ntrend gates passed (allocation drift within %.0f%% of the historical best)\n", threshold*100)
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func entry(gomaxprocs int, serialAllocs, parAllocs uint64, fp string) historyEntry {
+	return historyEntry{
+		Schema:     historySchema,
+		GOMAXPROCS: gomaxprocs,
+		Workloads: []enumWorkload{{
+			Name:         "star8",
+			SerialAllocs: serialAllocs, ParallelAllocs: parAllocs,
+			BestFingerprint: fp,
+		}},
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	doc := &enumDoc{Schema: enumSchema, GOMAXPROCS: 2, Iterations: 3,
+		Workloads: []enumWorkload{{Name: "star8", SerialAllocs: 100, ParallelAllocs: 120, BestFingerprint: "abc"}}}
+	if err := appendHistory(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := readHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("read %d entries, want 2", len(entries))
+	}
+	e := entries[1]
+	if e.Schema != historySchema || e.GOMAXPROCS != 2 || e.Iterations != 3 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.RecordedAt == "" || e.GitRev == "" {
+		t.Fatalf("provenance not stamped: %+v", e)
+	}
+	if len(e.Workloads) != 1 || e.Workloads[0].SerialAllocs != 100 {
+		t.Fatalf("workloads = %+v", e.Workloads)
+	}
+}
+
+func TestReadHistorySkipsForeignSchemas(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	lines := `{"schema":"other/v9","gomaxprocs":1}
+{"schema":"` + historySchema + `","gomaxprocs":4}
+
+`
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := readHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].GOMAXPROCS != 4 {
+		t.Fatalf("entries = %+v, want just the native-schema line", entries)
+	}
+
+	if err := os.WriteFile(path, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readHistory(path); err == nil {
+		t.Fatal("malformed JSON line must fail, not be skipped")
+	}
+}
+
+func TestTrendGate(t *testing.T) {
+	// One entry: nothing to compare.
+	if f := trendGate([]historyEntry{entry(2, 100, 120, "abc")}, 0.3); f != nil {
+		t.Fatalf("single entry gated: %v", f)
+	}
+
+	// Within threshold: pass.
+	hist := []historyEntry{
+		entry(2, 100, 120, "abc"),
+		entry(2, 105, 125, "abc"),
+		entry(2, 110, 130, "abc"),
+	}
+	if f := trendGate(hist, 0.3); f != nil {
+		t.Fatalf("10%% drift gated at 30%%: %v", f)
+	}
+
+	// The reference is the historical MINIMUM, not the previous entry:
+	// 141 is +2.2% over the previous 138 but +41% over the best 100.
+	creep := []historyEntry{
+		entry(2, 100, 120, "abc"),
+		entry(2, 125, 120, "abc"),
+		entry(2, 138, 120, "abc"),
+		entry(2, 141, 120, "abc"),
+	}
+	f := trendGate(creep, 0.3)
+	if len(f) != 1 || !strings.Contains(f[0], "serial allocs 141") || !strings.Contains(f[0], "best 100") {
+		t.Fatalf("ratcheting creep not caught against the minimum: %v", f)
+	}
+
+	// Parallel allocs gate only against same-GOMAXPROCS entries.
+	mixed := []historyEntry{
+		entry(1, 100, 100, "abc"), // gomaxprocs=1 parallel leg ≈ serial
+		entry(2, 100, 160, "abc"), // first gomaxprocs=2 recording
+		entry(2, 100, 170, "abc"), // +6% over the gp2 best; +70% over the gp1 figure
+	}
+	if f := trendGate(mixed, 0.3); f != nil {
+		t.Fatalf("cross-GOMAXPROCS parallel comparison leaked in: %v", f)
+	}
+
+	// Fingerprint drift is always reported.
+	drift := []historyEntry{entry(2, 100, 120, "abc"), entry(2, 100, 120, "xyz")}
+	f = trendGate(drift, 0.3)
+	if len(f) != 1 || !strings.Contains(f[0], "fingerprint xyz") {
+		t.Fatalf("fingerprint drift not reported: %v", f)
+	}
+}

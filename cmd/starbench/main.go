@@ -22,9 +22,18 @@
 //	                          fan-out of N workers (0 = GOMAXPROCS; results
 //	                          are identical at every level)
 //	starbench -enum-bench f   measure the enumeration workloads and write
-//	                          the baseline (schema starbench/enumerate/v1)
+//	                          the baseline (schema starbench/enumerate/v1);
+//	                          also appends to the -history ledger
 //	starbench -enum-check f   measure and gate against a committed baseline
 //	                          (see enumbench.go for the gates)
+//	starbench -profile        also report a per-workload self-profile of
+//	                          the coverage corpus: phase wall-time and
+//	                          allocation breakdowns (deep report:
+//	                          starburst profile)
+//	starbench -trend          gate the newest BENCH_history.jsonl entry
+//	                          against the historical best (allocation
+//	                          drift, plan-fingerprint changes); exits
+//	                          nonzero on regression beyond -trend-threshold
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"stars"
 	"stars/internal/experiments"
@@ -87,14 +97,22 @@ func main() {
 		enumCheck = flag.String("enum-check", "", "measure the enumeration workloads and gate against this baseline")
 		enumIters = flag.Int("enum-iters", 3, "iterations per (workload, parallelism) pair for -enum-bench/-enum-check")
 		coverageF = flag.Bool("coverage", false, "also report alternative-space utilization: run the coverage corpus and print how much of the repertoire the workload exercises")
+		profileF  = flag.Bool("profile", false, "also report a per-workload self-profile of the coverage corpus: phase wall-time and allocation breakdowns")
+		history   = flag.String("history", "BENCH_history.jsonl", "append-only perf-history ledger -enum-bench records into and -trend reads")
+		trend     = flag.Bool("trend", false, "gate the newest history entry against the historical best (allocation drift, plan fingerprints) and exit nonzero on regression")
+		trendTol  = flag.Float64("trend-threshold", 0.30, "relative allocation growth -trend tolerates over the historical best")
 	)
 	flag.Parse()
 
 	// The process-default knob, rather than per-call Options plumbing,
 	// carries -parallel to every optimization the experiments run.
 	stars.SetDefaultParallelism(*parallel)
+	if *trend {
+		trendMain(*history, *trendTol)
+		return
+	}
 	if *enumBench != "" {
-		enumBenchMain(*enumBench, *enumIters)
+		enumBenchMain(*enumBench, *enumIters, *history)
 		return
 	}
 	if *enumCheck != "" {
@@ -173,6 +191,9 @@ func main() {
 	if *coverageF {
 		reportCoverage()
 	}
+	if *profileF {
+		reportProfile(*parallel)
+	}
 	if *metricsF {
 		fmt.Println("\n## Metrics (Prometheus text format)")
 		fmt.Println()
@@ -218,6 +239,32 @@ func reportCoverage() {
 	if dead := rep.Dead(); len(dead) > 0 {
 		fmt.Printf("never exercised: %s\n", strings.Join(dead, ", "))
 	}
+}
+
+// reportProfile runs the coverage corpus with the self-profiler attached
+// and prints each workload's phase breakdown plus the merged totals (the
+// deep report is `starburst profile`).
+func reportProfile(parallel int) {
+	if parallel == 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	report := stars.NewProfileReport(runtime.GOMAXPROCS(0), parallel)
+	for _, entry := range stars.WorkloadCorpus() {
+		sink := stars.NewMetricsSink()
+		stars.EnableProfiling(sink, stars.ProfileOptions{})
+		a0, t0 := stars.HeapAllocs(), time.Now()
+		if _, err := stars.Optimize(entry.Cat, entry.Query, stars.Options{Obs: sink, Parallelism: parallel}); err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %s: %v\n", entry.Name, err)
+			continue
+		}
+		p := stars.ProfileOf(sink)
+		p.ElapsedNS = time.Since(t0).Nanoseconds()
+		p.Allocs = stars.HeapAllocs() - a0
+		report.Add(entry.Name, p)
+	}
+	fmt.Println("\n## Self-profile (coverage corpus)")
+	fmt.Println()
+	fmt.Print(report.Format(8))
 }
 
 // toJSON converts a report plus its counter deltas into the wire form.

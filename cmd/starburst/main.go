@@ -15,6 +15,9 @@
 //	                   [-catalog file.json] [-json] [-werror]
 //	starburst cover    [-rules file.star] [-ext semijoin,bloom,outerjoin]
 //	                   [-json] [-annotate] [-min pct] [dag.json ...]
+//	starburst profile  [-rules file.star] [-ext ...] [-json] [-top N]
+//	                   [-workload star8,chain8] [-parallelism N]
+//	                   [-pprof-labels] [-q "SELECT ..."]
 //	starburst catalog                         # dump the demo catalog as JSON
 //	starburst serve    [-addr :8080] [-catalog file.json] [-rules file.star]
 //	                   [-max-inflight 64] [-timeout 30s] [-drain-timeout 10s]
@@ -62,6 +65,14 @@
 // makes it a CI gate, like `go test -cover` with a floor; see
 // docs/COVERAGE.md.
 //
+// profile runs the self-profiler over the workload corpus (plus the
+// enumeration-benchmark fixtures chain8 and star8) and reports where
+// optimization time and allocations go: per phase (prepare, access, join
+// ranks, root, finalize), per STAR by self-time, per activity (guard
+// evaluation, cost pricing, plan-table offers), and — at -parallelism > 1 —
+// per parallel rank with worker busy/idle/imbalance telemetry. -json emits
+// the stars/profile/v1 document CI smoke-checks; see docs/PERFORMANCE.md.
+//
 // diff exits 0 when the two runs (or saved DAGs) derive identical plan
 // sets with identical fates and costs, 1 when they differ — usable as a
 // plan-regression gate.
@@ -107,6 +118,10 @@ func main() {
 	}
 	if cmd == "cover" {
 		coverMain(args)
+		return
+	}
+	if cmd == "profile" {
+		profileMain(args)
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -432,7 +447,7 @@ func loadCatalog(path string) (cat *stars.Catalog, demo bool, err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: starburst {explain|run|trace|diff|rules|lint|cover|catalog|serve} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: starburst {explain|run|trace|diff|rules|lint|cover|profile|catalog|serve} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'starburst <cmd> -h' for the command's flags")
 }
 

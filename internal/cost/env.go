@@ -12,9 +12,11 @@ package cost
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"stars/internal/catalog"
 	"stars/internal/expr"
+	"stars/internal/obs"
 	"stars/internal/plan"
 )
 
@@ -69,6 +71,9 @@ type Env struct {
 	// Quant maps quantifier (range-variable) names to base-table names;
 	// selectivity estimation resolves column statistics through it.
 	Quant map[string]string
+	// Obs, when set to a profiled sink, receives cost_price activity
+	// timings; nil (the default) costs one check per Price call.
+	Obs *obs.Sink
 
 	funcs map[plan.Op]PropertyFunc
 	temps map[string]*plan.Props // stored temp name -> props at STORE time
@@ -107,6 +112,8 @@ func (e *Env) Fork() *Env {
 	for name, p := range e.temps {
 		temps[name] = p
 	}
+	// Obs is deliberately not inherited: the caller wires the worker's own
+	// child sink so profiling tallies absorb deterministically.
 	return &Env{Cat: e.Cat, W: e.W, Quant: e.Quant, funcs: e.funcs, temps: temps}
 }
 
@@ -152,6 +159,11 @@ func (e *Env) Price(n *plan.Node) error {
 	if n.Props != nil {
 		return nil
 	}
+	var t0 time.Time
+	profiled := e.Obs.ProfEnabled()
+	if profiled {
+		t0 = time.Now()
+	}
 	for _, in := range n.Inputs {
 		if in.Props == nil {
 			return fmt.Errorf("cost: input of %s not priced", n.Op)
@@ -171,6 +183,9 @@ func (e *Env) Price(n *plan.Node) error {
 	p.Cost.Total = e.W.Total(p.Cost)
 	p.Rescan.Total = e.W.Total(p.Rescan)
 	n.Props = p
+	if profiled {
+		e.Obs.ProfActivity(obs.ActCost, time.Since(t0), 1)
+	}
 	return nil
 }
 

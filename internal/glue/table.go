@@ -14,6 +14,7 @@ package glue
 import (
 	"sort"
 	"strings"
+	"time"
 
 	"stars/internal/expr"
 	"stars/internal/obs"
@@ -101,6 +102,11 @@ func (pt *PlanTable) Lookup(tables expr.TableSet, predsKey string) []*plan.Node 
 // and returns the retained entry (on an overlay: the combined base + local
 // view, matching what a serial run's entry would hold).
 func (pt *PlanTable) Insert(tables expr.TableSet, predsKey string, plans []*plan.Node) []*plan.Node {
+	var t0 time.Time
+	profiled := pt.Obs.ProfEnabled()
+	if profiled {
+		t0 = time.Now()
+	}
 	tk := tablesKey(tables)
 	byPreds := pt.entries[tk]
 	if byPreds == nil {
@@ -124,6 +130,11 @@ func (pt *PlanTable) Insert(tables expr.TableSet, predsKey string, plans []*plan
 	if pt.Obs.Enabled() {
 		pt.Obs.Emit(obs.Event{Name: obs.EvPlanInsert, A1: tk, A2: predsKey,
 			N1: int64(len(plans)), N2: int64(len(cur))})
+	}
+	if profiled {
+		// One plantable_offer batch per Insert; the count is plans offered,
+		// the duration covers their dominance scans.
+		pt.Obs.ProfActivity(obs.ActOffer, time.Since(t0), int64(len(plans)))
 	}
 	if pt.base == nil {
 		return cur
@@ -198,6 +209,11 @@ func (pt *PlanTable) addPruned(tk, pk string, cur []*plan.Node, p *plan.Node) []
 // populated before returning, so subsequent concurrent readers of pt never
 // race on the lazy memoization.
 func (pt *PlanTable) Absorb(o *PlanTable) {
+	var t0 time.Time
+	profiled := pt.Obs.ProfEnabled()
+	if profiled {
+		t0 = time.Now()
+	}
 	for _, ref := range o.order {
 		plans := o.entries[ref.tk][ref.pk]
 		if len(plans) == 0 {
@@ -210,6 +226,11 @@ func (pt *PlanTable) Absorb(o *PlanTable) {
 	}
 	pt.Inserted += o.Inserted
 	pt.Pruned += o.Pruned
+	if profiled {
+		// The absorb meter overlaps plantable_offer: replaying an overlay
+		// goes through Insert, which times its own offers too.
+		pt.Obs.ProfActivity(obs.ActAbsorb, time.Since(t0), 1)
+	}
 }
 
 // MemoizeIdentities precomputes every retained plan's Key and Fingerprint

@@ -167,6 +167,7 @@ type Sink struct {
 	tag     string // request id stamped into every event's Req field
 	tees    []func(Event)
 	reg     *Registry
+	prof    *Prof // optional self-profiler (EnableProf); nil costs one check
 }
 
 // NewSink returns a sink that records events and metrics.
@@ -203,7 +204,11 @@ func (s *Sink) Child() *Sink {
 	if s == nil {
 		return nil
 	}
-	return &Sink{start: time.Now(), reg: NewRegistry(), drop: s.drop}
+	c := &Sink{start: time.Now(), reg: NewRegistry(), drop: s.drop}
+	if s.prof != nil {
+		c.prof = newProf(ProfOptions{Labels: s.prof.labels})
+	}
+	return c
 }
 
 // Absorb replays every event a child sink recorded into s, in the child's
@@ -249,6 +254,9 @@ func (s *Sink) Absorb(child *Sink) {
 	}
 	s.mu.Unlock()
 	s.reg.Merge(child.Registry())
+	if s.prof != nil {
+		s.prof.merge(child.prof)
+	}
 }
 
 // Tag returns the sink's request id ("" for untagged and nil sinks).
@@ -369,6 +377,7 @@ func (s *Sink) StartSpan(name, a1, a2 string, depth int) Span {
 	id := s.spanSeq.Add(1)
 	t := time.Since(s.start)
 	s.append(Event{Kind: KindSpanBegin, Name: name, A1: a1, A2: a2, Depth: depth, Span: id, T: t})
+	s.prof.spanBegin(name, a1, t)
 	return Span{s: s, id: id, name: name, a1: a1, t0: t}
 }
 
@@ -381,6 +390,7 @@ func (sp Span) End(n1 int64) {
 	t := time.Since(sp.s.start)
 	sp.s.append(Event{Kind: KindSpanEnd, Name: sp.name, A1: sp.a1, Span: sp.id, T: t, N1: n1})
 	sp.s.reg.Histogram(spanHistName(sp.name, sp.a1)).Observe(t - sp.t0)
+	sp.s.prof.spanEnd(sp.name, t)
 }
 
 // spanHistName derives the histogram name a span observes into:

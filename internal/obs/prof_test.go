@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeAllocs replaces the runtime allocation counter with a settable value
+// so self-window attribution is testable exactly.
+func fakeAllocs(p *Prof) *int64 {
+	v := new(int64)
+	p.allocFn = func() int64 { return *v }
+	return v
+}
+
+// TestProfSelfTime drives the span stack with synthetic timestamps and
+// checks the self/total/alloc math: self excludes nested spans of the same
+// dimension, totals include them, and pausing/resuming attributes the
+// allocation windows to the frame that was actually running.
+func TestProfSelfTime(t *testing.T) {
+	p := newProf(ProfOptions{})
+	alloc := fakeAllocs(p)
+
+	// R1 [0..100] contains R2 [10..30] and a glue call [40..60].
+	p.spanBegin(EvRule, "R1", 0)
+	*alloc = 2 // 2 allocs in R1 before R2 opens
+	p.spanBegin(EvRule, "R2", 10)
+	*alloc = 7 // 5 allocs inside R2
+	p.spanEnd(EvRule, 30)
+	p.spanBegin(EvGlue, "", 40)
+	*alloc = 10 // 3 allocs inside the glue call
+	p.spanEnd(EvGlue, 60)
+	*alloc = 11 // 1 more alloc in R1's tail
+	p.spanEnd(EvRule, 100)
+
+	snap := p.Snapshot()
+	r1 := snap.Rules["R1"]
+	if r1.Count != 1 || r1.SelfNS != 60 || r1.TotalNS != 100 || r1.Allocs != 3 {
+		t.Fatalf("R1 = %+v, want count=1 self=60 total=100 allocs=3", r1)
+	}
+	r2 := snap.Rules["R2"]
+	if r2.Count != 1 || r2.SelfNS != 20 || r2.TotalNS != 20 || r2.Allocs != 5 {
+		t.Fatalf("R2 = %+v, want count=1 self=20 total=20 allocs=5", r2)
+	}
+	gc := snap.Spans[EvGlue]
+	if gc.Count != 1 || gc.SelfNS != 20 || gc.TotalNS != 20 || gc.Allocs != 3 {
+		t.Fatalf("glue.call = %+v, want count=1 self=20 total=20 allocs=3", gc)
+	}
+}
+
+// TestProfPhaseDimension checks that opt.phase spans tally on their own
+// stack, keyed by phase name, independent of concurrent rule spans.
+func TestProfPhaseDimension(t *testing.T) {
+	p := newProf(ProfOptions{})
+	fakeAllocs(p)
+	p.spanBegin(EvPhase, "access", 0)
+	p.spanBegin(EvRule, "AccessRoot", 5)
+	p.spanEnd(EvRule, 25)
+	p.spanEnd(EvPhase, 50)
+	p.spanBegin(EvPhase, "join-2", 50)
+	p.spanEnd(EvPhase, 90)
+
+	snap := p.Snapshot()
+	// Phases do not nest: rule spans must not subtract from phase self.
+	if ph := snap.Phases["access"]; ph.SelfNS != 50 || ph.TotalNS != 50 || ph.Count != 1 {
+		t.Fatalf("access = %+v, want self=50 total=50 count=1", ph)
+	}
+	if ph := snap.Phases["join-2"]; ph.SelfNS != 40 || ph.Count != 1 {
+		t.Fatalf("join-2 = %+v, want self=40 count=1", ph)
+	}
+	if r := snap.Rules["AccessRoot"]; r.SelfNS != 20 {
+		t.Fatalf("AccessRoot = %+v, want self=20", r)
+	}
+}
+
+// TestProfChildAbsorbConcurrent is the Child/Absorb + Registry.Merge
+// contract under concurrency: K children record spans, activities, ranks,
+// and counters on their own goroutines; the parent absorbs them afterwards
+// and every count must merge exactly. Run with -race.
+func TestProfChildAbsorbConcurrent(t *testing.T) {
+	parent := NewSink()
+	parent.EnableProf(ProfOptions{})
+	const K, M = 8, 25
+
+	children := make([]*Sink, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		c := parent.Child()
+		if c.Prof() == nil {
+			t.Fatal("child of a profiled sink must carry its own profiler")
+		}
+		children[i] = c
+		wg.Add(1)
+		go func(c *Sink, id int) {
+			defer wg.Done()
+			for j := 0; j < M; j++ {
+				sp := c.StartSpan(EvRule, "JoinRoot", "", 1)
+				c.ProfActivity(ActGuard, time.Microsecond, 2)
+				c.ProfActivity(ActCost, time.Microsecond, 1)
+				sp.End(1)
+				c.Registry().Counter("work_total").Add(1)
+			}
+			c.ProfRank(RankSample{Rank: id, Tasks: M, Workers: 1, BusyNS: []int64{int64(id)}})
+		}(c, i)
+	}
+	wg.Wait()
+	for _, c := range children {
+		parent.Absorb(c)
+	}
+
+	snap := parent.Prof().Snapshot()
+	if got := snap.Rules["JoinRoot"].Count; got != K*M {
+		t.Fatalf("merged rule count = %d, want %d", got, K*M)
+	}
+	if got := snap.Activities[ActGuard].Count; got != 2*K*M {
+		t.Fatalf("merged guard count = %d, want %d", got, 2*K*M)
+	}
+	if got := snap.Activities[ActCost].Count; got != K*M {
+		t.Fatalf("merged cost count = %d, want %d", got, K*M)
+	}
+	if got := len(snap.Ranks); got != K {
+		t.Fatalf("merged ranks = %d, want %d", got, K)
+	}
+	if got := parent.Registry().Counters()["work_total"]; got != K*M {
+		t.Fatalf("merged counter = %d, want %d", got, K*M)
+	}
+}
+
+// TestProfPublishMetricsDeltas checks repeated publishing exports exact
+// deltas, never double counts, and collapses join-<k> to one phase label.
+func TestProfPublishMetricsDeltas(t *testing.T) {
+	p := newProf(ProfOptions{})
+	fakeAllocs(p)
+	p.addPhase("parse", 10, 5)
+	p.spanBegin(EvPhase, "join-2", 0)
+	p.spanEnd(EvPhase, 40)
+	p.spanBegin(EvPhase, "join-3", 40)
+	p.spanEnd(EvPhase, 100)
+	p.addRank(RankSample{Rank: 2, Tasks: 3, Workers: 2, ExecNS: 50, BusyNS: []int64{30, 40}})
+
+	reg := NewRegistry()
+	p.PublishMetrics(reg)
+	p.PublishMetrics(reg) // second call must add nothing
+	c := reg.Counters()
+	if got := c[`opt_phase_spans_total{phase="parse"}`]; got != 1 {
+		t.Fatalf("parse spans = %d, want 1", got)
+	}
+	if got := c[`opt_phase_self_ns_total{phase="parse"}`]; got != 10 {
+		t.Fatalf("parse self = %d, want 10", got)
+	}
+	if got := c[`opt_phase_allocs_total{phase="parse"}`]; got != 5 {
+		t.Fatalf("parse allocs = %d, want 5", got)
+	}
+	if got := c[`opt_phase_self_ns_total{phase="join"}`]; got != 100 {
+		t.Fatalf("join self = %d, want 100 (40+60 collapsed)", got)
+	}
+	if got := c["opt_rank_tasks_total"]; got != 3 {
+		t.Fatalf("rank tasks = %d, want 3", got)
+	}
+	if got := c["opt_rank_busy_ns_total"]; got != 70 {
+		t.Fatalf("rank busy = %d, want 70", got)
+	}
+	if got := c["opt_rank_idle_ns_total"]; got != 30 {
+		t.Fatalf("rank idle = %d, want 2*50-70=30", got)
+	}
+
+	// New work after a publish exports only the increment.
+	p.addPhase("parse", 7, 2)
+	p.PublishMetrics(reg)
+	c = reg.Counters()
+	if got := c[`opt_phase_spans_total{phase="parse"}`]; got != 2 {
+		t.Fatalf("parse spans after delta = %d, want 2", got)
+	}
+	if got := c[`opt_phase_self_ns_total{phase="parse"}`]; got != 17 {
+		t.Fatalf("parse self after delta = %d, want 17", got)
+	}
+}
+
+// TestProfDisabledZeroAlloc pins the disabled-path cost: a sink without a
+// profiler must not allocate on the Prof* entry points, and the nil sink
+// must stay free.
+func TestProfDisabledZeroAlloc(t *testing.T) {
+	s := NewMetricsSink()
+	if n := testing.AllocsPerRun(100, func() {
+		if s.ProfEnabled() {
+			t.Fatal("no profiler attached")
+		}
+		s.ProfActivity(ActGuard, time.Microsecond, 1)
+	}); n != 0 {
+		t.Fatalf("unprofiled ProfActivity allocates %v/op, want 0", n)
+	}
+	var nilSink *Sink
+	if n := testing.AllocsPerRun(100, func() {
+		nilSink.ProfActivity(ActCost, time.Microsecond, 1)
+		nilSink.ProfRank(RankSample{})
+	}); n != 0 {
+		t.Fatalf("nil-sink prof path allocates %v/op, want 0", n)
+	}
+}
+
+// TestProfMetricNamesCoverPublished checks the pre-registration list names
+// every series an optimization publishes.
+func TestProfMetricNamesCoverPublished(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range ProfMetricNames() {
+		names[n] = true
+	}
+	p := newProf(ProfOptions{})
+	fakeAllocs(p)
+	for _, ph := range []string{"parse", "prepare", "access", "join-7", "root", "finalize"} {
+		p.addPhase(ph, 1, 1)
+	}
+	p.addRank(RankSample{Rank: 2, Tasks: 1, Workers: 1, BusyNS: []int64{1}})
+	reg := NewRegistry()
+	p.PublishMetrics(reg)
+	for series := range reg.Counters() {
+		if !names[series] {
+			t.Fatalf("published series %q missing from ProfMetricNames", series)
+		}
+	}
+}
+
+// TestHeapAllocsMonotonic sanity-checks the runtime counter plumbing.
+// Small-object counts reach the counter in span-sized batches, so the probe
+// uses large allocations, which are counted immediately.
+func TestHeapAllocsMonotonic(t *testing.T) {
+	a := HeapAllocs()
+	if a <= 0 {
+		t.Fatalf("HeapAllocs = %d, want > 0", a)
+	}
+	sink := make([][]byte, 100)
+	for i := range sink {
+		sink[i] = make([]byte, 64<<10)
+	}
+	_ = fmt.Sprint(len(sink[0]))
+	if b := HeapAllocs(); b < a+100 {
+		t.Fatalf("HeapAllocs did not advance: before %d after %d", a, b)
+	}
+}

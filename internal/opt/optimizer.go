@@ -8,7 +8,9 @@
 package opt
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"stars/internal/catalog"
@@ -123,7 +125,30 @@ func New(cat *catalog.Catalog, opts Options) *Optimizer {
 // plan satisfying the root requirements.
 func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 	start := time.Now()
+	// Resolve the sink first so the prepare phase (validation, environment
+	// and engine construction) is attributed when a profiler rides on it: an
+	// explicit Options.Obs wins; Options.Trace without one gets a private
+	// sink so the trace can be reconstructed; otherwise the process-wide
+	// obs.DefaultSink (nil when observability is off).
+	sink := o.Opts.Obs
+	if sink == nil && o.Opts.Trace {
+		sink = obs.NewSink()
+	}
+	if sink == nil {
+		sink = obs.DefaultSink()
+	}
+	labels := sink.ProfLabels()
+	if labels {
+		defer pprof.SetGoroutineLabels(context.Background())
+	}
+
+	var prepSp obs.Span
+	if sink.Enabled() {
+		prepSp = sink.StartSpan(obs.EvPhase, "prepare", "", 0)
+	}
+	phaseLabels(nil, labels, "prepare")
 	if err := g.Validate(o.Cat); err != nil {
+		prepSp.End(0)
 		return nil, err
 	}
 
@@ -132,6 +157,7 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 		w = cost.DefaultWeights
 	}
 	env := cost.NewEnv(o.Cat, w)
+	env.Obs = sink
 	for _, q := range g.Quants {
 		env.BindQuantifier(q.Name, q.Table)
 	}
@@ -139,16 +165,6 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 	rules := o.Opts.Rules
 	if rules == nil {
 		rules = star.DefaultRules()
-	}
-	// Resolve the sink: an explicit Options.Obs wins; Options.Trace without
-	// one gets a private sink so the trace can be reconstructed; otherwise
-	// the process-wide obs.DefaultSink (nil when observability is off).
-	sink := o.Opts.Obs
-	if sink == nil && o.Opts.Trace {
-		sink = obs.NewSink()
-	}
-	if sink == nil {
-		sink = obs.DefaultSink()
 	}
 
 	// Memoize the needed-columns resolution once per query: the engine,
@@ -168,6 +184,7 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 		o.Opts.Prepare(en)
 	}
 	if err := en.Validate(); err != nil {
+		prepSp.End(0)
 		return nil, err
 	}
 
@@ -179,12 +196,14 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 	en.PlanSites = gl.PlanSites
 
 	res := &Result{Table: table, Engine: en, Obs: sink}
+	prepSp.End(0)
 
 	// Phase 1: access plans for every quantifier (Section 2.3).
 	var accessSp obs.Span
 	if sink.Enabled() {
 		accessSp = sink.StartSpan(obs.EvPhase, "access", "", 0)
 	}
+	phaseLabels(en, labels, "access")
 	for _, q := range g.Quants {
 		ts := expr.NewTableSet(q.Name)
 		preds := g.BasePreds(q.Name)
@@ -215,6 +234,7 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 	if sink.Enabled() {
 		rootSp = sink.StartSpan(obs.EvPhase, "root", "", 0)
 	}
+	phaseLabels(en, labels, "root")
 	rootReq := plan.Reqd{Order: g.OrderBy}
 	site := o.Cat.QuerySite
 	rootReq.Site = &site
@@ -232,11 +252,34 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 	res.Stats.PlansPruned = table.Pruned
 	res.Stats.Elapsed = time.Since(start)
 	if sink.Enabled() {
+		finSp := sink.StartSpan(obs.EvPhase, "finalize", "", 0)
+		phaseLabels(en, labels, "finalize")
 		publishMetrics(sink.Registry(), res)
 		emitCoverage(sink, rules, res)
+		finSp.End(0)
+		// Phase/rank tallies flush after the finalize span closes so the
+		// exported deltas include it; repeat publishes stay exact.
+		if p := sink.Prof(); p != nil {
+			p.PublishMetrics(sink.Registry())
+		}
 		res.Trace = star.TraceFromEvents(sink.Events())
 	}
 	return res, nil
+}
+
+// phaseLabels pins the driver goroutine's pprof label to the current
+// optimizer phase and hands the labeled context to the engine so EvalRule
+// can compose star= onto it. No-op unless the attached profiler asked for
+// labels.
+func phaseLabels(en *star.Engine, on bool, phase string) {
+	if !on {
+		return
+	}
+	ctx := pprof.WithLabels(context.Background(), pprof.Labels("phase", phase))
+	pprof.SetGoroutineLabels(ctx)
+	if en != nil {
+		en.LabelCtx = ctx
+	}
 }
 
 // publishMetrics folds one optimization's counters into the sink's registry

@@ -29,12 +29,15 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stars/internal/expr"
 	"stars/internal/glue"
@@ -164,13 +167,20 @@ func (o *Optimizer) enumerate(g *query.Graph, en *star.Engine, gl *glue.Gluer, t
 	// single-threaded; Absorb keeps the invariant for later ranks.
 	table.MemoizeIdentities()
 
+	profiled := sink.ProfEnabled()
+	labels := sink.ProfLabels()
 	full := uint32(1)<<uint(n) - 1
 	for size := 2; size <= n; size++ {
 		var sizeSp obs.Span
 		if sink.Enabled() {
 			sizeSp = sink.StartSpan(obs.EvPhase, fmt.Sprintf("join-%d", size), "", 0)
 		}
+		phaseLabels(en, labels, fmt.Sprintf("join-%d", size))
 		sizePairs := res.Stats.Pairs
+		var rankStart time.Time
+		if profiled {
+			rankStart = time.Now()
+		}
 
 		tasks := make([]*subsetTask, 0, 64)
 		for mask := uint32(1)<<uint(size) - 1; mask <= full; {
@@ -183,9 +193,21 @@ func (o *Optimizer) enumerate(g *query.Graph, en *star.Engine, gl *glue.Gluer, t
 			}
 			mask = r | ((mask^r)>>2)/c
 		}
-		runTasks(par, tasks, func(t *subsetTask) {
+		var collectNS int64
+		var execStart time.Time
+		if profiled {
+			collectNS = int64(time.Since(rankStart))
+			execStart = time.Now()
+		}
+		busy := runTasks(par, profiled, tasks, func(t *subsetTask) {
 			o.runSubset(t, g, en, gl, table, mc, sink)
 		})
+		var execNS int64
+		var absorbStart time.Time
+		if profiled {
+			execNS = int64(time.Since(execStart))
+			absorbStart = time.Now()
+		}
 
 		// Barrier: fold tasks back in ascending mask order — the order a
 		// serial walk visits subsets in — so dominance tie-breaks, event
@@ -203,6 +225,18 @@ func (o *Optimizer) enumerate(g *query.Graph, en *star.Engine, gl *glue.Gluer, t
 			en.Cost.AbsorbTemps(t.en.Cost)
 			table.Absorb(t.table)
 		}
+		if profiled {
+			sink.ProfRank(obs.RankSample{
+				Rank:      size,
+				Tasks:     len(tasks),
+				Workers:   len(busy),
+				WallNS:    int64(time.Since(rankStart)),
+				CollectNS: collectNS,
+				ExecNS:    execNS,
+				AbsorbNS:  int64(time.Since(absorbStart)),
+				BusyNS:    busy,
+			})
+		}
 		sizeSp.End(res.Stats.Pairs - sizePairs)
 	}
 	if len(table.Entry(g.TableSet())) == 0 {
@@ -213,33 +247,54 @@ func (o *Optimizer) enumerate(g *query.Graph, en *star.Engine, gl *glue.Gluer, t
 
 // runTasks executes the rank's tasks on par workers (inline when par <= 1).
 // Task completion order is scheduling-dependent; the caller re-establishes
-// determinism by merging in task order.
-func runTasks(par int, tasks []*subsetTask, run func(*subsetTask)) {
+// determinism by merging in task order. When profiled, the returned slice
+// holds each worker's busy time over the execution window (each slot is
+// written by exactly one worker goroutine and read only after wg.Wait);
+// otherwise it is nil.
+func runTasks(par int, profiled bool, tasks []*subsetTask, run func(*subsetTask)) []int64 {
 	if par > len(tasks) {
 		par = len(tasks)
 	}
 	if par <= 1 {
+		if !profiled {
+			for _, t := range tasks {
+				run(t)
+			}
+			return nil
+		}
+		start := time.Now()
 		for _, t := range tasks {
 			run(t)
 		}
-		return
+		return []int64{int64(time.Since(start))}
+	}
+	var busy []int64
+	if profiled {
+		busy = make([]int64, par)
 	}
 	ch := make(chan *subsetTask)
 	var wg sync.WaitGroup
 	for i := 0; i < par; i++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for t := range ch {
-				run(t)
+				if profiled {
+					t0 := time.Now()
+					run(t)
+					busy[w] += int64(time.Since(t0))
+				} else {
+					run(t)
+				}
 			}
-		}()
+		}(i)
 	}
 	for _, t := range tasks {
 		ch <- t
 	}
 	close(ch)
 	wg.Wait()
+	return busy
 }
 
 // runSubset builds the isolated state for one subset task — child sink,
@@ -248,7 +303,17 @@ func runTasks(par int, tasks []*subsetTask, run func(*subsetTask)) {
 func (o *Optimizer) runSubset(t *subsetTask, g *query.Graph, parent *star.Engine, parentGl *glue.Gluer, base *glue.PlanTable, mc *maskCache, sink *obs.Sink) {
 	t.sink = sink.Child() // nil when observability is off
 	env := parent.Cost.Fork()
+	env.Obs = t.sink
 	en := parent.Fork(env, t.sink, strconv.FormatUint(uint64(t.mask), 10)+".")
+	if t.sink.ProfLabels() {
+		// Label the worker goroutine with the rank it is executing; EvalRule
+		// composes star= on top. Labels follow the task, so a worker pool
+		// goroutine re-labels per task.
+		rank := strconv.Itoa(bits.OnesCount32(t.mask))
+		ctx := pprof.WithLabels(context.Background(), pprof.Labels("phase", "join-"+rank, "rank", rank))
+		pprof.SetGoroutineLabels(ctx)
+		en.LabelCtx = ctx
+	}
 	ov := glue.NewOverlay(base)
 	ov.Obs = t.sink
 	gl := &glue.Gluer{Engine: en, Graph: g, Table: ov, KeepAll: parentGl.KeepAll}

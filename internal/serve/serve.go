@@ -29,6 +29,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	rpprof "runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -41,6 +43,7 @@ import (
 	"stars/internal/obs"
 	"stars/internal/opt"
 	"stars/internal/plan"
+	"stars/internal/prof"
 	"stars/internal/provenance"
 	"stars/internal/query"
 	"stars/internal/sqlparse"
@@ -100,6 +103,11 @@ type Config struct {
 	// Zero selects the default; negative means the process default
 	// (opt.SetDefaultParallelism / GOMAXPROCS).
 	Parallelism int
+	// DisableProfiling turns the per-request self-profiler off. By default
+	// every request's optimization is profiled (cheap accumulators on the
+	// request's sink): phase/rank tallies feed the opt_phase_* / opt_rank_*
+	// metrics and the rolling GET /profile aggregate.
+	DisableProfiling bool
 	// Log receives operational messages (start, drain); nil discards.
 	Log *log.Logger
 }
@@ -166,6 +174,12 @@ type Server struct {
 	execMu  sync.Mutex
 	cluster *storage.Cluster
 
+	// The rolling self-profile behind GET /profile: every profiled request
+	// folds its per-phase/rule/rank attribution in after answering.
+	profMu       sync.Mutex
+	profAgg      *prof.Profile
+	profRequests int64
+
 	// testHold, when non-nil, blocks each request's worker until the
 	// channel yields — test hook for admission/timeout behavior.
 	testHold chan struct{}
@@ -201,6 +215,7 @@ func New(cfg Config) (*Server, error) {
 		cluster:  storage.NewCluster(cfg.Catalog.Sites...),
 		rules:    rules,
 		ledger:   coverage.NewLedger(0),
+		profAgg:  &prof.Profile{},
 	}
 	if cfg.Demo {
 		workload.PopulateEmpDept(s.cluster, cfg.Catalog, cfg.Seed)
@@ -233,11 +248,19 @@ func New(cfg Config) (*Server, error) {
 		s.reg.Counter(`coverage_veneer_injected_total{op="` + string(op) + `"}`)
 	}
 	s.ledger.PublishMetrics(s.reg, rules) // gauges at their empty-state values
+	// And the self-profiler's phase/rank series, so the profiling surface is
+	// scrapeable at zero before any traffic.
+	if !cfg.DisableProfiling {
+		for _, name := range obs.ProfMetricNames() {
+			s.reg.Counter(name)
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /optimize", s.handleOptimize)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /coverage", s.handleCoverage)
+	mux.HandleFunc("GET /profile", s.handleProfile)
 	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -317,6 +340,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 POST /optimize        optimize (and optionally execute) a query; JSON in/out
 GET  /metrics         Prometheus metrics, aggregated across all requests
 GET  /coverage        rolling rule/alternative coverage and per-template Q-error ledger
+GET  /profile         rolling self-profile: phase/rule time and allocation attribution (stars/profile/v1)
 GET  /events          live observability events (NDJSON; SSE with Accept: text/event-stream)
 GET  /healthz         liveness
 GET  /readyz          readiness (503 while draining)
@@ -352,6 +376,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // requests.
 func (s *Server) handleCoverage(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.ledger.Snapshot(s.rules))
+}
+
+// handleProfile renders the rolling self-profile aggregate (schema
+// stars/profile/v1): every profiled request's phase/rule/activity/rank
+// attribution folded together since boot.
+func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
+	rep := prof.NewReport(runtime.GOMAXPROCS(0), s.cfg.Parallelism)
+	s.profMu.Lock()
+	rep.Requests = s.profRequests
+	rep.Totals = s.profAgg.Clone()
+	s.profMu.Unlock()
+	s.writeJSON(w, http.StatusOK, rep)
 }
 
 // outcome is one request worker's result.
@@ -426,17 +462,55 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// do performs one request's work: parse, optimize, optionally execute,
-// render. It owns the request's private sink and merges its metrics into
-// the shared registry on the way out.
-func (s *Server) do(reqID string, req OptimizeRequest) outcome {
+// do labels the worker goroutine with the request's identity (req=,
+// template=) for the duration of the work, so external CPU/goroutine
+// profiles taken through /debug/pprof attribute samples to requests, then
+// runs it. The labels survive into the optimizer's worker pool only for
+// work on this goroutine; enumeration workers carry their own phase=/rank=
+// labels when label mode is on.
+func (s *Server) do(reqID string, req OptimizeRequest) (out outcome) {
+	labels := rpprof.Labels("req", reqID, "template", coverage.Template(req.SQL))
+	rpprof.Do(context.Background(), labels, func(context.Context) {
+		out = s.doLabeled(reqID, req)
+	})
+	return out
+}
+
+// doLabeled performs one request's work: parse, optimize, optionally
+// execute, render. It owns the request's private sink and merges its
+// metrics into the shared registry on the way out.
+func (s *Server) doLabeled(reqID string, req OptimizeRequest) outcome {
 	if s.testHold != nil {
 		<-s.testHold
 	}
 	start := time.Now()
+	allocs0 := obs.HeapAllocs()
 	sink := obs.NewRequestSink(reqID)
 	sink.Tee(s.bcast.publish)
+	if !s.cfg.DisableProfiling {
+		sink.EnableProf(obs.ProfOptions{})
+	}
 	defer s.reg.Merge(sink.Registry())
+	// LIFO puts this before the merge above: flush any phase/rank tallies
+	// the optimizer didn't publish itself (the parse phase, failed runs —
+	// publishing is delta-aware, so double publishing is safe), then fold
+	// this request's attribution into the rolling GET /profile aggregate.
+	// The allocation bracket reads a process-global counter, so under
+	// concurrent requests it is an upper bound, not an exact figure.
+	defer func() {
+		p := sink.Prof()
+		if p == nil {
+			return
+		}
+		p.PublishMetrics(sink.Registry())
+		pr := prof.FromSink(sink)
+		pr.ElapsedNS = time.Since(start).Nanoseconds()
+		pr.Allocs = obs.HeapAllocs() - allocs0
+		s.profMu.Lock()
+		s.profAgg.Merge(pr)
+		s.profRequests++
+		s.profMu.Unlock()
+	}()
 	// LIFO puts this after the EvRequestDone emit below, so the whole
 	// stream is final: fold it into the rolling coverage/Q-error ledger
 	// and refresh the derived gauges. Counters reach the registry via the
@@ -460,7 +534,11 @@ func (s *Server) do(reqID string, req OptimizeRequest) outcome {
 	if req.SQL == "" {
 		return fail(http.StatusBadRequest, fmt.Errorf("missing \"sql\" field"))
 	}
+	// The SQL front end runs outside Optimize, so bill it to the profiler
+	// explicitly as the "parse" phase (no-op when profiling is off).
+	pa, pt := obs.HeapAllocs(), time.Now()
 	g, err := sqlparse.Parse(req.SQL, s.cfg.Catalog)
+	sink.ProfPhase("parse", time.Since(pt), obs.HeapAllocs()-pa)
 	if err != nil {
 		return fail(http.StatusBadRequest, err)
 	}

@@ -1,8 +1,11 @@
 package star
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"stars/internal/cost"
 	"stars/internal/expr"
@@ -128,6 +131,11 @@ type Engine struct {
 	// alternative fired/rejected events. The nil sink costs a nil check;
 	// see package obs.
 	Obs *obs.Sink
+	// LabelCtx carries the goroutine's pprof label context (phase=, rank=)
+	// when the attached profiler pins labels; EvalRule composes a star=
+	// label onto it so external CPU captures attribute samples to the STAR
+	// being evaluated. Nil when labels are off.
+	LabelCtx context.Context
 
 	builders map[string]LolepopBuilder
 	helpers  map[string]HelperFunc
@@ -252,6 +260,23 @@ func (en *Engine) EvalRule(name string, args []Value) (out []*plan.Node, err err
 		sp.End(int64(len(out)))
 		en.depth--
 	}()
+	profiled := en.Obs.ProfEnabled()
+	if profiled && en.Obs.ProfLabels() {
+		// Compose star=<rule> onto the phase/rank labels and restore the
+		// enclosing reference's label set on the way out.
+		prev := en.LabelCtx
+		base := prev
+		if base == nil {
+			base = context.Background()
+		}
+		ctx := pprof.WithLabels(base, pprof.Labels("star", name))
+		pprof.SetGoroutineLabels(ctx)
+		en.LabelCtx = ctx
+		defer func() {
+			en.LabelCtx = prev
+			pprof.SetGoroutineLabels(base)
+		}()
+	}
 
 	frame := make(map[string]Value, len(rule.Params)+len(rule.Where))
 	for i, p := range rule.Params {
@@ -274,7 +299,14 @@ func (en *Engine) EvalRule(name string, args []Value) (out []*plan.Node, err err
 		case alt.Otherwise:
 			applicable = !fired
 		case alt.Cond != nil:
+			var g0 time.Time
+			if profiled {
+				g0 = time.Now()
+			}
 			cv, err := en.evalExpr(alt.Cond, frame)
+			if profiled {
+				en.Obs.ProfActivity(obs.ActGuard, time.Since(g0), 1)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("star: %s alternative %d condition: %w", name, i+1, err)
 			}

@@ -38,6 +38,7 @@ import (
 	"stars/internal/obs"
 	"stars/internal/opt"
 	"stars/internal/plan"
+	"stars/internal/prof"
 	"stars/internal/provenance"
 	"stars/internal/query"
 	"stars/internal/serve"
@@ -166,6 +167,47 @@ func SetDefaultSink(s *Sink) { obs.SetDefault(s) }
 // concurrent optimizations each write into their own tagged sink, so traces
 // never interleave and merged streams stay attributable.
 func NewRequestSink(requestID string) *Sink { return obs.NewRequestSink(requestID) }
+
+// ProfileOptions tunes the self-profiler attached to a Sink with
+// EnableProfiling; the zero value collects phase/rule/activity accounting
+// without pprof goroutine labels.
+type ProfileOptions = obs.ProfOptions
+
+// Profile is one analyzed self-profile: phases in pipeline order with
+// self-time and allocation attribution, rules and spans ranked by self-time,
+// activity meters, and per-rank parallel telemetry (busy/idle/imbalance).
+// See docs/PERFORMANCE.md § Profiling.
+type Profile = prof.Profile
+
+// ProfileReport is the multi-workload profile document `starburst profile`
+// emits (JSON schema stars/profile/v1): one Profile per workload plus a
+// merged totals view.
+type ProfileReport = prof.Report
+
+// ProfileSchemaV1 identifies the profile JSON layout.
+const ProfileSchemaV1 = prof.SchemaV1
+
+// EnableProfiling attaches a self-profiler to the sink: subsequent
+// optimizations reported into it accumulate per-phase and per-rule wall time
+// and allocation counts, activity meters (guard evaluation, cost pricing,
+// plan-table offers), and — in the parallel path — per-rank worker telemetry.
+// A sink without a profiler pays nothing; see docs/PERFORMANCE.md.
+func EnableProfiling(s *Sink, o ProfileOptions) { s.EnableProf(o) }
+
+// ProfileOf analyzes the sink's accumulated self-profile. Returns nil when no
+// profiler is attached.
+func ProfileOf(s *Sink) *Profile { return prof.FromSink(s) }
+
+// NewProfileReport returns an empty report; Add workload profiles to it, then
+// Format it or encode it as JSON.
+func NewProfileReport(gomaxprocs, parallelism int) *ProfileReport {
+	return prof.NewReport(gomaxprocs, parallelism)
+}
+
+// HeapAllocs reads the process's cumulative heap-allocation count (objects) —
+// the counter the profiler brackets phases with. Small-object counts arrive
+// in batches, so treat fine-grained deltas as approximate.
+func HeapAllocs() int64 { return obs.HeapAllocs() }
 
 // Server is the optimizer-as-a-service HTTP daemon behind `starburst
 // serve`: POST /optimize with live /metrics, /events, health, and pprof.
