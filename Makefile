@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test verify lint cover cover-demo bench enum-bench enum-check trend profile profile-demo trace-demo dag-demo serve serve-demo experiments
+.PHONY: build test verify lint cover cover-demo bench enum-bench enum-check trend profile profile-demo trace-demo dag-demo serve serve-demo flight-demo experiments
 
 build:
 	go build ./...
@@ -90,6 +90,13 @@ serve:
 # and print the returned EXPLAIN. See docs/SERVING.md.
 serve-demo:
 	go run ./examples/servedemo -n 3
+
+# Flight-recorder demo: an in-place catalog stats mutation flips the
+# Figure 1 plan, the plan-stability watchdog captures a stars/incident/v1
+# bundle, and the incident is replayed from the bundle alone. See
+# docs/OBSERVABILITY.md § Flight recorder & incidents.
+flight-demo:
+	go run ./examples/flightdemo
 
 experiments:
 	go run ./cmd/starbench -e all -md > experiments_output.txt

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"stars"
+)
+
+// incidentsMain is the `starburst incidents` subcommand: browse the bundles
+// a serving daemon's flight recorder wrote to its incident directory.
+//
+//	starburst incidents -dir ./incidents             # list, oldest first
+//	starburst incidents -dir ./incidents inc-000001-plan_flip
+//	starburst incidents ./incidents/inc-000001-plan_flip.json
+//	starburst incidents -json <id-or-file>           # raw stars/incident/v1 bundle
+//
+// Exit status: 0 ok, 2 usage or read errors.
+func incidentsMain(args []string) {
+	fs := flag.NewFlagSet("incidents", flag.ExitOnError)
+	var (
+		dir     = fs.String("dir", "incidents", "incident directory a serving daemon wrote (serve -incident-dir)")
+		jsonOut = fs.Bool("json", false, "dump the selected bundle's canonical JSON instead of the summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: starburst incidents [-dir d] [-json] [id-or-file]")
+		os.Exit(2)
+	}
+	if fs.NArg() == 1 {
+		showIncident(resolveIncidentPath(*dir, fs.Arg(0)), *jsonOut)
+		return
+	}
+
+	paths, err := filepath.Glob(filepath.Join(*dir, "inc-*.json"))
+	if err != nil {
+		fatal(err)
+	}
+	sort.Strings(paths) // IDs are zero-padded, so lexical order is filing order
+	if len(paths) == 0 {
+		fmt.Printf("no incidents in %s\n", *dir)
+		return
+	}
+	fmt.Printf("%-26s %-10s %-20s %s\n", "ID", "KIND", "TIME", "TEMPLATE")
+	for _, p := range paths {
+		inc, err := stars.ReadIncident(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "starburst: skipping %s: %v\n", p, err)
+			continue
+		}
+		fmt.Printf("%-26s %-10s %-20s %s\n",
+			inc.ID, inc.Kind, inc.Time.Format("2006-01-02T15:04:05Z"), inc.Record.Template)
+	}
+}
+
+// resolveIncidentPath turns an id-or-path argument into a bundle path.
+func resolveIncidentPath(dir, arg string) string {
+	if strings.HasSuffix(arg, ".json") {
+		return arg
+	}
+	return filepath.Join(dir, arg+".json")
+}
+
+// showIncident renders one bundle.
+func showIncident(path string, jsonOut bool) {
+	if jsonOut {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(b)
+		return
+	}
+	inc, err := stars.ReadIncident(path)
+	if err != nil {
+		fatal(err)
+	}
+	r := inc.Record
+	fmt.Printf("incident   %s (%s)\n", inc.ID, inc.Kind)
+	fmt.Printf("time       %s\n", inc.Time.Format("2006-01-02T15:04:05Z"))
+	fmt.Printf("request    %s  status %d  wall %.3fms\n", r.Req, r.Status, float64(r.WallNS)/1e6)
+	fmt.Printf("sql        %s\n", r.SQL)
+	fmt.Printf("template   %s\n", r.Template)
+	fmt.Printf("plan       %s  est cost %.1f  est rows %.0f\n", r.PlanFP, r.EstCost, r.EstRows)
+	if inc.Prev != nil {
+		fmt.Printf("prev plan  %s  est cost %.1f\n", inc.Prev.PlanFP, inc.Prev.EstCost)
+	}
+	if r.Executed {
+		fmt.Printf("executed   max Q-error %.2f\n", r.MaxQError)
+	}
+	fmt.Printf("identity   catalog epoch %s  rules hash %s\n", r.CatalogEpoch, r.RulesHash)
+	fmt.Println("triggers:")
+	for _, t := range inc.Triggers {
+		fmt.Printf("  [%s] %s\n", t.Kind, t.Detail)
+	}
+	c := inc.Capture
+	fmt.Printf("capture    catalog %dB  rules %dB  events %d  provenance %dB (checksum %s)\n",
+		len(c.Catalog), len(c.Rules), len(c.Events), len(c.Provenance), c.ProvenanceChecksum)
+	fmt.Printf("ring       %d recent requests\n", len(inc.Ring))
+	fmt.Printf("\nreplay it:  starburst replay %s\n", path)
+}
+
+// replayMain is the `starburst replay` subcommand: re-optimize an incident
+// bundle's captured query from its captured catalog, rules, and options,
+// and diff the fresh derivation DAG against the captured one — time-travel
+// debugging for the optimizer.
+//
+//	starburst replay incidents/inc-000001-plan_flip.json
+//	starburst replay -v -dag-out replayed.json <bundle.json>
+//
+// Exit status: 0 when the replay derives the identical search space, 1 when
+// it differs (environment drift: code version, extensions, data), 2 on
+// usage or replay errors.
+func replayMain(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		verbose = fs.Bool("v", false, "print the full plan-by-plan diff, not just the verdict")
+		dagOut  = fs.String("dag-out", "", "write the replayed derivation DAG to this path (stable JSON)")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: starburst replay [-v] [-dag-out file] <incident.json>")
+		os.Exit(2)
+	}
+	inc, err := stars.ReadIncident(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	rr, err := stars.ReplayIncident(inc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("incident   %s (%s)\n", inc.ID, inc.Kind)
+	fmt.Printf("sql        %s\n", inc.Capture.SQL)
+	fmt.Printf("captured   plan %s  dag checksum %s\n", rr.CapturedFP, rr.CapturedChecksum)
+	fmt.Printf("replayed   plan %s  dag checksum %s\n", rr.Fingerprint, rr.Checksum)
+	if *dagOut != "" {
+		f, err := os.Create(*dagOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rr.DAG.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote      %s\n", *dagOut)
+	}
+	if rr.Identical {
+		fmt.Println("verdict    identical: the replay derives the captured search space exactly")
+		return
+	}
+	fmt.Println("verdict    DIFFERS: the replay derives a different search space than captured")
+	if !rr.FingerprintMatch() {
+		fmt.Printf("           best plan changed: %s -> %s\n", rr.CapturedFP, rr.Fingerprint)
+	}
+	if rr.Diff != nil {
+		if *verbose {
+			fmt.Print(rr.Diff.Format())
+		} else {
+			fmt.Println("           (rerun with -v for the plan-by-plan diff)")
+		}
+	}
+	os.Exit(1)
+}

@@ -19,9 +19,14 @@
 //	                   [-workload star8,chain8] [-parallelism N]
 //	                   [-pprof-labels] [-q "SELECT ..."]
 //	starburst catalog                         # dump the demo catalog as JSON
+//	starburst incidents [-dir incidents] [-json] [id-or-file]
+//	starburst replay   [-v] [-dag-out file] incident.json
 //	starburst serve    [-addr :8080] [-catalog file.json] [-rules file.star]
 //	                   [-max-inflight 64] [-timeout 30s] [-drain-timeout 10s]
 //	                   [-event-buffer 1024] [-seed 1] [-parallelism 1]
+//	                   [-incident-dir dir] [-no-flight] [-flight-latency-factor 4]
+//	                   [-flight-latency-floor 10ms] [-flight-min-samples 8]
+//	                   [-flight-qerror 100]
 //
 // Every command accepts -parallelism N: the join-enumeration worker fan-out
 // per optimization (0 = GOMAXPROCS). Results are identical at every level;
@@ -77,6 +82,12 @@
 // sets with identical fates and costs, 1 when they differ — usable as a
 // plan-regression gate.
 //
+// incidents browses the bundles a serving daemon's flight recorder captured
+// (plan flips, latency outliers, Q-error blowups — see docs/OBSERVABILITY.md),
+// and replay re-optimizes a bundle from its captured catalog, rules, and
+// options, diffing the fresh derivation DAG against the captured one: exit
+// 0 when identical, 1 on drift, 2 on errors.
+//
 // Without -catalog, the paper's EMP/DEPT demo catalog is used; try
 //
 //	starburst run -q "SELECT DEPT.DNO, EMP.NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO AND DEPT.MGR = 'Haas'"
@@ -124,6 +135,14 @@ func main() {
 		profileMain(args)
 		return
 	}
+	if cmd == "incidents" {
+		incidentsMain(args)
+		return
+	}
+	if cmd == "replay" {
+		replayMain(args)
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
 		q        = fs.String("q", "", "SQL query (default: the quickstart EMP/DEPT query)")
@@ -146,6 +165,12 @@ func main() {
 		drainT   = fs.Duration("drain-timeout", 10*time.Second, "serve: max wait for in-flight requests on shutdown")
 		eventBuf = fs.Int("event-buffer", 1024, "serve: per-subscriber /events buffer (full buffers drop, never block)")
 		parallel = fs.Int("parallelism", 1, "join-enumeration worker fan-out per optimization (0 = GOMAXPROCS; results are identical at every level)")
+		incDir   = fs.String("incident-dir", "", "serve: directory the flight recorder writes incident bundles to (in-memory only when empty)")
+		noFlight = fs.Bool("no-flight", false, "serve: disable the flight recorder and plan-stability watchdog entirely")
+		flLatF   = fs.Float64("flight-latency-factor", 0, "serve: flag requests slower than this multiple of their template's rolling baseline (0 = default 4)")
+		flLatFl  = fs.Duration("flight-latency-floor", 0, "serve: absolute latency a request must also exceed to be flagged (0 = default 10ms)")
+		flMinS   = fs.Int("flight-min-samples", 0, "serve: template history needed before latency judgments (0 = default 8)")
+		flQErr   = fs.Float64("flight-qerror", 0, "serve: flag executed requests whose worst per-operator Q-error reaches this (0 = default 100)")
 	)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -179,16 +204,24 @@ func main() {
 	switch cmd {
 	case "serve":
 		srv, err := stars.NewServer(stars.ServerConfig{
-			Addr:         *addr,
-			Catalog:      cat,
-			Demo:         demo,
-			Options:      opts,
-			Seed:         *seed,
-			MaxInflight:  *maxInfl,
-			Timeout:      *timeout,
-			DrainTimeout: *drainT,
-			EventBuffer:  *eventBuf,
-			Log:          log.New(os.Stderr, "starburst serve: ", log.LstdFlags),
+			Addr:          *addr,
+			Catalog:       cat,
+			Demo:          demo,
+			Options:       opts,
+			Seed:          *seed,
+			MaxInflight:   *maxInfl,
+			Timeout:       *timeout,
+			DrainTimeout:  *drainT,
+			EventBuffer:   *eventBuf,
+			DisableFlight: *noFlight,
+			Flight: stars.FlightConfig{
+				IncidentDir:     *incDir,
+				LatencyFactor:   *flLatF,
+				LatencyFloor:    *flLatFl,
+				MinSamples:      *flMinS,
+				QErrorThreshold: *flQErr,
+			},
+			Log: log.New(os.Stderr, "starburst serve: ", log.LstdFlags),
 		})
 		if err != nil {
 			fatal(err)
@@ -447,7 +480,7 @@ func loadCatalog(path string) (cat *stars.Catalog, demo bool, err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: starburst {explain|run|trace|diff|rules|lint|cover|profile|catalog|serve} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: starburst {explain|run|trace|diff|rules|lint|cover|profile|incidents|replay|catalog|serve} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'starburst <cmd> -h' for the command's flags")
 }
 

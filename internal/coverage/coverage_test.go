@@ -291,6 +291,51 @@ func TestTemplate(t *testing.T) {
 	}
 }
 
+func TestTemplateEdgeCases(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// Escaped quotes: '' inside a string stays inside the literal.
+		{"WHERE NAME = 'O''Brien'", "WHERE NAME = ?"},
+		{"WHERE NAME = 'it''s' AND DNO = 7", "WHERE NAME = ? AND DNO = ?"},
+		// Negative and float literals: the sign is an operator character,
+		// the digits (with any decimal point) become one '?'.
+		{"WHERE BAL > -5", "WHERE BAL > -?"},
+		{"WHERE BAL > -5.25", "WHERE BAL > -?"},
+		{"WHERE R BETWEEN 0.5 AND 1.5", "WHERE R BETWEEN ? AND ?"},
+		// IN-lists collapse to a single ?-group regardless of arity/spacing.
+		{"WHERE DNO IN (1,2,3)", "WHERE DNO IN (?)"},
+		{"WHERE DNO IN (1, 2)", "WHERE DNO IN (?)"},
+		{"WHERE DNO IN ( 10 , 20 , 30 , 40 )", "WHERE DNO IN ( ? )"},
+		{"WHERE NAME IN ('a','b','c')", "WHERE NAME IN (?)"},
+		// A comma-free run of parameters is not a list and must survive.
+		{"WHERE A = 1 ? 2", "WHERE A = ? ? ?"},
+		// Select-list constants are a parameter list too.
+		{"SELECT 1, 2, 3 FROM T", "SELECT ? FROM T"},
+	}
+	for _, c := range cases {
+		if got := coverage.Template(c.in); got != c.want {
+			t.Errorf("Template(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// The point of the collapse: IN-lists of different lengths share a
+	// template, so the ledger aggregates them as one query shape.
+	a := coverage.Template("SELECT NAME FROM EMP WHERE DNO IN (1, 2, 3)")
+	b := coverage.Template("SELECT NAME FROM EMP WHERE DNO IN (4, 5)")
+	if a != b {
+		t.Errorf("IN-list arity leaks into template: %q vs %q", a, b)
+	}
+	if got := coverage.Template("SELECT NAME FROM EMP WHERE DNO IN (8)"); got != a {
+		t.Errorf("single-element IN-list diverges: %q vs %q", got, a)
+	}
+}
+
+func TestTemplateNoListAllocFree(t *testing.T) {
+	// The collapse pass must not copy templates that contain no ?-list.
+	const sql = "SELECT NAME FROM EMP WHERE DNO = ? AND SAL > ?"
+	if got := coverage.Template(sql); got != sql {
+		t.Fatalf("Template(%q) = %q", sql, got)
+	}
+}
+
 func TestSketchQuantiles(t *testing.T) {
 	var s coverage.Sketch
 	if s.Quantile(0.5) != 0 || s.Digest() != nil {

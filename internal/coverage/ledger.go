@@ -11,9 +11,11 @@ import (
 )
 
 // Template normalizes a SQL text to its query template: whitespace is
-// collapsed, string and numeric literals are replaced with '?', so
-// "SELECT ... WHERE SAL > 100" and "... > 250" land in the same ledger
-// bucket. Identifiers and keywords are left as written.
+// collapsed, string and numeric literals are replaced with '?', and runs of
+// '?' separated by commas (the shape an IN-list leaves behind) collapse to a
+// single '?', so "SELECT ... WHERE SAL > 100" and "... > 250" — and
+// "DNO IN (1,2)" and "DNO IN (1,2,3)" — land in the same ledger bucket.
+// Identifiers and keywords are left as written.
 func Template(sql string) string {
 	var b strings.Builder
 	b.Grow(len(sql))
@@ -64,7 +66,44 @@ func Template(sql string) string {
 		wrote = true
 		prevWord = c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
 	}
-	return strings.TrimSuffix(b.String(), ";")
+	return collapseParamList(strings.TrimSuffix(b.String(), ";"))
+}
+
+// collapseParamList rewrites runs of '?' parameters separated by commas
+// (and optional spaces) into a single '?'. After literal normalization an
+// IN-list is exactly such a run, so IN (1,2) and IN (1, 2, 3) share one
+// template regardless of arity. A run with no comma — "? ?" — is left
+// alone; that shape is not a list. The substring pre-checks keep the
+// common no-list case allocation-free.
+func collapseParamList(t string) string {
+	if !strings.Contains(t, "?,") && !strings.Contains(t, "? ,") {
+		return t
+	}
+	var b strings.Builder
+	b.Grow(len(t))
+	for i := 0; i < len(t); i++ {
+		b.WriteByte(t[i])
+		if t[i] != '?' {
+			continue
+		}
+		// Swallow every ", ?" continuation of the run.
+		j := i
+		for {
+			k := j + 1
+			comma := false
+			for k < len(t) && (t[k] == ' ' || t[k] == ',') {
+				comma = comma || t[k] == ','
+				k++
+			}
+			if comma && k < len(t) && t[k] == '?' {
+				j = k
+				continue
+			}
+			break
+		}
+		i = j
+	}
+	return b.String()
 }
 
 // qerrBounds are the Sketch's fixed bucket upper bounds. Q-errors are >= 1

@@ -6,8 +6,11 @@ import (
 	"io"
 )
 
-// ndjsonEvent is the NDJSON wire form of one event.
-type ndjsonEvent struct {
+// WireEvent is the JSON wire form of one event — the framing shared by the
+// NDJSON batch export, a server's live /events stream, and the event trace
+// embedded in flight-recorder incident bundles, so a jq filter written for
+// any one of them reads the others.
+type WireEvent struct {
 	Seq   int64   `json:"seq"`
 	TUs   float64 `json:"t_us"`
 	Kind  string  `json:"kind"`
@@ -24,9 +27,9 @@ type ndjsonEvent struct {
 	F2    float64 `json:"f2,omitempty"`
 }
 
-// ndjsonOf converts an event to its wire form.
-func ndjsonOf(e Event) ndjsonEvent {
-	return ndjsonEvent{
+// Wire converts an event to its wire form.
+func Wire(e Event) WireEvent {
+	return WireEvent{
 		Seq: e.Seq, TUs: float64(e.T.Microseconds()), Kind: e.Kind.String(),
 		Name: e.Name, Req: e.Req, A1: e.A1, A2: e.A2, A3: e.A3,
 		Depth: e.Depth, Span: e.Span, N1: e.N1, N2: e.N2, F1: e.F1, F2: e.F2,
@@ -37,7 +40,7 @@ func ndjsonOf(e Event) ndjsonEvent {
 // the batch export below and a server's live /events stream use, so a tail
 // of the live stream is jq-compatible with a saved trace file.
 func EncodeNDJSON(w io.Writer, e Event) error {
-	return json.NewEncoder(w).Encode(ndjsonOf(e))
+	return json.NewEncoder(w).Encode(Wire(e))
 }
 
 // WriteNDJSON writes the event log as newline-delimited JSON, one event per
@@ -48,7 +51,7 @@ func (s *Sink) WriteNDJSON(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	for _, e := range s.Events() {
-		if err := enc.Encode(ndjsonOf(e)); err != nil {
+		if err := enc.Encode(Wire(e)); err != nil {
 			return err
 		}
 	}

@@ -3,6 +3,7 @@ package provenance
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"strings"
 )
@@ -26,6 +27,17 @@ func (d *DAG) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// Checksum digests the DAG's canonical JSON export into a 16-hex-digit
+// FNV-64a — a cheap stable identity for a whole search space, the way
+// plan.Node.Fingerprint identifies one plan. Two DAGs with equal checksums
+// render identically, so an incident bundle can record the captured space's
+// checksum and a replay can cite it before (or instead of) a full Diff.
+func (d *DAG) Checksum() string {
+	h := fnv.New64a()
+	d.WriteJSON(h) // fnv's Write never fails, so neither does WriteJSON here
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // ReadJSON reconstructs a DAG from WriteJSON output.

@@ -32,6 +32,7 @@ import (
 	"runtime"
 	rpprof "runtime/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"stars/internal/cost"
 	"stars/internal/coverage"
 	"stars/internal/exec"
+	"stars/internal/flight"
 	"stars/internal/obs"
 	"stars/internal/opt"
 	"stars/internal/plan"
@@ -108,6 +110,15 @@ type Config struct {
 	// request's sink): phase/rank tallies feed the opt_phase_* / opt_rank_*
 	// metrics and the rolling GET /profile aggregate.
 	DisableProfiling bool
+	// Flight tunes the flight recorder and plan-stability watchdog (ring
+	// sizes, anomaly thresholds, incident directory); its CatalogEpoch,
+	// RulesHash, and zero fields are filled by the daemon at boot. See
+	// internal/flight.
+	Flight flight.Config
+	// DisableFlight turns the flight recorder off entirely: no records,
+	// no watchdog, no incidents, and the /optimize hot path stays
+	// allocation-identical to a recorder-less build.
+	DisableFlight bool
 	// Log receives operational messages (start, drain); nil discards.
 	Log *log.Logger
 }
@@ -156,6 +167,8 @@ type Server struct {
 	reg   *obs.Registry // process-wide aggregate behind /metrics
 	bcast *broadcaster
 	mux   *http.ServeMux
+	// routes is the endpoint table the mux and the index page share.
+	routes []route
 
 	// rules is the effective repertoire (Config.Options.Rules or the
 	// built-ins) — the coverage universe behind /coverage.
@@ -163,6 +176,13 @@ type Server struct {
 	// ledger is the rolling coverage + Q-error view every request feeds
 	// (see internal/coverage).
 	ledger *coverage.Ledger
+	// flight is the flight recorder + watchdog (nil when disabled);
+	// rulesText/rulesHash/catalogEpoch are the boot-time identity stamps
+	// its records and captures carry.
+	flight       *flight.Recorder
+	rulesText    string
+	rulesHash    string
+	catalogEpoch string
 
 	inflight chan struct{} // admission-gate semaphore
 	reqSeq   atomic.Int64
@@ -224,6 +244,23 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.bcast = newBroadcaster(s.reg)
 
+	// Stamp the inputs every plan depends on besides the query: the rule
+	// text's and the catalog export's FNV-64a digests, computed once at
+	// boot. A later in-place stats mutation is invisible to the epoch by
+	// design — that staleness is what lets the watchdog call a changed
+	// fingerprint a plan flip.
+	s.rulesText = star.Format(rules)
+	s.rulesHash = fnvHex(s.rulesText)
+	if b, err := cfg.Catalog.MarshalJSONIndent(); err == nil {
+		s.catalogEpoch = fnvHex(string(b))
+	}
+	if !cfg.DisableFlight {
+		fc := cfg.Flight
+		fc.CatalogEpoch = s.catalogEpoch
+		fc.RulesHash = s.rulesHash
+		s.flight = flight.New(fc)
+	}
+
 	// Touch the service metrics so /metrics exposes them at zero before
 	// the first request — scrapers and smoke tests see the full surface
 	// immediately.
@@ -255,23 +292,54 @@ func New(cfg Config) (*Server, error) {
 			s.reg.Counter(name)
 		}
 	}
+	// And the flight recorder's surface.
+	if s.flight != nil {
+		s.reg.Counter("flight_records_total")
+		s.reg.Counter("flight_incidents_total")
+		s.reg.Counter("flight_incident_write_errors_total")
+		s.reg.Counter("plan_flip_total")
+		for _, kind := range flight.Kinds {
+			s.reg.Counter(`flight_anomaly_total{kind="` + kind + `"}`)
+		}
+		s.reg.Gauge("flight_templates")
+		s.reg.Gauge("flight_incidents")
+	}
 
+	// One table drives both the mux and the index page, so a newly mounted
+	// endpoint cannot be forgotten on the root listing (routes with an
+	// empty description are sub-routes the index leaves out).
+	s.routes = []route{
+		{"POST /optimize", "optimize (and optionally execute) a query; JSON in/out", s.handleOptimize},
+		{"GET /metrics", "Prometheus metrics, aggregated across all requests", s.handleMetrics},
+		{"GET /coverage", "rolling rule/alternative coverage and per-template Q-error ledger", s.handleCoverage},
+		{"GET /profile", "rolling self-profile: phase/rule time and allocation attribution (stars/profile/v1)", s.handleProfile},
+		{"GET /events", "live observability events (NDJSON; SSE with Accept: text/event-stream)", s.handleEvents},
+		{"GET /incidents", "flight-recorder incidents, list form (stars/incident/v1)", s.handleIncidents},
+		{"GET /incidents/{id}", "one full incident bundle, canonical JSON (feed to `starburst replay`)", s.handleIncident},
+		{"GET /debug/flight", "flight-recorder live state: census, per-template baselines, recent requests", s.handleDebugFlight},
+		{"GET /healthz", "liveness", s.handleHealthz},
+		{"GET /readyz", "readiness JSON: ready/draining/inflight (503 while draining)", s.handleReadyz},
+		{"GET /debug/pprof/", "Go profiling", pprof.Index},
+		{"GET /debug/pprof/cmdline", "", pprof.Cmdline},
+		{"GET /debug/pprof/profile", "", pprof.Profile},
+		{"GET /debug/pprof/symbol", "", pprof.Symbol},
+		{"GET /debug/pprof/trace", "", pprof.Trace},
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /optimize", s.handleOptimize)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /coverage", s.handleCoverage)
-	mux.HandleFunc("GET /profile", s.handleProfile)
-	mux.HandleFunc("GET /events", s.handleEvents)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	for _, r := range s.routes {
+		mux.HandleFunc(r.pattern, r.handler)
+	}
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux = mux
 	return s, nil
+}
+
+// route is one mounted endpoint: its mux pattern, its index-page
+// description ("" keeps it off the index), and its handler.
+type route struct {
+	pattern string
+	desc    string
+	handler http.HandlerFunc
 }
 
 // Handler returns the daemon's HTTP handler (for tests and embedding).
@@ -332,20 +400,24 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	return nil
 }
 
-// handleIndex is a plain-text map of the surface.
+// handleIndex is a plain-text map of the surface, rendered from the same
+// routes table the mux is built from.
 func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, `starburst serve — optimizer as a service (schema %s)
-
-POST /optimize        optimize (and optionally execute) a query; JSON in/out
-GET  /metrics         Prometheus metrics, aggregated across all requests
-GET  /coverage        rolling rule/alternative coverage and per-template Q-error ledger
-GET  /profile         rolling self-profile: phase/rule time and allocation attribution (stars/profile/v1)
-GET  /events          live observability events (NDJSON; SSE with Accept: text/event-stream)
-GET  /healthz         liveness
-GET  /readyz          readiness (503 while draining)
-GET  /debug/pprof/    Go profiling
-`, SchemaV1)
+	fmt.Fprintf(w, "starburst serve — optimizer as a service (schema %s)\n\n", SchemaV1)
+	width := 0
+	for _, r := range s.routes {
+		if r.desc != "" && len(r.pattern) > width {
+			width = len(r.pattern)
+		}
+	}
+	for _, r := range s.routes {
+		if r.desc == "" {
+			continue
+		}
+		method, path, _ := strings.Cut(r.pattern, " ")
+		fmt.Fprintf(w, "%-4s %-*s  %s\n", method, width-len(method), path, r.desc)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -353,14 +425,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// readyzBody is the GET /readyz JSON: load balancers branch on the status
+// code, humans and scripts read the body.
+type readyzBody struct {
+	Ready bool `json:"ready"`
+	// Draining is true once shutdown began (readiness flipped off while
+	// the daemon finishes in-flight work).
+	Draining bool `json:"draining"`
+	// Inflight is the number of currently admitted /optimize requests.
+	Inflight int `json:"inflight"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if !s.ready.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+	ready := s.ready.Load()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
 	}
-	fmt.Fprintln(w, "ready")
+	s.writeJSON(w, status, readyzBody{Ready: ready, Draining: !ready, Inflight: len(s.inflight)})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -469,9 +551,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 // work on this goroutine; enumeration workers carry their own phase=/rank=
 // labels when label mode is on.
 func (s *Server) do(reqID string, req OptimizeRequest) (out outcome) {
-	labels := rpprof.Labels("req", reqID, "template", coverage.Template(req.SQL))
+	tmpl := coverage.Template(req.SQL)
+	labels := rpprof.Labels("req", reqID, "template", tmpl)
 	rpprof.Do(context.Background(), labels, func(context.Context) {
-		out = s.doLabeled(reqID, req)
+		out = s.doLabeled(reqID, tmpl, req)
 	})
 	return out
 }
@@ -479,7 +562,7 @@ func (s *Server) do(reqID string, req OptimizeRequest) (out outcome) {
 // doLabeled performs one request's work: parse, optimize, optionally
 // execute, render. It owns the request's private sink and merges its
 // metrics into the shared registry on the way out.
-func (s *Server) doLabeled(reqID string, req OptimizeRequest) outcome {
+func (s *Server) doLabeled(reqID, tmpl string, req OptimizeRequest) outcome {
 	if s.testHold != nil {
 		<-s.testHold
 	}
@@ -513,14 +596,20 @@ func (s *Server) doLabeled(reqID string, req OptimizeRequest) outcome {
 	}()
 	// LIFO puts this after the EvRequestDone emit below, so the whole
 	// stream is final: fold it into the rolling coverage/Q-error ledger
-	// and refresh the derived gauges. Counters reach the registry via the
-	// merge above.
+	// and refresh the derived gauges (counters reach the registry via the
+	// merge above), then into the flight recorder — whose watchdog wants
+	// the complete trace (exec.feedback included) in its captures.
+	status := http.StatusOK
+	var (
+		flightRes  *opt.Result
+		flightExec bool
+	)
 	defer func() {
-		s.ledger.Record(coverage.Template(req.SQL), sink.Events())
+		s.ledger.Record(tmpl, sink.Events())
 		s.ledger.PublishMetrics(s.reg, s.rules)
+		s.foldFlight(reqID, tmpl, req, sink, flightRes, status, time.Since(start), flightExec)
 	}()
 
-	status := http.StatusOK
 	defer func() {
 		sink.Emit(obs.Event{Name: EvRequestDone, A1: "/optimize",
 			N1: int64(status), F1: time.Since(start).Seconds()})
@@ -551,6 +640,7 @@ func (s *Server) doLabeled(reqID string, req OptimizeRequest) outcome {
 	if err != nil {
 		return fail(http.StatusUnprocessableEntity, err)
 	}
+	flightRes = res
 
 	resp := &OptimizeResponse{
 		Schema:    SchemaV1,
@@ -593,6 +683,7 @@ func (s *Server) doLabeled(reqID string, req OptimizeRequest) outcome {
 			return fail(http.StatusInternalServerError, fmt.Errorf("execute: %w", err))
 		}
 		resp.Execution = ex
+		flightExec = true
 	}
 
 	resp.Stats = statsJSON(res.Stats, sink.Len())

@@ -384,14 +384,24 @@ func TestServeGracefulDrain(t *testing.T) {
 	served := make(chan error, 1)
 	go func() { served <- s.Serve(ctx, ln) }()
 	base := "http://" + ln.Addr().String()
+	var rb readyzBody
 	waitFor(t, func() bool {
 		resp, err := http.Get(base + "/readyz")
 		if err != nil {
 			return false
 		}
-		resp.Body.Close()
-		return resp.StatusCode == http.StatusOK
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rb); err != nil {
+			t.Fatalf("readyz body: %v", err)
+		}
+		return true
 	})
+	if !rb.Ready || rb.Draining {
+		t.Errorf("ready body = %+v, want ready and not draining", rb)
+	}
 
 	// An open event stream and an in-flight request.
 	evResp, err := http.Get(base + "/events")
@@ -421,9 +431,22 @@ func TestServeGracefulDrain(t *testing.T) {
 	if _, err := io.ReadAll(evResp.Body); err != nil {
 		t.Errorf("event stream did not end cleanly: %v", err)
 	}
-	// Readiness flipped before the listener closed.
+	// Readiness flipped before the listener closed; the JSON body says so
+	// too (the listener is gone, so ask the handler directly).
 	if s.ready.Load() {
 		t.Error("server still ready after drain")
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz after drain = %d, want 503", rec.Code)
+	}
+	rb = readyzBody{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rb); err != nil {
+		t.Fatalf("readyz body after drain: %v", err)
+	}
+	if rb.Ready || !rb.Draining {
+		t.Errorf("readyz body after drain = %+v, want draining", rb)
 	}
 }
 
@@ -500,7 +523,7 @@ func TestHealthEndpoints(t *testing.T) {
 	for path, want := range map[string]string{
 		"/":             "starburst serve",
 		"/healthz":      "ok",
-		"/readyz":       "", // ready flag is false until Serve runs
+		"/readyz":       `"ready":false`, // ready flag is false until Serve runs
 		"/metrics":      "# TYPE serve_requests_total counter",
 		"/debug/pprof/": "goroutine",
 	} {

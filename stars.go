@@ -34,6 +34,7 @@ import (
 	"stars/internal/coverage"
 	"stars/internal/exec"
 	"stars/internal/expr"
+	"stars/internal/flight"
 	"stars/internal/glue"
 	"stars/internal/obs"
 	"stars/internal/opt"
@@ -221,6 +222,29 @@ type ServerConfig = serve.Config
 // NewServer builds the daemon. Start it with Run (listen + serve + graceful
 // drain when the context is cancelled) or mount Handler() yourself.
 func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// FlightConfig tunes the serving daemon's flight recorder and plan-stability
+// watchdog (ring sizes, anomaly thresholds, incident directory); set it as
+// ServerConfig.Flight. See docs/OBSERVABILITY.md.
+type FlightConfig = flight.Config
+
+// Incident is one flight-recorder capture (JSON schema stars/incident/v1):
+// the anomalous request's SQL, catalog, rules, event trace, provenance DAG,
+// and profile — a self-contained bundle `starburst replay` re-optimizes.
+type Incident = flight.Incident
+
+// FlightReplayResult compares a fresh optimization of an incident's
+// captured inputs against what the daemon recorded.
+type FlightReplayResult = flight.ReplayResult
+
+// ReadIncident loads an incident bundle written by the serving daemon (or
+// fetched from its GET /incidents/{id} endpoint).
+func ReadIncident(path string) (*Incident, error) { return flight.ReadIncident(path) }
+
+// ReplayIncident re-optimizes an incident's captured query from its
+// captured catalog, rules, and options, and diffs the fresh derivation DAG
+// against the captured one — time-travel debugging for the optimizer.
+func ReplayIncident(inc *Incident) (*FlightReplayResult, error) { return flight.Replay(inc) }
 
 // LintDiag is one static-analysis finding over a rule set: a stable SCnnn
 // code, a severity, the rule (and alternative) concerned, a file:line:col

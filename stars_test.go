@@ -2,6 +2,7 @@ package stars_test
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -185,5 +186,44 @@ func TestConcurrentOptimizeIsolation(t *testing.T) {
 	}
 	if shared.Registry().Counter("star_rule_refs_total").Value() == 0 {
 		t.Error("default fallback sink accumulated no metrics")
+	}
+}
+
+func TestFacadeIncidentReplay(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := stars.NewServer(stars.ServerConfig{
+		Flight: stars.FlightConfig{
+			MinSamples:      1,
+			LatencyFactor:   1e9, // isolate the Q-error trigger
+			QErrorThreshold: 1,
+			IncidentDir:     dir,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := `{"sql":"SELECT EMP.NAME FROM EMP WHERE EMP.DNO = 42","execute":true,"analyze":true}`
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/optimize", strings.NewReader(body)))
+	if rec.Code != 200 {
+		t.Fatalf("optimize: status %d: %s", rec.Code, rec.Body.String())
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "inc-*.json"))
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("incident bundles on disk: %v (err %v)", paths, err)
+	}
+	inc, err := stars.ReadIncident(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Kind != "qerror" || inc.Capture.SQL == "" {
+		t.Fatalf("incident %s kind %q, capture sql %q", inc.ID, inc.Kind, inc.Capture.SQL)
+	}
+	rr, err := stars.ReplayIncident(inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Identical {
+		t.Fatalf("facade replay diverged: captured %s replayed %s", rr.CapturedFP, rr.Fingerprint)
 	}
 }
