@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test verify lint cover cover-demo bench enum-bench enum-check trend profile profile-demo trace-demo dag-demo serve serve-demo flight-demo experiments
+.PHONY: build test verify lint cover cover-demo bench enum-bench enum-check trend memprofile profile profile-demo trace-demo dag-demo serve serve-demo flight-demo experiments
 
 build:
 	go build ./...
@@ -54,6 +54,15 @@ enum-check:
 # drift against the historical best (docs/PERFORMANCE.md § Profiling).
 trend:
 	go run ./cmd/starbench -trend
+
+# Allocation-profile the star8 enumeration workload (one serial run,
+# MemProfileRate=1) and check in the pprof -top rendering, so allocation
+# regressions are reviewable in diffs (docs/PERFORMANCE.md § Memory
+# architecture). Regenerate whenever the memory architecture changes.
+memprofile:
+	go run ./cmd/starbench -memprofile /tmp/star8.memprof
+	go tool pprof -top -sample_index=alloc_objects -nodecount=30 /tmp/star8.memprof > docs/perf/star8_allocs.txt
+	@echo wrote docs/perf/star8_allocs.txt
 
 # Self-profile the optimizer over the workload corpus (plus the chain8 and
 # star8 bench fixtures): per-phase/per-STAR time and allocation

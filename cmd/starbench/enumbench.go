@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"stars"
@@ -308,4 +309,50 @@ func enumCheckMain(path string, iters int) {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "enumeration gates passed against %s (best speedup %.2fx)\n", path, bestSpeedup)
+}
+
+// memProfileMain handles -memprofile: optimize the star8 workload once
+// serially — after a warmup run so steady-state (pooled-arena) allocation is
+// what the profile shows — and write the allocation profile. `make
+// memprofile` renders it with `go tool pprof -top` into the checked-in
+// docs/perf/star8_allocs.txt snapshot, so allocation regressions show up in
+// review diffs.
+func memProfileMain(path string) {
+	var c enumCase
+	for _, ec := range enumCases() {
+		if ec.name == "star8" {
+			c = ec
+		}
+	}
+	cat := c.cat()
+	if _, _, res, err := measureOnce(c, cat, 1); err != nil {
+		fmt.Fprintf(os.Stderr, "error: warmup: %v\n", err)
+		os.Exit(1)
+	} else {
+		res.Release()
+	}
+	runtime.MemProfileRate = 1
+	elapsed, allocs, res, err := measureOnce(c, cat, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	fp := res.Best.Fingerprint()
+	res.Release()
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	runtime.GC() // flush the profile's accounting before the snapshot
+	err = pprof.Lookup("allocs").WriteTo(f, 0)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "star8 serial: %v, %d allocs, fp %s; wrote allocation profile to %s\n",
+		elapsed.Round(time.Millisecond), allocs, fp, path)
 }

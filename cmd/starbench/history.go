@@ -31,9 +31,15 @@ const historySchema = "starbench/history/v1"
 // historyEntry is one appended measurement — an enumDoc plus provenance
 // (when it ran, at which commit) so the trajectory is attributable.
 type historyEntry struct {
-	Schema     string         `json:"schema"`
-	RecordedAt string         `json:"recorded_at"`
-	GitRev     string         `json:"git_rev"`
+	Schema     string `json:"schema"`
+	RecordedAt string `json:"recorded_at"`
+	GitRev     string `json:"git_rev"`
+	// GoVersion and NumCPU identify the toolchain and machine class that
+	// produced the numbers, so cross-environment trend comparisons stay
+	// apples-to-apples (a go runtime upgrade or a different core count can
+	// legitimately shift allocation figures).
+	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
 	GOMAXPROCS int            `json:"gomaxprocs"`
 	Iterations int            `json:"iterations"`
 	Workloads  []enumWorkload `json:"workloads"`
@@ -58,6 +64,8 @@ func appendHistory(path string, doc *enumDoc) error {
 		Schema:     historySchema,
 		RecordedAt: time.Now().UTC().Format(time.RFC3339),
 		GitRev:     gitRev(),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: doc.GOMAXPROCS,
 		Iterations: doc.Iterations,
 		Workloads:  doc.Workloads,

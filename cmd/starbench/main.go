@@ -101,6 +101,7 @@ func main() {
 		history   = flag.String("history", "BENCH_history.jsonl", "append-only perf-history ledger -enum-bench records into and -trend reads")
 		trend     = flag.Bool("trend", false, "gate the newest history entry against the historical best (allocation drift, plan fingerprints) and exit nonzero on regression")
 		trendTol  = flag.Float64("trend-threshold", 0.30, "relative allocation growth -trend tolerates over the historical best")
+		memProf   = flag.String("memprofile", "", "optimize the star8 workload once serially and write its allocation profile to this path (render with go tool pprof -top)")
 	)
 	flag.Parse()
 
@@ -109,6 +110,10 @@ func main() {
 	stars.SetDefaultParallelism(*parallel)
 	if *trend {
 		trendMain(*history, *trendTol)
+		return
+	}
+	if *memProf != "" {
+		memProfileMain(*memProf)
 		return
 	}
 	if *enumBench != "" {

@@ -138,7 +138,7 @@ func buildNode(en *star.Engine, args []star.Value) (star.Value, error) {
 	for _, in := range inner {
 		n, ok := price(&plan.Node{
 			Op:     OpBloom,
-			Preds:  args[3].Preds.Slice(),
+			Preds:  args[3].Preds,
 			Inputs: []*plan.Node{in, build},
 		})
 		if !ok {
@@ -166,7 +166,7 @@ func buildNode(en *star.Engine, args []star.Value) (star.Value, error) {
 // not charged here: the same plan feeds the join and is shared in the DAG.
 func propertyFunc(e *cost.Env, n *plan.Node) (*plan.Props, error) {
 	probe, build := n.Inputs[0].Props, n.Inputs[1].Props
-	sel := e.PredsSelectivity(n.Preds)
+	sel := e.SetSelectivity(n.Preds)
 	kept := math.Min(1, build.Card*sel*(1+fpRate))
 	p := probe.Clone()
 	p.Card = probe.Card * kept
@@ -201,7 +201,7 @@ func newIter(ec *exec.Ctx, n *plan.Node) (exec.Iterator, error) {
 	for _, c := range probe.Schema() {
 		probeIdx[c] = true
 	}
-	for _, p := range n.Preds {
+	for _, p := range n.Preds.Slice() {
 		c, ok := p.(*expr.Cmp)
 		if !ok || c.Op != expr.EQ {
 			return nil, fmt.Errorf("bloom: non-equality predicate %s", p)

@@ -108,8 +108,8 @@ func buildNode(en *star.Engine, args []star.Value) (star.Value, error) {
 			}
 			n := &plan.Node{
 				Op:       OpOuter,
-				Preds:    args[2].Preds.Slice(),
-				Residual: args[3].Preds.Slice(),
+				Preds:    args[2].Preds,
+				Residual: args[3].Preds,
 				Inputs:   []*plan.Node{o, i},
 			}
 			if err := en.Cost.Price(n); err != nil {
@@ -131,21 +131,21 @@ func propertyFunc(e *cost.Env, n *plan.Node) (*plan.Props, error) {
 	if outer.Site != inner.Site {
 		return nil, fmt.Errorf("outerjoin: inputs at different sites")
 	}
-	matched := outer.Card * inner.Card * e.PredsSelectivity(n.Residual)
+	matched := outer.Card * inner.Card * e.SetSelectivity(n.Residual)
 	unmatchedFrac := 0.0
 	if inner.Card < 1 {
 		unmatchedFrac = 1 - inner.Card
 	}
-	p := &plan.Props{
-		Tables: outer.Tables.Union(inner.Tables),
-		Cols:   plan.MergeCols(outer.Cols, inner.Cols),
-		Preds: outer.Preds.Union(inner.Preds).
-			Union(expr.NewPredSet(n.Preds...)).
-			Union(expr.NewPredSet(n.Residual...)),
+	p := e.Arena.NewProps(plan.Props{
+		Rel: e.InternRel(
+			outer.Tables().Union(inner.Tables()),
+			plan.MergeCols(outer.Cols(), inner.Cols()),
+			outer.Preds().Union(inner.Preds()).Union(n.Preds).Union(n.Residual),
+		),
 		Site:  outer.Site,
-		Order: append([]expr.ColID(nil), outer.Order...),
+		Order: outer.Order,
 		Card:  matched + outer.Card*unmatchedFrac,
-	}
+	})
 	probes := outer.Card
 	if probes < 1 {
 		probes = 1
@@ -242,7 +242,7 @@ func (it *iter) Next() (datum.Row, bool, error) {
 		out = append(out, it.outerRow...)
 		out = append(out, irow...)
 		it.combined.SetRow(out)
-		if !exec.EvalPreds(it.n.Residual, it.combined) {
+		if !exec.EvalPreds(it.n.Residual.Slice(), it.combined) {
 			continue
 		}
 		it.matched = true

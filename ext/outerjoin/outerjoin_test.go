@@ -60,13 +60,13 @@ func TestOuterJoinPlansWithoutPermutation(t *testing.T) {
 		t.Fatalf("plan:\n%s", out)
 	}
 	// The preserved side must be the outer input: L's scan first.
-	if res.Best.Outer() == nil || !res.Best.Outer().Props.Tables.Contains("L") {
+	if res.Best.Outer() == nil || !res.Best.Outer().Props.Tables().Contains("L") {
 		t.Fatalf("L must be the preserved (outer) input:\n%s", out)
 	}
 	// No permutation alternative exists: every retained OUTERJOIN plan has
 	// L as the outer.
 	for _, p := range res.Table.Entry(expr.NewTableSet("L", "R")) {
-		if p.Op == outerjoin.OpOuter && !p.Outer().Props.Tables.Contains("L") {
+		if p.Op == outerjoin.OpOuter && !p.Outer().Props.Tables().Contains("L") {
 			t.Fatal("outer join permuted — it must not commute")
 		}
 	}

@@ -109,7 +109,7 @@ func buildNode(en *star.Engine, args []star.Value) (star.Value, error) {
 	for _, in := range inner {
 		n, ok := price(&plan.Node{
 			Op:     OpSemi,
-			Preds:  args[3].Preds.Slice(),
+			Preds:  args[3].Preds,
 			Inputs: []*plan.Node{in, build},
 		})
 		if !ok {
@@ -135,7 +135,7 @@ func buildNode(en *star.Engine, args []star.Value) (star.Value, error) {
 // the build side's *distinct value bytes* instead of a fixed bitmap.
 func propertyFunc(e *cost.Env, n *plan.Node) (*plan.Props, error) {
 	probe, build := n.Inputs[0].Props, n.Inputs[1].Props
-	sel := e.PredsSelectivity(n.Preds)
+	sel := e.SetSelectivity(n.Preds)
 	kept := math.Min(1, build.Card*sel)
 	p := probe.Clone()
 	p.Card = probe.Card * kept
@@ -143,7 +143,7 @@ func propertyFunc(e *cost.Env, n *plan.Node) (*plan.Props, error) {
 	if probe.Site != build.Site {
 		// The value list: one entry per build row (an upper bound on its
 		// distinct join values), at the width of the join columns.
-		bytes := build.Card * valueWidth(e, n.Preds, build)
+		bytes := build.Card * valueWidth(e, n.Preds.Slice(), build)
 		delta.Msg = math.Ceil(bytes/catalog.PageSize) + 1
 		delta.Bytes = bytes
 	}
@@ -158,7 +158,7 @@ func valueWidth(e *cost.Env, preds []expr.Expr, build *plan.Props) float64 {
 	var cols []expr.ColID
 	for _, p := range preds {
 		for _, c := range expr.Columns(p) {
-			if build.Tables.Contains(c.Table) {
+			if build.Tables().Contains(c.Table) {
 				cols = append(cols, c)
 			}
 		}
@@ -188,7 +188,7 @@ func newIter(ec *exec.Ctx, n *plan.Node) (exec.Iterator, error) {
 	for _, c := range probe.Schema() {
 		probeIdx[c] = true
 	}
-	for _, p := range n.Preds {
+	for _, p := range n.Preds.Slice() {
 		c, ok := p.(*expr.Cmp)
 		if !ok || c.Op != expr.EQ {
 			return nil, fmt.Errorf("semijoin: non-equality predicate %s", p)

@@ -128,7 +128,7 @@ func scanT(e *Env, preds ...expr.Expr) *plan.Node {
 	return &plan.Node{
 		Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "T", Quantifier: "T",
 		Cols:  []expr.ColID{{Table: "T", Col: "A"}, {Table: "T", Col: "S"}},
-		Preds: preds,
+		Preds: expr.NewPredSet(preds...),
 	}
 }
 
@@ -165,7 +165,7 @@ func TestIndexAccessProps(t *testing.T) {
 	probe := price(t, e, &plan.Node{
 		Op: plan.OpAccess, Flavor: plan.FlavorIndex, Table: "T", Quantifier: "T", Path: "T_A",
 		Cols:  []expr.ColID{{Table: "T", Col: plan.TIDCol}, {Table: "T", Col: "A"}},
-		Preds: []expr.Expr{cEQ("T", "A", 3)},
+		Preds: expr.NewPredSet(cEQ("T", "A", 3)),
 	})
 	full := price(t, e, &plan.Node{
 		Op: plan.OpAccess, Flavor: plan.FlavorIndex, Table: "T", Quantifier: "T", Path: "T_A",
@@ -217,11 +217,11 @@ func TestSortShipStoreFilterProps(t *testing.T) {
 	}
 
 	filtered := price(t, e, &plan.Node{Op: plan.OpFilter,
-		Preds: []expr.Expr{cEQ("T", "A", 1)}, Inputs: []*plan.Node{base}})
+		Preds: expr.NewPredSet(cEQ("T", "A", 1)), Inputs: []*plan.Node{base}})
 	if filtered.Props.Card >= base.Props.Card {
 		t.Error("FILTER reduces cardinality")
 	}
-	if !filtered.Props.Preds.Contains(cEQ("T", "A", 1)) {
+	if !filtered.Props.Preds().Contains(cEQ("T", "A", 1)) {
 		t.Error("FILTER records its predicate")
 	}
 }
@@ -246,14 +246,14 @@ func TestJoinProps(t *testing.T) {
 			residual = []expr.Expr{jp} // collision recheck
 		}
 		j := price(t, e, &plan.Node{Op: plan.OpJoin, Flavor: method,
-			Preds: applied, Residual: residual,
+			Preds: expr.NewPredSet(applied...), Residual: expr.NewPredSet(residual...),
 			Inputs: []*plan.Node{outer, inner}})
 		// Output cardinality ≈ |T|·|U|/max(ndv) = 10000·500/200 = 25000
 		// for every method (no double counting).
 		if math.Abs(j.Props.Card-25000) > 1 {
 			t.Errorf("%s card = %v, want 25000", method, j.Props.Card)
 		}
-		if !j.Props.Tables.Equal(expr.NewTableSet("T", "U")) {
+		if !j.Props.Tables().Equal(expr.NewTableSet("T", "U")) {
 			t.Errorf("%s tables", method)
 		}
 		if method == plan.MethodHA && len(j.Props.Order) != 0 {

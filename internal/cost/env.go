@@ -74,9 +74,23 @@ type Env struct {
 	// Obs, when set to a profiled sink, receives cost_price activity
 	// timings; nil (the default) costs one check per Price call.
 	Obs *obs.Sink
+	// Arena, when non-nil, slab-allocates the Props this environment
+	// prices; nil prices onto the heap (tests, tools). The optimizer wires
+	// one arena per optimization and per worker (see internal/opt).
+	Arena *plan.Arena
 
 	funcs map[plan.Op]PropertyFunc
 	temps map[string]*plan.Props // stored temp name -> props at STORE time
+	rels  map[relKey][]*plan.Rel // interned relational property vectors
+	base  *Env                   // frozen parent of a forked environment
+}
+
+// relKey buckets interned Rels by their canonical table and predicate keys;
+// both strings are cached on the sets, so probing the intern table allocates
+// nothing. Cols differ within a bucket (projection variants) and are compared
+// linearly.
+type relKey struct {
+	tk, pk string
 }
 
 // NewEnv builds a pricing environment with the built-in property functions
@@ -88,6 +102,7 @@ func NewEnv(cat *catalog.Catalog, w Weights) *Env {
 		Quant: map[string]string{},
 		funcs: map[plan.Op]PropertyFunc{},
 		temps: map[string]*plan.Props{},
+		rels:  map[relKey][]*plan.Rel{},
 	}
 	e.Register(plan.OpAccess, accessProps)
 	e.Register(plan.OpGet, getProps)
@@ -105,25 +120,74 @@ func NewEnv(cat *catalog.Catalog, w Weights) *Env {
 // Fork returns a pricing environment for one worker of a parallel
 // enumeration: the catalog, weights, quantifier bindings, and property
 // functions are shared (they are read-only once optimization starts), while
-// the temp-table registry is copied so concurrent STORE pricing never races.
-// Fold a worker's temps back with AbsorbTemps.
+// the temp-table and Rel-intern registries become overlays — local writes
+// over read-through access to the frozen parent — so forking costs two empty
+// maps regardless of how many temps earlier ranks registered. Fold a
+// worker's registries back with AbsorbTemps.
 func (e *Env) Fork() *Env {
-	temps := make(map[string]*plan.Props, len(e.temps))
-	for name, p := range e.temps {
-		temps[name] = p
-	}
 	// Obs is deliberately not inherited: the caller wires the worker's own
 	// child sink so profiling tallies absorb deterministically.
-	return &Env{Cat: e.Cat, W: e.W, Quant: e.Quant, funcs: e.funcs, temps: temps}
+	return &Env{
+		Cat: e.Cat, W: e.W, Quant: e.Quant, funcs: e.funcs,
+		temps: map[string]*plan.Props{},
+		rels:  map[relKey][]*plan.Rel{},
+		base:  e,
+	}
 }
 
-// AbsorbTemps copies the temps a forked environment registered back into e.
-// Workers namespace their temp names (star.Engine.Fork), so absorbing
-// several workers in any order yields the same registry.
+// AbsorbTemps copies the temps and interned Rels a forked environment
+// registered back into e. Workers namespace their temp names
+// (star.Engine.Fork), so absorbing several workers in any order yields the
+// same registry; duplicate Rels interned concurrently by two workers are
+// harmless (the parent keeps its first copy).
 func (e *Env) AbsorbTemps(o *Env) {
 	for name, p := range o.temps {
 		e.temps[name] = p
 	}
+	for k, rs := range o.rels {
+		have := e.rels[k]
+	next:
+		for _, r := range rs {
+			for _, h := range have {
+				if colsEqual(h.Cols, r.Cols) {
+					continue next
+				}
+			}
+			have = append(have, r)
+		}
+		e.rels[k] = have
+	}
+}
+
+// InternRel returns the canonical *Rel for the given relational property
+// triple, deduplicated per optimization: plans that compute the same WHAT
+// share one Rel no matter how their HOW differs. Lookups allocate nothing on
+// a hit (both set keys are cached). Forked environments intern locally over
+// the frozen parent chain.
+func (e *Env) InternRel(tables expr.TableSet, cols []expr.ColID, preds expr.PredSet) *plan.Rel {
+	k := relKey{tk: tables.Key(), pk: preds.Key()}
+	for env := e; env != nil; env = env.base {
+		for _, r := range env.rels[k] {
+			if colsEqual(r.Cols, cols) {
+				return r
+			}
+		}
+	}
+	r := &plan.Rel{Tables: tables, Cols: cols, Preds: preds}
+	e.rels[k] = append(e.rels[k], r)
+	return r
+}
+
+func colsEqual(a, b []expr.ColID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Register installs (or replaces) the property function for an Op. This is
@@ -147,11 +211,36 @@ func (e *Env) BaseTable(q string) *catalog.Table {
 }
 
 // RegisterTemp records the properties a temp table had when STOREd, so a
-// later ACCESS of the temp can price itself.
-func (e *Env) RegisterTemp(name string, p *plan.Props) { e.temps[name] = p.Clone() }
+// later ACCESS of the temp can price itself. The Props pointer is stored
+// as-is: priced property vectors are immutable.
+func (e *Env) RegisterTemp(name string, p *plan.Props) { e.temps[name] = p }
 
-// TempProps returns the recorded properties of a temp, or nil.
-func (e *Env) TempProps(name string) *plan.Props { return e.temps[name] }
+// TempProps returns the recorded properties of a temp, or nil; forked
+// environments read through to the frozen parent chain.
+func (e *Env) TempProps(name string) *plan.Props {
+	for env := e; env != nil; env = env.base {
+		if p, ok := env.temps[name]; ok {
+			return p
+		}
+	}
+	return nil
+}
+
+// newProps places a freshly computed property vector (arena when wired, heap
+// otherwise).
+func (e *Env) newProps(p plan.Props) *plan.Props { return e.Arena.NewProps(p) }
+
+// cloneProps is Props.Clone into the environment's arena.
+func (e *Env) cloneProps(p *plan.Props) *plan.Props {
+	q := e.Arena.NewProps(*p)
+	if p.Extra != nil {
+		q.Extra = make(map[string]string, len(p.Extra))
+		for k, v := range p.Extra {
+			q.Extra[k] = v
+		}
+	}
+	return q
+}
 
 // Price computes and attaches Props for a single node whose inputs are
 // already priced. It is idempotent: nodes with Props are left alone.

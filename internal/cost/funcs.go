@@ -26,6 +26,12 @@ func indexHeight(leafPages float64) float64 {
 	return 1 + math.Ceil(math.Log(leafPages)/math.Log(btreeFanout))
 }
 
+// Property functions share slices with the (immutable) node and input
+// property vectors they price — Cols, Order, SortCols, Paths are never
+// copied defensively, only replaced wholesale — and intern the relational
+// triple through the environment so plans for the same (TABLES, PREDS, COLS)
+// share one Rel.
+
 // accessProps prices ACCESS: converting a stored object (base table, access
 // method, or temp) into a stream, optionally projecting columns and applying
 // predicates, which changes CARD (Section 3.1).
@@ -41,16 +47,14 @@ func accessProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	if q == "" {
 		q = n.Table
 	}
-	sel := e.PredsSelectivity(n.Preds)
+	sel := e.SetSelectivity(n.Preds)
 	card := float64(t.Card) * sel
-	p := &plan.Props{
-		Tables: expr.NewTableSet(q),
-		Cols:   append([]expr.ColID(nil), n.Cols...),
-		Preds:  expr.NewPredSet(n.Preds...),
-		Site:   e.Cat.SiteOf(n.Table),
-		Card:   card,
-		Paths:  catalogPaths(t, q),
-	}
+	p := e.newProps(plan.Props{
+		Rel:   e.InternRel(expr.NewTableSet(q), n.Cols, n.Preds),
+		Site:  e.Cat.SiteOf(n.Table),
+		Card:  card,
+		Paths: catalogPaths(t, q),
+	})
 	switch n.Flavor {
 	case plan.FlavorHeap, plan.FlavorBTreeStore:
 		p.Order = qualify(t.Order, q)
@@ -68,7 +72,7 @@ func accessProps(e *Env, n *plan.Node) (*plan.Props, error) {
 		keyCols := qualify(path.Cols, q)
 		p.Order = keyCols
 		leafPages := indexLeafPages(e, t, path)
-		matchSel, matched := e.indexMatch(keyCols, n.Preds)
+		matchSel, matched := e.indexMatch(keyCols, n.Preds.Slice())
 		var io float64
 		if matched > 0 {
 			io = indexHeight(leafPages) + math.Ceil(matchSel*leafPages)
@@ -94,26 +98,24 @@ func tempAccessProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	if !in.Temp {
 		return nil, fmt.Errorf("cost: ACCESS-with-input requires a materialized (temp) input")
 	}
-	sel := e.PredsSelectivity(n.Preds)
+	sel := e.SetSelectivity(n.Preds)
 	card := in.Card * sel
 	cols := n.Cols
 	if len(cols) == 0 {
-		cols = in.Cols
+		cols = in.Cols()
 	}
-	p := &plan.Props{
-		Tables:   in.Tables,
-		Cols:     append([]expr.ColID(nil), cols...),
-		Preds:    in.Preds.Union(expr.NewPredSet(n.Preds...)),
+	p := e.newProps(plan.Props{
+		Rel:      e.InternRel(in.Tables(), cols, in.Preds().Union(n.Preds)),
 		Site:     in.Site,
 		Temp:     true,
 		TempName: in.TempName,
 		Card:     card,
-		Paths:    append([]plan.PathInfo(nil), in.Paths...),
-	}
-	pages := e.PagesFor(in.Card, in.Cols)
+		Paths:    in.Paths,
+	})
+	pages := e.PagesFor(in.Card, in.Cols())
 	switch n.Flavor {
 	case plan.FlavorHeap, plan.FlavorBTreeStore:
-		p.Order = append([]expr.ColID(nil), in.Order...)
+		p.Order = in.Order
 		delta := plan.Cost{IO: pages, CPU: in.Card + card}
 		p.Cost = in.Cost.Add(delta)
 		// The temp persists: rescans pay only the re-read, not the build —
@@ -133,9 +135,9 @@ func tempAccessProps(e *Env, n *plan.Node) (*plan.Props, error) {
 		if path == nil {
 			return nil, fmt.Errorf("cost: temp ACCESS path %q not in input PATHS", n.Path)
 		}
-		p.Order = append([]expr.ColID(nil), path.Cols...)
+		p.Order = path.Cols
 		leafPages := e.PagesFor(in.Card, path.Cols)
-		matchSel, matched := e.indexMatch(path.Cols, n.Preds)
+		matchSel, matched := e.indexMatch(path.Cols, n.Preds.Slice())
 		if matched == 0 {
 			matchSel = 1
 		}
@@ -214,7 +216,7 @@ func getProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	if t == nil {
 		return nil, fmt.Errorf("cost: GET from unknown table %q", n.Table)
 	}
-	sel := e.PredsSelectivity(n.Preds)
+	sel := e.SetSelectivity(n.Preds)
 	card := in.Card * sel
 	// Fetches are sequential — touching at most the table's pages — when
 	// the TIDs arrive in physical order: either the probe came through a
@@ -235,19 +237,17 @@ func getProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	if cached(float64(t.PageCount())) {
 		rescanDelta.IO = 0
 	}
-	p := &plan.Props{
-		Tables:   in.Tables,
-		Cols:     plan.MergeCols(in.Cols, n.Cols),
-		Preds:    in.Preds.Union(expr.NewPredSet(n.Preds...)),
-		Order:    append([]expr.ColID(nil), in.Order...),
+	p := e.newProps(plan.Props{
+		Rel:      e.InternRel(in.Tables(), plan.MergeCols(in.Cols(), n.Cols), in.Preds().Union(n.Preds)),
+		Order:    in.Order,
 		Site:     in.Site,
 		Temp:     in.Temp,
 		TempName: in.TempName,
-		Paths:    append([]plan.PathInfo(nil), in.Paths...),
+		Paths:    in.Paths,
 		Card:     card,
 		Cost:     in.Cost.Add(delta),
 		Rescan:   in.Rescan.Add(rescanDelta),
-	}
+	})
 	return p, nil
 }
 
@@ -256,7 +256,7 @@ func getProps(e *Env, n *plan.Node) (*plan.Props, error) {
 // run budget.
 func sortProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	in := n.Inputs[0].Props
-	pages := e.PagesFor(in.Card, in.Cols)
+	pages := e.PagesFor(in.Card, in.Cols())
 	cpu := in.Card * math.Max(1, math.Log2(math.Max(in.Card, 2)))
 	io := 0.0
 	if pages > sortMemPages {
@@ -264,21 +264,12 @@ func sortProps(e *Env, n *plan.Node) (*plan.Props, error) {
 		io = 2 * pages
 	}
 	delta := plan.Cost{IO: io, CPU: cpu}
-	p := &plan.Props{
-		Tables:   in.Tables,
-		Cols:     append([]expr.ColID(nil), in.Cols...),
-		Preds:    in.Preds,
-		Order:    append([]expr.ColID(nil), n.SortCols...),
-		Site:     in.Site,
-		Temp:     in.Temp,
-		TempName: in.TempName,
-		Paths:    append([]plan.PathInfo(nil), in.Paths...),
-		Card:     in.Card,
-		Cost:     in.Cost.Add(delta),
-		// The sorted result is retained, so rescans pay a re-read (free
-		// when it stays buffer-resident).
-		Rescan: plan.Cost{IO: rescanIO(pages), CPU: in.Card},
-	}
+	p := e.cloneProps(in)
+	p.Order = n.SortCols
+	p.Cost = in.Cost.Add(delta)
+	// The sorted result is retained, so rescans pay a re-read (free when it
+	// stays buffer-resident).
+	p.Rescan = plan.Cost{IO: rescanIO(pages), CPU: in.Card}
 	return p, nil
 }
 
@@ -286,21 +277,17 @@ func sortProps(e *Env, n *plan.Node) (*plan.Props, error) {
 // byte costs that depend on the stream's size (Section 3.1).
 func shipProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	in := n.Inputs[0].Props
-	bytes := in.Card * e.RowWidth(in.Cols)
+	bytes := in.Card * e.RowWidth(in.Cols())
 	msgs := math.Ceil(bytes/catalog.PageSize) + 1
 	delta := plan.Cost{CPU: in.Card, Msg: msgs, Bytes: bytes}
-	p := &plan.Props{
-		Tables: in.Tables,
-		Cols:   append([]expr.ColID(nil), in.Cols...),
-		Preds:  in.Preds,
-		Order:  append([]expr.ColID(nil), in.Order...),
-		Site:   n.Site,
-		Card:   in.Card,
-		// Access paths do not travel with the tuples.
-		Paths:  nil,
-		Cost:   in.Cost.Add(delta),
-		Rescan: in.Rescan.Add(delta),
-	}
+	p := e.cloneProps(in)
+	p.Site = n.Site
+	p.Temp = false
+	p.TempName = ""
+	// Access paths do not travel with the tuples.
+	p.Paths = nil
+	p.Cost = in.Cost.Add(delta)
+	p.Rescan = in.Rescan.Add(delta)
 	return p, nil
 }
 
@@ -308,21 +295,14 @@ func shipProps(e *Env, n *plan.Node) (*plan.Props, error) {
 // which sets TEMP and makes rescans cheap.
 func storeProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	in := n.Inputs[0].Props
-	pages := e.PagesFor(in.Card, in.Cols)
+	pages := e.PagesFor(in.Card, in.Cols())
 	delta := plan.Cost{IO: pages, CPU: in.Card}
-	p := &plan.Props{
-		Tables:   in.Tables,
-		Cols:     append([]expr.ColID(nil), in.Cols...),
-		Preds:    in.Preds,
-		Order:    append([]expr.ColID(nil), in.Order...),
-		Site:     in.Site,
-		Temp:     true,
-		TempName: n.Table,
-		Paths:    nil,
-		Card:     in.Card,
-		Cost:     in.Cost.Add(delta),
-		Rescan:   plan.Cost{IO: rescanIO(pages), CPU: in.Card},
-	}
+	p := e.cloneProps(in)
+	p.Temp = true
+	p.TempName = n.Table
+	p.Paths = nil
+	p.Cost = in.Cost.Add(delta)
+	p.Rescan = plan.Cost{IO: rescanIO(pages), CPU: in.Card}
 	e.RegisterTemp(n.Table, p)
 	return p, nil
 }
@@ -331,10 +311,10 @@ func storeProps(e *Env, n *plan.Node) (*plan.Props, error) {
 // predicates.
 func filterProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	in := n.Inputs[0].Props
-	sel := e.PredsSelectivity(n.Preds)
+	sel := e.SetSelectivity(n.Preds)
 	delta := plan.Cost{CPU: in.Card}
-	p := in.Clone()
-	p.Preds = in.Preds.Union(expr.NewPredSet(n.Preds...))
+	p := e.cloneProps(in)
+	p.Rel = e.InternRel(in.Tables(), in.Cols(), in.Preds().Union(n.Preds))
 	p.Card = in.Card * sel
 	p.Cost = in.Cost.Add(delta)
 	p.Rescan = in.Rescan.Add(delta)
@@ -349,7 +329,7 @@ func buildIndexProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	if !in.Temp {
 		return nil, fmt.Errorf("cost: BUILDINDEX requires a materialized (temp) input")
 	}
-	tempPages := e.PagesFor(in.Card, in.Cols)
+	tempPages := e.PagesFor(in.Card, in.Cols())
 	ixPages := e.PagesFor(in.Card, n.SortCols)
 	delta := plan.Cost{
 		IO:  tempPages + ixPages,
@@ -359,14 +339,18 @@ func buildIndexProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	if len(n.SortCols) > 0 {
 		q = n.SortCols[0].Table
 	}
-	p := in.Clone()
-	p.Paths = append(p.Paths, plan.PathInfo{
+	p := e.cloneProps(in)
+	// Copy-on-append: the input's PATHS slice is shared.
+	paths := make([]plan.PathInfo, len(in.Paths)+1)
+	copy(paths, in.Paths)
+	paths[len(in.Paths)] = plan.PathInfo{
 		Name:       n.Path,
 		Table:      in.TempName,
 		Quantifier: q,
-		Cols:       append([]expr.ColID(nil), n.SortCols...),
+		Cols:       n.SortCols,
 		Dynamic:    true,
-	})
+	}
+	p.Paths = paths
 	p.Cost = in.Cost.Add(delta)
 	p.Rescan = in.Rescan
 	if e.TempProps(in.TempName) != nil {
@@ -383,16 +367,16 @@ func joinProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	if outer.Site != inner.Site {
 		return nil, fmt.Errorf("cost: JOIN inputs at different sites (%q vs %q)", outer.Site, inner.Site)
 	}
-	p := &plan.Props{
-		Tables: outer.Tables.Union(inner.Tables),
-		Cols:   plan.MergeCols(outer.Cols, inner.Cols),
-		Preds: outer.Preds.Union(inner.Preds).
-			Union(expr.NewPredSet(n.Preds...)).
-			Union(expr.NewPredSet(n.Residual...)),
+	p := e.newProps(plan.Props{
+		Rel: e.InternRel(
+			outer.Tables().Union(inner.Tables()),
+			plan.MergeCols(outer.Cols(), inner.Cols()),
+			outer.Preds().Union(inner.Preds()).Union(n.Preds).Union(n.Residual),
+		),
 		Site:  outer.Site,
-		Paths: append(append([]plan.PathInfo(nil), outer.Paths...), inner.Paths...),
-	}
-	resSel := e.PredsSelectivity(n.Residual)
+		Paths: mergePaths(outer.Paths, inner.Paths),
+	})
+	resSel := e.SetSelectivity(n.Residual)
 	switch n.Flavor {
 	case plan.MethodNL:
 		// The join predicates were pushed into the inner stream, whose
@@ -405,20 +389,20 @@ func joinProps(e *Env, n *plan.Node) (*plan.Props, error) {
 			Add(inner.Rescan.Scale(probes - 1)).
 			Add(delta)
 		p.Rescan = outer.Rescan.Add(inner.Rescan.Scale(probes)).Add(delta)
-		p.Order = append([]expr.ColID(nil), outer.Order...)
+		p.Order = outer.Order
 	case plan.MethodMG:
 		p.Card = outer.Card * inner.Card * e.SetSelectivity(appliedAndResidual(n))
 		delta := plan.Cost{CPU: outer.Card + inner.Card + p.Card}
 		p.Cost = outer.Cost.Add(inner.Cost).Add(delta)
 		p.Rescan = outer.Rescan.Add(inner.Rescan).Add(delta)
-		p.Order = append([]expr.ColID(nil), outer.Order...)
+		p.Order = outer.Order
 	case plan.MethodHA:
 		// The hashable predicates are re-checked as residuals (hash
 		// collisions, Section 4.5.1); the PredSet union avoids counting
 		// their selectivity twice.
 		p.Card = outer.Card * inner.Card * e.SetSelectivity(appliedAndResidual(n))
-		innerPages := e.PagesFor(inner.Card, inner.Cols)
-		outerPages := e.PagesFor(outer.Card, outer.Cols)
+		innerPages := e.PagesFor(inner.Card, inner.Cols())
+		outerPages := e.PagesFor(outer.Card, outer.Cols())
 		io := 0.0
 		if innerPages > hashMemPages {
 			// Grace-style partitioning pass over both inputs.
@@ -435,10 +419,23 @@ func joinProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	return p, nil
 }
 
+// mergePaths concatenates two PATHS lists without touching either backing
+// array; either side may be returned as-is when the other is empty.
+func mergePaths(a, b []plan.PathInfo) []plan.PathInfo {
+	switch {
+	case len(b) == 0:
+		return a
+	case len(a) == 0:
+		return b
+	}
+	out := make([]plan.PathInfo, 0, len(a)+len(b))
+	return append(append(out, a...), b...)
+}
+
 // appliedAndResidual unions a join's method-applied and residual predicates,
 // deduplicating structurally equal predicates so selectivity is counted once.
 func appliedAndResidual(n *plan.Node) expr.PredSet {
-	return expr.NewPredSet(n.Preds...).Union(expr.NewPredSet(n.Residual...))
+	return n.Preds.Union(n.Residual)
 }
 
 // unionProps prices UNION ALL of two streams with compatible columns.
@@ -448,15 +445,13 @@ func unionProps(e *Env, n *plan.Node) (*plan.Props, error) {
 		return nil, fmt.Errorf("cost: UNION inputs at different sites")
 	}
 	delta := plan.Cost{CPU: a.Card + b.Card}
-	p := &plan.Props{
-		Tables: a.Tables.Union(b.Tables),
-		Cols:   append([]expr.ColID(nil), a.Cols...),
-		Preds:  a.Preds.Intersect(b.Preds),
+	p := e.newProps(plan.Props{
+		Rel:    e.InternRel(a.Tables().Union(b.Tables()), a.Cols(), a.Preds().Intersect(b.Preds())),
 		Site:   a.Site,
 		Card:   a.Card + b.Card,
 		Cost:   a.Cost.Add(b.Cost).Add(delta),
 		Rescan: a.Rescan.Add(b.Rescan).Add(delta),
-	}
+	})
 	return p, nil
 }
 
@@ -466,13 +461,13 @@ func unionProps(e *Env, n *plan.Node) (*plan.Props, error) {
 // in1.Card · in2.Card / |T|.
 func indexAndProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	a, b := n.Inputs[0].Props, n.Inputs[1].Props
-	if !a.Tables.Equal(b.Tables) {
+	if !a.Tables().Equal(b.Tables()) {
 		return nil, fmt.Errorf("cost: IXAND inputs cover different tables")
 	}
 	if a.Site != b.Site {
 		return nil, fmt.Errorf("cost: IXAND inputs at different sites")
 	}
-	names := a.Tables.Slice()
+	names := a.Tables().Slice()
 	if len(names) != 1 {
 		return nil, fmt.Errorf("cost: IXAND wants single-table inputs")
 	}
@@ -482,19 +477,17 @@ func indexAndProps(e *Env, n *plan.Node) (*plan.Props, error) {
 	}
 	card := a.Card * b.Card / float64(t.Card)
 	delta := plan.Cost{CPU: a.Card + b.Card + card}
-	p := &plan.Props{
-		Tables: a.Tables,
+	p := e.newProps(plan.Props{
 		// Positionally, the intersection streams the second input's rows;
 		// the first input contributes only its TID filter.
-		Cols:  append([]expr.ColID(nil), b.Cols...),
-		Preds: a.Preds.Union(b.Preds),
+		Rel: e.InternRel(a.Tables(), b.Cols(), a.Preds().Union(b.Preds())),
 		// The intersection preserves the second input's delivery order.
-		Order:  append([]expr.ColID(nil), b.Order...),
+		Order:  b.Order,
 		Site:   a.Site,
 		Card:   card,
-		Paths:  append([]plan.PathInfo(nil), a.Paths...),
+		Paths:  a.Paths,
 		Cost:   a.Cost.Add(b.Cost).Add(delta),
 		Rescan: a.Rescan.Add(b.Rescan).Add(delta),
-	}
+	})
 	return p, nil
 }

@@ -16,7 +16,7 @@ func probeT(t *testing.T, e *Env, preds ...expr.Expr) *plan.Node {
 	return price(t, e, &plan.Node{
 		Op: plan.OpAccess, Flavor: plan.FlavorIndex, Table: "T", Quantifier: "T", Path: "T_A",
 		Cols:  []expr.ColID{{Table: "T", Col: plan.TIDCol}, {Table: "T", Col: "A"}},
-		Preds: preds,
+		Preds: expr.NewPredSet(preds...),
 	})
 }
 
@@ -94,7 +94,7 @@ func TestTempAccessProps(t *testing.T) {
 	probe := price(t, e, &plan.Node{
 		Op: plan.OpAccess, Flavor: plan.FlavorIndex, Table: "_tmp1", Path: "_ix1",
 		Cols:   []expr.ColID{{Table: "T", Col: "A"}},
-		Preds:  []expr.Expr{cEQ("T", "A", 3)},
+		Preds:  expr.NewPredSet(cEQ("T", "A", 3)),
 		Inputs: []*plan.Node{ixd},
 	})
 	if probe.Props.Card >= stored.Props.Card {

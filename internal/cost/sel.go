@@ -236,11 +236,4 @@ func matchColSide(c *expr.Cmp, id expr.ColID) (*expr.Col, expr.Expr) {
 	return nil, nil
 }
 
-func referencesTable(e expr.Expr, table string) bool {
-	for _, c := range expr.Columns(e) {
-		if c.Table == table {
-			return true
-		}
-	}
-	return false
-}
+func referencesTable(e expr.Expr, table string) bool { return expr.References(e, table) }

@@ -153,7 +153,7 @@ func (it *baseScanIter) Next() (datum.Row, bool, error) {
 			return nil, false, nil
 		}
 		it.bind.row = row
-		if !evalPreds(it.n.Preds, it.bind) {
+		if !evalPreds(it.n.Preds.Slice(), it.bind) {
 			continue
 		}
 		out := make(datum.Row, len(it.proj))
@@ -303,7 +303,7 @@ func (it *indexScanIter) Open(outer expr.Binding) error {
 	it.outer = outer
 	it.entries = it.entries[:0]
 	it.pos = 0
-	prefix, lo, hi, residual := probeBounds(it.n.Preds, it.keyCols, outer)
+	prefix, lo, hi, residual := probeBounds(it.n.Preds.Slice(), it.keyCols, outer)
 	collect := func(e storage.Entry) bool {
 		it.entries = append(it.entries, e)
 		return true
@@ -409,7 +409,7 @@ func (it *tempAccessIter) Open(outer expr.Binding) error {
 	if bi := it.n.Inputs[0]; bi.Op == plan.OpBuildIndex {
 		keyCols = bi.SortCols
 	}
-	prefix, lo, hi, _ := probeBounds(it.n.Preds, keyCols, outer)
+	prefix, lo, hi, _ := probeBounds(it.n.Preds.Slice(), keyCols, outer)
 	it.entries = it.entries[:0]
 	it.pos = 0
 	collect := func(e storage.Entry) bool {
@@ -447,7 +447,7 @@ func (it *tempAccessIter) Next() (datum.Row, bool, error) {
 			}
 		}
 		it.bind.row = row
-		if !evalPreds(it.n.Preds, it.bind) {
+		if !evalPreds(it.n.Preds.Slice(), it.bind) {
 			continue
 		}
 		out := make(datum.Row, len(it.proj))
@@ -535,7 +535,7 @@ func (it *getIter) Next() (datum.Row, bool, error) {
 			out = append(out, stored[p])
 		}
 		it.bind.row = out
-		if !evalPreds(it.n.Preds, it.bind) {
+		if !evalPreds(it.n.Preds.Slice(), it.bind) {
 			continue
 		}
 		it.ec.cpuOps++
@@ -726,7 +726,7 @@ func (it *filterIter) Next() (datum.Row, bool, error) {
 			return nil, false, err
 		}
 		it.bind.row = row
-		if evalPreds(it.n.Preds, it.bind) {
+		if evalPreds(it.n.Preds.Slice(), it.bind) {
 			it.ec.cpuOps++
 			return row, true, nil
 		}

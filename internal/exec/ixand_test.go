@@ -64,8 +64,8 @@ func TestIndexAndingWinsAndExecutes(t *testing.T) {
 		t.Fatalf("expected index-ANDing to win:\n%s", out)
 	}
 	// Both predicates are applied by the probes, none left to the GET.
-	if !res.Best.Props.Preds.Contains(g.Preds.Slice()[0]) ||
-		!res.Best.Props.Preds.Contains(g.Preds.Slice()[1]) {
+	if !res.Best.Props.Preds().Contains(g.Preds.Slice()[0]) ||
+		!res.Best.Props.Preds().Contains(g.Preds.Slice()[1]) {
 		t.Fatalf("predicates dropped:\n%s", out)
 	}
 

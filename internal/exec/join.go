@@ -93,7 +93,7 @@ func (it *nlJoinIter) Next() (datum.Row, bool, error) {
 		out = append(out, it.outerRow...)
 		out = append(out, irow...)
 		it.combined.row = out
-		if !evalPreds(it.n.Residual, it.combined) {
+		if !evalPreds(it.n.Residual.Slice(), it.combined) {
 			continue
 		}
 		it.ec.cpuOps++
@@ -139,7 +139,7 @@ func newMergeJoin(ec *Ctx, n *plan.Node, outer, inner Iterator) (Iterator, error
 	it.schema = append(append([]expr.ColID(nil), outer.Schema()...), inner.Schema()...)
 	oIdx := schemaIndex(outer.Schema())
 	iIdx := schemaIndex(inner.Schema())
-	for _, p := range n.Preds {
+	for _, p := range n.Preds.Slice() {
 		c, ok := p.(*expr.Cmp)
 		if !ok || c.Op != expr.EQ {
 			return nil, fmt.Errorf("exec: merge join on non-equality predicate %s", p)
@@ -267,7 +267,7 @@ func (it *mergeJoinIter) Next() (datum.Row, bool, error) {
 			out = append(out, it.outerRow...)
 			out = append(out, irow...)
 			it.combined.row = out
-			if !evalPreds(it.n.Residual, it.combined) {
+			if !evalPreds(it.n.Residual.Slice(), it.combined) {
 				continue
 			}
 			it.ec.cpuOps++
@@ -376,7 +376,7 @@ func newHashJoin(ec *Ctx, n *plan.Node, outer, inner Iterator) (Iterator, error)
 	it := &hashJoinIter{ec: ec, n: n, outer: outer, inner: inner}
 	it.schema = append(append([]expr.ColID(nil), outer.Schema()...), inner.Schema()...)
 	oIdx := schemaIndex(outer.Schema())
-	for _, p := range n.Preds {
+	for _, p := range n.Preds.Slice() {
 		c, ok := p.(*expr.Cmp)
 		if !ok || c.Op != expr.EQ {
 			return nil, fmt.Errorf("exec: hash join on non-equality predicate %s", p)
@@ -488,7 +488,7 @@ func (it *hashJoinIter) Next() (datum.Row, bool, error) {
 		out = append(out, it.outerRow...)
 		out = append(out, irow...)
 		it.combined.row = out
-		if !evalPreds(it.n.Residual, it.combined) {
+		if !evalPreds(it.n.Residual.Slice(), it.combined) {
 			continue
 		}
 		it.ec.cpuOps++

@@ -39,7 +39,7 @@ func miniSetup(t *testing.T) (*catalog.Catalog, *storage.Cluster, *cost.Env, fun
 		n := &plan.Node{
 			Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "T", Quantifier: "T",
 			Cols:  []expr.ColID{{Table: "T", Col: "X"}},
-			Preds: preds,
+			Preds: expr.NewPredSet(preds...),
 		}
 		if err := env.PriceTree(n); err != nil {
 			t.Fatal(err)

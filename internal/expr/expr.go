@@ -413,18 +413,39 @@ func EvalBool(e Expr, b Binding) bool {
 
 // Columns returns the distinct columns referenced by e, sorted.
 func Columns(e Expr) []ColID {
-	seen := map[ColID]bool{}
+	// Predicates reference a handful of columns: collect with linear dedupe
+	// and insertion sort rather than a map plus reflective sort.Slice.
+	var out []ColID
 	e.walk(func(n Expr) {
-		if c, ok := n.(*Col); ok {
-			seen[c.ID] = true
+		c, ok := n.(*Col)
+		if !ok {
+			return
+		}
+		for _, have := range out {
+			if have == c.ID {
+				return
+			}
+		}
+		out = append(out, c.ID)
+	})
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Less(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// References reports whether e references any column of the given
+// quantifier, without materializing the column list.
+func References(e Expr, table string) bool {
+	found := false
+	e.walk(func(n Expr) {
+		if c, ok := n.(*Col); ok && c.ID.Table == table {
+			found = true
 		}
 	})
-	out := make([]ColID, 0, len(seen))
-	for c := range seen {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return found
 }
 
 // Tables returns the distinct quantifier names referenced by e, sorted.

@@ -5,89 +5,300 @@ import (
 	"strings"
 )
 
+// predInfo caches per-predicate analysis shared by every set holding the
+// predicate: the canonical key, the distinct referenced columns (sorted), and
+// whether the predicate contains a disjunction. Computing these once per
+// predicate — instead of once per classifier call — is what lets the Section 4
+// classifiers (JP/SP/HP/XP/IP) run without walking expression trees in the
+// enumeration's hot loop.
+type predInfo struct {
+	key   string
+	cols  []ColID
+	hasOr bool
+}
+
 // PredSet is a canonical set of predicates, keyed on Expr.Key. The STAR rule
 // language manipulates these sets with union, difference, and the Section 4
 // classifiers; determinism matters (plans must be reproducible), so iteration
 // is always in key order.
+//
+// PredSet is an immutable value: the predicate slice is sorted by key at
+// construction and shared structurally by derived sets (Union, Minus, Filter
+// never copy an Expr or recompute its analysis). Slices returned by Slice and
+// Keys alias internal storage and must not be mutated.
 type PredSet struct {
-	m map[string]Expr
+	ps   []Expr
+	info []predInfo
 }
 
 // NewPredSet builds a set from the given predicates, deduplicating by key.
 func NewPredSet(preds ...Expr) PredSet {
-	s := PredSet{m: make(map[string]Expr, len(preds))}
-	for _, p := range preds {
-		s.m[p.Key()] = p
+	if len(preds) == 0 {
+		return PredSet{}
 	}
+	s := PredSet{
+		ps:   make([]Expr, 0, len(preds)),
+		info: make([]predInfo, 0, len(preds)),
+	}
+	for _, p := range preds {
+		s.ps = append(s.ps, p)
+		s.info = append(s.info, predInfo{key: p.Key(), cols: Columns(p), hasOr: ContainsOr(p)})
+	}
+	sort.Sort(predSorter{&s})
+	// Dedupe adjacent equal keys in place.
+	w := 1
+	for i := 1; i < len(s.ps); i++ {
+		if s.info[i].key == s.info[w-1].key {
+			continue
+		}
+		s.ps[w], s.info[w] = s.ps[i], s.info[i]
+		w++
+	}
+	s.ps, s.info = s.ps[:w], s.info[:w]
 	return s
 }
 
+// predSorter orders the parallel slices by key (construction only; sets are
+// immutable afterwards).
+type predSorter struct{ s *PredSet }
+
+func (ps predSorter) Len() int           { return len(ps.s.ps) }
+func (ps predSorter) Less(i, j int) bool { return ps.s.info[i].key < ps.s.info[j].key }
+func (ps predSorter) Swap(i, j int) {
+	ps.s.ps[i], ps.s.ps[j] = ps.s.ps[j], ps.s.ps[i]
+	ps.s.info[i], ps.s.info[j] = ps.s.info[j], ps.s.info[i]
+}
+
 // Len returns the number of predicates in the set.
-func (s PredSet) Len() int { return len(s.m) }
+func (s PredSet) Len() int { return len(s.ps) }
 
 // Empty reports whether the set has no predicates.
-func (s PredSet) Empty() bool { return len(s.m) == 0 }
+func (s PredSet) Empty() bool { return len(s.ps) == 0 }
 
-// Slice returns the predicates in canonical (key) order.
-func (s PredSet) Slice() []Expr {
-	keys := make([]string, 0, len(s.m))
-	for k := range s.m {
-		keys = append(keys, k)
+// Slice returns the predicates in canonical (key) order. The slice aliases
+// the set's internal storage: callers must not mutate it.
+func (s PredSet) Slice() []Expr { return s.ps }
+
+// Keys returns the canonical keys in order, parallel to Slice. The slice
+// aliases internal storage: callers must not mutate it.
+func (s PredSet) Keys() []string {
+	if len(s.info) == 0 {
+		return nil
 	}
-	sort.Strings(keys)
-	out := make([]Expr, len(keys))
-	for i, k := range keys {
-		out[i] = s.m[k]
+	keys := make([]string, len(s.info))
+	for i := range s.info {
+		keys[i] = s.info[i].key
 	}
-	return out
+	return keys
 }
+
+// KeyAt returns the canonical key of the i-th predicate (in Slice order);
+// it lets callers stream the set's key without allocating.
+func (s PredSet) KeyAt(i int) string { return s.info[i].key }
 
 // Contains reports whether the set holds a predicate structurally equal to p.
 func (s PredSet) Contains(p Expr) bool {
-	_, ok := s.m[p.Key()]
-	return ok
+	return s.indexOfKey(p.Key()) >= 0
+}
+
+func (s PredSet) indexOfKey(key string) int {
+	lo, hi := 0, len(s.info)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.info[mid].key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.info) && s.info[lo].key == key {
+		return lo
+	}
+	return -1
+}
+
+// subset builds a derived set from ascending indices into s; entries are
+// shared, not copied.
+func (s PredSet) subset(idx []int) PredSet {
+	if len(idx) == 0 {
+		return PredSet{}
+	}
+	if len(idx) == len(s.ps) {
+		return s
+	}
+	out := PredSet{ps: make([]Expr, len(idx)), info: make([]predInfo, len(idx))}
+	for i, j := range idx {
+		out.ps[i] = s.ps[j]
+		out.info[i] = s.info[j]
+	}
+	return out
 }
 
 // Union returns s ∪ o.
 func (s PredSet) Union(o PredSet) PredSet {
-	out := PredSet{m: make(map[string]Expr, len(s.m)+len(o.m))}
-	for k, v := range s.m {
-		out.m[k] = v
+	if o.Empty() {
+		return s
 	}
-	for k, v := range o.m {
-		out.m[k] = v
+	if s.Empty() {
+		return o
 	}
+	// Identity fast paths: when one operand contains the other, return it
+	// unchanged — the dominant case on the join hot path, where a subset's
+	// predicates are unioned with mostly-overlapping child predicates.
+	if s.containsAll(o) {
+		return s
+	}
+	if o.containsAll(s) {
+		return o
+	}
+	out := PredSet{
+		ps:   make([]Expr, 0, len(s.ps)+len(o.ps)),
+		info: make([]predInfo, 0, len(s.ps)+len(o.ps)),
+	}
+	i, j := 0, 0
+	for i < len(s.ps) && j < len(o.ps) {
+		switch {
+		case s.info[i].key < o.info[j].key:
+			out.ps, out.info = append(out.ps, s.ps[i]), append(out.info, s.info[i])
+			i++
+		case s.info[i].key > o.info[j].key:
+			out.ps, out.info = append(out.ps, o.ps[j]), append(out.info, o.info[j])
+			j++
+		default:
+			out.ps, out.info = append(out.ps, s.ps[i]), append(out.info, s.info[i])
+			i++
+			j++
+		}
+	}
+	out.ps = append(out.ps, s.ps[i:]...)
+	out.info = append(out.info, s.info[i:]...)
+	out.ps = append(out.ps, o.ps[j:]...)
+	out.info = append(out.info, o.info[j:]...)
 	return out
 }
 
-// Minus returns s − o.
-func (s PredSet) Minus(o PredSet) PredSet {
-	out := PredSet{m: make(map[string]Expr, len(s.m))}
-	for k, v := range s.m {
-		if _, drop := o.m[k]; !drop {
-			out.m[k] = v
+// containsAll reports o ⊆ s via one merge scan, no allocation.
+func (s PredSet) containsAll(o PredSet) bool {
+	if len(o.ps) > len(s.ps) {
+		return false
+	}
+	i := 0
+	for j := 0; j < len(o.ps); j++ {
+		for i < len(s.ps) && s.info[i].key < o.info[j].key {
+			i++
 		}
+		if i == len(s.ps) || s.info[i].key != o.info[j].key {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Minus returns s − o. Two passes: the first only counts, so the common
+// identity outcome (nothing removed) allocates nothing and the rest
+// allocate exactly once per slice.
+func (s PredSet) Minus(o PredSet) PredSet {
+	if s.Empty() || o.Empty() {
+		return s
+	}
+	removed := 0
+	j := 0
+	for i := 0; i < len(s.ps); i++ {
+		for j < len(o.ps) && o.info[j].key < s.info[i].key {
+			j++
+		}
+		if j < len(o.ps) && o.info[j].key == s.info[i].key {
+			removed++
+		}
+	}
+	if removed == 0 {
+		return s
+	}
+	if removed == len(s.ps) {
+		return PredSet{}
+	}
+	keep := len(s.ps) - removed
+	out := PredSet{ps: make([]Expr, 0, keep), info: make([]predInfo, 0, keep)}
+	j = 0
+	for i := 0; i < len(s.ps); i++ {
+		for j < len(o.ps) && o.info[j].key < s.info[i].key {
+			j++
+		}
+		if j < len(o.ps) && o.info[j].key == s.info[i].key {
+			continue
+		}
+		out.ps = append(out.ps, s.ps[i])
+		out.info = append(out.info, s.info[i])
 	}
 	return out
 }
 
 // Intersect returns s ∩ o.
 func (s PredSet) Intersect(o PredSet) PredSet {
-	out := PredSet{m: make(map[string]Expr)}
-	for k, v := range s.m {
-		if _, keep := o.m[k]; keep {
-			out.m[k] = v
+	if s.Empty() || o.Empty() {
+		return PredSet{}
+	}
+	var idx []int
+	j := 0
+	for i := 0; i < len(s.ps); i++ {
+		for j < len(o.ps) && o.info[j].key < s.info[i].key {
+			j++
+		}
+		if j < len(o.ps) && o.info[j].key == s.info[i].key {
+			idx = append(idx, i)
 		}
 	}
-	return out
+	return s.subset(idx)
+}
+
+// Within returns the predicates whose every column lies inside tables —
+// the eligibility test of Section 4.4 — using the cached per-predicate
+// column analysis (no expression walks, no allocation beyond the subset).
+func (s PredSet) Within(tables TableSet) PredSet {
+	return s.filterInfo(func(_ Expr, in *predInfo) bool {
+		for _, c := range in.cols {
+			if !tables.Contains(c.Table) {
+				return false
+			}
+		}
+		return true
+	})
 }
 
 // Filter returns the subset of s satisfying keep.
 func (s PredSet) Filter(keep func(Expr) bool) PredSet {
-	out := PredSet{m: make(map[string]Expr)}
-	for k, v := range s.m {
-		if keep(v) {
-			out.m[k] = v
+	var idx []int
+	for i, p := range s.ps {
+		if keep(p) {
+			idx = append(idx, i)
+		}
+	}
+	return s.subset(idx)
+}
+
+// filterInfo is Filter with access to the cached analysis; the classifiers
+// use it to avoid re-walking expression trees. keep must be pure: the
+// counting pass may evaluate it twice per element so that keep-everything
+// (identity) and keep-nothing outcomes allocate nothing.
+func (s PredSet) filterInfo(keep func(Expr, *predInfo) bool) PredSet {
+	kept := 0
+	for i := range s.ps {
+		if keep(s.ps[i], &s.info[i]) {
+			kept++
+		}
+	}
+	if kept == len(s.ps) {
+		return s
+	}
+	if kept == 0 {
+		return PredSet{}
+	}
+	out := PredSet{ps: make([]Expr, 0, kept), info: make([]predInfo, 0, kept)}
+	for i := range s.ps {
+		if keep(s.ps[i], &s.info[i]) {
+			out.ps = append(out.ps, s.ps[i])
+			out.info = append(out.info, s.info[i])
 		}
 	}
 	return out
@@ -95,11 +306,11 @@ func (s PredSet) Filter(keep func(Expr) bool) PredSet {
 
 // Equal reports set equality.
 func (s PredSet) Equal(o PredSet) bool {
-	if len(s.m) != len(o.m) {
+	if len(s.ps) != len(o.ps) {
 		return false
 	}
-	for k := range s.m {
-		if _, ok := o.m[k]; !ok {
+	for i := range s.info {
+		if s.info[i].key != o.info[i].key {
 			return false
 		}
 	}
@@ -109,12 +320,46 @@ func (s PredSet) Equal(o PredSet) bool {
 // Key returns a canonical string for the whole set; the Glue plan table is
 // hashed on (tables, preds) using it.
 func (s PredSet) Key() string {
-	keys := make([]string, 0, len(s.m))
-	for k := range s.m {
-		keys = append(keys, k)
+	switch len(s.info) {
+	case 0:
+		return ""
+	case 1:
+		return s.info[0].key
 	}
-	sort.Strings(keys)
-	return strings.Join(keys, "&")
+	n := len(s.info) - 1
+	for i := range s.info {
+		n += len(s.info[i].key)
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i := range s.info {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString(s.info[i].key)
+	}
+	return b.String()
+}
+
+// Hash64 returns a 64-bit FNV-1a hash over the same byte stream Key()
+// renders ('&'-separated canonical predicate keys), without building the
+// string. The plan table probes on it; collisions are resolved by Equal.
+func (s PredSet) Hash64() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := range s.info {
+		if i > 0 {
+			h = (h ^ '&') * prime64
+		}
+		k := s.info[i].key
+		for j := 0; j < len(k); j++ {
+			h = (h ^ uint64(k[j])) * prime64
+		}
+	}
+	return h
 }
 
 // String renders the set for EXPLAIN output.
@@ -122,9 +367,9 @@ func (s PredSet) String() string {
 	if s.Empty() {
 		return "{}"
 	}
-	parts := make([]string, 0, len(s.m))
-	for _, p := range s.Slice() {
-		parts = append(parts, p.String())
+	parts := make([]string, len(s.ps))
+	for i, p := range s.ps {
+		parts[i] = p.String()
 	}
 	return "{" + strings.Join(parts, ", ") + "}"
 }
@@ -132,8 +377,8 @@ func (s PredSet) String() string {
 // Columns returns the distinct columns referenced anywhere in the set.
 func (s PredSet) Columns() []ColID {
 	seen := map[ColID]bool{}
-	for _, p := range s.Slice() {
-		for _, c := range Columns(p) {
+	for i := range s.info {
+		for _, c := range s.info[i].cols {
 			seen[c] = true
 		}
 	}
@@ -147,73 +392,121 @@ func (s PredSet) Columns() []ColID {
 
 // TableSet is a set of quantifier names; χ(T) in the paper's notation ranges
 // over its columns.
-type TableSet map[string]bool
+//
+// TableSet is an immutable value: the member slice is sorted at construction
+// and the canonical key is computed eagerly, so Key (the plan table's hash
+// input) never builds a string after construction. The zero value is the
+// empty set. Slices returned by Slice alias internal storage and must not be
+// mutated.
+type TableSet struct {
+	names []string
+	key   string
+}
 
 // NewTableSet builds a table set.
 func NewTableSet(names ...string) TableSet {
-	s := make(TableSet, len(names))
-	for _, n := range names {
-		s[n] = true
+	switch len(names) {
+	case 0:
+		return TableSet{}
+	case 1:
+		return TableSet{names: names[:1:1], key: names[0]}
 	}
-	return s
+	sorted := make([]string, len(names))
+	copy(sorted, names)
+	sort.Strings(sorted)
+	w := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[w-1] {
+			continue
+		}
+		sorted[w] = sorted[i]
+		w++
+	}
+	sorted = sorted[:w]
+	return TableSet{names: sorted, key: strings.Join(sorted, ",")}
 }
 
-// Slice returns the members in sorted order.
-func (t TableSet) Slice() []string {
-	out := make([]string, 0, len(t))
-	for n := range t {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
+// Len returns the number of members.
+func (t TableSet) Len() int { return len(t.names) }
 
-// Key returns a canonical string for the set.
-func (t TableSet) Key() string { return strings.Join(t.Slice(), ",") }
+// Empty reports whether the set has no members.
+func (t TableSet) Empty() bool { return len(t.names) == 0 }
+
+// Slice returns the members in sorted order. The slice aliases the set's
+// internal storage: callers must not mutate it.
+func (t TableSet) Slice() []string { return t.names }
+
+// Key returns a canonical string for the set (precomputed at construction).
+func (t TableSet) Key() string { return t.key }
 
 // Contains reports membership.
-func (t TableSet) Contains(name string) bool { return t[name] }
+func (t TableSet) Contains(name string) bool {
+	// Linear scan: sets are tiny (quantifier counts), and this avoids the
+	// branch-mispredict cost of binary search on short slices.
+	for _, n := range t.names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
 
 // ContainsAll reports whether every member of o is in t.
 func (t TableSet) ContainsAll(o TableSet) bool {
-	for n := range o {
-		if !t[n] {
+	if len(o.names) > len(t.names) {
+		return false
+	}
+	i := 0
+	for _, n := range o.names {
+		for i < len(t.names) && t.names[i] < n {
+			i++
+		}
+		if i >= len(t.names) || t.names[i] != n {
 			return false
 		}
+		i++
 	}
 	return true
 }
 
 // Union returns t ∪ o.
 func (t TableSet) Union(o TableSet) TableSet {
-	out := make(TableSet, len(t)+len(o))
-	for n := range t {
-		out[n] = true
+	if o.Empty() || t.ContainsAll(o) {
+		return t
 	}
-	for n := range o {
-		out[n] = true
+	if t.Empty() || o.ContainsAll(t) {
+		return o
 	}
-	return out
+	merged := make([]string, 0, len(t.names)+len(o.names))
+	i, j := 0, 0
+	for i < len(t.names) && j < len(o.names) {
+		switch {
+		case t.names[i] < o.names[j]:
+			merged = append(merged, t.names[i])
+			i++
+		case t.names[i] > o.names[j]:
+			merged = append(merged, o.names[j])
+			j++
+		default:
+			merged = append(merged, t.names[i])
+			i++
+			j++
+		}
+	}
+	merged = append(merged, t.names[i:]...)
+	merged = append(merged, o.names[j:]...)
+	return TableSet{names: merged, key: strings.Join(merged, ",")}
 }
 
 // Equal reports set equality.
-func (t TableSet) Equal(o TableSet) bool {
-	if len(t) != len(o) {
-		return false
-	}
-	for n := range t {
-		if !o[n] {
-			return false
-		}
-	}
-	return true
-}
+func (t TableSet) Equal(o TableSet) bool { return t.key == o.key && len(t.names) == len(o.names) }
 
-// sidesOf splits the columns of p by which side of the join they belong to.
-// ok is false if p touches tables outside t1 ∪ t2 or only one side.
-func sidesOf(p Expr, t1, t2 TableSet) (left, right []ColID, ok bool) {
+// colsSides splits cached predicate columns by which side of the join they
+// belong to. ok is false if the predicate touches tables outside t1 ∪ t2 or
+// only one side.
+func colsSides(cols []ColID, t1, t2 TableSet) (left, right []ColID, ok bool) {
 	touch1, touch2 := false, false
-	for _, c := range Columns(p) {
+	for _, c := range cols {
 		switch {
 		case t1.Contains(c.Table):
 			touch1 = true
@@ -228,17 +521,30 @@ func sidesOf(p Expr, t1, t2 TableSet) (left, right []ColID, ok bool) {
 	return left, right, touch1 && touch2
 }
 
+// spansBoth reports whether cols touches both sides and nothing outside
+// t1 ∪ t2 — colsSides without materializing the split.
+func spansBoth(cols []ColID, t1, t2 TableSet) bool {
+	touch1, touch2 := false, false
+	for _, c := range cols {
+		switch {
+		case t1.Contains(c.Table):
+			touch1 = true
+		case t2.Contains(c.Table):
+			touch2 = true
+		default:
+			return false
+		}
+	}
+	return touch1 && touch2
+}
+
 // JoinPreds computes JP: the predicates in p that reference columns on both
 // sides of the join (multi-table), with no ORs — expressions are OK —
 // exactly the paper's Section 4.4 definition (subqueries do not exist in this
 // reproduction's language).
 func JoinPreds(p PredSet, t1, t2 TableSet) PredSet {
-	return p.Filter(func(e Expr) bool {
-		if ContainsOr(e) {
-			return false
-		}
-		_, _, ok := sidesOf(e, t1, t2)
-		return ok
+	return p.filterInfo(func(_ Expr, in *predInfo) bool {
+		return !in.hasOr && spansBoth(in.cols, t1, t2)
 	})
 }
 
@@ -258,8 +564,10 @@ func colOnly(e Expr) (ColID, bool) {
 // equijoin — and documents the narrowing here. Inequality merge joins would
 // slot in as a new flavor without touching the rule language.
 func SortablePreds(p PredSet, t1, t2 TableSet) PredSet {
-	jp := JoinPreds(p, t1, t2)
-	return jp.Filter(func(e Expr) bool {
+	return p.filterInfo(func(e Expr, in *predInfo) bool {
+		if in.hasOr || !spansBoth(in.cols, t1, t2) {
+			return false
+		}
 		c, ok := e.(*Cmp)
 		if !ok || c.Op != EQ {
 			return false
@@ -279,8 +587,10 @@ func SortablePreds(p PredSet, t1, t2 TableSet) PredSet {
 // side and an expression purely over the other (Section 4.5.1). HP overlaps
 // SP but also admits expressions; it excludes inequalities.
 func HashablePreds(p PredSet, t1, t2 TableSet) PredSet {
-	jp := JoinPreds(p, t1, t2)
-	return jp.Filter(func(e Expr) bool {
+	return p.filterInfo(func(e Expr, in *predInfo) bool {
+		if in.hasOr || !spansBoth(in.cols, t1, t2) {
+			return false
+		}
 		c, ok := e.(*Cmp)
 		if !ok || c.Op != EQ {
 			return false
@@ -292,36 +602,38 @@ func HashablePreds(p PredSet, t1, t2 TableSet) PredSet {
 
 // oneSided reports whether every column of e lies within a single side.
 func oneSided(e Expr, t1, t2 TableSet) bool {
-	cols := Columns(e)
-	if len(cols) == 0 {
-		return false
-	}
+	any := false
 	in1, in2 := true, true
-	for _, c := range cols {
-		if !t1.Contains(c.Table) {
+	e.walk(func(n Expr) {
+		c, ok := n.(*Col)
+		if !ok {
+			return
+		}
+		any = true
+		if !t1.Contains(c.ID.Table) {
 			in1 = false
 		}
-		if !t2.Contains(c.Table) {
+		if !t2.Contains(c.ID.Table) {
 			in2 = false
 		}
-	}
-	return in1 || in2
+	})
+	return any && (in1 || in2)
 }
 
 // sameSide reports whether a and b both draw all columns from t1.
 func sameSide(a, b Expr, t1 TableSet) bool {
-	aIn, bIn := true, true
-	for _, c := range Columns(a) {
-		if !t1.Contains(c.Table) {
-			aIn = false
+	return allIn(a, t1) == allIn(b, t1)
+}
+
+// allIn reports whether every column of e belongs to t.
+func allIn(e Expr, t TableSet) bool {
+	in := true
+	e.walk(func(n Expr) {
+		if c, ok := n.(*Col); ok && !t.Contains(c.ID.Table) {
+			in = false
 		}
-	}
-	for _, c := range Columns(b) {
-		if !t1.Contains(c.Table) {
-			bIn = false
-		}
-	}
-	return aIn == bIn
+	})
+	return in
 }
 
 // IndexablePreds computes XP: predicates of the form
@@ -330,8 +642,10 @@ func sameSide(a, b Expr, t1 TableSet) bool {
 // be applied by an index on the inner once the outer side is instantiated
 // ("sideways information passing").
 func IndexablePreds(p PredSet, t1, t2 TableSet) PredSet {
-	jp := JoinPreds(p, t1, t2)
-	return jp.Filter(func(e Expr) bool {
+	return p.filterInfo(func(e Expr, in *predInfo) bool {
+		if in.hasOr || !spansBoth(in.cols, t1, t2) {
+			return false
+		}
 		c, ok := e.(*Cmp)
 		if !ok {
 			return false
@@ -345,27 +659,27 @@ func indexableShape(outerSide, innerSide Expr, t1, t2 TableSet) bool {
 	if !ok || !t2.Contains(ic.Table) {
 		return false
 	}
-	cols := Columns(outerSide)
-	if len(cols) == 0 {
-		return false
-	}
-	for _, c := range cols {
-		if !t1.Contains(c.Table) {
-			return false
+	any := false
+	in1 := true
+	outerSide.walk(func(n Expr) {
+		if c, ok := n.(*Col); ok {
+			any = true
+			if !t1.Contains(c.ID.Table) {
+				in1 = false
+			}
 		}
-	}
-	return true
+	})
+	return any && in1
 }
 
 // InnerPreds computes IP: predicates whose columns all lie within T2, i.e.
 // χ(p) ⊆ χ(T2) — eligible on the inner alone.
 func InnerPreds(p PredSet, t2 TableSet) PredSet {
-	return p.Filter(func(e Expr) bool {
-		cols := Columns(e)
-		if len(cols) == 0 {
+	return p.filterInfo(func(_ Expr, in *predInfo) bool {
+		if len(in.cols) == 0 {
 			return false
 		}
-		for _, c := range cols {
+		for _, c := range in.cols {
 			if !t2.Contains(c.Table) {
 				return false
 			}
@@ -434,11 +748,21 @@ func IndexColsFor(xp, ip PredSet, t2 TableSet) []ColID {
 // not reference the indexed quantifier (constants, or outer expressions
 // bound per probe — "sideways information passing").
 func MatchIndexPrefix(preds PredSet, keyCols []ColID) PredSet {
-	matched := NewPredSet()
-	remaining := preds
+	var used []int
+	taken := func(i int) bool {
+		for _, u := range used {
+			if u == i {
+				return true
+			}
+		}
+		return false
+	}
 	for _, kc := range keyCols {
-		var eqPick, rangePick Expr
-		for _, p := range remaining.Slice() {
+		eqPick, rangePick := -1, -1
+		for i, p := range preds.ps {
+			if taken(i) {
+				continue
+			}
 			c, ok := p.(*Cmp)
 			if !ok {
 				continue
@@ -448,24 +772,24 @@ func MatchIndexPrefix(preds PredSet, keyCols []ColID) PredSet {
 				continue
 			}
 			if c.Op == EQ {
-				eqPick = p
+				eqPick = i
 				break
 			}
-			if rangePick == nil && c.Op != NE {
-				rangePick = p
+			if rangePick < 0 && c.Op != NE {
+				rangePick = i
 			}
 		}
-		if eqPick != nil {
-			matched = matched.Union(NewPredSet(eqPick))
-			remaining = remaining.Minus(NewPredSet(eqPick))
+		if eqPick >= 0 {
+			used = append(used, eqPick)
 			continue
 		}
-		if rangePick != nil {
-			matched = matched.Union(NewPredSet(rangePick))
+		if rangePick >= 0 {
+			used = append(used, rangePick)
 		}
 		break
 	}
-	return matched
+	sort.Ints(used)
+	return preds.subset(used)
 }
 
 func cmpColSide(c *Cmp, id ColID) (*Col, Expr) {
@@ -478,14 +802,7 @@ func cmpColSide(c *Cmp, id ColID) (*Col, Expr) {
 	return nil, nil
 }
 
-func referencesQuant(e Expr, q string) bool {
-	for _, c := range Columns(e) {
-		if c.Table == q {
-			return true
-		}
-	}
-	return false
-}
+func referencesQuant(e Expr, q string) bool { return References(e, q) }
 
 // BindOuter converts the join predicates in jp into single-table predicates
 // on the inner by instantiating the outer side's columns from b — the

@@ -87,7 +87,7 @@ func TestTableSetOps(t *testing.T) {
 		t.Error("membership")
 	}
 	u := s.Union(NewTableSet("C"))
-	if len(u) != 3 || !u.ContainsAll(s) {
+	if u.Len() != 3 || !u.ContainsAll(s) {
 		t.Error("union/containsAll")
 	}
 	if !s.Equal(NewTableSet("A", "B")) {

@@ -66,6 +66,13 @@ func fixture(t *testing.T) (*Gluer, *star.Engine, *query.Graph) {
 
 func deptSet() expr.TableSet { return expr.NewTableSet("DEPT") }
 
+// Distinct predicate sets standing in for plan-table keys in unit tests.
+var (
+	predsK     = expr.NewPredSet(&expr.Cmp{Op: expr.EQ, L: expr.C("T", "A"), R: expr.C("T", "B")})
+	predsOther = expr.NewPredSet(&expr.Cmp{Op: expr.GT, L: expr.C("T", "A"), R: expr.C("T", "B")})
+	predsP     = expr.NewPredSet(&expr.Cmp{Op: expr.LT, L: expr.C("T", "A"), R: expr.C("T", "B")})
+)
+
 func TestPlanTableInsertLookupAndPruning(t *testing.T) {
 	pt := NewPlanTable()
 	ts := deptSet()
@@ -78,14 +85,14 @@ func TestPlanTableInsertLookupAndPruning(t *testing.T) {
 		Props: &plan.Props{Cost: plan.Cost{Total: 80},
 			Order: []expr.ColID{{Table: "DEPT", Col: "DNO"}}}}
 
-	got := pt.Insert(ts, "k", []*plan.Node{pricey, cheap, ordered})
+	got := pt.Insert(ts, predsK, []*plan.Node{pricey, cheap, ordered})
 	if len(got) != 2 {
 		t.Fatalf("retained = %d, want 2 (pricey dominated; ordered shielded)", len(got))
 	}
 	if pt.Pruned != 1 {
 		t.Errorf("pruned = %d", pt.Pruned)
 	}
-	if len(pt.Lookup(ts, "k")) != 2 || pt.Lookup(ts, "other") != nil {
+	if len(pt.Lookup(ts, predsK)) != 2 || pt.Lookup(ts, predsOther) != nil {
 		t.Error("lookup keys")
 	}
 	if pt.Best(ts) == nil || pt.Best(ts).Props.Cost.Total != 5 {
@@ -95,7 +102,7 @@ func TestPlanTableInsertLookupAndPruning(t *testing.T) {
 		t.Error("size")
 	}
 	// Re-inserting an identical plan is a no-op.
-	pt.Insert(ts, "k", []*plan.Node{cheap})
+	pt.Insert(ts, predsK, []*plan.Node{cheap})
 	if pt.Size() != 2 {
 		t.Error("idempotent insert")
 	}
@@ -115,8 +122,8 @@ func TestPlanTablePruneForensics(t *testing.T) {
 		Origin: "TableAccess#1", Props: &plan.Props{Cost: plan.Cost{Total: 5}}}
 
 	// pricey arrives first and is later evicted by cheap.
-	pt.Insert(ts, "k", []*plan.Node{pricey})
-	pt.Insert(ts, "k", []*plan.Node{cheap})
+	pt.Insert(ts, predsK, []*plan.Node{pricey})
+	pt.Insert(ts, predsK, []*plan.Node{cheap})
 
 	var offers, prunes []obs.Event
 	for _, e := range pt.Obs.Events() {
@@ -160,8 +167,8 @@ func TestPlanTablePruneForensics(t *testing.T) {
 		Props: &plan.Props{Cost: plan.Cost{Total: 5}}}
 	pricey2 := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorBTreeStore, Table: "DEPT",
 		Props: &plan.Props{Cost: plan.Cost{Total: 50}}}
-	pt2.Insert(ts, "k", []*plan.Node{cheap2})
-	pt2.Insert(ts, "k", []*plan.Node{pricey2})
+	pt2.Insert(ts, predsK, []*plan.Node{cheap2})
+	pt2.Insert(ts, predsK, []*plan.Node{pricey2})
 	for _, e := range pt2.Obs.Events() {
 		if e.Name != obs.EvPlanPrune {
 			continue
@@ -183,7 +190,7 @@ func TestPlanTablePruneDisabled(t *testing.T) {
 		Props: &plan.Props{Cost: plan.Cost{Total: 5}}}
 	b := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "B",
 		Props: &plan.Props{Cost: plan.Cost{Total: 50}}}
-	pt.Insert(ts, "k", []*plan.Node{a, b, a}) // duplicate a
+	pt.Insert(ts, predsK, []*plan.Node{a, b, a}) // duplicate a
 	if pt.Size() != 2 {
 		t.Fatalf("size = %d (dedup by key, no dominance)", pt.Size())
 	}
@@ -255,7 +262,7 @@ func TestGlueBoundPredsStayAboveStore(t *testing.T) {
 		t.Fatalf("no STORE in temp-required plan:\n%s", plan.Explain(p))
 	}
 	store.Walk(func(n *plan.Node) {
-		for _, pr := range n.Preds {
+		for _, pr := range n.Preds.Slice() {
 			for _, c := range expr.Columns(pr) {
 				if c.Table == "EMP" {
 					t.Fatalf("bound predicate sank below STORE:\n%s", plan.Explain(p))
@@ -264,7 +271,7 @@ func TestGlueBoundPredsStayAboveStore(t *testing.T) {
 		}
 	})
 	// And the full plan must still apply it somewhere.
-	if !p.Props.Preds.Contains(jp) {
+	if !p.Props.Preds().Contains(jp) {
 		t.Fatalf("bound predicate not applied:\n%s", plan.Explain(p))
 	}
 }
@@ -298,7 +305,7 @@ func TestGlueDynamicIndexVeneer(t *testing.T) {
 	if p.Op != plan.OpAccess || p.Flavor != plan.FlavorIndex {
 		t.Fatalf("top must be the index probe:\n%s", plan.Explain(p))
 	}
-	if len(p.Preds) == 0 {
+	if p.Preds.Empty() {
 		t.Error("the probe must carry the bound join predicate")
 	}
 }
@@ -326,7 +333,7 @@ func TestGlueCompositeRetrofitsFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gl.Table.Insert(both, g.EligibleWithin(both).Key(), sap)
+	gl.Table.Insert(both, g.EligibleWithin(both), sap)
 	// Pushing an extra static predicate onto the composite retrofits a
 	// FILTER.
 	extra := &expr.Cmp{Op: expr.EQ, L: expr.C("EMP", "NAME"), R: &expr.Const{Val: datum.NewString("x")}}
@@ -334,7 +341,7 @@ func TestGlueCompositeRetrofitsFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !plans[0].Props.Preds.Contains(extra) {
+	if !plans[0].Props.Preds().Contains(extra) {
 		t.Fatalf("pushed predicate not applied:\n%s", plan.Explain(plans[0]))
 	}
 }
@@ -391,17 +398,17 @@ func TestOverlayIsolation(t *testing.T) {
 	ts := deptSet()
 	cheap := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "DEPT",
 		Props: &plan.Props{Cost: plan.Cost{Total: 5}}}
-	base.Insert(ts, "p", []*plan.Node{cheap})
+	base.Insert(ts, predsP, []*plan.Node{cheap})
 
 	ov := NewOverlay(base)
 	// Reads fall through.
-	if got := ov.Lookup(ts, "p"); len(got) != 1 || got[0] != cheap {
+	if got := ov.Lookup(ts, predsP); len(got) != 1 || got[0] != cheap {
 		t.Fatalf("overlay lookup = %v", got)
 	}
 	// A dominated offer is rejected by the base plan without touching base.
 	dominated := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorBTreeStore, Table: "DEPT",
 		Props: &plan.Props{Cost: plan.Cost{Total: 50}}}
-	out := ov.Insert(ts, "p", []*plan.Node{dominated})
+	out := ov.Insert(ts, predsP, []*plan.Node{dominated})
 	if len(out) != 1 || out[0] != cheap {
 		t.Fatalf("combined view after dominated offer = %v", out)
 	}
@@ -412,16 +419,16 @@ func TestOverlayIsolation(t *testing.T) {
 	// survives until Absorb (the base is frozen while tasks run).
 	winner := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "DEPT",
 		Props: &plan.Props{Cost: plan.Cost{Total: 1}}}
-	out = ov.Insert(ts, "p", []*plan.Node{winner})
+	out = ov.Insert(ts, predsP, []*plan.Node{winner})
 	if len(out) != 2 {
 		t.Fatalf("combined view after dominating offer = %d plans", len(out))
 	}
-	if got := base.Lookup(ts, "p"); len(got) != 1 || got[0] != cheap {
+	if got := base.Lookup(ts, predsP); len(got) != 1 || got[0] != cheap {
 		t.Fatalf("base mutated while overlay live: %v", got)
 	}
 	// Absorb replays the overlay's writes: the winner evicts the base plan.
 	base.Absorb(ov)
-	if got := base.Lookup(ts, "p"); len(got) != 1 || got[0] != winner {
+	if got := base.Lookup(ts, predsP); len(got) != 1 || got[0] != winner {
 		t.Fatalf("base after absorb = %v", got)
 	}
 	// Counters fold: overlay offers (2, one rejected) plus the replayed
@@ -442,7 +449,7 @@ func TestOverlayPruneDisabled(t *testing.T) {
 	ts := deptSet()
 	a := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "DEPT",
 		Props: &plan.Props{Cost: plan.Cost{Total: 5}}}
-	base.Insert(ts, "p", []*plan.Node{a})
+	base.Insert(ts, predsP, []*plan.Node{a})
 
 	ov := NewOverlay(base)
 	if !ov.PruneDisabled {
@@ -452,12 +459,12 @@ func TestOverlayPruneDisabled(t *testing.T) {
 		Props: &plan.Props{Cost: plan.Cost{Total: 5}}}
 	worse := &plan.Node{Op: plan.OpAccess, Flavor: plan.FlavorBTreeStore, Table: "DEPT",
 		Props: &plan.Props{Cost: plan.Cost{Total: 50}}}
-	out := ov.Insert(ts, "p", []*plan.Node{dup, worse})
+	out := ov.Insert(ts, predsP, []*plan.Node{dup, worse})
 	if len(out) != 2 {
 		t.Fatalf("combined view = %d plans (dup must dedupe, worse must stay)", len(out))
 	}
 	base.Absorb(ov)
-	if got := len(base.Lookup(ts, "p")); got != 2 {
+	if got := len(base.Lookup(ts, predsP)); got != 2 {
 		t.Fatalf("base after absorb holds %d plans", got)
 	}
 }

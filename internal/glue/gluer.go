@@ -67,14 +67,7 @@ func (g *Gluer) Glue(req *star.GlueRequest) (result []*plan.Node, err error) {
 	// side; re-evaluated per probe via sideways information passing).
 	// Bound predicates must never sink below a materialization: a temp's
 	// contents cannot depend on the current outer tuple.
-	static := req.Push.Filter(func(p expr.Expr) bool {
-		for _, c := range expr.Columns(p) {
-			if !req.Tables.Contains(c.Table) {
-				return false
-			}
-		}
-		return true
-	})
+	static := req.Push.Within(req.Tables)
 	bound := req.Push.Minus(static)
 	materialize := req.Req.Temp || len(req.Req.PathCols) > 0
 
@@ -103,7 +96,7 @@ func (g *Gluer) Glue(req *star.GlueRequest) (result []*plan.Node, err error) {
 	}
 	// Newly veneered plans join the table so later references find them
 	// (Figure 3's third plan came from an earlier Glue reference).
-	out = g.Table.Insert(req.Tables, full.Key(), out)
+	out = g.Table.Insert(req.Tables, full, out)
 
 	var satisfying []*plan.Node
 	for _, p := range out {
@@ -126,7 +119,7 @@ func (g *Gluer) Glue(req *star.GlueRequest) (result []*plan.Node, err error) {
 // than retrofitting a FILTER — Section 4.4); composites retrofit the
 // missing predicates onto the enumerated entry.
 func (g *Gluer) ensurePlans(tables expr.TableSet, preds expr.PredSet) ([]*plan.Node, error) {
-	if plans := g.Table.Lookup(tables, preds.Key()); len(plans) > 0 {
+	if plans := g.Table.Lookup(tables, preds); len(plans) > 0 {
 		g.Stats.Hits++
 		if g.Engine.Obs.Enabled() {
 			g.Engine.Obs.Emit(obs.Event{Name: obs.EvGlueHit, A1: tables.Key(), N1: int64(len(plans))})
@@ -152,12 +145,12 @@ func (g *Gluer) ensurePlans(tables expr.TableSet, preds expr.PredSet) ([]*plan.N
 		if len(sap) == 0 {
 			return nil, fmt.Errorf("glue: no access plans for %s", q)
 		}
-		return g.Table.Insert(tables, preds.Key(), sap), nil
+		return g.Table.Insert(tables, preds, sap), nil
 	}
 	// Composite: the enumeration inserted plans under the eligible
 	// predicate set; add the missing predicates as a FILTER veneer.
 	base := g.Graph.EligibleWithin(tables)
-	cands := g.Table.Lookup(tables, base.Key())
+	cands := g.Table.Lookup(tables, base)
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("glue: no plans exist for composite {%s} (enumeration order violated?)", tables.Key())
 	}
@@ -170,7 +163,7 @@ func (g *Gluer) ensurePlans(tables expr.TableSet, preds expr.PredSet) ([]*plan.N
 		}
 		out = append(out, f)
 	}
-	return g.Table.Insert(tables, preds.Key(), out), nil
+	return g.Table.Insert(tables, preds, out), nil
 }
 
 // veneer augments one plan with Glue operators until it satisfies the
@@ -183,7 +176,7 @@ func (g *Gluer) veneer(p *plan.Node, req plan.Reqd, full expr.PredSet) (*plan.No
 	// destination, as condition C1 of Section 4.3 intends).
 	if req.Site != nil && cur.Props.Site != *req.Site {
 		var err error
-		cur, err = g.addVeneer(&plan.Node{Op: plan.OpShip, Site: *req.Site, Inputs: []*plan.Node{cur}})
+		cur, err = g.addVeneer(g.arenaNode(plan.Node{Op: plan.OpShip, Site: *req.Site, Inputs: []*plan.Node{cur}}))
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +185,7 @@ func (g *Gluer) veneer(p *plan.Node, req plan.Reqd, full expr.PredSet) (*plan.No
 	// it).
 	if len(req.Order) > 0 && !plan.OrderSatisfies(cur.Props.Order, req.Order) {
 		var err error
-		cur, err = g.addVeneer(&plan.Node{Op: plan.OpSort, SortCols: req.Order, Inputs: []*plan.Node{cur}})
+		cur, err = g.addVeneer(g.arenaNode(plan.Node{Op: plan.OpSort, SortCols: req.Order, Inputs: []*plan.Node{cur}}))
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +193,7 @@ func (g *Gluer) veneer(p *plan.Node, req plan.Reqd, full expr.PredSet) (*plan.No
 	// 3. Materialize when required.
 	if (req.Temp || len(req.PathCols) > 0) && !cur.Props.Temp {
 		var err error
-		cur, err = g.addVeneer(&plan.Node{Op: plan.OpStore, Table: g.Engine.NextTempName(), Inputs: []*plan.Node{cur}})
+		cur, err = g.addVeneer(g.arenaNode(plan.Node{Op: plan.OpStore, Table: g.Engine.NextTempName(), Inputs: []*plan.Node{cur}}))
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +212,7 @@ func (g *Gluer) veneer(p *plan.Node, req plan.Reqd, full expr.PredSet) (*plan.No
 	}
 	// 5. Any predicates of the target set the plan still has not applied
 	// go above everything as a per-probe FILTER.
-	missing := full.Minus(cur.Props.Preds)
+	missing := full.Minus(cur.Props.Preds())
 	if !missing.Empty() {
 		var err error
 		cur, err = g.addFilter(cur, missing)
@@ -236,23 +229,23 @@ func (g *Gluer) veneer(p *plan.Node, req plan.Reqd, full expr.PredSet) (*plan.No
 func (g *Gluer) dynamicIndex(cur *plan.Node, ixCols []expr.ColID, full expr.PredSet) (*plan.Node, error) {
 	if cur.Props.PathOn(ixCols) == nil {
 		var err error
-		cur, err = g.addVeneer(&plan.Node{
+		cur, err = g.addVeneer(g.arenaNode(plan.Node{
 			Op: plan.OpBuildIndex, Path: g.Engine.NextIndexName(),
 			SortCols: ixCols, Inputs: []*plan.Node{cur},
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}
 	}
 	path := cur.Props.PathOn(ixCols)
-	missing := full.Minus(cur.Props.Preds)
+	missing := full.Minus(cur.Props.Preds())
 	probePreds := expr.MatchIndexPrefix(missing, path.Cols)
-	probe := &plan.Node{
+	probe := g.arenaNode(plan.Node{
 		Op: plan.OpAccess, Flavor: plan.FlavorIndex,
 		Table: cur.Props.TempName, Path: path.Name,
-		Cols:  append([]expr.ColID(nil), cur.Props.Cols...),
-		Preds: probePreds.Slice(), Inputs: []*plan.Node{cur},
-	}
+		Cols:  cur.Props.Cols(), // interned and never mutated; sharing is safe
+		Preds: probePreds, Inputs: []*plan.Node{cur},
+	})
 	return g.addVeneer(probe)
 }
 
@@ -260,7 +253,12 @@ func (g *Gluer) addFilter(cur *plan.Node, preds expr.PredSet) (*plan.Node, error
 	if preds.Empty() {
 		return cur, nil
 	}
-	return g.addVeneer(&plan.Node{Op: plan.OpFilter, Preds: preds.Slice(), Inputs: []*plan.Node{cur}})
+	return g.addVeneer(g.arenaNode(plan.Node{Op: plan.OpFilter, Preds: preds, Inputs: []*plan.Node{cur}}))
+}
+
+// arenaNode allocates a veneer node from the optimization's arena.
+func (g *Gluer) arenaNode(n plan.Node) *plan.Node {
+	return g.Engine.Cost.Arena.NewNode(n)
 }
 
 func (g *Gluer) addVeneer(n *plan.Node) (*plan.Node, error) {

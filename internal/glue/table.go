@@ -13,7 +13,6 @@ package glue
 
 import (
 	"sort"
-	"strings"
 	"time"
 
 	"stars/internal/expr"
@@ -21,12 +20,33 @@ import (
 	"stars/internal/plan"
 )
 
+// entryKey addresses one plan-table entry: the table set's cached canonical
+// key plus a 64-bit hash of the predicate set's canonical keys. Probing
+// builds no strings — both components come off the sets unchanged.
+type entryKey struct {
+	tk string
+	ph uint64
+}
+
+// entry is one (TABLES, PREDS) cell of the plan table. The predicate set is
+// retained for exact verification (two distinct sets hashing alike chain via
+// next); pk is the canonical predicate key, rendered once at entry creation
+// for observability events and ForEach.
+type entry struct {
+	tables expr.TableSet
+	preds  expr.PredSet
+	pk     string
+	plans  []*plan.Node
+	next   *entry
+}
+
 // PlanTable stores every Set of Alternative Plans produced so far, keyed by
 // (TABLES, PREDS) — the relational properties of Figure 2. Within one entry
 // only non-dominated plans are retained: a plan survives unless some other
 // plan is at least as cheap and offers every physical property it offers.
 type PlanTable struct {
-	entries map[string]map[string][]*plan.Node
+	entries  map[entryKey]*entry
+	byTables map[string][]*entry // entries per table set, in creation order
 	// Inserted counts insertion attempts; Pruned counts plans rejected or
 	// evicted by dominance. PruneDisabled turns dominance off (ablation).
 	Inserted      int64
@@ -47,20 +67,17 @@ type PlanTable struct {
 	// ascending subset order, so the merged table is identical however the
 	// tasks were scheduled.
 	base *PlanTable
-	// order records locally-written entries in first-write order — the
-	// deterministic replay schedule Absorb follows.
-	order []entryRef
-}
-
-// entryRef identifies one locally-written overlay entry.
-type entryRef struct {
-	tables expr.TableSet
-	tk, pk string
+	// order is the append-only log of locally-created entries in
+	// first-write order — the deterministic replay schedule Absorb follows.
+	order []*entry
 }
 
 // NewPlanTable returns an empty plan table.
 func NewPlanTable() *PlanTable {
-	return &PlanTable{entries: map[string]map[string][]*plan.Node{}}
+	return &PlanTable{
+		entries:  map[entryKey]*entry{},
+		byTables: map[string][]*entry{},
+	}
 }
 
 // NewOverlay returns an empty overlay table over base. The overlay inherits
@@ -68,25 +85,58 @@ func NewPlanTable() *PlanTable {
 // and its own counters; Absorb folds both back.
 func NewOverlay(base *PlanTable) *PlanTable {
 	return &PlanTable{
-		entries:       map[string]map[string][]*plan.Node{},
+		entries:       map[entryKey]*entry{},
+		byTables:      map[string][]*entry{},
 		base:          base,
 		PruneDisabled: base.PruneDisabled,
 	}
 }
 
-func tablesKey(t expr.TableSet) string { return strings.Join(t.Slice(), ",") }
+// find returns the verified entry for (tk, ph, preds) in this table alone
+// (no base fall-through), or nil.
+func (pt *PlanTable) find(tk string, ph uint64, preds expr.PredSet) *entry {
+	for e := pt.entries[entryKey{tk: tk, ph: ph}]; e != nil; e = e.next {
+		if e.preds.Equal(preds) {
+			return e
+		}
+	}
+	return nil
+}
+
+// ensure returns the entry for (tables, preds), creating it on first write.
+func (pt *PlanTable) ensure(tables expr.TableSet, ph uint64, preds expr.PredSet) (*entry, bool) {
+	tk := tables.Key()
+	if e := pt.find(tk, ph, preds); e != nil {
+		return e, false
+	}
+	e := &entry{tables: tables, preds: preds, pk: preds.Key()}
+	k := entryKey{tk: tk, ph: ph}
+	e.next = pt.entries[k]
+	pt.entries[k] = e
+	pt.byTables[tk] = append(pt.byTables[tk], e)
+	return e, true
+}
 
 // Lookup returns the retained plans for exactly this table set and predicate
-// set (by canonical key), or nil. On an overlay, base plans come first and
-// local plans after — the same order a serial run would have accumulated
-// them in, so cheapest-of tie-breaks stay deterministic.
-func (pt *PlanTable) Lookup(tables expr.TableSet, predsKey string) []*plan.Node {
-	tk := tablesKey(tables)
-	local := pt.entries[tk][predsKey]
+// set, or nil. The probe builds no strings: the table-set key is cached and
+// the predicate set hashes by its cached per-predicate keys. On an overlay,
+// base plans come first and local plans after — the same order a serial run
+// would have accumulated them in, so cheapest-of tie-breaks stay
+// deterministic.
+func (pt *PlanTable) Lookup(tables expr.TableSet, preds expr.PredSet) []*plan.Node {
+	tk := tables.Key()
+	ph := preds.Hash64()
+	var local []*plan.Node
+	if e := pt.find(tk, ph, preds); e != nil {
+		local = e.plans
+	}
 	if pt.base == nil {
 		return local
 	}
-	basePlans := pt.base.entries[tk][predsKey]
+	var basePlans []*plan.Node
+	if e := pt.base.find(tk, ph, preds); e != nil {
+		basePlans = e.plans
+	}
 	if len(basePlans) == 0 {
 		return local
 	}
@@ -98,38 +148,36 @@ func (pt *PlanTable) Lookup(tables expr.TableSet, predsKey string) []*plan.Node 
 	return append(out, local...)
 }
 
-// Insert adds plans to the (tables, predsKey) entry, pruning dominated ones,
+// Insert adds plans to the (tables, preds) entry, pruning dominated ones,
 // and returns the retained entry (on an overlay: the combined base + local
 // view, matching what a serial run's entry would hold).
-func (pt *PlanTable) Insert(tables expr.TableSet, predsKey string, plans []*plan.Node) []*plan.Node {
+func (pt *PlanTable) Insert(tables expr.TableSet, preds expr.PredSet, plans []*plan.Node) []*plan.Node {
 	var t0 time.Time
 	profiled := pt.Obs.ProfEnabled()
 	if profiled {
 		t0 = time.Now()
 	}
-	tk := tablesKey(tables)
-	byPreds := pt.entries[tk]
-	if byPreds == nil {
-		byPreds = map[string][]*plan.Node{}
-		pt.entries[tk] = byPreds
+	ph := preds.Hash64()
+	e, created := pt.ensure(tables, ph, preds)
+	if created && pt.base != nil {
+		pt.order = append(pt.order, e)
 	}
-	cur, touched := byPreds[predsKey]
-	if !touched && pt.base != nil {
-		pt.order = append(pt.order, entryRef{tables: tables, tk: tk, pk: predsKey})
+	var baseEntry *entry
+	if pt.base != nil {
+		baseEntry = pt.base.find(tables.Key(), ph, preds)
 	}
 	for _, p := range plans {
 		pt.Inserted++
 		if pt.Obs.Enabled() {
-			pt.Obs.Emit(obs.Event{Name: obs.EvPlanOffer, A1: tk,
+			pt.Obs.Emit(obs.Event{Name: obs.EvPlanOffer, A1: tables.Key(),
 				A2: p.Fingerprint(), A3: offerDetail(p),
 				F1: p.Props.Cost.Total, F2: p.Props.Card})
 		}
-		cur = pt.addPruned(tk, predsKey, cur, p)
+		pt.addPruned(e, baseEntry, p)
 	}
-	byPreds[predsKey] = cur
 	if pt.Obs.Enabled() {
-		pt.Obs.Emit(obs.Event{Name: obs.EvPlanInsert, A1: tk, A2: predsKey,
-			N1: int64(len(plans)), N2: int64(len(cur))})
+		pt.Obs.Emit(obs.Event{Name: obs.EvPlanInsert, A1: tables.Key(), A2: e.pk,
+			N1: int64(len(plans)), N2: int64(len(e.plans))})
 	}
 	if profiled {
 		// One plantable_offer batch per Insert; the count is plans offered,
@@ -137,28 +185,29 @@ func (pt *PlanTable) Insert(tables expr.TableSet, predsKey string, plans []*plan
 		pt.Obs.ProfActivity(obs.ActOffer, time.Since(t0), int64(len(plans)))
 	}
 	if pt.base == nil {
-		return cur
+		return e.plans
 	}
-	return pt.Lookup(tables, predsKey)
+	return pt.Lookup(tables, preds)
 }
 
-func (pt *PlanTable) addPruned(tk, pk string, cur []*plan.Node, p *plan.Node) []*plan.Node {
+func (pt *PlanTable) addPruned(e *entry, baseEntry *entry, p *plan.Node) {
 	var basePlans []*plan.Node
-	if pt.base != nil {
-		basePlans = pt.base.entries[tk][pk]
+	if baseEntry != nil {
+		basePlans = baseEntry.plans
 	}
 	if pt.PruneDisabled {
 		for _, q := range basePlans {
-			if q == p || q.Key() == p.Key() {
-				return cur
+			if q == p || q.FP64() == p.FP64() {
+				return
 			}
 		}
-		for _, q := range cur {
-			if q == p || q.Key() == p.Key() {
-				return cur
+		for _, q := range e.plans {
+			if q == p || q.FP64() == p.FP64() {
+				return
 			}
 		}
-		return append(cur, p)
+		e.plans = append(e.plans, p)
+		return
 	}
 	// Base plans are scanned first (they were retained first, exactly as in
 	// a serial run) and may reject the incoming plan, but are never evicted
@@ -167,61 +216,61 @@ func (pt *PlanTable) addPruned(tk, pk string, cur []*plan.Node, p *plan.Node) []
 	// this write into the base on the barrier goroutine.
 	for _, q := range basePlans {
 		if q == p {
-			return cur
+			return
 		}
 		if plan.Dominates(q.Props, p.Props) {
 			pt.Pruned++
-			pt.emitPrune(tk, p, q, 0)
-			return cur
+			pt.emitPrune(e.tables.Key(), p, q, 0)
+			return
 		}
 	}
-	for _, q := range cur {
+	for _, q := range e.plans {
 		if q == p {
-			return cur
+			return
 		}
 		if plan.Dominates(q.Props, p.Props) {
 			pt.Pruned++
-			pt.emitPrune(tk, p, q, 0) // incoming p rejected, dominated by existing q
-			return cur
+			pt.emitPrune(e.tables.Key(), p, q, 0) // incoming p rejected, dominated by existing q
+			return
 		}
 	}
-	out := cur[:0]
-	for _, q := range cur {
+	out := e.plans[:0]
+	for _, q := range e.plans {
 		if plan.Dominates(p.Props, q.Props) {
 			pt.Pruned++
-			pt.emitPrune(tk, q, p, 1) // existing q evicted by incoming p
+			pt.emitPrune(e.tables.Key(), q, p, 1) // existing q evicted by incoming p
 			continue
 		}
 		out = append(out, q)
 	}
-	return append(out, p)
+	e.plans = append(out, p)
 }
 
-// Absorb replays an overlay's locally-retained plans into pt, in the
-// overlay's first-write order, and folds its churn counters. Replay goes
-// through the normal Insert path on the calling goroutine, so decisions an
-// overlay had to defer — a task's plan evicting a base plan it dominates,
-// or two tasks' equivalent veneers for a shared subset pruning one another —
-// are made here, with the usual offer/insert/prune events going to pt.Obs.
-// Absorbing a rank's overlays in ascending subset order therefore yields a
-// table whose contents are independent of how the tasks were scheduled.
-// Identity memos (Key/Fingerprint) of every plan in a touched entry are
-// populated before returning, so subsequent concurrent readers of pt never
-// race on the lazy memoization.
+// Absorb replays an overlay's locally-retained plans into pt, walking the
+// overlay's append-only entry log in first-write order, and folds its churn
+// counters. Replay goes through the normal Insert path on the calling
+// goroutine, so decisions an overlay had to defer — a task's plan evicting a
+// base plan it dominates, or two tasks' equivalent veneers for a shared
+// subset pruning one another — are made here, with the usual
+// offer/insert/prune events going to pt.Obs. Absorbing a rank's overlays in
+// ascending subset order therefore yields a table whose contents are
+// independent of how the tasks were scheduled. Identity memos of every plan
+// in a touched entry are populated before returning, so subsequent
+// concurrent readers of pt never race on the lazy memoization.
 func (pt *PlanTable) Absorb(o *PlanTable) {
 	var t0 time.Time
 	profiled := pt.Obs.ProfEnabled()
 	if profiled {
 		t0 = time.Now()
 	}
-	for _, ref := range o.order {
-		plans := o.entries[ref.tk][ref.pk]
-		if len(plans) == 0 {
+	full := pt.Obs.Enabled() || pt.PruneDisabled
+	for _, oe := range o.order {
+		if len(oe.plans) == 0 {
 			continue
 		}
-		pt.Insert(ref.tables, ref.pk, plans)
-		for _, p := range pt.entries[ref.tk][ref.pk] {
-			p.Fingerprint()
+		pt.Insert(oe.tables, oe.preds, oe.plans)
+		if e := pt.find(oe.tables.Key(), oe.preds.Hash64(), oe.preds); e != nil {
+			memoizePlans(e.plans, full)
 		}
 	}
 	pt.Inserted += o.Inserted
@@ -233,12 +282,34 @@ func (pt *PlanTable) Absorb(o *PlanTable) {
 	}
 }
 
-// MemoizeIdentities precomputes every retained plan's Key and Fingerprint
-// memos. The optimizer calls it before fanning readers of the table out to
-// worker goroutines: plan.Node memoizes lazily, which is a write, and must
-// happen while the table is still single-threaded.
+// memoizePlans populates the lazy identity memos workers may read
+// concurrently: the 64-bit structural hash always (the rule engine's
+// duplicate check), and the full Key/Fingerprint strings only when something
+// will render them from a worker (observability events, or the
+// pruning-disabled duplicate scan's diagnostics).
+func memoizePlans(plans []*plan.Node, full bool) {
+	for _, p := range plans {
+		if full {
+			p.Fingerprint()
+		} else {
+			p.FP64()
+		}
+	}
+}
+
+// MemoizeIdentities precomputes every retained plan's identity memos. The
+// optimizer calls it before fanning readers of the table out to worker
+// goroutines: plan.Node memoizes lazily, which is a write, and must happen
+// while the table is still single-threaded.
 func (pt *PlanTable) MemoizeIdentities() {
-	pt.ForEach(func(_, _ string, p *plan.Node) { p.Fingerprint() })
+	full := pt.Obs.Enabled() || pt.PruneDisabled
+	pt.ForEach(func(_, _ string, p *plan.Node) {
+		if full {
+			p.Fingerprint()
+		} else {
+			p.FP64()
+		}
+	})
 }
 
 // emitPrune records one dominance decision with the identity and cost of
@@ -275,27 +346,38 @@ func (pt *PlanTable) ForEach(fn func(tablesKey, predsKey string, p *plan.Node)) 
 	if pt.base != nil {
 		pt.base.ForEach(fn)
 	}
-	for tk, byPreds := range pt.entries {
-		for pk, plans := range byPreds {
-			for _, p := range plans {
-				fn(tk, pk, p)
+	for tk, es := range pt.byTables {
+		for _, e := range es {
+			for _, p := range e.plans {
+				fn(tk, e.pk, p)
 			}
 		}
 	}
 }
 
+// HasEntry reports whether any plan is stored for the table set, without
+// materializing the combined entry — the enumeration's joinability probe.
+func (pt *PlanTable) HasEntry(tables expr.TableSet) bool {
+	if pt.base != nil && pt.base.HasEntry(tables) {
+		return true
+	}
+	for _, e := range pt.byTables[tables.Key()] {
+		if len(e.plans) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Entry returns every plan stored for the table set across all predicate
 // keys (on an overlay: base entries first, then local ones).
 func (pt *PlanTable) Entry(tables expr.TableSet) []*plan.Node {
-	tk := tablesKey(tables)
 	var out []*plan.Node
 	if pt.base != nil {
-		for _, plans := range pt.base.entries[tk] {
-			out = append(out, plans...)
-		}
+		out = pt.base.Entry(tables)
 	}
-	for _, plans := range pt.entries[tk] {
-		out = append(out, plans...)
+	for _, e := range pt.byTables[tables.Key()] {
+		out = append(out, e.plans...)
 	}
 	return out
 }
@@ -334,9 +416,9 @@ func (pt *PlanTable) Size() int {
 	if pt.base != nil {
 		n = pt.base.Size()
 	}
-	for _, byPreds := range pt.entries {
-		for _, plans := range byPreds {
-			n += len(plans)
+	for _, es := range pt.byTables {
+		for _, e := range es {
+			n += len(e.plans)
 		}
 	}
 	return n

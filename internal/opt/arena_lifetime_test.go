@@ -1,0 +1,79 @@
+package opt
+
+import (
+	"testing"
+
+	"stars/internal/plan"
+	"stars/internal/query"
+	"stars/internal/workload"
+)
+
+// TestArenaLifetimeOptimizeReleaseLoop is the arena safety harness: it runs
+// optimize → Release → optimize many times with poison-on-reset enabled, so
+// any plan pointer that survived Release without being detached reads a
+// poisoned node and fails loudly (run under -race in tier-1). It pins the
+// Release contract:
+//
+//   - Best stays usable after Release (it is detached to the heap first) and
+//     its fingerprint never drifts across arena reuse;
+//   - plans NOT detached really do die at Release (the poison is observed on
+//     a deliberately-escaped pointer), proving the harness would catch a
+//     serve/provenance/flight consumer holding plans past Release;
+//   - the pooled arena is safe to reuse immediately by the next optimization.
+func TestArenaLifetimeOptimizeReleaseLoop(t *testing.T) {
+	arenaPoison = true
+	defer func() { arenaPoison = false }()
+
+	cat := workload.StarCatalog(4, 100000, 500)
+	newG := func() *query.Graph { return workload.StarQuery(4) }
+
+	var fp string
+	var escaped *plan.Node // deliberately held across Release
+	for i := 0; i < 100; i++ {
+		par := 1 + i%3 // exercise serial and rank-parallel arenas alike
+		res, err := New(cat, Options{Parallelism: par}).Optimize(newG())
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if escaped != nil && !escaped.Poisoned() {
+			// The previous iteration's undetached pointer must be dead by
+			// now: its arena was reset at Release and reused above.
+			t.Fatalf("iteration %d: plan held across Release was not poisoned — escapes would go undetected", i)
+		}
+		got := res.Best.Fingerprint()
+		if i == 0 {
+			fp = got
+		} else if got != fp {
+			t.Fatalf("iteration %d: fingerprint %s, want %s", i, got, fp)
+		}
+		escaped = res.Best
+		res.Release()
+		if res.Best == escaped {
+			t.Fatal("Release must detach Best, not alias the arena node")
+		}
+		// The detached Best survives the reset that just poisoned its
+		// arena-resident original.
+		assertAlive(t, i, res.Best)
+		if res.Best.Fingerprint() != fp {
+			t.Fatalf("iteration %d: detached fingerprint drifted after Release", i)
+		}
+		if res.Table != nil || res.Engine != nil {
+			t.Fatal("Release must invalidate Table and Engine")
+		}
+		res.Release() // idempotent
+	}
+}
+
+// assertAlive walks the detached plan checking no node is a recycled slot.
+func assertAlive(t *testing.T, iter int, n *plan.Node) {
+	t.Helper()
+	if n == nil {
+		return
+	}
+	if n.Poisoned() {
+		t.Fatalf("iteration %d: detached plan contains a poisoned node — Detach missed it", iter)
+	}
+	for _, in := range n.Inputs {
+		assertAlive(t, iter, in)
+	}
+}

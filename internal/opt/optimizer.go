@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/pprof"
+	"sync"
 	"time"
 
 	"stars/internal/catalog"
@@ -108,6 +109,40 @@ type Result struct {
 	// Engine is the rule engine used (for inspecting registries in
 	// tests and tools).
 	Engine *star.Engine
+
+	// arena owns the storage of every plan node this optimization built;
+	// Release recycles it.
+	arena *plan.Arena
+}
+
+// arenaPool recycles plan arenas across optimizations so a long-running
+// server reuses slabs instead of growing the heap per query.
+var arenaPool = sync.Pool{New: func() any { return plan.NewArena() }}
+
+// arenaPoison, when set (lifetime tests only), turns on poison-on-reset for
+// every arena an optimization checks out, so a plan pointer that escapes
+// Release without being detached reads a recognizably dead node instead of
+// silently stale data.
+var arenaPoison bool
+
+// Release recycles the result's plan storage for a later optimization. After
+// Release only Best remains usable — it is detached (deep-copied to the
+// heap) first — while Table, Engine, and every other plan pointer obtained
+// from this result become invalid. Callers that never Release simply let the
+// GC reclaim the arena with the result; callers on a hot path (the serve
+// loop, benchmarks) Release to make plan storage O(live queries) instead of
+// O(queries ever run).
+func (r *Result) Release() {
+	a := r.arena
+	if a == nil {
+		return
+	}
+	r.arena = nil
+	r.Best = plan.Detach(r.Best)
+	r.Table = nil
+	r.Engine = nil
+	a.Reset()
+	arenaPool.Put(a)
 }
 
 // Optimizer optimizes queries against one catalog.
@@ -158,6 +193,10 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 	}
 	env := cost.NewEnv(o.Cat, w)
 	env.Obs = sink
+	env.Arena = arenaPool.Get().(*plan.Arena)
+	if arenaPoison {
+		env.Arena.SetPoison(true)
+	}
 	for _, q := range g.Quants {
 		env.BindQuantifier(q.Name, q.Table)
 	}
@@ -195,7 +234,7 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 	en.Glue = gl.Glue
 	en.PlanSites = gl.PlanSites
 
-	res := &Result{Table: table, Engine: en, Obs: sink}
+	res := &Result{Table: table, Engine: en, Obs: sink, arena: env.Arena}
 	prepSp.End(0)
 
 	// Phase 1: access plans for every quantifier (Section 2.3).
@@ -218,7 +257,7 @@ func (o *Optimizer) Optimize(g *query.Graph) (*Result, error) {
 		if len(sap) == 0 {
 			return nil, fmt.Errorf("opt: no access plans for %s", q.Name)
 		}
-		table.Insert(ts, preds.Key(), sap)
+		table.Insert(ts, preds, sap)
 	}
 	accessSp.End(int64(table.Size()))
 

@@ -78,12 +78,12 @@ func TestOptimizeFigure1(t *testing.T) {
 	if res.Best.Props.Cost.Total <= 0 {
 		t.Fatalf("non-positive cost: %v", res.Best.Props.Cost)
 	}
-	if !res.Best.Props.Tables.Equal(expr.NewTableSet("DEPT", "EMP")) {
-		t.Fatalf("best plan tables = %v", res.Best.Props.Tables.Slice())
+	if !res.Best.Props.Tables().Equal(expr.NewTableSet("DEPT", "EMP")) {
+		t.Fatalf("best plan tables = %v", res.Best.Props.Tables().Slice())
 	}
 	// The plan must apply both predicates somewhere.
-	if res.Best.Props.Preds.Len() != 2 {
-		t.Fatalf("best plan applies %d preds, want 2:\n%s", res.Best.Props.Preds.Len(), out)
+	if res.Best.Props.Preds().Len() != 2 {
+		t.Fatalf("best plan applies %d preds, want 2:\n%s", res.Best.Props.Preds().Len(), out)
 	}
 	if !strings.Contains(out, "JOIN") {
 		t.Fatalf("no JOIN in plan:\n%s", out)

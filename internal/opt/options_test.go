@@ -165,7 +165,7 @@ func TestEveryPredicateApplied(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, p := range g.Preds.Slice() {
-			if !res.Best.Props.Preds.Contains(p) {
+			if !res.Best.Props.Preds().Contains(p) {
 				t.Fatalf("n=%d: predicate %s not applied:\n%s", n, p, plan.Explain(res.Best))
 			}
 		}

@@ -42,6 +42,7 @@ import (
 	"stars/internal/expr"
 	"stars/internal/glue"
 	"stars/internal/obs"
+	"stars/internal/plan"
 	"stars/internal/query"
 	"stars/internal/star"
 )
@@ -122,13 +123,13 @@ func (mc *maskCache) key(mask uint32) string {
 }
 
 func (mc *maskCache) build(mask uint32) expr.TableSet {
-	ts := make(expr.TableSet, bits.OnesCount32(mask))
+	names := make([]string, 0, bits.OnesCount32(mask))
 	for i := 0; i < mc.n; i++ {
 		if mask&(1<<uint(i)) != 0 {
-			ts[mc.names[i]] = true
+			names = append(names, mc.names[i])
 		}
 	}
-	return ts
+	return expr.NewTableSet(names...)
 }
 
 // subsetTask is one unit of rank-parallel work: all joinable partitions of
@@ -223,6 +224,7 @@ func (o *Optimizer) enumerate(g *query.Graph, en *star.Engine, gl *glue.Gluer, t
 			en.Stats.Add(t.en.Stats)
 			gl.Stats.Add(t.gl.Stats)
 			en.Cost.AbsorbTemps(t.en.Cost)
+			en.Cost.Arena.Absorb(t.en.Cost.Arena)
 			table.Absorb(t.table)
 		}
 		if profiled {
@@ -304,6 +306,9 @@ func (o *Optimizer) runSubset(t *subsetTask, g *query.Graph, parent *star.Engine
 	t.sink = sink.Child() // nil when observability is off
 	env := parent.Cost.Fork()
 	env.Obs = t.sink
+	// A fresh sub-arena per task keeps node allocation single-goroutine; the
+	// barrier absorbs its slabs into the parent arena (addresses unchanged).
+	env.Arena = plan.NewArena()
 	en := parent.Fork(env, t.sink, strconv.FormatUint(uint64(t.mask), 10)+".")
 	if t.sink.ProfLabels() {
 		// Label the worker goroutine with the rank it is executing; EvalRule
@@ -329,7 +334,7 @@ func (o *Optimizer) runSubset(t *subsetTask, g *query.Graph, parent *star.Engine
 func (o *Optimizer) joinSubset(t *subsetTask, g *query.Graph, en *star.Engine, table *glue.PlanTable, mc *maskCache) error {
 	mask := t.mask
 	S := mc.set(mask)
-	eligibleKey := g.EligibleWithin(S).Key()
+	eligible := g.EligibleWithin(S)
 	sink := en.Obs
 	full := uint32(1)<<uint(mc.n) - 1
 
@@ -345,7 +350,7 @@ func (o *Optimizer) joinSubset(t *subsetTask, g *query.Graph, en *star.Engine, t
 			bits.OnesCount32(s1) > 1 && bits.OnesCount32(s2) > 1 {
 			continue
 		}
-		if len(table.Entry(mc.set(s1))) == 0 || len(table.Entry(mc.set(s2))) == 0 {
+		if !table.HasEntry(mc.set(s1)) || !table.HasEntry(mc.set(s2)) {
 			continue
 		}
 		if g.Connected(mc.set(s1), mc.set(s2)) {
@@ -378,7 +383,7 @@ func (o *Optimizer) joinSubset(t *subsetTask, g *query.Graph, en *star.Engine, t
 			return fmt.Errorf("opt: joining {%s} with {%s}: %w",
 				mc.key(pr.s1), mc.key(pr.s2), err)
 		}
-		table.Insert(S, eligibleKey, sap)
+		table.Insert(S, eligible, sap)
 	}
 	return nil
 }

@@ -9,11 +9,11 @@ import (
 
 func TestDOTRendersSharedDAGOnce(t *testing.T) {
 	shared := scan("T")
-	shared.Props = &Props{Tables: expr.NewTableSet("T"), Card: 5}
-	filter := &Node{Op: OpFilter, Preds: []expr.Expr{pred("T", "A", 1)}, Inputs: []*Node{shared}}
-	filter.Props = &Props{Tables: expr.NewTableSet("T"), Card: 1}
+	shared.Props = &Props{Rel: &Rel{Tables: expr.NewTableSet("T")}, Card: 5}
+	filter := &Node{Op: OpFilter, Preds: expr.NewPredSet(pred("T", "A", 1)), Inputs: []*Node{shared}}
+	filter.Props = &Props{Rel: &Rel{Tables: expr.NewTableSet("T")}, Card: 1}
 	j := &Node{Op: OpJoin, Flavor: MethodNL, Inputs: []*Node{shared, filter}}
-	j.Props = &Props{Tables: expr.NewTableSet("T"), Card: 5}
+	j.Props = &Props{Rel: &Rel{Tables: expr.NewTableSet("T")}, Card: 5}
 
 	out := DOT(j)
 	if !strings.HasPrefix(out, "digraph qep {") || !strings.HasSuffix(out, "}\n") {

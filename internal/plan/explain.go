@@ -75,16 +75,16 @@ func describeNode(n *Node) string {
 		}
 		parts = append(parts, "to="+dest)
 	}
-	if len(n.Preds) > 0 {
-		ps := make([]string, len(n.Preds))
-		for i, p := range n.Preds {
+	if !n.Preds.Empty() {
+		ps := make([]string, n.Preds.Len())
+		for i, p := range n.Preds.Slice() {
 			ps[i] = p.String()
 		}
 		parts = append(parts, "preds=["+strings.Join(ps, ", ")+"]")
 	}
-	if len(n.Residual) > 0 {
-		ps := make([]string, len(n.Residual))
-		for i, p := range n.Residual {
+	if !n.Residual.Empty() {
+		ps := make([]string, n.Residual.Len())
+		for i, p := range n.Residual.Slice() {
 			ps[i] = p.String()
 		}
 		parts = append(parts, "residual=["+strings.Join(ps, ", ")+"]")
@@ -169,9 +169,9 @@ func writeFunctional(b *strings.Builder, n *Node) {
 		}
 		args = append(args, name)
 	}
-	if len(n.Preds) > 0 {
-		ps := make([]string, len(n.Preds))
-		for i, p := range n.Preds {
+	if !n.Preds.Empty() {
+		ps := make([]string, n.Preds.Len())
+		for i, p := range n.Preds.Slice() {
 			ps[i] = p.String()
 		}
 		args = append(args, strings.Join(ps, " AND "))

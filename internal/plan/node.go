@@ -102,11 +102,13 @@ type Node struct {
 	// Preds are the predicates this operator applies: ACCESS/GET
 	// pushdowns, FILTER predicates, or — for JOIN — the join predicates
 	// the method itself applies (parameter 4 of the JOIN reference in
-	// Section 4.4).
-	Preds []expr.Expr
+	// Section 4.4). Stored as a canonical PredSet so the cost model and
+	// the plan key reuse the set's cached keys and column analysis instead
+	// of rebuilding them per pricing call.
+	Preds expr.PredSet
 	// Residual are predicates applied after the join (parameter 5 of the
 	// JOIN reference).
-	Residual []expr.Expr
+	Residual expr.PredSet
 	// SortCols is the SORT key or BUILDINDEX key column list.
 	SortCols []expr.ColID
 	// Site is the SHIP destination site.
@@ -121,8 +123,9 @@ type Node struct {
 	// explain/tracing ("the origin of any execution plan", Section 1).
 	Origin string
 
-	key string // memoized Key; nodes are immutable once built
-	fp  string // memoized Fingerprint
+	key    string // memoized Key; nodes are immutable once built
+	fp     string // memoized Fingerprint
+	fpBits uint64 // memoized 64-bit fingerprint (0 = not yet computed)
 }
 
 // Outer returns the first input (the outer stream of a join).
@@ -144,11 +147,13 @@ func (n *Node) Inner() *Node {
 // Validate checks the operator-specific shape of the node (input arity,
 // required fields). It does not recurse.
 func (n *Node) Validate() error {
-	arity := map[Op]int{
-		OpGet: 1, OpSort: 1, OpShip: 1, OpStore: 1,
-		OpFilter: 1, OpBuildIndex: 1, OpJoin: 2, OpUnion: 2, OpIndexAnd: 2,
+	want, known := 0, false
+	switch n.Op {
+	case OpGet, OpSort, OpShip, OpStore, OpFilter, OpBuildIndex:
+		want, known = 1, true
+	case OpJoin, OpUnion, OpIndexAnd:
+		want, known = 2, true
 	}
-	want, known := arity[n.Op]
 	if known && len(n.Inputs) != want {
 		return fmt.Errorf("plan: %s expects %d inputs, has %d", n.Op, want, len(n.Inputs))
 	}
@@ -234,19 +239,63 @@ func (n *Node) Key() string {
 // the CLI's -whynot address a plan the optimizer discarded.
 func (n *Node) Fingerprint() string {
 	if n.fp == "" {
-		const offset64, prime64 = 14695981039346656037, 1099511628211
-		h := uint64(offset64)
-		k := n.Key()
-		for i := 0; i < len(k); i++ {
-			h ^= uint64(k[i])
-			h *= prime64
-		}
-		n.fp = fmt.Sprintf("%016x", h)
+		n.fp = fmt.Sprintf("%016x", n.FP64())
 	}
 	return n.fp
 }
 
-func (n *Node) writeKey(b *strings.Builder) {
+// FP64 returns the raw 64-bit FNV-1a fingerprint — the same hash Fingerprint
+// renders as hex — without materializing the key string. The rule engine
+// dedupes freshly built alternatives on it, so the canonical key bytes are
+// streamed through the hash rather than concatenated. Like Key, the memo
+// write is not synchronized: callers must not invoke it concurrently on a
+// shared node unless the node's identity was memoized first.
+func (n *Node) FP64() uint64 {
+	if n.fpBits == 0 {
+		var h fnvWriter
+		h.h = offset64
+		if n.key != "" {
+			h.WriteString(n.key)
+		} else {
+			n.writeKey(&h)
+		}
+		n.fpBits = h.h
+	}
+	return n.fpBits
+}
+
+const (
+	offset64 uint64 = 14695981039346656037
+	prime64  uint64 = 1099511628211
+)
+
+// fnvWriter streams bytes into an FNV-1a 64 hash; it implements keyWriter so
+// writeKey can hash the canonical key without building the string.
+type fnvWriter struct{ h uint64 }
+
+func (w *fnvWriter) WriteString(s string) (int, error) {
+	h := w.h
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	w.h = h
+	return len(s), nil
+}
+
+func (w *fnvWriter) WriteByte(c byte) error {
+	w.h = (w.h ^ uint64(c)) * prime64
+	return nil
+}
+
+// keyWriter is the sink writeKey renders into: a strings.Builder when the key
+// string is wanted, an fnvWriter when only the fingerprint is.
+type keyWriter interface {
+	WriteString(s string) (int, error)
+	WriteByte(c byte) error
+}
+
+func (n *Node) writeKey(b keyWriter) {
 	b.WriteString(string(n.Op))
 	if n.Flavor != "" {
 		b.WriteByte('/')
@@ -254,45 +303,84 @@ func (n *Node) writeKey(b *strings.Builder) {
 	}
 	b.WriteByte('(')
 	sep := false
-	wr := func(s string) {
+	tag := func(t string) {
 		if sep {
 			b.WriteByte(';')
 		}
 		sep = true
-		b.WriteString(s)
+		b.WriteString(t)
 	}
 	if n.Table != "" {
-		wr("t=" + n.Table)
+		tag("t=")
+		b.WriteString(n.Table)
 	}
 	if n.Quantifier != "" {
-		wr("q=" + n.Quantifier)
+		tag("q=")
+		b.WriteString(n.Quantifier)
 	}
 	if n.Path != "" {
-		wr("p=" + n.Path)
+		tag("p=")
+		b.WriteString(n.Path)
 	}
 	if len(n.Cols) > 0 {
-		wr("c=" + colList(n.Cols))
+		tag("c=")
+		writeCols(b, n.Cols)
 	}
-	if len(n.Preds) > 0 {
-		wr("w=" + predKeys(n.Preds))
+	if !n.Preds.Empty() {
+		tag("w=")
+		writePredKeys(b, n.Preds)
 	}
-	if len(n.Residual) > 0 {
-		wr("r=" + predKeys(n.Residual))
+	if !n.Residual.Empty() {
+		tag("r=")
+		writePredKeys(b, n.Residual)
 	}
 	if len(n.SortCols) > 0 {
-		wr("s=" + colList(n.SortCols))
+		tag("s=")
+		writeCols(b, n.SortCols)
 	}
 	if n.Op == OpShip || n.Site != "" {
-		wr("@=" + n.Site)
+		tag("@=")
+		b.WriteString(n.Site)
 	}
 	for _, in := range n.Inputs {
 		if sep {
 			b.WriteByte(';')
 		}
 		sep = true
-		in.writeKey(b)
+		// Reuse an input's memoized key rather than re-rendering its
+		// subtree; enumeration memoizes base-plan identities before
+		// fanning out, so deep plans hash in time proportional to their
+		// top layer.
+		if in.key != "" {
+			b.WriteString(in.key)
+		} else {
+			in.writeKey(b)
+		}
 	}
 	b.WriteByte(')')
+}
+
+// writeCols renders cols exactly as colList but without allocating.
+func writeCols(b keyWriter, cols []expr.ColID) {
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(c.Table)
+		b.WriteByte('.')
+		b.WriteString(c.Col)
+	}
+}
+
+// writePredKeys renders the set's canonical key exactly as PredSet.Key but
+// without allocating, using the per-predicate cached keys.
+func writePredKeys(b keyWriter, ps expr.PredSet) {
+	for i, n := 0, ps.Len(); i < n; i++ {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString(ps.KeyAt(i))
+	}
 }
 
 func colList(cols []expr.ColID) string {
@@ -301,15 +389,6 @@ func colList(cols []expr.ColID) string {
 		parts[i] = c.String()
 	}
 	return strings.Join(parts, ",")
-}
-
-func predKeys(preds []expr.Expr) string {
-	keys := make([]string, len(preds))
-	for i, p := range preds {
-		keys[i] = p.Key()
-	}
-	sort.Strings(keys)
-	return strings.Join(keys, "&")
 }
 
 // SortedCols returns a sorted copy of cols, for canonical column sets.

@@ -71,8 +71,8 @@ func TestKeyDistinguishesAndMemoizes(t *testing.T) {
 		t.Error("input order must differ (join inputs are ordered)")
 	}
 	// Predicate order inside a node does not change the key.
-	p1 := &Node{Op: OpFilter, Preds: []expr.Expr{pred("T", "A", 1), pred("T", "B", 2)}, Inputs: []*Node{a}}
-	p2 := &Node{Op: OpFilter, Preds: []expr.Expr{pred("T", "B", 2), pred("T", "A", 1)}, Inputs: []*Node{a}}
+	p1 := &Node{Op: OpFilter, Preds: expr.NewPredSet(pred("T", "A", 1), pred("T", "B", 2)), Inputs: []*Node{a}}
+	p2 := &Node{Op: OpFilter, Preds: expr.NewPredSet(pred("T", "B", 2), pred("T", "A", 1)), Inputs: []*Node{a}}
 	if p1.Key() != p2.Key() {
 		t.Error("predicate order must not affect the key")
 	}
@@ -115,7 +115,7 @@ func TestFingerprintIsStableAndDistinguishes(t *testing.T) {
 func TestWalkAndCount(t *testing.T) {
 	shared := scan("T")
 	j := &Node{Op: OpJoin, Flavor: MethodNL, Inputs: []*Node{shared,
-		&Node{Op: OpFilter, Preds: []expr.Expr{pred("T", "A", 1)}, Inputs: []*Node{shared}}}}
+		&Node{Op: OpFilter, Preds: expr.NewPredSet(pred("T", "A", 1)), Inputs: []*Node{shared}}}}
 	if j.Count() != 3 {
 		t.Errorf("distinct nodes = %d, want 3 (shared subplan counted once)", j.Count())
 	}
@@ -265,28 +265,30 @@ func TestCostArithmetic(t *testing.T) {
 
 func TestPropsCloneIsolation(t *testing.T) {
 	p := &Props{
-		Cols:  []expr.ColID{col("T", "A")},
+		Rel:   &Rel{Tables: expr.NewTableSet("T"), Cols: []expr.ColID{col("T", "A")}},
 		Order: []expr.ColID{col("T", "A")},
 		Paths: []PathInfo{{Name: "ix"}},
 		Extra: map[string]string{"k": "v"},
 	}
 	c := p.Clone()
-	c.Cols[0] = col("X", "Y")
 	c.Extra["k"] = "changed"
-	if p.Cols[0] != col("T", "A") || p.Extra["k"] != "v" {
-		t.Error("Clone must not share mutable state")
+	if p.Extra["k"] != "v" {
+		t.Error("Clone must not share the Extra map")
+	}
+	if c.Rel != p.Rel {
+		t.Error("Clone must share the interned relational part")
 	}
 }
 
 func TestExplainAndFunctional(t *testing.T) {
 	inner := scan("EMP")
-	inner.Props = &Props{Tables: expr.NewTableSet("EMP"), Card: 10}
+	inner.Props = &Props{Rel: &Rel{Tables: expr.NewTableSet("EMP")}, Card: 10}
 	outer := scan("DEPT")
-	outer.Props = &Props{Tables: expr.NewTableSet("DEPT"), Card: 5}
+	outer.Props = &Props{Rel: &Rel{Tables: expr.NewTableSet("DEPT")}, Card: 5}
 	j := &Node{Op: OpJoin, Flavor: MethodMG,
-		Preds:  []expr.Expr{&expr.Cmp{Op: expr.EQ, L: expr.C("DEPT", "DNO"), R: expr.C("EMP", "DNO")}},
+		Preds:  expr.NewPredSet(&expr.Cmp{Op: expr.EQ, L: expr.C("DEPT", "DNO"), R: expr.C("EMP", "DNO")}),
 		Inputs: []*Node{outer, inner}, Origin: "JMeth#2"}
-	j.Props = &Props{Tables: expr.NewTableSet("DEPT", "EMP"), Card: 50, Preds: expr.NewPredSet()}
+	j.Props = &Props{Rel: &Rel{Tables: expr.NewTableSet("DEPT", "EMP")}, Card: 50}
 
 	out := Explain(j)
 	for _, want := range []string{"JOIN(MG)", "ACCESS(heap)", "DEPT", "EMP", "«JMeth#2»", "card=50"} {
@@ -308,15 +310,17 @@ func TestExplainAndFunctional(t *testing.T) {
 
 func TestDescribeListsFigure2Fields(t *testing.T) {
 	p := &Props{
-		Tables: expr.NewTableSet("T"),
-		Cols:   []expr.ColID{col("T", "A")},
-		Preds:  expr.NewPredSet(pred("T", "A", 1)),
-		Order:  []expr.ColID{col("T", "A")},
-		Site:   "NY",
-		Temp:   true,
-		Paths:  []PathInfo{{Name: "ix", Cols: []expr.ColID{col("T", "A")}, Dynamic: true}},
-		Card:   7,
-		Extra:  map[string]string{"bucketized": "true"},
+		Rel: &Rel{
+			Tables: expr.NewTableSet("T"),
+			Cols:   []expr.ColID{col("T", "A")},
+			Preds:  expr.NewPredSet(pred("T", "A", 1)),
+		},
+		Order: []expr.ColID{col("T", "A")},
+		Site:  "NY",
+		Temp:  true,
+		Paths: []PathInfo{{Name: "ix", Cols: []expr.ColID{col("T", "A")}, Dynamic: true}},
+		Card:  7,
+		Extra: map[string]string{"bucketized": "true"},
 	}
 	d := p.Describe()
 	for _, want := range []string{"TABLES", "COLS", "PREDS", "ORDER", "SITE", "TEMP", "PATHS", "CARD", "COST", "BUCKETIZED", "ix*"} {

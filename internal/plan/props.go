@@ -74,19 +74,33 @@ func (p PathInfo) String() string {
 	return p.Name + tag + "(" + colList(p.Cols) + ")"
 }
 
-// Props is the property vector of Figure 2: everything the optimizer knows
-// about the table (stream) a plan produces. Properties divide into
-// relational (WHAT: Tables, Cols, Preds), physical (HOW: Order, Site, Temp,
-// Paths), and estimated (HOW MUCH: Card, Cost). Extra carries
-// DBC-added properties (Section 5): unknown keys default to passing through
-// LOLEPOPs unchanged, exactly the paper's default action.
-type Props struct {
+// Rel is the relational part of the property vector — WHAT the stream
+// computes: which quantifiers are joined in, which columns it carries, which
+// predicates have been applied. Plans in one plan-table entry share these by
+// construction, and most LOLEPOPs (SORT, SHIP, STORE) pass them through
+// unchanged, so Rel is held by pointer and interned per optimization (see
+// cost.Env): thousands of candidate plans reference a handful of Rel values.
+// A Rel is immutable once built; derive a new one rather than mutating.
+type Rel struct {
 	// Tables is the set of quantifiers joined into this stream.
 	Tables expr.TableSet
 	// Cols is the set of columns the stream carries.
 	Cols []expr.ColID
 	// Preds is the set of predicates applied so far.
 	Preds expr.PredSet
+}
+
+// Props is the property vector of Figure 2: everything the optimizer knows
+// about the table (stream) a plan produces. Properties divide into
+// relational (WHAT: the interned Rel), physical (HOW: Order, Site, Temp,
+// Paths), and estimated (HOW MUCH: Card, Cost). Extra carries
+// DBC-added properties (Section 5): unknown keys default to passing through
+// LOLEPOPs unchanged, exactly the paper's default action.
+type Props struct {
+	// Rel is the interned relational part (never nil on a priced plan).
+	// It is shared between plans: treat it as immutable and replace the
+	// pointer — never assign through it — to change relational properties.
+	Rel *Rel
 	// Order is the tuple ordering as an ordered column list; empty means
 	// unknown.
 	Order []expr.ColID
@@ -112,13 +126,36 @@ type Props struct {
 	Extra map[string]string
 }
 
-// Clone returns a deep-enough copy: slices and maps are copied, expressions
-// (immutable) are shared.
+// Tables returns the relational TABLES property (empty when Rel is unset).
+func (p *Props) Tables() expr.TableSet {
+	if p.Rel == nil {
+		return expr.TableSet{}
+	}
+	return p.Rel.Tables
+}
+
+// Cols returns the relational COLS property (nil when Rel is unset).
+func (p *Props) Cols() []expr.ColID {
+	if p.Rel == nil {
+		return nil
+	}
+	return p.Rel.Cols
+}
+
+// Preds returns the relational PREDS property (empty when Rel is unset).
+func (p *Props) Preds() expr.PredSet {
+	if p.Rel == nil {
+		return expr.PredSet{}
+	}
+	return p.Rel.Preds
+}
+
+// Clone returns a copy that may be modified field-by-field: the Extra map is
+// copied, while Rel (interned), Order, and Paths are shared — callers replace
+// those wholesale (copy-on-write) rather than mutating through them, which is
+// what every property function does.
 func (p *Props) Clone() *Props {
 	q := *p
-	q.Cols = append([]expr.ColID(nil), p.Cols...)
-	q.Order = append([]expr.ColID(nil), p.Order...)
-	q.Paths = append([]PathInfo(nil), p.Paths...)
 	if p.Extra != nil {
 		q.Extra = make(map[string]string, len(p.Extra))
 		for k, v := range p.Extra {
@@ -294,9 +331,9 @@ func (p *Props) Summary() string {
 // layout of Figure 2 — used by experiment E2.
 func (p *Props) Describe() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "  TABLES %s\n", strings.Join(p.Tables.Slice(), ", "))
-	fmt.Fprintf(&b, "  COLS   %s\n", colList(SortedCols(p.Cols)))
-	fmt.Fprintf(&b, "  PREDS  %s\n", p.Preds.String())
+	fmt.Fprintf(&b, "  TABLES %s\n", strings.Join(p.Tables().Slice(), ", "))
+	fmt.Fprintf(&b, "  COLS   %s\n", colList(SortedCols(p.Cols())))
+	fmt.Fprintf(&b, "  PREDS  %s\n", p.Preds().String())
 	if len(p.Order) > 0 {
 		fmt.Fprintf(&b, "  ORDER  %s\n", colList(p.Order))
 	} else {

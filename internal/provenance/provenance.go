@@ -206,7 +206,7 @@ func (d *DAG) addTree(p *plan.Node) {
 	}
 	n.Veneer = n.Veneer || p.Origin == "Glue"
 	if p.Props != nil {
-		n.Tables = p.Props.Tables.Key()
+		n.Tables = p.Props.Tables().Key()
 		n.Cost = p.Props.Cost.Total
 		n.Card = p.Props.Card
 	}

@@ -150,14 +150,7 @@ func (g *Graph) NeededCols(cat *catalog.Catalog, q string) []expr.ColID {
 // quantifier set — the predicates a plan covering exactly those tables must
 // have applied.
 func (g *Graph) EligibleWithin(ts expr.TableSet) expr.PredSet {
-	return g.Preds.Filter(func(p expr.Expr) bool {
-		for _, c := range expr.Columns(p) {
-			if !ts.Contains(c.Table) {
-				return false
-			}
-		}
-		return true
-	})
+	return g.Preds.Within(ts)
 }
 
 // NewlyEligible returns the predicates that become eligible when s1 and s2

@@ -608,6 +608,13 @@ func (s *Server) doLabeled(reqID, tmpl string, req OptimizeRequest) outcome {
 		s.ledger.Record(tmpl, sink.Events())
 		s.ledger.PublishMetrics(s.reg, s.rules)
 		s.foldFlight(reqID, tmpl, req, sink, flightRes, status, time.Since(start), flightExec)
+		// Every consumer of the result is done (the response is rendered,
+		// incident captures serialize plans to JSON): recycle the plan
+		// arena so steady-state serving reuses slabs instead of growing
+		// the heap per request.
+		if flightRes != nil {
+			flightRes.Release()
+		}
 	}()
 
 	defer func() {

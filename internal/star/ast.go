@@ -2,6 +2,7 @@ package star
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -42,6 +43,11 @@ func NewRuleSet() *RuleSet {
 func (rs *RuleSet) Add(r *Rule) {
 	if _, exists := rs.rules[r.Name]; !exists {
 		rs.order = append(rs.order, r.Name)
+	}
+	for i, alt := range r.Alts {
+		if alt.origin == "" {
+			alt.origin = r.Name + "#" + strconv.Itoa(i+1)
+		}
 	}
 	rs.rules[r.Name] = r
 }
@@ -170,6 +176,10 @@ type Alt struct {
 	Otherwise bool
 	// Pos locates the alternative's first token.
 	Pos Pos
+	// origin is the precomputed "<rule>#<n>" provenance tag stamped onto
+	// plans the alternative produces (filled by RuleSet.Add so EvalRule
+	// does not format it per firing).
+	origin string
 }
 
 // WalkCalls invokes f for every Call node in the rule's alternatives

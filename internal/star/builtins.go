@@ -37,7 +37,7 @@ func biIndexAnd(en *Engine, args []Value) (Value, error) {
 				en.Stats.PlansRejected++
 				continue
 			}
-			n := &plan.Node{Op: plan.OpIndexAnd, Inputs: []*plan.Node{a, b}}
+			n := en.Cost.Arena.NewNode(plan.Node{Op: plan.OpIndexAnd, Inputs: []*plan.Node{a, b}})
 			priced, ok, err := en.price(n)
 			if err != nil {
 				return Null, err
@@ -131,11 +131,11 @@ func biAccess(en *Engine, args []Value) (Value, error) {
 			if flavor == "btree" {
 				fl = plan.FlavorBTreeStore
 			}
-			n := &plan.Node{
+			n := en.Cost.Arena.NewNode(plan.Node{
 				Op: plan.OpAccess, Flavor: fl,
 				Table: t.Name, Quantifier: q,
-				Cols: cols, Preds: preds.Slice(),
-			}
+				Cols: cols, Preds: preds,
+			})
 			priced, ok, err := en.price(n)
 			if err != nil {
 				return Null, err
@@ -150,16 +150,16 @@ func biAccess(en *Engine, args []Value) (Value, error) {
 				if p.Props == nil || !p.Props.Temp {
 					return Null, fmt.Errorf("ACCESS over plans requires materialized (temp) inputs")
 				}
-				cols := p.Props.Cols
+				cols := p.Props.Cols()
 				if args[2].Kind == VCols {
 					cols = args[2].Cols
 				}
-				n := &plan.Node{
+				n := en.Cost.Arena.NewNode(plan.Node{
 					Op: plan.OpAccess, Flavor: plan.FlavorHeap,
 					Table: p.Props.TempName,
 					Cols:  append([]expr.ColID(nil), cols...),
-					Preds: preds.Slice(), Inputs: []*plan.Node{p},
-				}
+					Preds: preds, Inputs: []*plan.Node{p},
+				})
 				priced, ok, err := en.price(n)
 				if err != nil {
 					return Null, err
@@ -184,11 +184,11 @@ func biAccess(en *Engine, args []Value) (Value, error) {
 			return Null, fmt.Errorf("index ACCESS wants explicit qualified columns")
 		}
 		cols := args[2].Cols
-		n := &plan.Node{
+		n := en.Cost.Arena.NewNode(plan.Node{
 			Op: plan.OpAccess, Flavor: plan.FlavorIndex,
 			Table: pt.Name, Quantifier: cols[0].Table, Path: path.Name,
-			Cols: cols, Preds: preds.Slice(),
-		}
+			Cols: cols, Preds: preds,
+		})
 		priced, ok, err := en.price(n)
 		if err != nil {
 			return Null, err
@@ -235,7 +235,7 @@ func biGet(en *Engine, args []Value) (Value, error) {
 	for _, p := range args[0].SAP {
 		var fetch []expr.ColID
 		for _, c := range want {
-			if !plan.HasCol(p.Props.Cols, c) {
+			if !plan.HasCol(p.Props.Cols(), c) {
 				fetch = append(fetch, c)
 			}
 		}
@@ -243,10 +243,10 @@ func biGet(en *Engine, args []Value) (Value, error) {
 			out = append(out, p)
 			continue
 		}
-		n := &plan.Node{
+		n := en.Cost.Arena.NewNode(plan.Node{
 			Op: plan.OpGet, Table: t.Name, Quantifier: q,
-			Cols: fetch, Preds: preds.Slice(), Inputs: []*plan.Node{p},
-		}
+			Cols: fetch, Preds: preds, Inputs: []*plan.Node{p},
+		})
 		priced, ok, err := en.price(n)
 		if err != nil {
 			return Null, err
@@ -292,7 +292,7 @@ func biSort(en *Engine, args []Value) (Value, error) {
 		if plan.OrderSatisfies(p.Props.Order, key) {
 			return p
 		}
-		return &plan.Node{Op: plan.OpSort, SortCols: key, Inputs: []*plan.Node{p}}
+		return en.Cost.Arena.NewNode(plan.Node{Op: plan.OpSort, SortCols: key, Inputs: []*plan.Node{p}})
 	})
 }
 
@@ -306,7 +306,7 @@ func biShip(en *Engine, args []Value) (Value, error) {
 		if p.Props.Site == site {
 			return p
 		}
-		return &plan.Node{Op: plan.OpShip, Site: site, Inputs: []*plan.Node{p}}
+		return en.Cost.Arena.NewNode(plan.Node{Op: plan.OpShip, Site: site, Inputs: []*plan.Node{p}})
 	})
 }
 
@@ -319,7 +319,7 @@ func biStore(en *Engine, args []Value) (Value, error) {
 		if p.Props.Temp {
 			return p
 		}
-		return &plan.Node{Op: plan.OpStore, Table: en.NextTempName(), Inputs: []*plan.Node{p}}
+		return en.Cost.Arena.NewNode(plan.Node{Op: plan.OpStore, Table: en.NextTempName(), Inputs: []*plan.Node{p}})
 	})
 }
 
@@ -336,7 +336,7 @@ func biFilter(en *Engine, args []Value) (Value, error) {
 		return args[0], nil
 	}
 	return unarySAP(en, args[0], "FILTER", func(p *plan.Node) *plan.Node {
-		return &plan.Node{Op: plan.OpFilter, Preds: preds.Slice(), Inputs: []*plan.Node{p}}
+		return en.Cost.Arena.NewNode(plan.Node{Op: plan.OpFilter, Preds: preds, Inputs: []*plan.Node{p}})
 	})
 }
 
@@ -350,7 +350,7 @@ func biBuildIndex(en *Engine, args []Value) (Value, error) {
 		if p.Props.PathOn(key) != nil {
 			return p
 		}
-		return &plan.Node{Op: plan.OpBuildIndex, Path: en.NextIndexName(), SortCols: key, Inputs: []*plan.Node{p}}
+		return en.Cost.Arena.NewNode(plan.Node{Op: plan.OpBuildIndex, Path: en.NextIndexName(), SortCols: key, Inputs: []*plan.Node{p}})
 	})
 }
 
@@ -382,11 +382,11 @@ func biJoin(en *Engine, args []Value) (Value, error) {
 				en.Stats.PlansRejected++
 				continue
 			}
-			n := &plan.Node{
+			n := en.Cost.Arena.NewNode(plan.Node{
 				Op: plan.OpJoin, Flavor: args[0].Str,
-				Preds: applied.Slice(), Residual: residual.Slice(),
+				Preds: applied, Residual: residual,
 				Inputs: []*plan.Node{o, i},
-			}
+			})
 			priced, ok, err := en.price(n)
 			if err != nil {
 				return Null, err
@@ -479,7 +479,7 @@ func registerBuiltinHelpers(en *Engine) {
 		if len(args) != 1 || args[0].Kind != VStream {
 			return Null, fmt.Errorf("isComposite wants a stream")
 		}
-		return BoolValue(len(args[0].Stream.Tables) > 1), nil
+		return BoolValue(args[0].Stream.Tables.Len() > 1), nil
 	})
 
 	en.RegisterHelper("siteDiffers", func(en *Engine, args []Value) (Value, error) {

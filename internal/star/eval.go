@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -225,13 +226,13 @@ func (en *Engine) Validate() error {
 // "_t<prefix>1" on a forked worker).
 func (en *Engine) NextTempName() string {
 	en.tempSeq++
-	return fmt.Sprintf("_t%s%d", en.namePrefix, en.tempSeq)
+	return "_t" + en.namePrefix + strconv.Itoa(en.tempSeq)
 }
 
 // NextIndexName returns a fresh dynamic-index name.
 func (en *Engine) NextIndexName() string {
 	en.ixSeq++
-	return fmt.Sprintf("_ix%s%d", en.namePrefix, en.ixSeq)
+	return "_ix" + en.namePrefix + strconv.Itoa(en.ixSeq)
 }
 
 // EvalRule evaluates a reference of the named STAR with the given arguments
@@ -290,7 +291,7 @@ func (en *Engine) EvalRule(name string, args []Value) (out []*plan.Node, err err
 		frame[let.Name] = v
 	}
 
-	seen := map[string]bool{}
+	seen := map[uint64]bool{}
 	fired := false
 	for i, alt := range rule.Alts {
 		en.Stats.AltsConsidered++
@@ -335,12 +336,11 @@ func (en *Engine) EvalRule(name string, args []Value) (out []*plan.Node, err err
 		if v.Kind != VSAP {
 			return nil, fmt.Errorf("star: %s alternative %d produced %s, want plans", name, i+1, v.Kind)
 		}
-		origin := fmt.Sprintf("%s#%d", name, i+1)
 		for _, p := range v.SAP {
 			if p.Origin == "" {
-				p.Origin = origin
+				p.Origin = alt.origin
 			}
-			k := p.Key()
+			k := p.FP64()
 			if !seen[k] {
 				seen[k] = true
 				out = append(out, p)
@@ -469,7 +469,7 @@ func (en *Engine) evalForall(n *Forall, frame map[string]Value) (Value, error) {
 		inner[k] = v
 	}
 	var out []*plan.Node
-	seen := map[string]bool{}
+	seen := map[uint64]bool{}
 	for _, elem := range set.List {
 		inner[n.Var] = elem
 		if n.Cond != nil {
@@ -491,7 +491,7 @@ func (en *Engine) evalForall(n *Forall, frame map[string]Value) (Value, error) {
 			return Null, fmt.Errorf("forall body produced %s, want plans", v.Kind)
 		}
 		for _, p := range v.SAP {
-			k := p.Key()
+			k := p.FP64()
 			if !seen[k] {
 				seen[k] = true
 				out = append(out, p)

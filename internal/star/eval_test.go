@@ -47,8 +47,8 @@ func stubEngine(t *testing.T, ruleText string) *Engine {
 			Op: plan.OpAccess, Flavor: plan.FlavorHeap, Table: "T", Quantifier: "T",
 			Cols:   []expr.ColID{{Table: "T", Col: "A"}},
 			Origin: "LEAF:" + name,
-			Preds: []expr.Expr{&expr.Cmp{Op: expr.EQ,
-				L: expr.C("T", "A"), R: &expr.Const{Val: datum.NewString(name)}}},
+			Preds: expr.NewPredSet(&expr.Cmp{Op: expr.EQ,
+				L: expr.C("T", "A"), R: &expr.Const{Val: datum.NewString(name)}}),
 		}
 		if err := en.Cost.Price(n); err != nil {
 			return Null, err

@@ -46,8 +46,8 @@ func (o *Optimizer) lower(n *LNode, push expr.PredSet) (*plan.Node, error) {
 		}
 		return o.price(&plan.Node{
 			Op: plan.OpJoin, Flavor: plan.MethodNL,
-			Preds:    jp.Slice(),
-			Residual: p.Minus(jp.Union(ip)).Slice(),
+			Preds:    jp,
+			Residual: p.Minus(jp.Union(ip)),
 			Inputs:   []*plan.Node{outer, inner},
 		})
 	case plan.MethodMG:
@@ -64,8 +64,8 @@ func (o *Optimizer) lower(n *LNode, push expr.PredSet) (*plan.Node, error) {
 		}
 		return o.price(&plan.Node{
 			Op: plan.OpJoin, Flavor: plan.MethodMG,
-			Preds:    sp.Slice(),
-			Residual: p.Minus(ip.Union(sp)).Slice(),
+			Preds:    sp,
+			Residual: p.Minus(ip.Union(sp)),
 			Inputs:   []*plan.Node{outer, inner},
 		})
 	case plan.MethodHA:
@@ -82,8 +82,8 @@ func (o *Optimizer) lower(n *LNode, push expr.PredSet) (*plan.Node, error) {
 		}
 		return o.price(&plan.Node{
 			Op: plan.OpJoin, Flavor: plan.MethodHA,
-			Preds:    hp.Slice(),
-			Residual: p.Minus(ip).Slice(),
+			Preds:    hp,
+			Residual: p.Minus(ip),
 			Inputs:   []*plan.Node{outer, inner},
 		})
 	default:
@@ -105,7 +105,7 @@ func (o *Optimizer) lowerInner(n *LNode, push expr.PredSet) (*plan.Node, error) 
 	if push.Empty() {
 		return sub, nil
 	}
-	return o.price(&plan.Node{Op: plan.OpFilter, Preds: push.Slice(), Inputs: []*plan.Node{sub}})
+	return o.price(&plan.Node{Op: plan.OpFilter, Preds: push, Inputs: []*plan.Node{sub}})
 }
 
 // lowerOrdered lowers a merge-join input and sorts it when its natural
@@ -146,7 +146,7 @@ func (o *Optimizer) lowerScan(n *LNode, push expr.PredSet) (*plan.Node, error) {
 		return o.price(&plan.Node{
 			Op: plan.OpAccess, Flavor: flavor,
 			Table: t.Name, Quantifier: n.Quant,
-			Cols: cols, Preds: preds.Slice(),
+			Cols: cols, Preds: preds,
 		})
 	}
 	path, pt := o.Cat.Path(n.Access)
@@ -162,14 +162,14 @@ func (o *Optimizer) lowerScan(n *LNode, push expr.PredSet) (*plan.Node, error) {
 	probe, err := o.price(&plan.Node{
 		Op: plan.OpAccess, Flavor: plan.FlavorIndex,
 		Table: t.Name, Quantifier: n.Quant, Path: path.Name,
-		Cols: probeCols, Preds: matched.Slice(),
+		Cols: probeCols, Preds: matched,
 	})
 	if err != nil || probe == nil {
 		return nil, err
 	}
 	var fetch []expr.ColID
 	for _, c := range cols {
-		if !plan.HasCol(probe.Props.Cols, c) {
+		if !plan.HasCol(probe.Props.Cols(), c) {
 			fetch = append(fetch, c)
 		}
 	}
@@ -179,7 +179,7 @@ func (o *Optimizer) lowerScan(n *LNode, push expr.PredSet) (*plan.Node, error) {
 	}
 	return o.price(&plan.Node{
 		Op: plan.OpGet, Table: t.Name, Quantifier: n.Quant,
-		Cols: fetch, Preds: rest.Slice(), Inputs: []*plan.Node{probe},
+		Cols: fetch, Preds: rest, Inputs: []*plan.Node{probe},
 	})
 }
 

@@ -146,7 +146,7 @@ func TestLowerProducesValidPricedPlans(t *testing.T) {
 	}
 	// Every query predicate applied somewhere.
 	for _, pr := range o.Graph.Preds.Slice() {
-		if !p.Props.Preds.Contains(pr) {
+		if !p.Props.Preds().Contains(pr) {
 			t.Fatalf("predicate %s dropped:\n%s", pr, plan.Explain(p))
 		}
 	}

@@ -98,21 +98,21 @@ func (n *LNode) Key() string {
 	return b.String()
 }
 
-// tables collects the quantifier set under n.
-func (n *LNode) tables(ts expr.TableSet) {
+// tables collects the quantifier names under n.
+func (n *LNode) tables(out *[]string) {
 	if n.Kind == LScan {
-		ts[n.Quant] = true
+		*out = append(*out, n.Quant)
 		return
 	}
-	n.L.tables(ts)
-	n.R.tables(ts)
+	n.L.tables(out)
+	n.R.tables(out)
 }
 
 // TableSet returns the quantifier set under n.
 func (n *LNode) TableSet() expr.TableSet {
-	ts := expr.TableSet{}
-	n.tables(ts)
-	return ts
+	var names []string
+	n.tables(&names)
+	return expr.NewTableSet(names...)
 }
 
 // complete reports whether every node carries its implementation
