@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test verify lint cover cover-demo bench enum-bench enum-check trend memprofile profile profile-demo trace-demo dag-demo serve serve-demo flight-demo experiments
+.PHONY: build test verify lint shapes obsguard fuzz-smoke cover cover-demo bench enum-bench enum-check trend memprofile profile profile-demo trace-demo dag-demo serve serve-demo flight-demo experiments
 
 build:
 	go build ./...
@@ -24,6 +24,29 @@ lint:
 	go run ./cmd/starburst lint -werror -ext outerjoin
 	@command -v staticcheck >/dev/null && staticcheck ./... || echo "staticcheck not installed; skipping"
 	@command -v govulncheck >/dev/null && govulncheck ./... || echo "govulncheck not installed; skipping"
+
+# Emit the plan-shape grammar the semantic lint pass infers for the
+# built-in repertoire (stars/shapes/v1; docs/LINTING.md). The committed
+# golden lives at testdata/shapes/builtin.shapes.json and is CI-diffed;
+# regenerate it with
+#   go test ./internal/starcheck -run TestBuiltinShapesGolden -update
+shapes:
+	go run ./cmd/starburst lint -shapes
+
+# Repo-specific go/analysis pass: every obs emit must be guard-dominated
+# so disabled observability stays zero-alloc (tools/analyzers/obsguard).
+# The vettool wrapper is a nested module (needs golang.org/x/tools, which
+# the main module deliberately does not depend on); the analyzer core and
+# its tests are plain stdlib and run under the ordinary `make test`.
+obsguard:
+	cd tools/analyzers/obsguard/vettool && go mod tidy && go build -o obsguard-vet .
+	go vet -vettool=tools/analyzers/obsguard/vettool/obsguard-vet ./...
+
+# Short-budget run of each native fuzz target over its seed corpus —
+# the same smoke CI runs on every push.
+fuzz-smoke:
+	go test ./internal/star -run FuzzParseFile -fuzz FuzzParseFile -fuzztime 20s
+	go test ./internal/coverage -run FuzzTemplate -fuzz FuzzTemplate -fuzztime 20s
 
 # Dynamic coverage: which STAR alternatives the bundled workload corpus
 # actually exercises — lint's runtime complement (docs/COVERAGE.md). The

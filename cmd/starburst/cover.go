@@ -22,9 +22,11 @@ import (
 //	starburst cover -json                  # stars/coverage/v1 JSON report
 //	starburst cover -annotate              # per-rule-file annotated source view
 //	starburst cover -min 80                # exit 1 below 80% alternative coverage
+//	starburst cover -shapes                # cross-check winning-plan shapes vs the grammar
 //	starburst cover a.json b.json          # replay saved provenance DAGs instead
 //
-// Exit status: 0 ok, 1 coverage below -min, 2 usage errors.
+// Exit status: 0 ok, 1 coverage below -min or a -shapes violation, 2 usage
+// errors.
 func coverMain(args []string) {
 	fs := flag.NewFlagSet("cover", flag.ExitOnError)
 	var (
@@ -33,6 +35,7 @@ func coverMain(args []string) {
 		jsonOut   = fs.Bool("json", false, "emit a stars/coverage/v1 JSON report instead of text")
 		annotate  = fs.Bool("annotate", false, "render the per-rule-file annotated source view")
 		min       = fs.Float64("min", -1, "fail (exit 1) when alternative coverage is below this percentage")
+		shapes    = fs.Bool("shapes", false, "cross-check observed winning-plan shapes against the inferred grammar (exit 1 on violations)")
 		parallel  = fs.Int("parallelism", 1, "join-enumeration worker fan-out per optimization")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -50,7 +53,11 @@ func coverMain(args []string) {
 	}
 
 	acc := stars.NewCoverageAccumulator()
+	shapeSet := stars.NewPlanShapeSet()
 	if fs.NArg() > 0 {
+		if *shapes {
+			fatal(fmt.Errorf("-shapes needs live optimizations to observe plan trees; it cannot replay provenance DAGs"))
+		}
 		// Replay mode: saved provenance DAGs instead of live runs.
 		for _, path := range fs.Args() {
 			f, err := os.Open(path)
@@ -70,13 +77,15 @@ func coverMain(args []string) {
 			sink := stars.NewSink()
 			o := opts
 			o.Obs = sink
-			if _, err := stars.Optimize(entry.Cat, entry.Query, o); err != nil {
+			res, err := stars.Optimize(entry.Cat, entry.Query, o)
+			if err != nil {
 				// A repertoire that cannot plan a corpus query (the
 				// outerjoin root is two-table by design, for instance)
 				// simply covers nothing on that entry.
 				fmt.Fprintf(os.Stderr, "cover: skipping %s: %v\n", entry.Name, err)
 				continue
 			}
+			shapeSet.Observe(res.Best)
 			acc.AddEvents(sink.Events())
 		}
 	}
@@ -103,9 +112,27 @@ func coverMain(args []string) {
 		fmt.Print(rep.Format())
 	}
 
+	fail := false
 	if *min >= 0 && !rep.Meets(*min) {
 		fmt.Fprintf(os.Stderr, "cover: coverage %.1f%% is below the -min %.1f%% threshold\n",
 			rep.Summary.CoveragePct, *min)
+		fail = true
+	}
+
+	if *shapes {
+		// Cross the winning plans' operator shapes against the grammar the
+		// semantic lint pass infers from the same repertoire. A violation
+		// means the optimizer built a tree the rules cannot generate (or
+		// the inference is wrong) — either way a bug, so exit 1.
+		check := shapeSet.CrossCheck(stars.Shapes(stars.EmpDeptCatalog(), opts))
+		fmt.Printf("\nplan-shape cross-check of the %s\n%s", target, check.Format())
+		if !check.Clean() {
+			fmt.Fprintln(os.Stderr, "cover: observed plan shapes violate the inferred grammar")
+			fail = true
+		}
+	}
+
+	if fail {
 		os.Exit(1)
 	}
 }

@@ -21,9 +21,13 @@ import (
 //	starburst lint -ext semijoin,bloom   # an extension's spliced repertoire
 //	starburst lint -json                 # stars/lint/v1 JSON report
 //	starburst lint -werror               # exit nonzero on warnings too
+//	starburst lint -syntactic            # skip the abstract-interpretation pass
+//	starburst lint -shapes               # emit the stars/shapes/v1 plan-shape grammar
 //
 // Exit status: 0 clean, 1 diagnostics at the failing level (errors, or any
-// finding under -werror), 2 usage errors.
+// finding under -werror), 2 usage errors. -shapes emits the inferred
+// grammar instead of diagnostics and always exits 0; the inference never
+// runs the optimizer, so the JSON is byte-deterministic for a repertoire.
 func lintMain(args []string) {
 	fs := flag.NewFlagSet("lint", flag.ExitOnError)
 	var (
@@ -32,6 +36,8 @@ func lintMain(args []string) {
 		catPath   = fs.String("catalog", "", "catalog JSON file (default: the EMP/DEPT demo catalog)")
 		jsonOut   = fs.Bool("json", false, "emit a stars/lint/v1 JSON report instead of text")
 		werror    = fs.Bool("werror", false, "treat warnings as errors (nonzero exit on any finding)")
+		syntactic = fs.Bool("syntactic", false, "run only the syntactic passes (skip SC1xx/SC2xx/SC3xx abstract interpretation)")
+		shapes    = fs.Bool("shapes", false, "emit the inferred stars/shapes/v1 plan-shape grammar JSON instead of diagnostics")
 	)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -47,7 +53,19 @@ func lintMain(args []string) {
 		fatal(err)
 	}
 
-	diags := stars.Lint(cat, opts)
+	if *shapes {
+		if err := stars.WriteShapesJSON(os.Stdout, stars.Shapes(cat, opts)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var diags []stars.LintDiag
+	if *syntactic {
+		diags = stars.LintSyntactic(cat, opts)
+	} else {
+		diags = stars.Lint(cat, opts)
+	}
 	if *jsonOut {
 		if err := stars.WriteLintJSON(os.Stdout, diags); err != nil {
 			fatal(err)

@@ -76,7 +76,7 @@ func profileMain(args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		sink.ProfPhase("parse", time.Since(t0), stars.HeapAllocs()-a0)
+		sink.ProfPhase("parse", time.Since(t0), stars.HeapAllocs()-a0) //obsguard:ignore one-shot CLI; profiling was just enabled above
 		if _, err := stars.Optimize(cat, g, o); err != nil {
 			fatal(err)
 		}

@@ -91,6 +91,11 @@ func Install(o *opt.Options) error {
 			Name:   "BLOOM",
 			Args:   []star.ArgKind{star.KindStream, star.KindPreds, star.KindSAP, star.KindPreds},
 			Result: star.KindSAP,
+			// Property effect: none. The output keeps the probe stream's
+			// properties (propertyFunc clones them); the site requirement
+			// re-achieved above the filter comes from the SHIP veneer Glue
+			// injects, not from BLOOM itself.
+			Produces: nil,
 		})
 		en.Cost.Register(OpBloom, propertyFunc)
 	}

@@ -71,6 +71,9 @@ func Install(o *opt.Options) error {
 			Name:   "OUTERJOIN",
 			Args:   []star.ArgKind{star.KindSAP, star.KindSAP, star.KindPreds, star.KindPreds},
 			Result: star.KindSAP,
+			// Property effect: none — the join preserves the outer's site
+			// and order (propertyFunc) and establishes nothing new.
+			Produces: nil,
 		})
 		en.Cost.Register(OpOuter, propertyFunc)
 	}

@@ -68,6 +68,9 @@ func Install(o *opt.Options) error {
 			Name:   "SEMIJOIN",
 			Args:   []star.ArgKind{star.KindStream, star.KindPreds, star.KindSAP, star.KindPreds},
 			Result: star.KindSAP,
+			// Property effect: none — the reduced inner keeps its own
+			// properties; any site movement is the SHIP veneer's doing.
+			Produces: nil,
 		})
 		en.Cost.Register(OpSemi, propertyFunc)
 	}

@@ -139,28 +139,29 @@ func TestDeadFixtureFlaggedAtZero(t *testing.T) {
 	rep := runCorpus(t, rules).Report(rules)
 	rep.CrossCheck(rules, starcheck.Config{})
 
-	var isam *coverage.AltReport
+	var arm *coverage.AltReport
 	for i := range rep.Rules {
 		if rep.Rules[i].Rule == "TableAccess" {
-			isam = &rep.Rules[i].Alternatives[0]
+			arm = &rep.Rules[i].Alternatives[0]
 		}
 	}
-	if isam == nil {
+	if arm == nil {
 		t.Fatal("TableAccess missing from report")
 	}
-	if isam.Exercised || isam.Fired != 0 {
-		t.Fatalf("the ISAM arm was exercised: %+v", isam)
+	if arm.Exercised || arm.Fired != 0 {
+		t.Fatalf("the missing-path arm was exercised: %+v", arm)
 	}
-	if isam.Rejected == 0 {
-		t.Errorf("the ISAM arm's guard was never evaluated: %+v", isam)
+	if arm.Rejected == 0 {
+		t.Errorf("the missing-path arm's guard was never evaluated: %+v", arm)
 	}
-	// The arm is lint-clean: its deadness is dynamic, not static — exactly
-	// what the cross-check is for.
-	if isam.StaticallyDead {
+	// The arm is lint-clean — even the semantic pass cannot decide
+	// pathPrefix over an unknown catalog: its deadness is dynamic, not
+	// static — exactly what the cross-check is for.
+	if arm.StaticallyDead {
 		t.Errorf("fixture arm must be statically clean, got flagged")
 	}
-	if !strings.Contains(isam.Cond, "isam") {
-		t.Errorf("cond = %q", isam.Cond)
+	if !strings.Contains(arm.Cond, "pathPrefix") {
+		t.Errorf("cond = %q", arm.Cond)
 	}
 	if rep.Meets(100) {
 		t.Error("a dead arm cannot yield 100% coverage")
@@ -171,6 +172,43 @@ func TestDeadFixtureFlaggedAtZero(t *testing.T) {
 	if !strings.Contains(rep.Annotate(), "[NEVER EXERCISED]") {
 		t.Errorf("annotated view missing the dead marker:\n%s", rep.Annotate())
 	}
+}
+
+// TestSemanticDeadFlowsIntoCrossCheck pins that the semantic codes (here
+// SC101 from the closed storage-manager vocabulary) reach the coverage
+// cross-check through StaticDeadCodes: the arm reports as statically dead,
+// an expected zero rather than a workload gap.
+func TestSemanticDeadFlowsIntoCrossCheck(t *testing.T) {
+	override, err := star.ParseFile(`
+star TableAccess(T, C, P) = {
+  | ACCESS('isam', T, C, P) if stmgr(T, 'isam')
+  | ACCESS('heap', T, C, P) if stmgr(T, 'heap')
+  | ACCESS('btree', T, C, P) otherwise
+}
+`, "semdead-override.star")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := star.DefaultRules()
+	rules.Merge(override)
+
+	rep := runCorpus(t, rules).Report(rules)
+	rep.CrossCheck(rules, starcheck.Config{})
+
+	for i := range rep.Rules {
+		if rep.Rules[i].Rule != "TableAccess" {
+			continue
+		}
+		arm := rep.Rules[i].Alternatives[0]
+		if arm.Exercised {
+			t.Fatalf("the 'isam' arm was exercised: %+v", arm)
+		}
+		if !arm.StaticallyDead {
+			t.Errorf("the 'isam' arm must be flagged statically dead (SC101): %+v", arm)
+		}
+		return
+	}
+	t.Fatal("TableAccess missing from report")
 }
 
 func TestMarkStaticallyDead(t *testing.T) {

@@ -1,0 +1,37 @@
+package coverage
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTemplate drives the SQL-template normalizer with arbitrary bytes.
+// Invariants: no panic on any input, idempotence (a template is its own
+// template — the ledger keys on the normalized form, so re-normalizing a
+// key must not move it to another bucket), and no whitespace damage (the
+// output never carries leading/trailing space or doubled spaces).
+func FuzzTemplate(f *testing.F) {
+	f.Add("SELECT NAME FROM EMP WHERE SAL > 100")
+	f.Add("SELECT * FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND DNO IN (1, 2, 3)")
+	f.Add("select 'o''brien', 1.5e-3, x FROM t")
+	f.Add("  spaced \t out \n query  ")
+	f.Add("'unterminated")
+	f.Add("IN(?,?,?)")
+	f.Add("\x00\xffé漢")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, sql string) {
+		tmpl := Template(sql)
+		if again := Template(tmpl); again != tmpl {
+			t.Fatalf("not idempotent:\n first: %q\nsecond: %q", tmpl, again)
+		}
+		if tmpl != strings.Trim(tmpl, " \t\n\r\v\f") {
+			t.Fatalf("template has edge whitespace: %q", tmpl)
+		}
+		if strings.Contains(tmpl, "  ") {
+			t.Fatalf("template has uncollapsed spaces: %q", tmpl)
+		}
+		if strings.ContainsAny(tmpl, "\t\n\r\v\f") {
+			t.Fatalf("template kept raw whitespace: %q", tmpl)
+		}
+	})
+}

@@ -25,7 +25,7 @@ func Template(sql string) string {
 	for i := 0; i < len(sql); i++ {
 		c := sql[i]
 		switch {
-		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f':
 			space = wrote
 			prevWord = false // whitespace ends an identifier
 			continue

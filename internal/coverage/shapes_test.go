@@ -1,0 +1,112 @@
+package coverage_test
+
+import (
+	"strings"
+	"testing"
+
+	"stars/internal/coverage"
+	"stars/internal/obs"
+	"stars/internal/opt"
+	"stars/internal/plan"
+	"stars/internal/star"
+	"stars/internal/starcheck"
+	"stars/internal/workload"
+)
+
+func builtinGrammar(t *testing.T) *starcheck.Grammar {
+	t.Helper()
+	g := starcheck.Shapes(star.DefaultRules(), starcheck.Config{})
+	if g == nil {
+		t.Fatal("Shapes returned nil for the builtin repertoire")
+	}
+	return g
+}
+
+func node(op plan.Op, inputs ...*plan.Node) *plan.Node {
+	return &plan.Node{Op: op, Inputs: inputs}
+}
+
+func TestShapeSetObserveDedupsSharedSubtrees(t *testing.T) {
+	leaf := node(plan.OpAccess)
+	tree := node(plan.OpJoin, node(plan.OpGet, leaf), node(plan.OpGet, leaf))
+	s := coverage.NewShapeSet()
+	s.Observe(tree)
+	s.Observe(tree) // a second plan with identical shape adds nothing
+	c := s.CrossCheck(builtinGrammar(t))
+	if c.ObservedOps != 3 {
+		t.Errorf("ObservedOps = %d, want 3 (JOIN, GET, ACCESS)", c.ObservedOps)
+	}
+	if c.ObservedEdges != 2 {
+		t.Errorf("ObservedEdges = %d, want 2 (JOIN->GET, GET->ACCESS)", c.ObservedEdges)
+	}
+	if !c.Clean() {
+		t.Errorf("expected clean check, got %+v", c)
+	}
+}
+
+func TestShapeCrossCheckFlagsViolations(t *testing.T) {
+	// FROBNICATE is no LOLEPOP, and no builtin production puts a JOIN
+	// directly under a GET (GET fetches columns over access-path shapes),
+	// so GET->JOIN is impossible. ACCESS would not do: it doubles as a
+	// paths-veneer op, and veneers may parent any Glue result.
+	s := coverage.NewShapeSet()
+	s.Observe(node("FROBNICATE", node(plan.OpGet, node(plan.OpJoin))))
+	c := s.CrossCheck(builtinGrammar(t))
+	if len(c.UnknownOps) != 1 || c.UnknownOps[0] != "FROBNICATE" {
+		t.Errorf("UnknownOps = %v, want [FROBNICATE]", c.UnknownOps)
+	}
+	var got []string
+	for _, e := range c.ImpossibleEdges {
+		got = append(got, e.Parent+"->"+e.Child)
+	}
+	want := "GET->JOIN"
+	found := false
+	for _, e := range got {
+		if e == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ImpossibleEdges = %v, want to include %s", got, want)
+	}
+	if c.Clean() {
+		t.Error("violating check must not be Clean")
+	}
+	out := c.Format()
+	if !strings.Contains(out, "VIOLATION: operator FROBNICATE") ||
+		!strings.Contains(out, "VIOLATION: adjacency GET -> JOIN") {
+		t.Errorf("Format missing violations:\n%s", out)
+	}
+}
+
+func TestShapeCrossCheckNilGrammar(t *testing.T) {
+	s := coverage.NewShapeSet()
+	s.Observe(node(plan.OpAccess))
+	c := s.CrossCheck(nil)
+	if !c.Clean() || c.ObservedOps != 1 {
+		t.Errorf("nil grammar: %+v", c)
+	}
+}
+
+// TestCorpusPlansFitInferredGrammar is the load-bearing direction of the
+// cross-check: every winning plan the workload corpus produces under the
+// builtin repertoire must be a tree the statically inferred grammar
+// generates. A violation means the abstract interpreter and the optimizer
+// disagree about what the rules can build.
+func TestCorpusPlansFitInferredGrammar(t *testing.T) {
+	s := coverage.NewShapeSet()
+	for _, entry := range workload.Corpus() {
+		res, err := opt.New(entry.Cat, opt.Options{Obs: obs.NewSink()}).Optimize(entry.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		s.Observe(res.Best)
+	}
+	c := s.CrossCheck(builtinGrammar(t))
+	if c.ObservedOps == 0 || c.ObservedEdges == 0 {
+		t.Fatal("corpus observed nothing")
+	}
+	if !c.Clean() {
+		t.Errorf("corpus plans violate the inferred grammar:\n%s", c.Format())
+	}
+}

@@ -18,6 +18,30 @@ import (
 // This is the hook behind `starburst lint` and the automatic warn-level lint
 // wherever -rules files load (CLI commands, serve boot).
 func Lint(cat *catalog.Catalog, o Options) []starcheck.Diag {
+	diags, _ := lint(cat, o, false)
+	return diags
+}
+
+// LintSyntactic is Lint restricted to the five syntactic passes — no
+// abstract interpretation, no SC1xx–SC3xx. `starburst lint -syntactic`
+// uses it; CI pins fixtures that are clean here but tripped by Lint.
+func LintSyntactic(cat *catalog.Catalog, o Options) []starcheck.Diag {
+	diags, _ := lint(cat, o, true)
+	return diags
+}
+
+// ShapeGrammar infers the plan-shape grammar of the rule set an
+// optimization with these options would run (see starcheck.Grammar): the
+// regular-tree grammar of operator trees the STARs and Glue veneers can
+// generate. Like Lint, it builds a probe engine only to collect what
+// Prepare registers — it never optimizes anything, so the output depends
+// solely on the rule text and signature table and is byte-deterministic.
+func ShapeGrammar(cat *catalog.Catalog, o Options) *starcheck.Grammar {
+	_, g := lint(cat, o, false)
+	return g
+}
+
+func lint(cat *catalog.Catalog, o Options, syntactic bool) ([]starcheck.Diag, *starcheck.Grammar) {
 	rules := o.Rules
 	if rules == nil {
 		rules = star.DefaultRules()
@@ -30,8 +54,9 @@ func Lint(cat *catalog.Catalog, o Options) []starcheck.Diag {
 	if o.Prepare != nil {
 		o.Prepare(en)
 	}
-	return starcheck.Check(rules, starcheck.Config{
+	return starcheck.CheckAndInfer(rules, starcheck.Config{
 		JoinRoot:   o.JoinRoot,
 		Signatures: en.Signatures(),
+		Syntactic:  syntactic,
 	})
 }

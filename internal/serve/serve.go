@@ -215,7 +215,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Options.Rules != nil {
 		// A custom repertoire serves every request of a long-lived daemon,
 		// so it is linted at boot: warnings go to the log, errors refuse to
-		// start (they would fail every optimization anyway).
+		// start (they would fail every optimization anyway). This is the
+		// full opt.Lint, semantic pass included — SC1xx/SC2xx/SC3xx
+		// findings about dead alternatives and impossible operators land
+		// in the boot log before the first request can hit them.
 		diags := opt.Lint(cfg.Catalog, cfg.Options)
 		for _, d := range diags {
 			cfg.Log.Printf("lint: %s", d)
@@ -618,10 +621,11 @@ func (s *Server) doLabeled(reqID, tmpl string, req OptimizeRequest) outcome {
 	}()
 
 	defer func() {
+		//obsguard:ignore once per request; the serving sink is never nil
 		sink.Emit(obs.Event{Name: EvRequestDone, A1: "/optimize",
 			N1: int64(status), F1: time.Since(start).Seconds()})
 	}()
-	sink.Emit(obs.Event{Name: EvRequest, A1: "/optimize", A2: req.SQL})
+	sink.Emit(obs.Event{Name: EvRequest, A1: "/optimize", A2: req.SQL}) //obsguard:ignore once per request; the serving sink is never nil
 
 	fail := func(st int, err error) outcome {
 		status = st
@@ -634,7 +638,7 @@ func (s *Server) doLabeled(reqID, tmpl string, req OptimizeRequest) outcome {
 	// explicitly as the "parse" phase (no-op when profiling is off).
 	pa, pt := obs.HeapAllocs(), time.Now()
 	g, err := sqlparse.Parse(req.SQL, s.cfg.Catalog)
-	sink.ProfPhase("parse", time.Since(pt), obs.HeapAllocs()-pa)
+	sink.ProfPhase("parse", time.Since(pt), obs.HeapAllocs()-pa) //obsguard:ignore once per request; ProfPhase args are alloc-free
 	if err != nil {
 		return fail(http.StatusBadRequest, err)
 	}

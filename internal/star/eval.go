@@ -346,7 +346,9 @@ func (en *Engine) EvalRule(name string, args []Value) (out []*plan.Node, err err
 				out = append(out, p)
 			}
 		}
-		en.Obs.Emit(obs.Event{Name: obs.EvAltFired, A1: name, Depth: en.depth + 1, N1: int64(i + 1), N2: int64(len(v.SAP))})
+		if en.Obs.Enabled() {
+			en.Obs.Emit(obs.Event{Name: obs.EvAltFired, A1: name, Depth: en.depth + 1, N1: int64(i + 1), N2: int64(len(v.SAP))})
+		}
 		if rule.Exclusive {
 			break
 		}

@@ -1,0 +1,49 @@
+package star
+
+import (
+	"testing"
+)
+
+// FuzzParseFile drives the STAR lexer and parser with arbitrary bytes. The
+// invariants are crash-freedom (no panic, no hang on any input) and
+// determinism (the same text parses to the same outcome twice — rule names
+// and error text included — which is what lets lint goldens and the shapes
+// grammar be byte-reproducible).
+func FuzzParseFile(f *testing.F) {
+	f.Add(DefaultRuleText)
+	f.Add("star R(T, P) = Glue(T, P)")
+	f.Add("star R(T, C, P) = { | ACCESS('heap', T, C, P) if stmgr(T, 'heap') | ACCESS('btree', T, C, P) otherwise }")
+	f.Add("star J(Q) = [ | forall q in Q: Access(q) if nonempty(q) ]")
+	f.Add("star S(T, P) = SORT(Glue(T[temp], P), sortCols(P, T)) where SP = joinPreds(P, T)")
+	f.Add("# lint: root\nstar Root(T) = T[site = 'hq', order = tidcol(T)]")
+	f.Add("star Broken(")
+	f.Add("star X() = [ | ] {} 'unterminated")
+	f.Add("\x00\xff星")
+	f.Fuzz(func(t *testing.T, src string) {
+		rs1, err1 := ParseFile(src, "fuzz.star")
+		rs2, err2 := ParseFile(src, "fuzz.star")
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic outcome: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			if err1.Error() != err2.Error() {
+				t.Fatalf("nondeterministic error: %q vs %q", err1, err2)
+			}
+			return
+		}
+		n1, n2 := rs1.Names(), rs2.Names()
+		if len(n1) != len(n2) {
+			t.Fatalf("nondeterministic rule count: %d vs %d", len(n1), len(n2))
+		}
+		for i := range n1 {
+			if n1[i] != n2[i] {
+				t.Fatalf("nondeterministic rule order: %v vs %v", n1, n2)
+			}
+		}
+		for _, name := range n1 {
+			if rs1.Get(name) == nil {
+				t.Fatalf("Names lists %q but Get returns nil", name)
+			}
+		}
+	})
+}

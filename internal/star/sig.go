@@ -82,6 +82,23 @@ type Signature struct {
 	// (an extension builder/helper): the reference pass verifies only that
 	// the name resolves.
 	ArityUnknown bool
+	// Produces lists the required-property keys (of "order", "site",
+	// "temp", "paths") the callable can establish on its output stream —
+	// the operator's property effect. The semantic analyzer proves each
+	// property a rule set can require has some producer; an operator that
+	// merely preserves or consumes properties declares nothing.
+	Produces []string
+}
+
+// ProducesProp reports whether the signature declares it can establish the
+// required-property key.
+func (s Signature) ProducesProp(key string) bool {
+	for _, k := range s.Produces {
+		if k == key {
+			return true
+		}
+	}
+	return false
 }
 
 // SigTable maps callable names to signatures.
@@ -124,14 +141,17 @@ var GlueSignature = Signature{
 var builtinSigs = []Signature{
 	GlueSignature,
 
-	// LOLEPOP builders (all produce a SAP).
-	{Name: "ACCESS", Args: []ArgKind{KindStr, KindStream | KindSAP | KindStr, KindCols | KindAllCols, KindPreds}, Result: KindSAP},
+	// LOLEPOP builders (all produce a SAP). Produces declares each
+	// operator's property effect: an index-flavor ACCESS delivers key
+	// order and is itself an access path; the four veneer operators
+	// establish exactly the property Glue injects them for.
+	{Name: "ACCESS", Args: []ArgKind{KindStr, KindStream | KindSAP | KindStr, KindCols | KindAllCols, KindPreds}, Result: KindSAP, Produces: []string{"order", "paths"}},
 	{Name: "GET", Args: []ArgKind{KindSAP, KindStream, KindCols | KindAllCols, KindPreds}, Result: KindSAP},
-	{Name: "SORT", Args: []ArgKind{KindSAP, KindCols}, Result: KindSAP},
-	{Name: "SHIP", Args: []ArgKind{KindSAP, KindStr}, Result: KindSAP},
-	{Name: "STORE", Args: []ArgKind{KindSAP}, Result: KindSAP},
+	{Name: "SORT", Args: []ArgKind{KindSAP, KindCols}, Result: KindSAP, Produces: []string{"order"}},
+	{Name: "SHIP", Args: []ArgKind{KindSAP, KindStr}, Result: KindSAP, Produces: []string{"site"}},
+	{Name: "STORE", Args: []ArgKind{KindSAP}, Result: KindSAP, Produces: []string{"temp"}},
 	{Name: "FILTER", Args: []ArgKind{KindSAP, KindPreds}, Result: KindSAP},
-	{Name: "BUILDINDEX", Args: []ArgKind{KindSAP, KindCols}, Result: KindSAP},
+	{Name: "BUILDINDEX", Args: []ArgKind{KindSAP, KindCols}, Result: KindSAP, Produces: []string{"paths"}},
 	{Name: "JOIN", Args: []ArgKind{KindStr, KindSAP, KindSAP, KindPreds, KindPreds}, Result: KindSAP},
 	{Name: "IXAND", Args: []ArgKind{KindSAP, KindSAP}, Result: KindSAP},
 

@@ -1,0 +1,60 @@
+package starcheck
+
+import "sort"
+
+// CodeInfo describes one registered diagnostic code: the stable code, the
+// severity it is graded at, and a short title. docs/LINTING.md's code
+// catalog is generated from this registry and a golden meta-test keeps the
+// two in lockstep (go test ./internal/starcheck -run TestDocsCatalog
+// -update regenerates the docs table).
+type CodeInfo struct {
+	Code     string
+	Severity Severity
+	Title    string
+}
+
+// codeTitles gives every registered code a one-line title. The registry
+// test fails on a code graded in severityOf but missing here (and vice
+// versa), so the catalog cannot drift.
+var codeTitles = map[string]string{
+	CodeUndefined:           "reference to an undefined name",
+	CodeStarArity:           "STAR called with the wrong number of arguments",
+	CodeGlueShape:           "malformed Glue call",
+	CodeCallArity:           "builder or helper called with the wrong arity",
+	CodeUnreachable:         "STAR unreachable from any entry point",
+	CodeShadowed:            "alternative shadowed by an earlier unconditional arm",
+	CodeDuplicateGuard:      "alternative repeats an earlier guard verbatim",
+	CodeOtherwiseNeverFires: "OTHERWISE arm that can never fire",
+	CodeContradiction:       "alternative dead by guard contradiction",
+	CodeMissingRoot:         "expected entry-point STAR is not defined",
+	CodeCycle:               "recursive cycle with no decreasing argument",
+	CodeSelfRecursion:       "self-recursion with unchanged parameters",
+	CodeBadReqKey:           "unknown required-property key",
+	CodeBadReqValue:         "required-property value of the wrong shape",
+	CodeNoVeneer:            "required property no veneer operator can satisfy",
+	CodeArgKind:             "argument kind cannot match the declared signature",
+	CodeAnnotNonStream:      "property annotation on a non-stream expression",
+	CodeUnusedParam:         "parameter nothing references",
+	CodeUnusedWhere:         "where-binding nothing references",
+	CodeUseBeforeDef:        "where-binding used before it is defined",
+	CodeRedefinition:        "redefinition drops an earlier rule's alternatives",
+	CodeShadowedParam:       "where-binding shadows a parameter",
+	CodeUnboundName:         "identifier bound by nothing in scope",
+	CodeUnsatGuard:          "condition unsatisfiable under the inferred domains",
+	CodeSemShadowed:         "alternative shadowed by a semantic tautology",
+	CodeUnderivableProp:     "required property with no declared producer",
+	CodeRedundantReq:        "annotation re-requires what is already certain",
+	CodeImpossibleOp:        "LOLEPOP that can appear in no generated plan",
+	CodeEmptyLanguage:       "STAR that generates the empty language",
+}
+
+// Codes returns every registered diagnostic code, sorted, with severity
+// and title.
+func Codes() []CodeInfo {
+	out := make([]CodeInfo, 0, len(severityOf))
+	for code, sev := range severityOf {
+		out = append(out, CodeInfo{Code: code, Severity: sev, Title: codeTitles[code]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}

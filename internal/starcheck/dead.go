@@ -4,14 +4,21 @@ package starcheck
 // can never be exercised at runtime: SC010 (rule unreachable from any entry
 // point), SC011 (alternative shadowed by an earlier unconditional arm),
 // SC012 (verbatim-duplicate guard in an exclusive rule), SC013 (OTHERWISE
-// that can never fire), SC014 (guard contradiction). Coverage tooling uses
-// this set to separate expected zeros from genuine workload gaps.
+// that can never fire), SC014 (guard contradiction), plus the semantic
+// proofs — SC101 (unsatisfiable condition), SC102 (semantic tautology
+// shadowing the alternative), SC201 (a required property no registered
+// operator produces, so the alternative's requirement can never be met).
+// Coverage tooling uses this set to separate expected zeros from genuine
+// workload gaps.
 var StaticDeadCodes = map[string]bool{
 	CodeUnreachable:         true,
 	CodeShadowed:            true,
 	CodeDuplicateGuard:      true,
 	CodeOtherwiseNeverFires: true,
 	CodeContradiction:       true,
+	CodeUnsatGuard:          true,
+	CodeSemShadowed:         true,
+	CodeUnderivableProp:     true,
 }
 
 // StaticallyDead distills a diagnostic list to the (rule, alternative)

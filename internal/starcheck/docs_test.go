@@ -1,0 +1,80 @@
+package starcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const (
+	catalogBegin = "<!-- BEGIN GENERATED CODE CATALOG (starcheck.Codes) -->"
+	catalogEnd   = "<!-- END GENERATED CODE CATALOG -->"
+)
+
+// renderCatalog is the single source of the docs table: one row per
+// registered code, sorted, exactly once.
+func renderCatalog() string {
+	var b strings.Builder
+	b.WriteString("| code | severity | title |\n|---|---|---|\n")
+	for _, c := range Codes() {
+		b.WriteString("| " + c.Code + " | " + c.Severity.String() + " | " + c.Title + " |\n")
+	}
+	return b.String()
+}
+
+// TestDocsCatalog pins docs/LINTING.md's code catalog to the registry:
+// the generated block must contain every registered SC code exactly once,
+// with its current severity and title. Regenerate with
+//
+//	go test ./internal/starcheck -run TestDocsCatalog -update
+func TestDocsCatalog(t *testing.T) {
+	path := filepath.Join("..", "..", "docs", "LINTING.md")
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	begin := strings.Index(text, catalogBegin)
+	end := strings.Index(text, catalogEnd)
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("%s is missing the generated-catalog markers", path)
+	}
+	want := catalogBegin + "\n" + renderCatalog() + catalogEnd
+	got := text[begin : end+len(catalogEnd)]
+	if *update {
+		if got == want {
+			return
+		}
+		out := text[:begin] + want + text[end+len(catalogEnd):]
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	if got != want {
+		t.Errorf("docs code catalog drifted from the registry; run with -update.\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	// Exactly once: no code may appear twice inside the block (a stale
+	// hand-written row surviving next to the generated one).
+	for _, c := range Codes() {
+		if n := strings.Count(got, "| "+c.Code+" |"); n != 1 {
+			t.Errorf("code %s appears %d times in the catalog block, want exactly 1", c.Code, n)
+		}
+	}
+}
+
+// TestCodeRegistryComplete keeps the severity grading and the title table
+// keyed to the same code set, so Codes() can never return a blank row.
+func TestCodeRegistryComplete(t *testing.T) {
+	for code := range severityOf {
+		if codeTitles[code] == "" {
+			t.Errorf("code %s graded in severityOf but has no title", code)
+		}
+	}
+	for code := range codeTitles {
+		if _, ok := severityOf[code]; !ok {
+			t.Errorf("code %s titled but not graded in severityOf", code)
+		}
+	}
+}

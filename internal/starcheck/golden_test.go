@@ -14,14 +14,27 @@ var update = flag.Bool("update", false, "rewrite the lint corpus golden files")
 
 // corpusConfig picks the lint configuration for one corpus file. Files whose
 // name contains "noveneer" are linted with the SORT signature removed, so
-// the order-requirement coverage warning (SC032) has a positive case; every
-// other file uses the default configuration (auto roots, builtin
-// signatures).
+// the order-requirement coverage warning (SC032) has a positive case;
+// "semnoprod" removes SHIP so the site requirement has no producer at all
+// (SC201); the other sem* fixtures declare their entry points explicitly so
+// the semantic pass sees their rules as live. Every other file uses the
+// default configuration (auto roots, builtin signatures).
 func corpusConfig(name string) Config {
-	if strings.Contains(name, "noveneer") {
+	switch {
+	case strings.Contains(name, "noveneer"):
 		sigs := star.BuiltinSignatures()
 		delete(sigs, "SORT")
 		return Config{Signatures: sigs}
+	case strings.Contains(name, "semnoprod"):
+		sigs := star.BuiltinSignatures()
+		delete(sigs, "SHIP")
+		return Config{Signatures: sigs, Roots: []string{"Root"}}
+	case strings.Contains(name, "semdead"), strings.Contains(name, "semtauto"):
+		return Config{Roots: []string{"TableAccess"}}
+	case strings.Contains(name, "semprops"):
+		return Config{Roots: []string{"Wrap"}}
+	case strings.Contains(name, "semshape"):
+		return Config{Roots: []string{"Root"}}
 	}
 	return Config{}
 }
@@ -88,5 +101,46 @@ func TestCorpusCoversEveryCode(t *testing.T) {
 		if !strings.Contains(all.String(), "["+code+"]") {
 			t.Errorf("code %s has no positive case in testdata/lint", code)
 		}
+	}
+}
+
+// TestBuiltinShapesGolden pins the builtin repertoire's inferred plan-shape
+// grammar (stars/shapes/v1). The JSON is canonical — sorted keys, stable
+// ordering — so any drift is a real change to what the rules can generate
+// and must be reviewed. Regenerate with
+//
+//	go test ./internal/starcheck -run TestBuiltinShapesGolden -update
+func TestBuiltinShapesGolden(t *testing.T) {
+	g := Shapes(star.DefaultRules(), Config{})
+	if g == nil {
+		t.Fatal("Shapes returned nil for the builtin repertoire")
+	}
+	got, err := g.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Shapes(star.DefaultRules(), Config{}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(again) {
+		t.Fatal("shape grammar JSON is not byte-deterministic across runs")
+	}
+	goldenPath := filepath.Join("..", "..", "testdata", "shapes", "builtin.shapes.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("builtin shape grammar drifted from %s:\n--- got ---\n%s", goldenPath, got)
 	}
 }

@@ -1,0 +1,493 @@
+package semantic
+
+import (
+	"sort"
+	"strings"
+)
+
+// Verdict is three-valued (Kleene) truth: guard conditions evaluate over
+// abstract values, so "don't know" is the common case and the analysis only
+// acts on proofs.
+type Verdict uint8
+
+// The verdicts. Unknown is the zero value.
+const (
+	Unknown Verdict = iota
+	True
+	False
+)
+
+// not negates a verdict (Unknown stays Unknown).
+func (v Verdict) not() Verdict {
+	switch v {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Unknown
+}
+
+// subsets records proven ⊆ facts between predicate-set atoms: every
+// classifier result (joinPreds(P, ...) and friends) is a subset of its
+// source set. The relation is queried reflexively and transitively.
+type subsets struct {
+	super map[string]map[string]bool
+}
+
+func newSubsets() *subsets { return &subsets{super: map[string]map[string]bool{}} }
+
+// add records sub ⊆ sup.
+func (s *subsets) add(sub, sup string) {
+	if sub == "" || sup == "" || sub == sup {
+		return
+	}
+	m := s.super[sub]
+	if m == nil {
+		m = map[string]bool{}
+		s.super[sub] = m
+	}
+	m[sup] = true
+}
+
+// holds reports whether sub ⊆ sup is provable (reflexive, transitive).
+func (s *subsets) holds(sub, sup string) bool {
+	if sub == sup {
+		return true
+	}
+	return s.reach(sub, sup, map[string]bool{})
+}
+
+func (s *subsets) reach(from, to string, seen map[string]bool) bool {
+	if seen[from] {
+		return false
+	}
+	seen[from] = true
+	for next := range s.super[from] {
+		if next == to || s.reach(next, to, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// term is one symbolic difference: the set named base minus every atom in
+// minus. A term is provably empty when base is excluded by its own minus
+// set (base ∈ minus, or base ⊆ some subtracted atom).
+type term struct {
+	base  string
+	minus []string // sorted, unique
+}
+
+func (t term) key() string {
+	if len(t.minus) == 0 {
+		return t.base
+	}
+	return t.base + `\{` + strings.Join(t.minus, ",") + `}`
+}
+
+// excludedBy reports whether an atom is provably removed by a subtraction
+// list: it appears verbatim or is a subset of a subtracted atom.
+func excludedBy(sub *subsets, atom string, minus []string) bool {
+	for _, m := range minus {
+		if atom == m || sub.holds(atom, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// AbsPreds abstracts one predicate-set value as a union of symbolic
+// difference terms. approx marks the terms as an upper bound only (the
+// concrete set is some subset of the union); emptiness of an upper bound
+// still proves emptiness of the value. top is the unconstrained element.
+type AbsPreds struct {
+	top    bool
+	approx bool
+	terms  []term
+}
+
+func predsTop() AbsPreds   { return AbsPreds{top: true} }
+func predsEmpty() AbsPreds { return AbsPreds{} }
+func predsAtom(key string) AbsPreds {
+	if key == "" {
+		return predsTop()
+	}
+	return AbsPreds{terms: []term{{base: key}}}
+}
+
+// normalize drops provably-empty terms, dedupes, and sorts, so equal
+// abstractions render equal keys.
+func normalize(sub *subsets, p AbsPreds) AbsPreds {
+	if p.top {
+		return p
+	}
+	seen := map[string]bool{}
+	var out []term
+	for _, t := range p.terms {
+		if excludedBy(sub, t.base, t.minus) {
+			continue
+		}
+		k := t.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	p.terms = out
+	return p
+}
+
+// predsKey renders the canonical identity of an exact abstraction; approx
+// and top values have no identity ("") because equal renderings of upper
+// bounds do not imply equal concrete sets.
+func predsKey(p AbsPreds) string {
+	if p.top || p.approx {
+		return ""
+	}
+	if len(p.terms) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(p.terms))
+	for i, t := range p.terms {
+		parts[i] = t.key()
+	}
+	return strings.Join(parts, "+")
+}
+
+// isEmpty proves emptiness: an (even approximate) upper bound with no
+// surviving terms is empty; anything else is unknown — atoms may be empty
+// at run time, so non-emptiness is never provable from structure alone.
+func isEmpty(p AbsPreds) Verdict {
+	if !p.top && len(p.terms) == 0 {
+		return True
+	}
+	return Unknown
+}
+
+func addKey(keys []string, k string) []string {
+	i := sort.SearchStrings(keys, k)
+	if i < len(keys) && keys[i] == k {
+		return keys
+	}
+	out := make([]string, 0, len(keys)+1)
+	out = append(out, keys[:i]...)
+	out = append(out, k)
+	return append(out, keys[i:]...)
+}
+
+func mergeKeys(a, b []string) []string {
+	out := append([]string(nil), a...)
+	for _, k := range b {
+		out = addKey(out, k)
+	}
+	return out
+}
+
+// union is exact set union of the term lists.
+func (s *subsets) union(a, b AbsPreds) AbsPreds {
+	if a.top || b.top {
+		return predsTop()
+	}
+	out := AbsPreds{
+		approx: a.approx || b.approx,
+		terms:  append(append([]term(nil), a.terms...), b.terms...),
+	}
+	return normalize(s, out)
+}
+
+// minus is symbolic set difference. Subtracting a plain atom refines each
+// term exactly; subtracting a difference term (or an approximate value)
+// cannot shrink the terms soundly, so the result keeps a's terms as an
+// upper bound.
+func (s *subsets) minus(a, b AbsPreds) AbsPreds {
+	if a.top {
+		return predsTop()
+	}
+	if b.top || b.approx {
+		return normalize(s, AbsPreds{approx: true, terms: a.terms})
+	}
+	out := AbsPreds{approx: a.approx}
+	out.terms = make([]term, len(a.terms))
+	for i, t := range a.terms {
+		out.terms[i] = term{base: t.base, minus: append([]string(nil), t.minus...)}
+	}
+	for _, bt := range b.terms {
+		if len(bt.minus) == 0 {
+			for i := range out.terms {
+				out.terms[i].minus = addKey(out.terms[i].minus, bt.base)
+			}
+		} else {
+			out.approx = true
+		}
+	}
+	return normalize(s, out)
+}
+
+// intersect is symbolic intersection: term pairs whose bases are provably
+// disjoint (one base excluded by the other's subtraction list) drop out;
+// comparable bases keep the smaller with merged subtractions; incomparable
+// bases keep one side as an upper bound.
+func (s *subsets) intersect(a, b AbsPreds) AbsPreds {
+	if isEmpty(a) == True || isEmpty(b) == True {
+		return predsEmpty()
+	}
+	if a.top {
+		return normalize(s, AbsPreds{approx: true, terms: b.terms})
+	}
+	if b.top {
+		return normalize(s, AbsPreds{approx: true, terms: a.terms})
+	}
+	out := AbsPreds{approx: a.approx || b.approx}
+	for _, ta := range a.terms {
+		for _, tb := range b.terms {
+			if excludedBy(s, ta.base, tb.minus) || excludedBy(s, tb.base, ta.minus) {
+				continue
+			}
+			switch {
+			case s.holds(ta.base, tb.base):
+				out.terms = append(out.terms, term{base: ta.base, minus: mergeKeys(ta.minus, tb.minus)})
+			case s.holds(tb.base, ta.base):
+				out.terms = append(out.terms, term{base: tb.base, minus: mergeKeys(ta.minus, tb.minus)})
+			default:
+				// Incomparable bases: the intersection is contained in
+				// either side; keep the left term as an upper bound.
+				out.terms = append(out.terms, term{base: ta.base, minus: mergeKeys(ta.minus, tb.minus)})
+				out.approx = true
+			}
+		}
+	}
+	return normalize(s, out)
+}
+
+// strDom abstracts a string value as a small set of possible literals, or
+// "any string".
+type strDom struct {
+	any  bool
+	vals []string // sorted, unique; bounded
+}
+
+const strDomCap = 4
+
+func strLit(v string) strDom { return strDom{vals: []string{v}} }
+func strAny() strDom         { return strDom{any: true} }
+
+func (d strDom) join(o strDom) strDom {
+	if d.any || o.any {
+		return strAny()
+	}
+	out := strDom{vals: mergeKeys(d.vals, o.vals)}
+	if len(out.vals) > strDomCap {
+		return strAny()
+	}
+	return out
+}
+
+// reqState is the per-property requirement lattice a stream accumulates:
+// Never (no path requires it), Always (every path requires it, with one
+// canonical value), Maybe (some path may require it, or the value varies).
+type reqState uint8
+
+const (
+	reqNever reqState = iota
+	reqAlways
+	reqMaybe
+)
+
+// absReq is one property key's requirement state; val is the canonical
+// identity of the required value when state is reqAlways ("" for the bare
+// temp flag, or when the value has no identity).
+type absReq struct {
+	state reqState
+	val   string
+}
+
+func (r absReq) join(o absReq) absReq {
+	if r.state == reqNever && o.state == reqNever {
+		return absReq{}
+	}
+	if r.state == reqAlways && o.state == reqAlways && r.val == o.val {
+		return r
+	}
+	return absReq{state: reqMaybe}
+}
+
+// reqKeys are the required-property keys, in rendering order.
+var reqKeys = []string{"order", "site", "temp", "paths"}
+
+// AbsStream abstracts a stream value: the requirement state it has
+// accumulated per property key. (The underlying quantifier set is carried
+// by the value's identity key, not here.)
+type AbsStream struct {
+	Order, Site, Temp, Paths absReq
+}
+
+// streamMaybe is the unconstrained stream: every property may or may not
+// be required (root parameters, unknown values).
+func streamMaybe() AbsStream {
+	m := absReq{state: reqMaybe}
+	return AbsStream{Order: m, Site: m, Temp: m, Paths: m}
+}
+
+func (s AbsStream) get(key string) absReq {
+	switch key {
+	case "order":
+		return s.Order
+	case "site":
+		return s.Site
+	case "temp":
+		return s.Temp
+	case "paths":
+		return s.Paths
+	}
+	return absReq{}
+}
+
+func (s *AbsStream) set(key string, r absReq) {
+	switch key {
+	case "order":
+		s.Order = r
+	case "site":
+		s.Site = r
+	case "temp":
+		s.Temp = r
+	case "paths":
+		s.Paths = r
+	}
+}
+
+func (s AbsStream) join(o AbsStream) AbsStream {
+	return AbsStream{
+		Order: s.Order.join(o.Order),
+		Site:  s.Site.join(o.Site),
+		Temp:  s.Temp.join(o.Temp),
+		Paths: s.Paths.join(o.Paths),
+	}
+}
+
+// VK is an abstract value's kind.
+type VK uint8
+
+// The abstract kinds. VTop is "any kind" (an unconstrained parameter).
+const (
+	VTop VK = iota
+	VPreds
+	VStream
+	VSAP
+	VStr
+	VNum
+	VBool
+	VCols
+	VList
+)
+
+// AbsVal is one abstract rule-language value. Key is the value's canonical
+// identity: two values with equal non-empty keys are provably the same
+// concrete value within one rule evaluation, which is what makes symbolic
+// set reasoning (minus(P, P) = ∅) sound. An empty key means "no identity".
+type AbsVal struct {
+	Kind   VK
+	Key    string
+	Preds  AbsPreds  // Kind == VPreds
+	Str    strDom    // Kind == VStr
+	Stream AbsStream // Kind == VStream, or StreamKnown
+	// StreamKnown marks Stream as meaningful even when Kind is not
+	// VStream: root parameters (the driver passes plain quantifiers) and
+	// freshly built plans (STAR references, operator outputs) are known to
+	// carry no accumulated requirements, which is what lets the veneer set
+	// stay tight. Without it, coercion assumes every property Maybe.
+	StreamKnown bool
+}
+
+func top() AbsVal { return AbsVal{Kind: VTop} }
+
+// eq reports abstract-value equality (fixpoint convergence test).
+func (v AbsVal) eq(o AbsVal) bool {
+	if v.Kind != o.Kind || v.Key != o.Key {
+		return false
+	}
+	if v.Kind == VPreds {
+		if v.Preds.top != o.Preds.top || v.Preds.approx != o.Preds.approx || len(v.Preds.terms) != len(o.Preds.terms) {
+			return false
+		}
+		for i := range v.Preds.terms {
+			if v.Preds.terms[i].key() != o.Preds.terms[i].key() {
+				return false
+			}
+		}
+	}
+	if v.Kind == VStr {
+		if v.Str.any != o.Str.any || len(v.Str.vals) != len(o.Str.vals) {
+			return false
+		}
+		for i := range v.Str.vals {
+			if v.Str.vals[i] != o.Str.vals[i] {
+				return false
+			}
+		}
+	}
+	if v.StreamKnown != o.StreamKnown {
+		return false
+	}
+	if (v.Kind == VStream || v.StreamKnown) && v.Stream != o.Stream {
+		return false
+	}
+	return true
+}
+
+// streamOf is the requirement state of a value viewed as a stream, and
+// whether that state is actually known.
+func streamOf(v AbsVal) (AbsStream, bool) {
+	if v.Kind == VStream || v.StreamKnown {
+		return v.Stream, true
+	}
+	return streamMaybe(), false
+}
+
+// joinVal is the least upper bound of two call-site values for one
+// parameter. ownerKey is the parameter's own identity ("Rule.P"), a sound
+// fallback: within any one evaluation the parameter holds one fixed value.
+func joinVal(a, b AbsVal, ownerKey string) AbsVal {
+	if a.eq(b) {
+		return a
+	}
+	key := ownerKey
+	if a.Key != "" && a.Key == b.Key {
+		key = a.Key
+	}
+	// Stream knowledge joins across kinds: a site that passes an annotated
+	// stream and one that passes a bare root parameter still yields a known
+	// (if widened) requirement state.
+	sa, ka := streamOf(a)
+	sb, kb := streamOf(b)
+	if a.Kind != b.Kind {
+		out := AbsVal{Kind: VTop, Key: key}
+		if ka && kb {
+			out.StreamKnown = true
+			out.Stream = sa.join(sb)
+		}
+		return out
+	}
+	out := AbsVal{Kind: a.Kind, Key: key}
+	switch a.Kind {
+	case VPreds:
+		if a.Key != "" && a.Key == b.Key {
+			out.Preds = a.Preds
+			out.Preds.approx = a.Preds.approx || b.Preds.approx
+		} else {
+			out.Preds = predsAtom(key)
+		}
+	case VStr:
+		out.Str = a.Str.join(b.Str)
+	case VStream:
+		out.Stream = sa.join(sb)
+	default:
+		if ka && kb {
+			out.StreamKnown = true
+			out.Stream = sa.join(sb)
+		}
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package semantic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stars/internal/star"
+)
+
+// checkGuards evaluates every live alternative's condition of
+// applicability over the rule's stable abstract environment: a provably
+// false condition makes the alternative semantically dead (SC101); a
+// provably true condition makes every later alternative of an exclusive
+// rule — and any later OTHERWISE arm — unreachable (SC102).
+func (a *analysis) checkGuards(st *ruleState) {
+	r := st.rule
+	env := a.ruleEnv(st, nil)
+	tautAlt, tautCond, tautReason := 0, "", ""
+	for i, alt := range r.Alts {
+		ord := i + 1
+		if a.deadAlt(r.Name, ord) {
+			continue
+		}
+		if tautAlt > 0 && (r.Exclusive || alt.Otherwise) {
+			a.semDeadMark(r.Name, ord)
+			what := fmt.Sprintf("alternative %d", ord)
+			if alt.Otherwise {
+				what = "the OTHERWISE arm"
+			}
+			a.addFinding(CodeSemShadowed, r.Name, ord, alt.Pos,
+				"%s of %s can never fire: alternative %d's condition %s is a semantic tautology (%s)",
+				what, r.Name, tautAlt, tautCond, tautReason)
+			continue
+		}
+		if alt.Cond != nil {
+			v, reason := a.evalCond(alt.Cond, env, map[string]Verdict{})
+			switch {
+			case v == False:
+				a.semDeadMark(r.Name, ord)
+				a.addFinding(CodeUnsatGuard, r.Name, ord, condPos(alt),
+					"alternative %d of %s is semantically dead: condition %s is unsatisfiable (%s)",
+					ord, r.Name, alt.Cond, reason)
+				continue
+			case v == True && tautAlt == 0 && i < len(r.Alts)-1:
+				tautAlt, tautCond, tautReason = ord, alt.Cond.String(), reason
+			}
+		}
+		a.checkForallConds(r, ord, alt.Body, env)
+	}
+}
+
+// condPos locates an alternative's condition, falling back to the
+// alternative itself.
+func condPos(alt *star.Alt) star.Pos {
+	if p := star.ExprPos(alt.Cond); p.IsValid() {
+		return p
+	}
+	return alt.Pos
+}
+
+// checkForallConds walks the forall spine of an alternative body: a
+// per-element condition no element can satisfy means the forall unions
+// zero plans, so the whole alternative is dead.
+func (a *analysis) checkForallConds(r *star.Rule, ord int, e star.RExpr, env map[string]AbsVal) {
+	switch n := e.(type) {
+	case *star.Annot:
+		a.checkForallConds(r, ord, n.Kid, env)
+	case *star.Forall:
+		set := a.evalExpr(n.Set, env, nil)
+		inner := a.bindForallVar(n, set, env)
+		if n.Cond != nil && !a.deadAlt(r.Name, ord) {
+			if v, reason := a.evalCond(n.Cond, inner, map[string]Verdict{}); v == False {
+				a.semDeadMark(r.Name, ord)
+				a.addFinding(CodeUnsatGuard, r.Name, ord, star.ExprPos(n.Cond),
+					"alternative %d of %s is semantically dead: no element of %s can satisfy %s (%s)",
+					ord, r.Name, n.Set, n.Cond, reason)
+				return
+			}
+		}
+		a.checkForallConds(r, ord, n.Body, env)
+	}
+}
+
+// evalCond evaluates a condition three-valued. assume carries path
+// assumptions within a conjunction: assume[k] is the assumed verdict of
+// nonempty(k) after an earlier conjunct. The returned reason explains a
+// True or False verdict; it is empty for Unknown.
+func (a *analysis) evalCond(e star.RExpr, env map[string]AbsVal, assume map[string]Verdict) (Verdict, string) {
+	switch n := e.(type) {
+	case *star.Logic:
+		if n.OpAnd {
+			res := True
+			var reasons []string
+			local := copyAssume(assume)
+			for _, k := range n.Kids {
+				v, r := a.evalCond(k, env, local)
+				if v == False {
+					return False, r
+				}
+				if v == Unknown {
+					res = Unknown
+				} else if r != "" {
+					reasons = append(reasons, r)
+				}
+				a.assumeFrom(k, env, local)
+			}
+			if res == True {
+				return True, strings.Join(reasons, "; ")
+			}
+			return Unknown, ""
+		}
+		res := False
+		var reasons []string
+		for _, k := range n.Kids {
+			v, r := a.evalCond(k, env, assume)
+			if v == True {
+				return True, r
+			}
+			if v == Unknown {
+				res = Unknown
+			} else if r != "" {
+				reasons = append(reasons, r)
+			}
+		}
+		if res == False {
+			return False, strings.Join(reasons, "; ")
+		}
+		return Unknown, ""
+	case *star.NotExpr:
+		v, r := a.evalCond(n.Kid, env, assume)
+		switch v.not() {
+		case True:
+			return True, r
+		case False:
+			return False, fmt.Sprintf("%s always holds (%s)", n.Kid, r)
+		}
+		return Unknown, ""
+	case *star.Call:
+		return a.evalCondCall(n, env, assume)
+	}
+	return Unknown, ""
+}
+
+// evalCondCall evaluates one condition helper three-valued.
+func (a *analysis) evalCondCall(c *star.Call, env map[string]AbsVal, assume map[string]Verdict) (Verdict, string) {
+	switch c.Name {
+	case "nonempty", "empty":
+		if len(c.Args) != 1 {
+			return Unknown, ""
+		}
+		v := a.evalExpr(c.Args[0], env, nil)
+		p := coercePreds(v)
+		nonempty, reason := Unknown, ""
+		if isEmpty(p) == True {
+			nonempty, reason = False, fmt.Sprintf("%s is provably empty", c.Args[0])
+		} else if v.Key != "" {
+			if as, ok := assume[v.Key]; ok {
+				nonempty = as
+				if as == True {
+					reason = fmt.Sprintf("an earlier conjunct already requires %s to be non-empty", c.Args[0])
+				} else {
+					reason = fmt.Sprintf("an earlier conjunct already requires %s to be empty", c.Args[0])
+				}
+			}
+		}
+		if c.Name == "empty" {
+			return nonempty.not(), reason
+		}
+		return nonempty, reason
+	case "stmgr":
+		if len(c.Args) != 2 {
+			return Unknown, ""
+		}
+		kind := a.evalExpr(c.Args[1], env, nil)
+		if kind.Kind != VStr || kind.Str.any || len(kind.Str.vals) == 0 {
+			return Unknown, ""
+		}
+		known := a.cfg.storageKinds()
+		for _, v := range kind.Str.vals {
+			for _, k := range known {
+				if v == k {
+					return Unknown, ""
+				}
+			}
+		}
+		return False, fmt.Sprintf("'%s' is not a registered storage-manager kind (%s)",
+			strings.Join(kind.Str.vals, "', '"), strings.Join(known, ", "))
+	}
+	return Unknown, ""
+}
+
+// assumeFrom records the path assumption a satisfied conjunct implies for
+// later conjuncts of the same conjunction.
+func (a *analysis) assumeFrom(e star.RExpr, env map[string]AbsVal, assume map[string]Verdict) {
+	c, ok := e.(*star.Call)
+	if !ok || len(c.Args) != 1 {
+		return
+	}
+	key := a.evalExpr(c.Args[0], env, nil).Key
+	if key == "" {
+		return
+	}
+	switch c.Name {
+	case "nonempty":
+		assume[key] = True
+	case "empty":
+		assume[key] = False
+	}
+}
+
+func copyAssume(m map[string]Verdict) map[string]Verdict {
+	out := make(map[string]Verdict, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// checkCompleteness proves every required property value has a declared
+// producer (SC201) and flags annotations that re-require what is already
+// certain (SC202), over the requirement sites collected from live code.
+func (a *analysis) checkCompleteness() {
+	producers := map[string][]string{}
+	for name, sig := range a.sigTable {
+		for _, key := range sig.Produces {
+			producers[key] = append(producers[key], name)
+		}
+	}
+	for key := range producers {
+		sort.Strings(producers[key])
+	}
+	known := map[string]bool{}
+	for _, k := range reqKeys {
+		known[k] = true
+	}
+	seen := map[string]bool{}
+	for _, site := range a.col.reqs {
+		// Unknown keys are SC030's finding; reasoning about their
+		// producers would only cascade noise.
+		if !known[site.key] {
+			continue
+		}
+		if len(producers[site.key]) == 0 {
+			dedup := site.rule + "#" + fmt.Sprint(site.alt) + ":" + site.key
+			if !seen[dedup] {
+				seen[dedup] = true
+				a.semDeadMark(site.rule, site.alt)
+				a.addFinding(CodeUnderivableProp, site.rule, site.alt, site.pos,
+					"%s requires [%s] but no registered operator declares it produces %q (Signature.Produces); the requirement can only be met by plans that already satisfy it",
+					a.siteLabel(site), site.val, site.key)
+			}
+			continue
+		}
+		// A value with no identity cannot be proven equal to the upstream
+		// one; the bare temp flag ("" on both sides) can.
+		provable := site.valKey != "" || site.key == "temp"
+		if provable && site.pre.state == reqAlways && site.pre.val == site.valKey {
+			a.addFinding(CodeRedundantReq, site.rule, site.alt, site.pos,
+				"%s re-requires [%s]: every path reaching it already requires the same %s value (the annotation is redundant)",
+				a.siteLabel(site), site.val, site.key)
+		}
+	}
+}
+
+// siteLabel renders "alternative N of Rule" (or the where clause).
+func (a *analysis) siteLabel(s reqSite) string {
+	if s.alt == 0 {
+		return fmt.Sprintf("a where-binding of %s", s.rule)
+	}
+	return fmt.Sprintf("alternative %d of %s", s.alt, s.rule)
+}

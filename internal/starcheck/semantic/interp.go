@@ -1,0 +1,508 @@
+package semantic
+
+import (
+	"strings"
+
+	"stars/internal/star"
+)
+
+// ruleState is one reachable rule's inferred parameter domains. seen marks
+// that some (live) call site has propagated arguments into it; rules
+// referenced only from dead code are seeded with unconstrained parameters
+// so they are still analyzed.
+type ruleState struct {
+	rule *star.Rule
+	seen bool
+	vals []AbsVal
+}
+
+// reqSite is one required-property annotation in live, reachable code.
+type reqSite struct {
+	rule   string
+	alt    int
+	key    string
+	val    string // source rendering, for messages ("order = sortCols(..)")
+	valKey string // canonical identity of the required value ("" if none)
+	pos    star.Pos
+	pre    absReq // the stream's requirement state before this annotation
+}
+
+// collector gathers facts during the post-fixpoint inspection walk.
+type collector struct {
+	curAlt   int
+	reqs     []reqSite
+	glueKeys map[string]bool
+}
+
+type analysis struct {
+	rs       *star.RuleSet
+	cfg      Config
+	sigTable star.SigTable
+	sub      *subsets
+	reach    map[string]bool
+	order    []string // reachable rule names in definition order
+	rules    map[string]*ruleState
+	dirty    map[string]bool
+	semDead  map[string]map[int]bool
+	col      *collector
+	// inspecting names the rule the collector walk is inside.
+	inspecting string
+	findings   []Finding
+	grammar    *Grammar
+}
+
+func newAnalysis(rs *star.RuleSet, cfg Config) *analysis {
+	a := &analysis{
+		rs: rs, cfg: cfg,
+		sigTable: cfg.sigs(),
+		sub:      newSubsets(),
+		reach:    map[string]bool{},
+		rules:    map[string]*ruleState{},
+		dirty:    map[string]bool{},
+		semDead:  map[string]map[int]bool{},
+	}
+	a.computeReach()
+	return a
+}
+
+// computeReach marks the rules reachable from the configured roots (every
+// rule when no roots are given), excluding rules earlier passes proved
+// wholly dead.
+func (a *analysis) computeReach() {
+	roots := a.cfg.Roots
+	if len(roots) == 0 {
+		roots = a.rs.Names()
+	}
+	var visit func(name string)
+	visit = func(name string) {
+		r := a.rs.Get(name)
+		if r == nil || a.reach[name] || a.cfg.Dead[name][0] {
+			return
+		}
+		a.reach[name] = true
+		r.WalkCalls(func(c *star.Call) {
+			if a.rs.Get(c.Name) != nil {
+				visit(c.Name)
+			}
+		})
+	}
+	for _, name := range roots {
+		visit(name)
+	}
+	rootSet := map[string]bool{}
+	for _, name := range roots {
+		rootSet[name] = true
+	}
+	for _, name := range a.rs.Names() {
+		if !a.reach[name] {
+			continue
+		}
+		r := a.rs.Get(name)
+		st := &ruleState{rule: r}
+		if rootSet[name] {
+			a.seedTop(st)
+		}
+		a.rules[name] = st
+		a.order = append(a.order, name)
+		if st.seen {
+			a.dirty[name] = true
+		}
+	}
+}
+
+// seedTop gives a rule unconstrained parameter domains: each parameter is
+// an unknown-but-fixed value whose identity is the parameter itself.
+func (a *analysis) seedTop(st *ruleState) {
+	st.seen = true
+	st.vals = make([]AbsVal, len(st.rule.Params))
+	for i, p := range st.rule.Params {
+		// The driver invokes entry points with plain quantifiers and
+		// predicate sets — no accumulated requirements — so the stream
+		// state of a root parameter is known empty.
+		st.vals[i] = AbsVal{Kind: VTop, Key: st.rule.Name + "." + p, StreamKnown: true}
+	}
+}
+
+// deadAlt reports whether earlier passes or this analysis proved the
+// alternative (1-based) dead.
+func (a *analysis) deadAlt(rule string, alt int) bool {
+	return a.cfg.Dead[rule][alt] || a.semDead[rule][alt]
+}
+
+func (a *analysis) semDeadMark(rule string, alt int) {
+	m := a.semDead[rule]
+	if m == nil {
+		m = map[int]bool{}
+		a.semDead[rule] = m
+	}
+	m[alt] = true
+}
+
+// run drives the analysis: interprocedural fixpoint of parameter domains,
+// then the guard, completeness, and shape passes over the stable domains.
+func (a *analysis) run() {
+	for {
+		progress := false
+		for _, name := range a.order {
+			if a.dirty[name] {
+				delete(a.dirty, name)
+				a.evalRuleBody(a.rules[name])
+				progress = true
+			}
+		}
+		if progress {
+			continue
+		}
+		// Rules referenced only from dead code never received argument
+		// domains; analyze them with unconstrained parameters.
+		seeded := false
+		for _, name := range a.order {
+			if st := a.rules[name]; !st.seen {
+				a.seedTop(st)
+				a.dirty[name] = true
+				seeded = true
+			}
+		}
+		if !seeded {
+			break
+		}
+	}
+	for _, name := range a.order {
+		a.checkGuards(a.rules[name])
+	}
+	a.col = &collector{glueKeys: map[string]bool{}}
+	for _, name := range a.order {
+		a.inspectRule(a.rules[name])
+	}
+	a.checkCompleteness()
+	a.buildGrammar()
+}
+
+// ruleEnv binds parameters and where-bindings to their abstract values.
+func (a *analysis) ruleEnv(st *ruleState, col *collector) map[string]AbsVal {
+	env := map[string]AbsVal{}
+	for i, p := range st.rule.Params {
+		if i < len(st.vals) {
+			env[p] = st.vals[i]
+		}
+	}
+	if col != nil {
+		col.curAlt = 0
+	}
+	for _, let := range st.rule.Where {
+		env[let.Name] = a.evalExpr(let.Expr, env, col)
+	}
+	return env
+}
+
+// evalRuleBody interprets one rule under its current parameter domains,
+// propagating argument domains into every STAR it references from live
+// code.
+func (a *analysis) evalRuleBody(st *ruleState) {
+	env := a.ruleEnv(st, nil)
+	for i, alt := range st.rule.Alts {
+		if a.cfg.Dead[st.rule.Name][i+1] {
+			continue
+		}
+		a.evalExpr(alt.Body, env, nil)
+		if alt.Cond != nil {
+			a.evalExpr(alt.Cond, env, nil)
+		}
+	}
+}
+
+// inspectRule re-walks live alternatives after the fixpoint, collecting
+// annotation sites and Glue requirement keys.
+func (a *analysis) inspectRule(st *ruleState) {
+	a.inspecting = st.rule.Name
+	env := a.ruleEnv(st, a.col)
+	for i, alt := range st.rule.Alts {
+		if a.deadAlt(st.rule.Name, i+1) {
+			continue
+		}
+		a.col.curAlt = i + 1
+		a.evalExpr(alt.Body, env, a.col)
+	}
+}
+
+// evalExpr abstractly evaluates one expression. col, when non-nil, is the
+// post-fixpoint collector (nil during fixpoint iteration).
+func (a *analysis) evalExpr(e star.RExpr, env map[string]AbsVal, col *collector) AbsVal {
+	switch n := e.(type) {
+	case *star.Ident:
+		if v, ok := env[n.Name]; ok {
+			return v
+		}
+		return top()
+	case *star.StrLit:
+		return AbsVal{Kind: VStr, Key: "'" + n.Val + "'", Str: strLit(n.Val)}
+	case *star.NumLit:
+		return AbsVal{Kind: VNum, Key: n.String()}
+	case *star.EmptySet:
+		return AbsVal{Kind: VPreds, Key: "{}", Preds: predsEmpty()}
+	case *star.AllCols:
+		return AbsVal{Kind: VCols, Key: "*"}
+	case *star.Call:
+		return a.evalCall(n, env, col)
+	case *star.Annot:
+		return a.evalAnnot(n, env, col)
+	case *star.Forall:
+		body := a.evalForall(n, env, col)
+		out := AbsVal{Kind: VSAP}
+		// The union of per-element plans carries whatever requirements the
+		// body shape accumulates (identically for every element).
+		if st, known := streamOf(body); known {
+			out.StreamKnown = true
+			out.Stream = st
+		}
+		return out
+	case *star.Logic:
+		for _, k := range n.Kids {
+			a.evalExpr(k, env, col)
+		}
+		return AbsVal{Kind: VBool}
+	case *star.NotExpr:
+		a.evalExpr(n.Kid, env, col)
+		return AbsVal{Kind: VBool}
+	}
+	return top()
+}
+
+// evalAnnot applies required-property annotations to the kid stream and,
+// in collection mode, records each requirement site with the stream's
+// prior state.
+func (a *analysis) evalAnnot(n *star.Annot, env map[string]AbsVal, col *collector) AbsVal {
+	kid := a.evalExpr(n.Kid, env, col)
+	st := coerceStream(kid)
+	for _, ri := range n.Reqs {
+		valKey, valStr := "", ri.Key
+		if ri.Val != nil {
+			v := a.evalExpr(ri.Val, env, col)
+			valKey = v.Key
+			valStr = ri.Key + " = " + ri.Val.String()
+		}
+		if col != nil {
+			col.reqs = append(col.reqs, reqSite{
+				rule: a.inspecting, alt: col.curAlt,
+				key: ri.Key, val: valStr, valKey: valKey,
+				pos: ri.Pos, pre: st.get(ri.Key),
+			})
+		}
+		st.set(ri.Key, absReq{state: reqAlways, val: valKey})
+	}
+	return AbsVal{Kind: VStream, Key: kid.Key, Stream: st}
+}
+
+// evalForall evaluates a forall clause and returns the body's value: the
+// variable is bound to one abstract element of the set, identified per
+// binder site (the same variable denotes the same element within one
+// iteration).
+func (a *analysis) evalForall(n *star.Forall, env map[string]AbsVal, col *collector) AbsVal {
+	set := a.evalExpr(n.Set, env, col)
+	inner := a.bindForallVar(n, set, env)
+	body := a.evalExpr(n.Body, inner, col)
+	if n.Cond != nil {
+		a.evalExpr(n.Cond, inner, col)
+	}
+	return body
+}
+
+// bindForallVar returns env extended with the forall variable bound.
+func (a *analysis) bindForallVar(n *star.Forall, set AbsVal, env map[string]AbsVal) map[string]AbsVal {
+	elem := AbsVal{Kind: VTop}
+	if c, ok := n.Set.(*star.Call); ok {
+		if sig, known := a.sigTable[c.Name]; known {
+			elem.Kind = vkFromMask(sig.Elem)
+		}
+	}
+	if elem.Kind == VStr {
+		elem.Str = strAny()
+	}
+	if set.Key != "" {
+		elem.Key = set.Key + "@" + n.Pos.String()
+	}
+	inner := make(map[string]AbsVal, len(env)+1)
+	for k, v := range env {
+		inner[k] = v
+	}
+	inner[n.Var] = elem
+	return inner
+}
+
+// evalCall dispatches on the callee: STAR references propagate argument
+// domains; set algebra and classifiers compute symbolic predicate sets;
+// everything else yields a value of the signature's result kind.
+func (a *analysis) evalCall(c *star.Call, env map[string]AbsVal, col *collector) AbsVal {
+	args := make([]AbsVal, len(c.Args))
+	for i, arg := range c.Args {
+		args[i] = a.evalExpr(arg, env, col)
+	}
+	// A STAR reference or operator output is a freshly built plan: nothing
+	// has annotated it yet, so its accumulated-requirement state is known
+	// empty (StreamKnown with the zero AbsStream).
+	if callee := a.rs.Get(c.Name); callee != nil {
+		a.propagate(callee, args)
+		return AbsVal{Kind: VSAP, Key: callKey(c.Name, args), StreamKnown: true}
+	}
+	if c.Name == star.GlueName {
+		if col != nil && len(args) >= 1 {
+			st := coerceStream(args[0])
+			for _, k := range reqKeys {
+				if st.get(k).state != reqNever {
+					col.glueKeys[k] = true
+				}
+			}
+		}
+		return AbsVal{Kind: VSAP, Key: callKey(c.Name, args), StreamKnown: true}
+	}
+	sig, known := a.sigTable[c.Name]
+	if !known {
+		return top() // SC001's problem
+	}
+	switch c.Name {
+	case "union":
+		return a.setOp(c, args, a.sub.union, true)
+	case "intersect":
+		return a.setOp(c, args, a.sub.intersect, true)
+	case "minus":
+		return a.setOp(c, args, a.sub.minus, false)
+	case "joinPreds", "sortablePreds", "hashablePreds", "indexablePreds",
+		"innerPreds", "matchedPreds":
+		return a.classifier(c, args)
+	}
+	out := AbsVal{Kind: vkFromMask(sig.Result), Key: callKey(c.Name, args)}
+	if out.Kind == VStr {
+		out.Str = strAny()
+	}
+	if out.Kind == VPreds {
+		out.Preds = predsAtom(out.Key)
+	}
+	if out.Kind == VSAP || out.Kind == VStream {
+		out.StreamKnown = true
+	}
+	return out
+}
+
+// setOp computes one binary predicate-set operation symbolically. Exact
+// results are identified by their normal form (so union(A, B) and
+// union(B, A) unify); approximate results fall back to a syntactic
+// identity over the argument identities.
+func (a *analysis) setOp(c *star.Call, args []AbsVal, op func(AbsPreds, AbsPreds) AbsPreds, commutative bool) AbsVal {
+	if len(args) != 2 {
+		return AbsVal{Kind: VPreds, Preds: predsTop()}
+	}
+	p := op(coercePreds(args[0]), coercePreds(args[1]))
+	key := predsKey(p)
+	if key == "" && args[0].Key != "" && args[1].Key != "" {
+		k0, k1 := args[0].Key, args[1].Key
+		if commutative && k1 < k0 {
+			k0, k1 = k1, k0
+		}
+		key = c.Name + "(" + k0 + "," + k1 + ")"
+	}
+	return AbsVal{Kind: VPreds, Key: key, Preds: p}
+}
+
+// classifier models the predicate classifiers (joinPreds and friends):
+// the result is a fresh atom recorded as a subset of its source set, and
+// a provably empty source classifies to the empty set exactly.
+func (a *analysis) classifier(c *star.Call, args []AbsVal) AbsVal {
+	if len(args) == 0 {
+		return AbsVal{Kind: VPreds, Preds: predsTop()}
+	}
+	src := coercePreds(args[0])
+	if isEmpty(src) == True {
+		return AbsVal{Kind: VPreds, Key: "{}", Preds: predsEmpty()}
+	}
+	key := callKey(c.Name, args)
+	if key == "" {
+		return AbsVal{Kind: VPreds, Preds: predsTop()}
+	}
+	for _, t := range src.terms {
+		a.sub.add(key, t.base)
+	}
+	if args[0].Key != "" {
+		a.sub.add(key, args[0].Key)
+	}
+	return AbsVal{Kind: VPreds, Key: key, Preds: predsAtom(key)}
+}
+
+// propagate joins call-site argument domains into the callee's parameter
+// domains, re-queueing the callee when anything moved.
+func (a *analysis) propagate(callee *star.Rule, args []AbsVal) {
+	st := a.rules[callee.Name]
+	if st == nil || len(args) != len(callee.Params) {
+		return
+	}
+	if !st.seen {
+		st.seen = true
+		st.vals = make([]AbsVal, len(args))
+		copy(st.vals, args)
+		a.dirty[callee.Name] = true
+		return
+	}
+	for i := range args {
+		owner := callee.Name + "." + callee.Params[i]
+		nv := joinVal(st.vals[i], args[i], owner)
+		if !nv.eq(st.vals[i]) {
+			st.vals[i] = nv
+			a.dirty[callee.Name] = true
+		}
+	}
+}
+
+// coercePreds views a value as a predicate set: explicit sets stay;
+// anything with an identity becomes an unknown-but-fixed atom; identity-
+// free values are unconstrained.
+func coercePreds(v AbsVal) AbsPreds {
+	if v.Kind == VPreds {
+		return v.Preds
+	}
+	return predsAtom(v.Key)
+}
+
+// coerceStream views a value as a stream; values without known stream
+// state have unknown accumulated requirements.
+func coerceStream(v AbsVal) AbsStream {
+	st, _ := streamOf(v)
+	return st
+}
+
+// callKey is the canonical identity of a call over identified arguments;
+// any identity-free argument makes the whole call identity-free.
+func callKey(name string, args []AbsVal) string {
+	parts := make([]string, len(args))
+	for i, v := range args {
+		if v.Key == "" {
+			return ""
+		}
+		parts[i] = v.Key
+	}
+	return name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// vkFromMask maps a single-kind signature mask to an abstract kind.
+func vkFromMask(m star.ArgKind) VK {
+	switch m {
+	case star.KindPreds:
+		return VPreds
+	case star.KindStream:
+		return VStream
+	case star.KindSAP:
+		return VSAP
+	case star.KindStr:
+		return VStr
+	case star.KindNum:
+		return VNum
+	case star.KindBool:
+		return VBool
+	case star.KindCols:
+		return VCols
+	case star.KindList:
+		return VList
+	}
+	if m&star.KindSAP != 0 {
+		return VSAP
+	}
+	return VTop
+}

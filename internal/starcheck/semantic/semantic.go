@@ -1,0 +1,142 @@
+// Package semantic is an abstract interpreter for STAR rule sets — the
+// layer of starcheck that reasons about what rules *mean*, not how they
+// are written. It propagates plan-property domains (symbolic
+// applied-predicate sets, per-key requirement states for order, site,
+// temp, and paths, and string-literal domains) through every alternative
+// and where-binding to an interprocedural fixpoint, without ever invoking
+// the optimizer, and derives three diagnostic families on top:
+//
+//	SC10x guard satisfiability  a condition provably false (or provably
+//	                            true, killing later alternatives) under
+//	                            the inferred domains — strictly stronger
+//	                            than the syntactic SC011–SC014
+//	SC20x property completeness every property value a Glue or veneer can
+//	                            be asked to establish has a declared
+//	                            producer (Signature.Produces), and no
+//	                            annotation re-requires what is already
+//	                            certain upstream
+//	SC30x plan-shape inference  the regular-tree grammar of operator
+//	                            trees the rule set can generate (see
+//	                            Grammar), with operators that can appear
+//	                            in no plan and STARs that generate the
+//	                            empty language flagged
+//
+// The domains are finite lattices (term lists are bounded by the rule
+// text, requirement states form a three-point chain, string domains are
+// capped), so the fixpoint terminates; all iteration orders are derived
+// from the rule set's definition order, so findings and grammars are
+// byte-deterministic.
+package semantic
+
+import (
+	"fmt"
+
+	"stars/internal/star"
+)
+
+// Diagnostic codes. Stable; starcheck grades and re-exports them.
+const (
+	// CodeUnsatGuard: an alternative's condition is unsatisfiable under
+	// the inferred property domains — the alternative is semantically
+	// dead.
+	CodeUnsatGuard = "SC101"
+	// CodeSemShadowed: an alternative can never be reached because an
+	// earlier alternative's condition is a semantic tautology.
+	CodeSemShadowed = "SC102"
+	// CodeUnderivableProp: a required property value that no registered
+	// operator declares it can produce — the requirement can only be met
+	// by plans that already satisfy it by accident.
+	CodeUnderivableProp = "SC201"
+	// CodeRedundantReq: an annotation re-requires a property the stream
+	// is already certain to require with the same value on every path.
+	CodeRedundantReq = "SC202"
+	// CodeImpossibleOp: a LOLEPOP referenced in the rule text that can
+	// appear in no generated plan (every reference is dead).
+	CodeImpossibleOp = "SC301"
+	// CodeEmptyLanguage: a reachable STAR that generates no plans (all
+	// alternatives dead, or recursion with no productive base case).
+	CodeEmptyLanguage = "SC302"
+)
+
+// Finding is one semantic diagnostic. starcheck converts findings to
+// graded Diags; the types are separate so the packages cannot cycle.
+type Finding struct {
+	Code string
+	Rule string
+	Alt  int
+	Pos  star.Pos
+	Msg  string
+}
+
+// Config tunes an analysis run.
+type Config struct {
+	// Roots are the entry-point STARs. Empty means every rule is an
+	// entry point (nothing can be proven unreachable).
+	Roots []string
+	// AccessRoot names the STAR Glue re-references on single-table plan
+	// table misses; empty means "AccessRoot".
+	AccessRoot string
+	// Sigs is the effective signature table (builders, helpers, Glue),
+	// including property effects. Nil means star.BuiltinSignatures().
+	Sigs star.SigTable
+	// Dead maps rule name → set of 1-based alternative ordinals earlier
+	// (syntactic) passes proved dead; ordinal 0 means the whole rule.
+	// The interpreter skips dead code and never re-reports it.
+	Dead map[string]map[int]bool
+	// StorageKinds is the closed stmgr vocabulary; nil means the
+	// catalog's kinds (heap, btree).
+	StorageKinds []string
+}
+
+func (c Config) sigs() star.SigTable {
+	if c.Sigs != nil {
+		return c.Sigs
+	}
+	return star.BuiltinSignatures()
+}
+
+func (c Config) accessRoot() string {
+	if c.AccessRoot != "" {
+		return c.AccessRoot
+	}
+	return "AccessRoot"
+}
+
+func (c Config) storageKinds() []string {
+	if c.StorageKinds != nil {
+		return c.StorageKinds
+	}
+	return []string{"heap", "btree"}
+}
+
+// Analyze runs the abstract interpretation and returns the semantic
+// findings, ordered by rule definition order then alternative.
+func Analyze(rs *star.RuleSet, cfg Config) []Finding {
+	a := newAnalysis(rs, cfg)
+	a.run()
+	return a.findings
+}
+
+// Infer runs the abstract interpretation and returns the plan-shape
+// grammar (and no findings). The grammar excludes statically dead
+// alternatives from the generated language but records them, marked, for
+// diffability.
+func Infer(rs *star.RuleSet, cfg Config) *Grammar {
+	a := newAnalysis(rs, cfg)
+	a.run()
+	return a.grammar
+}
+
+// AnalyzeAndInfer runs the interpretation once and returns both products.
+func AnalyzeAndInfer(rs *star.RuleSet, cfg Config) ([]Finding, *Grammar) {
+	a := newAnalysis(rs, cfg)
+	a.run()
+	return a.findings, a.grammar
+}
+
+func (a *analysis) addFinding(code, rule string, alt int, pos star.Pos, format string, args ...any) {
+	a.findings = append(a.findings, Finding{
+		Code: code, Rule: rule, Alt: alt, Pos: pos,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}

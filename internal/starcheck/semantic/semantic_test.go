@@ -1,0 +1,195 @@
+package semantic
+
+import (
+	"testing"
+
+	"stars/internal/star"
+)
+
+// ---- abstract domain ----
+
+func TestSubsetsTransitive(t *testing.T) {
+	s := newSubsets()
+	s.add("A", "B")
+	s.add("B", "C")
+	if !s.holds("A", "A") {
+		t.Error("⊆ must be reflexive")
+	}
+	if !s.holds("A", "C") {
+		t.Error("⊆ must be transitive: A⊆B, B⊆C ⇒ A⊆C")
+	}
+	if s.holds("C", "A") {
+		t.Error("⊆ must not be symmetric")
+	}
+}
+
+func TestMinusSelfIsEmpty(t *testing.T) {
+	s := newSubsets()
+	p := predsAtom("Rule.P")
+	if v := isEmpty(s.minus(p, p)); v != True {
+		t.Errorf("isEmpty(P \\ P) = %v, want True", v)
+	}
+	// Subtracting a recognized subset does not prove emptiness...
+	s.add("JP", "Rule.P")
+	if v := isEmpty(s.minus(p, predsAtom("JP"))); v == True {
+		t.Error("P \\ JP must not be provably empty (JP ⊊ P is possible)")
+	}
+	// ...but subtracting a superset does.
+	if v := isEmpty(s.minus(predsAtom("JP"), p)); v != True {
+		t.Errorf("isEmpty(JP \\ P) with JP ⊆ P = %v, want True", v)
+	}
+}
+
+func TestUnionRoundTripsThroughMinus(t *testing.T) {
+	s := newSubsets()
+	a, b := predsAtom("A"), predsAtom("B")
+	u := s.union(a, b)
+	if isEmpty(u) != False && isEmpty(u) != Unknown {
+		t.Fatalf("union of two atoms reported empty")
+	}
+	// (A ∪ B) \ A \ B is provably empty.
+	if v := isEmpty(s.minus(s.minus(u, a), b)); v != True {
+		t.Errorf("isEmpty((A∪B)\\A\\B) = %v, want True", v)
+	}
+	// Approximate values lose identity but keep provable emptiness.
+	approx := s.minus(a, s.minus(b, predsAtom("C")))
+	if predsKey(approx) != "" {
+		t.Errorf("approximate value must have no identity key, got %q", predsKey(approx))
+	}
+}
+
+func TestAbsReqJoinLattice(t *testing.T) {
+	never := absReq{}
+	alwaysX := absReq{state: reqAlways, val: "x"}
+	alwaysY := absReq{state: reqAlways, val: "y"}
+	cases := []struct {
+		a, b, want absReq
+	}{
+		{never, never, never},
+		{alwaysX, alwaysX, alwaysX},
+		{alwaysX, alwaysY, absReq{state: reqMaybe}},
+		{never, alwaysX, absReq{state: reqMaybe}},
+		{absReq{state: reqMaybe}, never, absReq{state: reqMaybe}},
+	}
+	for i, c := range cases {
+		if got := c.a.join(c.b); got != c.want {
+			t.Errorf("case %d: join = %+v, want %+v", i, got, c.want)
+		}
+	}
+}
+
+func TestJoinValPreservesStreamKnowledge(t *testing.T) {
+	known := AbsVal{Kind: VTop, Key: "R.T", StreamKnown: true}
+	stream := AbsVal{Kind: VStream, Stream: AbsStream{Site: absReq{state: reqAlways, val: "hq"}}}
+	out := joinVal(known, stream, "R.T")
+	if st, ok := streamOf(out); !ok {
+		t.Error("joining two stream-known values must stay known")
+	} else if st.Site.state != reqMaybe {
+		t.Errorf("site requirement: never ⊔ always = %v, want reqMaybe", st.Site.state)
+	}
+	// One unknown side poisons the knowledge.
+	unknown := AbsVal{Kind: VStr}
+	if _, ok := streamOf(joinVal(known, unknown, "R.T")); ok {
+		t.Error("joining with a stream-unknown value must drop knowledge")
+	}
+}
+
+// ---- inference over the builtin repertoire ----
+
+func TestBuiltinAnalyzeCleanAndInferDeterministic(t *testing.T) {
+	rs := star.DefaultRules()
+	findings, g := AnalyzeAndInfer(rs, Config{})
+	if len(findings) != 0 {
+		t.Errorf("builtin repertoire must be semantically clean, got %+v", findings)
+	}
+	j1, err := g.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g2 := AnalyzeAndInfer(star.DefaultRules(), Config{})
+	j2, err := g2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Error("Infer JSON is not byte-deterministic across runs")
+	}
+}
+
+func TestBuiltinGrammarEdgeSanity(t *testing.T) {
+	g := Infer(star.DefaultRules(), Config{})
+	if !g.KnownOp("ACCESS") || !g.KnownOp("JOIN") {
+		t.Error("ACCESS and JOIN must be in the builtin operator alphabet")
+	}
+	if g.KnownOp("FROBNICATE") {
+		t.Error("FROBNICATE must not be a known operator")
+	}
+	if !g.PossibleEdge("GET", "ACCESS") {
+		t.Error("GET->ACCESS appears in IndexAccess productions; must be possible")
+	}
+	if g.PossibleEdge("GET", "JOIN") {
+		t.Error("no builtin production places a JOIN directly under a GET")
+	}
+	// Veneer parents accept any live op as a child.
+	if !g.PossibleEdge("SHIP", "JOIN") || !g.PossibleEdge("SORT", "ACCESS") {
+		t.Error("veneer ops must parent any live operator")
+	}
+	bs := g.Bigrams()
+	if len(bs) == 0 {
+		t.Fatal("builtin grammar has no possible adjacencies")
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i-1].Parent > bs[i].Parent ||
+			(bs[i-1].Parent == bs[i].Parent && bs[i-1].Child >= bs[i].Child) {
+			t.Fatalf("Bigrams not strictly sorted at %d: %+v", i, bs[i-1:i+1])
+		}
+	}
+}
+
+// ---- finding-level API cases (goldens cover rendering; these pin Finding fields) ----
+
+func mustParse(t *testing.T, src string) *star.RuleSet {
+	t.Helper()
+	rs, err := star.ParseFile(src, "test.star")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestUnsatGuardFinding(t *testing.T) {
+	rs := mustParse(t, `
+star R(T, C, P) = {
+  | ACCESS('heap', T, C, P) if nonempty(minus(P, P))
+  | ACCESS('btree', T, C, P) otherwise
+}
+`)
+	fs := Analyze(rs, Config{Roots: []string{"R"}})
+	var got *Finding
+	for i := range fs {
+		if fs[i].Code == CodeUnsatGuard {
+			got = &fs[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("no %s finding, got %+v", CodeUnsatGuard, fs)
+	}
+	if got.Rule != "R" || got.Alt != 1 {
+		t.Errorf("finding anchored at %s alt %d, want R alt 1", got.Rule, got.Alt)
+	}
+}
+
+func TestImpossibleOpSuppressedWhenAltLive(t *testing.T) {
+	// The same SORT reference, but with a satisfiable guard: no SC301.
+	rs := mustParse(t, `
+star R(T, C, P) = {
+  | SORT(Glue(T, P), sortCols(P, T)) if nonempty(P)
+  | Glue(T, P) otherwise
+}
+`)
+	for _, f := range Analyze(rs, Config{Roots: []string{"R"}}) {
+		if f.Code == CodeImpossibleOp {
+			t.Errorf("unexpected %s: %+v", CodeImpossibleOp, f)
+		}
+	}
+}

@@ -1,0 +1,478 @@
+package semantic
+
+import (
+	"encoding/json"
+	"sort"
+
+	"stars/internal/star"
+)
+
+// SchemaShapes identifies the shape-grammar JSON schema.
+const SchemaShapes = "stars/shapes/v1"
+
+// Grammar is the regular-tree grammar of operator trees a rule set can
+// generate: one nonterminal per reachable STAR, one production per
+// alternative (statically dead alternatives are recorded, marked, but
+// excluded from the generated language), plus the distinguished Glue
+// nonterminal whose productions are the plan table, the access root, and
+// the veneer operators the reachable requirements can force. All slices
+// are sorted, so the canonical JSON is byte-deterministic.
+type Grammar struct {
+	Schema       string        `json:"schema"`
+	Roots        []string      `json:"roots"`
+	Operators    []string      `json:"operators"`
+	Nonterminals []Nonterminal `json:"nonterminals"`
+	Glue         GlueShape     `json:"glue"`
+
+	first    map[string]*opSet
+	edges    map[string]map[string]bool
+	wildcard map[string]bool
+	liveOps  map[string]bool
+}
+
+// Nonterminal is one STAR's productions.
+type Nonterminal struct {
+	Name        string       `json:"name"`
+	Params      []string     `json:"params"`
+	Productions []Production `json:"productions"`
+}
+
+// Production is one alternative's operator-tree shape: operators apply to
+// children, nonterminals appear by name, `Glue` is the plan-table bridge,
+// and `_` is a plan passed through a parameter (any shape).
+type Production struct {
+	Alt   int    `json:"alt"`
+	Shape string `json:"shape"`
+	Dead  bool   `json:"dead,omitempty"`
+}
+
+// GlueShape describes the Glue nonterminal's implicit productions.
+type GlueShape struct {
+	// Access names the STAR Glue re-references on single-table misses
+	// ("" when the rule set does not define it).
+	Access string `json:"access,omitempty"`
+	// Veneers are the operators Glue can inject for the requirement keys
+	// reachable live code can accumulate.
+	Veneers []string `json:"veneers"`
+	// FilterRetrofit reports that Glue can retrofit missing predicates
+	// as a FILTER above any candidate.
+	FilterRetrofit bool `json:"filter_retrofit"`
+	// TableLookup reports that Glue can return any plan already in the
+	// plan table (i.e. any shape the grammar generates elsewhere).
+	TableLookup bool `json:"table_lookup"`
+}
+
+// Bigram is one parent→child operator adjacency.
+type Bigram struct {
+	Parent string `json:"parent"`
+	Child  string `json:"child"`
+}
+
+// JSON renders the grammar canonically (indented, trailing newline).
+func (g *Grammar) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// shape kinds.
+type sKind uint8
+
+const (
+	sOp sKind = iota
+	sNT
+	sGlue
+	sWild
+)
+
+// shapeNode is the structured form of one production's operator tree.
+type shapeNode struct {
+	kind sKind
+	name string
+	kids []*shapeNode
+}
+
+func (n *shapeNode) render() string {
+	switch n.kind {
+	case sNT:
+		return n.name
+	case sGlue:
+		return "Glue"
+	case sWild:
+		return "_"
+	}
+	if len(n.kids) == 0 {
+		return n.name
+	}
+	out := n.name + "("
+	for i, k := range n.kids {
+		if i > 0 {
+			out += ","
+		}
+		out += k.render()
+	}
+	return out + ")"
+}
+
+// veneerOpsFor maps a requirement key to the operators Glue injects to
+// satisfy it (a paths requirement materializes, builds the index, and
+// probes it).
+var veneerOpsFor = map[string][]string{
+	"order": {"SORT"},
+	"site":  {"SHIP"},
+	"temp":  {"STORE"},
+	"paths": {"BUILDINDEX", "STORE", "ACCESS"},
+}
+
+// buildShape lowers an alternative body to its operator-tree shape, or
+// nil for expressions that are not plan-shaped.
+func (a *analysis) buildShape(e star.RExpr) *shapeNode {
+	switch n := e.(type) {
+	case *star.Annot:
+		return a.buildShape(n.Kid)
+	case *star.Forall:
+		return a.buildShape(n.Body)
+	case *star.Call:
+		if a.rs.Get(n.Name) != nil {
+			return &shapeNode{kind: sNT, name: n.Name}
+		}
+		if n.Name == star.GlueName {
+			return &shapeNode{kind: sGlue}
+		}
+		sig, known := a.sigTable[n.Name]
+		if !known || sig.Result&star.KindSAP == 0 {
+			return nil
+		}
+		node := &shapeNode{kind: sOp, name: n.Name}
+		for i, arg := range n.Args {
+			if i < len(sig.Args) && sig.Args[i]&star.KindSAP == 0 {
+				continue
+			}
+			kid := a.buildShape(arg)
+			if kid == nil {
+				if len(sig.Args) == 0 && sig.ArityUnknown {
+					continue
+				}
+				if i >= len(sig.Args) {
+					continue
+				}
+				kid = &shapeNode{kind: sWild}
+			}
+			node.kids = append(node.kids, kid)
+		}
+		return node
+	}
+	return nil
+}
+
+// opSet is a set of operators a derivation can put at a tree's root; any
+// marks "any live operator" (a plan flowing through a parameter).
+type opSet struct {
+	any bool
+	ops map[string]bool
+}
+
+func newOpSet() *opSet { return &opSet{ops: map[string]bool{}} }
+
+// absorb unions o into s; reports whether s grew.
+func (s *opSet) absorb(o *opSet) bool {
+	grew := false
+	if o.any && !s.any {
+		s.any, grew = true, true
+	}
+	for op := range o.ops {
+		if !s.ops[op] {
+			s.ops[op], grew = true, true
+		}
+	}
+	return grew
+}
+
+// buildGrammar derives the shape grammar from the stable analysis and
+// emits SC301 (operator possible in no plan) and SC302 (STAR generating
+// the empty language).
+func (a *analysis) buildGrammar() {
+	g := &Grammar{
+		Schema:   SchemaShapes,
+		first:    map[string]*opSet{},
+		edges:    map[string]map[string]bool{},
+		wildcard: map[string]bool{},
+		liveOps:  map[string]bool{},
+	}
+	a.grammar = g
+
+	type prod struct {
+		nt   string
+		node *shapeNode
+	}
+	var live []prod
+	shapes := map[string][]*shapeNode{} // per NT, live only
+	for _, name := range a.order {
+		st := a.rules[name]
+		nt := Nonterminal{Name: name, Params: append([]string{}, st.rule.Params...)}
+		for i, alt := range st.rule.Alts {
+			node := a.buildShape(alt.Body)
+			if node == nil {
+				node = &shapeNode{kind: sWild}
+			}
+			dead := a.deadAlt(name, i+1)
+			nt.Productions = append(nt.Productions, Production{
+				Alt: i + 1, Shape: node.render(), Dead: dead,
+			})
+			if !dead {
+				live = append(live, prod{nt: name, node: node})
+				shapes[name] = append(shapes[name], node)
+			}
+		}
+		g.Nonterminals = append(g.Nonterminals, nt)
+	}
+	sort.Slice(g.Nonterminals, func(i, j int) bool { return g.Nonterminals[i].Name < g.Nonterminals[j].Name })
+
+	// Live operators: every operator in a live production, plus the
+	// veneers the reachable requirements can force, plus the FILTER
+	// retrofit.
+	var collectOps func(n *shapeNode)
+	collectOps = func(n *shapeNode) {
+		if n.kind == sOp {
+			g.liveOps[n.name] = true
+		}
+		for _, k := range n.kids {
+			collectOps(k)
+		}
+	}
+	for _, p := range live {
+		collectOps(p.node)
+	}
+	_, filter := a.sigTable["FILTER"]
+	if filter {
+		g.liveOps["FILTER"] = true
+	}
+	veneers := map[string]bool{}
+	for _, key := range reqKeys {
+		if !a.col.glueKeys[key] {
+			continue
+		}
+		for _, op := range veneerOpsFor[key] {
+			if _, known := a.sigTable[op]; known {
+				veneers[op] = true
+				g.liveOps[op] = true
+			}
+		}
+	}
+
+	// Productivity: a STAR generates a non-empty language iff some live
+	// production's nonterminal references are all productive (Glue and
+	// parameter plans count as productive leaves).
+	productive := map[string]bool{}
+	var prodNode func(n *shapeNode) bool
+	prodNode = func(n *shapeNode) bool {
+		switch n.kind {
+		case sNT:
+			return productive[n.name]
+		case sGlue, sWild:
+			return true
+		}
+		for _, k := range n.kids {
+			if !prodNode(k) {
+				return false
+			}
+		}
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for nt, list := range shapes {
+			if productive[nt] {
+				continue
+			}
+			for _, n := range list {
+				if prodNode(n) {
+					productive[nt] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, name := range a.order {
+		if productive[name] {
+			continue
+		}
+		st := a.rules[name]
+		why := "it is recursive with no productive base case"
+		if len(shapes[name]) == 0 {
+			why = "every alternative is statically dead"
+		}
+		a.addFinding(CodeEmptyLanguage, name, 0, st.rule.Pos,
+			"%s generates the empty language — no plan can ever be derived from it: %s", name, why)
+	}
+
+	// SC301: an operator referenced somewhere in reachable rule text but
+	// absent from every live production (and not injectable as a veneer)
+	// can appear in no generated plan.
+	refPos := map[string]star.Pos{}
+	var refOrder []string
+	for _, name := range a.order {
+		a.rules[name].rule.WalkCalls(func(c *star.Call) {
+			if a.rs.Get(c.Name) != nil || c.Name == star.GlueName {
+				return
+			}
+			sig, known := a.sigTable[c.Name]
+			if !known || sig.Result&star.KindSAP == 0 {
+				return
+			}
+			if _, seen := refPos[c.Name]; !seen {
+				refPos[c.Name] = c.Pos
+				refOrder = append(refOrder, c.Name)
+			}
+		})
+	}
+	sort.Strings(refOrder)
+	for _, op := range refOrder {
+		if !g.liveOps[op] {
+			a.addFinding(CodeImpossibleOp, "", 0, refPos[op],
+				"LOLEPOP %s can appear in no generated plan: every reference to it is statically dead", op)
+		}
+	}
+
+	// First-op sets: the operators that can root a tree derived from
+	// each nonterminal. Glue's first set is every live operator — the
+	// plan table can return any plan the grammar generated elsewhere,
+	// and the veneers stack on top.
+	glueFirst := newOpSet()
+	for op := range g.liveOps {
+		glueFirst.ops[op] = true
+	}
+	for _, name := range a.order {
+		g.first[name] = newOpSet()
+	}
+	var rootOps func(n *shapeNode) *opSet
+	rootOps = func(n *shapeNode) *opSet {
+		switch n.kind {
+		case sOp:
+			s := newOpSet()
+			s.ops[n.name] = true
+			return s
+		case sNT:
+			if f := g.first[n.name]; f != nil {
+				return f
+			}
+			return newOpSet()
+		case sGlue:
+			return glueFirst
+		}
+		return &opSet{any: true, ops: map[string]bool{}}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range live {
+			if g.first[p.nt].absorb(rootOps(p.node)) {
+				changed = true
+			}
+		}
+	}
+
+	// Edges: the possible parent→child operator adjacencies, from the
+	// live production trees plus the veneer/retrofit wrappers (whose
+	// input is any Glue candidate).
+	addEdge := func(parent string, kids *opSet) {
+		if kids.any {
+			g.wildcard[parent] = true
+		}
+		m := g.edges[parent]
+		if m == nil {
+			m = map[string]bool{}
+			g.edges[parent] = m
+		}
+		for op := range kids.ops {
+			m[op] = true
+		}
+	}
+	var walkEdges func(n *shapeNode)
+	walkEdges = func(n *shapeNode) {
+		if n.kind == sOp {
+			for _, k := range n.kids {
+				addEdge(n.name, rootOps(k))
+			}
+		}
+		for _, k := range n.kids {
+			walkEdges(k)
+		}
+	}
+	for _, p := range live {
+		walkEdges(p.node)
+	}
+	for op := range veneers {
+		addEdge(op, glueFirst)
+	}
+	if filter && a.col != nil {
+		addEdge("FILTER", glueFirst)
+	}
+
+	// Assemble the serialized form.
+	if ar := a.cfg.accessRoot(); a.rs.Get(ar) != nil {
+		g.Glue.Access = ar
+	}
+	g.Glue.Veneers = sortedKeys(veneers)
+	g.Glue.FilterRetrofit = filter
+	g.Glue.TableLookup = true
+	g.Operators = sortedKeys(g.liveOps)
+	for _, r := range a.cfg.Roots {
+		if a.rs.Get(r) != nil {
+			g.Roots = append(g.Roots, r)
+		}
+	}
+	sort.Strings(g.Roots)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PossibleEdge reports whether the grammar can place child directly below
+// parent in some generated plan.
+func (g *Grammar) PossibleEdge(parent, child string) bool {
+	if !g.liveOps[parent] {
+		return false
+	}
+	if g.wildcard[parent] {
+		return true
+	}
+	return g.edges[parent][child]
+}
+
+// KnownOp reports whether the operator appears in the generated language
+// at all.
+func (g *Grammar) KnownOp(op string) bool { return g.liveOps[op] }
+
+// Bigrams enumerates the possible parent→child operator adjacencies,
+// sorted. Wildcard parents (an operator that can sit above a plan passed
+// through a parameter) pair with every live operator.
+func (g *Grammar) Bigrams() []Bigram {
+	var out []Bigram
+	for parent := range g.liveOps {
+		if g.wildcard[parent] {
+			for child := range g.liveOps {
+				out = append(out, Bigram{Parent: parent, Child: child})
+			}
+			continue
+		}
+		for child := range g.edges[parent] {
+			out = append(out, Bigram{Parent: parent, Child: child})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Parent != out[j].Parent {
+			return out[i].Parent < out[j].Parent
+		}
+		return out[i].Child < out[j].Child
+	})
+	return out
+}

@@ -1,6 +1,6 @@
 // Package starcheck is a static analyzer for STAR rule sets — the
 // correctness tooling the paper leaves open ("how to verify that any given
-// set of STARs is correct"). It runs five passes over a parsed
+// set of STARs is correct"). It runs six passes over a parsed
 // star.RuleSet and emits structured diagnostics with stable codes:
 //
 //	SC00x reference & arity   undefined names, STAR/builder/helper arity,
@@ -18,6 +18,21 @@
 //	SC04x hygiene             unused parameters and where-bindings,
 //	                          use-before-definition, shadowing, unbound
 //	                          names, redefinitions that drop alternatives
+//	SC1xx guard satisfiability  conditions provably false (or provably
+//	                          true, shadowing later alternatives) under
+//	                          abstract interpretation of the property
+//	                          domains — strictly stronger than SC011–SC014
+//	SC2xx property completeness required property values with no declared
+//	                          producer (Signature.Produces), annotations
+//	                          that re-require what is already certain
+//	SC3xx plan-shape inference  operators that can appear in no generated
+//	                          plan, STARs generating the empty language;
+//	                          the inferred regular-tree grammar itself is
+//	                          available via CheckAndInfer / Shapes
+//
+// The SC1xx–SC3xx families come from internal/starcheck/semantic (an
+// abstract interpreter that never invokes the optimizer); Config.Syntactic
+// restricts a run to the five syntactic passes.
 //
 // A Database Customizer loading a `-rules file.star` gets the linter
 // automatically (warn level) wherever rule files load; `starburst lint`
@@ -30,6 +45,7 @@ import (
 	"sort"
 
 	"stars/internal/star"
+	"stars/internal/starcheck/semantic"
 )
 
 // Severity grades a diagnostic.
@@ -122,6 +138,17 @@ const (
 	// CodeUnboundName: an identifier that is neither a parameter, a
 	// where-binding, nor a forall variable in scope.
 	CodeUnboundName = "SC045"
+
+	// CodeUnsatGuard .. CodeEmptyLanguage re-export the semantic pass's
+	// codes (the pass lives in the semantic subpackage; re-exporting here
+	// keeps one catalog and lets coverage tooling match without importing
+	// the interpreter).
+	CodeUnsatGuard      = semantic.CodeUnsatGuard      // SC101
+	CodeSemShadowed     = semantic.CodeSemShadowed     // SC102
+	CodeUnderivableProp = semantic.CodeUnderivableProp // SC201
+	CodeRedundantReq    = semantic.CodeRedundantReq    // SC202
+	CodeImpossibleOp    = semantic.CodeImpossibleOp    // SC301
+	CodeEmptyLanguage   = semantic.CodeEmptyLanguage   // SC302
 )
 
 // severityOf grades each code.
@@ -134,6 +161,9 @@ var severityOf = map[string]Severity{
 	CodeArgKind: SevError, CodeAnnotNonStream: SevError,
 	CodeUnusedParam: SevWarning, CodeUnusedWhere: SevWarning, CodeUseBeforeDef: SevError,
 	CodeRedefinition: SevWarning, CodeShadowedParam: SevWarning, CodeUnboundName: SevError,
+	CodeUnsatGuard: SevWarning, CodeSemShadowed: SevWarning,
+	CodeUnderivableProp: SevWarning, CodeRedundantReq: SevWarning,
+	CodeImpossibleOp: SevWarning, CodeEmptyLanguage: SevWarning,
 }
 
 // Diag is one diagnostic: a stable code, a severity, the rule (and 1-based
@@ -179,6 +209,15 @@ type Config struct {
 	// and their static shapes. Nil means star.BuiltinSignatures(); pass
 	// Engine.Signatures() to include extension registrations.
 	Signatures star.SigTable
+	// Syntactic restricts the run to the five syntactic passes, skipping
+	// the semantic abstract interpretation (SC1xx–SC3xx). starburst lint
+	// -syntactic sets it; CI uses the distinction to pin fixtures that are
+	// clean syntactically but tripped semantically.
+	Syntactic bool
+	// StorageKinds is the closed stmgr() vocabulary the guard
+	// satisfiability pass assumes; nil means the catalog's storage-manager
+	// kinds (heap, btree).
+	StorageKinds []string
 }
 
 // sigs resolves the effective signature table.
@@ -214,10 +253,29 @@ func (c Config) roots(rs *star.RuleSet) (roots []string, autoRooted bool) {
 	return roots, true
 }
 
+// Grammar is the inferred plan-shape grammar (see the semantic package's
+// Grammar for the schema).
+type Grammar = semantic.Grammar
+
 // Check runs every pass over the rule set and returns the findings sorted by
 // position, then code — deterministically, so golden tests and CI diffs are
 // stable.
 func Check(rs *star.RuleSet, cfg Config) []Diag {
+	diags, _ := CheckAndInfer(rs, cfg)
+	return diags
+}
+
+// Shapes infers the plan-shape grammar under the same configuration and
+// syntactic dead-code facts as Check, discarding the diagnostics. The
+// grammar is nil when cfg.Syntactic disables the semantic pass.
+func Shapes(rs *star.RuleSet, cfg Config) *Grammar {
+	_, g := CheckAndInfer(rs, cfg)
+	return g
+}
+
+// CheckAndInfer runs every pass and additionally returns the plan-shape
+// grammar the semantic pass infers (nil when cfg.Syntactic).
+func CheckAndInfer(rs *star.RuleSet, cfg Config) ([]Diag, *Grammar) {
 	sigs := cfg.sigs()
 	var diags []Diag
 
@@ -243,8 +301,28 @@ func Check(rs *star.RuleSet, cfg Config) []Diag {
 	// Pass 5: hygiene.
 	diags = append(diags, checkHygiene(rs)...)
 
+	// Pass 6: semantic abstract interpretation, fed the dead code the
+	// syntactic passes proved so it neither re-reports nor reasons from it.
+	var grammar *Grammar
+	if !cfg.Syntactic {
+		findings, g := semantic.AnalyzeAndInfer(rs, semantic.Config{
+			Roots:        roots,
+			AccessRoot:   DefaultAccessRoot,
+			Sigs:         sigs,
+			Dead:         StaticallyDead(diags),
+			StorageKinds: cfg.StorageKinds,
+		})
+		grammar = g
+		for _, f := range findings {
+			diags = append(diags, Diag{
+				Code: f.Code, Severity: severityOf[f.Code],
+				Rule: f.Rule, Alt: f.Alt, Pos: f.Pos, Msg: f.Msg,
+			})
+		}
+	}
+
 	sortDiags(diags)
-	return diags
+	return diags, grammar
 }
 
 // sortDiags orders diagnostics by file, position, code, rule, alternative.

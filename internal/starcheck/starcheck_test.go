@@ -124,7 +124,9 @@ star A(T, P) = {
   | STORE(Glue(T, {})) otherwise
 }
 `)
-	wantCodes(t, Check(rs, noRoots), CodeContradiction, CodeOtherwiseNeverFires)
+	// The semantic pass piles on: STORE is referenced only in the dead
+	// OTHERWISE arm, so it can appear in no generated plan (SC301).
+	wantCodes(t, Check(rs, noRoots), CodeContradiction, CodeOtherwiseNeverFires, CodeImpossibleOp)
 }
 
 func TestSelfContradictoryGuard(t *testing.T) {

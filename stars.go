@@ -292,6 +292,48 @@ func StaticallyDeadAlts(diags []LintDiag) map[string]map[int]bool {
 	return starcheck.StaticallyDead(diags)
 }
 
+// LintSyntactic is Lint restricted to the five syntactic passes — the
+// abstract-interpretation pass (SC1xx guard satisfiability, SC2xx property
+// completeness, SC3xx shape inference) is skipped. `starburst lint
+// -syntactic` uses it to demonstrate which findings need the semantic pass.
+func LintSyntactic(cat *Catalog, o Options) []LintDiag { return opt.LintSyntactic(cat, o) }
+
+// ShapeGrammar is the regular-tree grammar of operator trees a rule set can
+// generate (JSON schema stars/shapes/v1): per-STAR productions, the live
+// operator alphabet, possible parent→child adjacencies, and the Glue veneer
+// surface. Inferred by the lint semantic pass without running the optimizer.
+type ShapeGrammar = starcheck.Grammar
+
+// Shapes infers the plan-shape grammar of the rule set an optimization with
+// these options would run. Like Lint it builds a probe engine only to
+// resolve signatures — nothing is optimized, and the result depends only on
+// the rule text, so WriteShapesJSON output is byte-deterministic.
+func Shapes(cat *Catalog, o Options) *ShapeGrammar { return opt.ShapeGrammar(cat, o) }
+
+// WriteShapesJSON writes a shape grammar as its canonical stars/shapes/v1
+// JSON document (sorted keys, two-space indent, trailing newline).
+func WriteShapesJSON(w io.Writer, g *ShapeGrammar) error {
+	out, err := g.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(out)
+	return err
+}
+
+// PlanShapeSet accumulates the operator shapes of observed plans for the
+// grammar cross-check behind `starburst cover -shapes`.
+type PlanShapeSet = coverage.ShapeSet
+
+// PlanShapeCheck reports observed shapes against the inferred grammar:
+// violations (unknown operators, impossible adjacencies) and shape-level
+// coverage gaps (possible adjacencies never observed).
+type PlanShapeCheck = coverage.ShapeCheck
+
+// NewPlanShapeSet returns an empty shape accumulator; feed it Result.Best
+// trees with Observe, then CrossCheck against Shapes' grammar.
+func NewPlanShapeSet() *PlanShapeSet { return coverage.NewShapeSet() }
+
 // Explain renders a plan tree with one-line property summaries.
 func Explain(p *Plan) string { return plan.Explain(p) }
 

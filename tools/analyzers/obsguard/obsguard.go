@@ -1,0 +1,394 @@
+// Package obsguard statically enforces the repo's zero-alloc observability
+// invariant: every event- or profile-emitting call on an obs sink —
+// Emit, StartSpan, ProfActivity, ProfRank, ProfPhase — must be dominated
+// by a cheap enabled-guard (Enabled, ProfEnabled, ProfLabels, KeepsEvents),
+// because rendering the call's arguments (fingerprints, condition strings,
+// composite events) costs allocations even when the sink is nil and would
+// discard the result. See the Enabled doc in internal/obs.
+//
+// A call is considered guarded when, within its enclosing function:
+//
+//   - it sits in the body of an if-statement whose condition mentions a
+//     guard call or a boolean assigned from one (`if sink.Enabled()`,
+//     `profiled := sink.ProfEnabled(); ...; if profiled { ... }`), or
+//   - an earlier statement in an enclosing block is an early exit on the
+//     negated guard (`if !sink.Enabled() { return }`), or
+//   - the enclosing function is a package-local helper and every one of
+//     its call sites in the package is itself guarded (render helpers like
+//     emitOpEvents that document "caller checks Enabled"), or
+//   - the call line, the line above it, or the enclosing function's doc
+//     comment carries an `//obsguard:ignore` directive with a stated
+//     reason (cold paths that emit unconditionally by design, e.g.
+//     once-per-request serving code where the sink is never nil).
+//
+// The core is stdlib-only so the invariant is tested in tier-1; the
+// vettool/ subdirectory wraps it in a go/analysis pass (separate module,
+// needs golang.org/x/tools) that CI runs via `go vet -vettool`.
+package obsguard
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Directive is the comment marker that exempts a call site or a whole
+// function from the check. State the reason after the marker.
+const Directive = "obsguard:ignore"
+
+// emitMethods are the sink methods whose arguments render observability
+// payloads and therefore must be guarded.
+var emitMethods = map[string]bool{
+	"Emit":         true,
+	"StartSpan":    true,
+	"ProfActivity": true,
+	"ProfRank":     true,
+	"ProfPhase":    true,
+}
+
+// guardMethods are the cheap nil-safe predicates that establish domination.
+var guardMethods = map[string]bool{
+	"Enabled":     true,
+	"ProfEnabled": true,
+	"ProfLabels":  true,
+	"KeepsEvents": true,
+}
+
+// Diagnostic is one violation: an emit call with no dominating guard.
+type Diagnostic struct {
+	Pos token.Pos
+	Msg string
+}
+
+type callSite struct {
+	from      string // key of the calling function
+	dominated bool   // guard-dominated (or exempted) at the site
+}
+
+// fnInfo is the per-function record the helper fixpoint runs over.
+type fnInfo struct {
+	exempt  bool         // function-level directive
+	pending []Diagnostic // emit calls with no local guard, awaiting caller resolution
+	sites   []callSite   // package-local calls of this function
+}
+
+type checker struct {
+	fset        *token.FileSet
+	diags       []Diagnostic
+	ignoreLines map[string]map[int]bool
+	fns         map[string]*fnInfo
+}
+
+// Check analyzes one package's files (parsed with comments, sharing fset)
+// and returns the violations in position order.
+func Check(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	c := &checker{
+		fset:        fset,
+		ignoreLines: map[string]map[int]bool{},
+		fns:         map[string]*fnInfo{},
+	}
+	// Pass 0: comment directives and the function universe, so call sites
+	// recorded in pass 1 can land on not-yet-scanned callees.
+	for _, f := range files {
+		c.collectDirectives(f)
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				c.fns[funcKey(fn)] = &fnInfo{exempt: commentHas(fn.Doc, Directive)}
+			}
+		}
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				c.scanFunc(fn)
+			}
+		}
+	}
+	c.resolveHelpers()
+	sort.Slice(c.diags, func(i, j int) bool { return c.diags[i].Pos < c.diags[j].Pos })
+	return c.diags
+}
+
+// commentHas scans raw comment lines: CommentGroup.Text() strips
+// directive-style comments, which is exactly what the marker is.
+func commentHas(g *ast.CommentGroup, marker string) bool {
+	if g == nil {
+		return false
+	}
+	for _, cm := range g.List {
+		if strings.Contains(cm.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) collectDirectives(f *ast.File) {
+	for _, g := range f.Comments {
+		for _, cm := range g.List {
+			if !strings.Contains(cm.Text, Directive) {
+				continue
+			}
+			p := c.fset.Position(cm.Pos())
+			lines := c.ignoreLines[p.Filename]
+			if lines == nil {
+				lines = map[int]bool{}
+				c.ignoreLines[p.Filename] = lines
+			}
+			lines[p.Line] = true
+		}
+	}
+}
+
+func (c *checker) ignoredAt(pos token.Pos) bool {
+	p := c.fset.Position(pos)
+	lines := c.ignoreLines[p.Filename]
+	// A directive exempts its own line (trailing comment) or the next
+	// (standalone comment above the call).
+	return lines[p.Line] || lines[p.Line-1]
+}
+
+// funcKey names a function uniquely within the package: "Name" for plain
+// functions, "(T).Name" for methods (pointerness and type parameters are
+// stripped, so call-site resolution by name works without type info).
+func funcKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	return "(" + recvTypeName(fn.Recv.List[0].Type) + ")." + fn.Name.Name
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	}
+	return ""
+}
+
+func (c *checker) scanFunc(fn *ast.FuncDecl) {
+	key := funcKey(fn)
+	info := c.fns[key]
+	guards := guardIdents(fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if !emitMethods[fun.Sel.Name] {
+				return true
+			}
+			if info.exempt || c.ignoredAt(call.Pos()) || dominated(fn.Body, call, guards) {
+				return true
+			}
+			info.pending = append(info.pending, Diagnostic{
+				Pos: call.Pos(),
+				Msg: fun.Sel.Name + " call not dominated by an Enabled()/ProfEnabled() guard (zero-alloc invariant; guard it, hoist it behind the caller's guard, or annotate //obsguard:ignore with a reason)",
+			})
+		case *ast.Ident:
+			// A package-local helper call: record whether this site is
+			// guarded so the helper's own emit calls can inherit it.
+			callee, known := c.fns[fun.Name]
+			if !known {
+				return true
+			}
+			callee.sites = append(callee.sites, callSite{
+				from:      key,
+				dominated: info.exempt || c.ignoredAt(call.Pos()) || dominated(fn.Body, call, guards),
+			})
+		}
+		return true
+	})
+}
+
+// resolveHelpers flushes pending diagnostics: a function keeps its findings
+// unless every package-local call site is guarded (transitively through
+// caller helpers). Functions nobody in the package calls — exported API,
+// handlers — get no benefit of the doubt.
+func (c *checker) resolveHelpers() {
+	memo := map[string]bool{}
+	var guardedFn func(key string, onPath map[string]bool) bool
+	guardedFn = func(key string, onPath map[string]bool) bool {
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		if onPath[key] {
+			return false // recursion: no guarantee
+		}
+		onPath[key] = true
+		defer delete(onPath, key)
+		info := c.fns[key]
+		ok := info != nil && len(info.sites) > 0
+		if info != nil {
+			for _, s := range info.sites {
+				if !s.dominated && !guardedFn(s.from, onPath) {
+					ok = false
+					break
+				}
+			}
+		}
+		memo[key] = ok
+		return ok
+	}
+	for key, info := range c.fns {
+		if len(info.pending) == 0 || guardedFn(key, map[string]bool{}) {
+			continue
+		}
+		c.diags = append(c.diags, info.pending...)
+	}
+}
+
+// guardIdents collects names assigned (anywhere in the body) from an
+// expression that includes a guard call: `profiled := s.ProfEnabled()`,
+// `full := pt.Obs.Enabled() || pt.PruneDisabled`.
+func guardIdents(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			hit := false
+			for _, rhs := range st.Rhs {
+				if exprHasGuard(rhs, nil) {
+					hit = true
+				}
+			}
+			if hit {
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			hit := false
+			for _, rhs := range st.Values {
+				if exprHasGuard(rhs, nil) {
+					hit = true
+				}
+			}
+			if hit {
+				for _, id := range st.Names {
+					out[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprHasGuard reports whether the expression mentions a guard-method call
+// or a known guard boolean.
+func exprHasGuard(e ast.Expr, guards map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && guardMethods[sel.Sel.Name] {
+				found = true
+			}
+		case *ast.Ident:
+			if guards[x.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// dominated reports whether target (inside body) is controlled by a guard:
+// an enclosing if-body whose condition mentions a guard, or an earlier
+// early-exit statement `if !guard { return/continue/break/panic }` in an
+// enclosing block.
+func dominated(body *ast.BlockStmt, target ast.Node, guards map[string]bool) bool {
+	path := pathTo(body, target)
+	for i, n := range path {
+		var next ast.Node
+		if i+1 < len(path) {
+			next = path[i+1]
+		}
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			if next == s.Body && exprHasGuard(s.Cond, guards) {
+				return true
+			}
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				if st == next {
+					break
+				}
+				ifs, ok := st.(*ast.IfStmt)
+				if ok && negatedGuard(ifs.Cond, guards) && alwaysExits(ifs.Body) {
+					return true
+				}
+			}
+		case *ast.CaseClause:
+			for _, st := range s.Body {
+				if st == next {
+					break
+				}
+				ifs, ok := st.(*ast.IfStmt)
+				if ok && negatedGuard(ifs.Cond, guards) && alwaysExits(ifs.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func negatedGuard(cond ast.Expr, guards map[string]bool) bool {
+	u, ok := cond.(*ast.UnaryExpr)
+	return ok && u.Op == token.NOT && exprHasGuard(u.X, guards)
+}
+
+// alwaysExits reports whether a block certainly diverts control flow:
+// its last statement is a return, branch, or panic.
+func alwaysExits(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pathTo returns the node chain from root down to target (inclusive), or
+// nil when target is not under root.
+func pathTo(root, target ast.Node) []ast.Node {
+	var stack, found []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if found != nil {
+			return false
+		}
+		stack = append(stack, n)
+		if n == target {
+			found = append([]ast.Node(nil), stack...)
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,239 @@
+package obsguard
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// check parses source snippets as one package and runs the analyzer.
+func check(t *testing.T, srcs ...string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for i, src := range srcs {
+		f, err := parser.ParseFile(fset, "src"+string(rune('a'+i))+".go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	return Check(fset, files)
+}
+
+const header = "package p\n\nfunc work() {}\n"
+
+func TestDirectGuardShapes(t *testing.T) {
+	clean := header + `
+func a(s *Sink) {
+	if s.Enabled() {
+		s.Emit(ev())
+	}
+}
+func b(s *Sink) {
+	profiled := s.ProfEnabled()
+	if profiled {
+		s.ProfActivity(1, 2, 3)
+	}
+}
+func c(s *Sink) {
+	if !s.Enabled() {
+		return
+	}
+	s.Emit(ev())
+}
+func d(s *Sink, disabled bool) {
+	full := s.Enabled() || disabled
+	if full {
+		s.StartSpan("x", "", "", 0)
+	}
+}
+func e(s *Sink) {
+	if s.Enabled() {
+		sp := s.StartSpan("x", "", "", 0)
+		_ = sp
+		s.Emit(ev())
+	}
+}
+`
+	if diags := check(t, clean); len(diags) != 0 {
+		t.Errorf("clean shapes flagged: %+v", diags)
+	}
+}
+
+func TestUnguardedEmitFlagged(t *testing.T) {
+	bad := header + `
+func a(s *Sink) {
+	s.Emit(ev())
+}
+func b(s *Sink, cond bool) {
+	if cond {
+		s.ProfRank(nil)
+	}
+}
+func c(s *Sink) {
+	if !s.Enabled() {
+		work() // does not exit: everything after is still unguarded
+	}
+	s.Emit(ev())
+}
+`
+	diags := check(t, bad)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %+v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Msg, "not dominated") {
+			t.Errorf("unexpected message %q", d.Msg)
+		}
+	}
+}
+
+func TestHelperInheritsCallerGuards(t *testing.T) {
+	// emitAll is unguarded internally, but its only call sites are guarded.
+	clean := header + `
+func emitAll(s *Sink) {
+	s.Emit(ev())
+	s.Emit(ev())
+}
+func a(s *Sink) {
+	if s.Enabled() {
+		emitAll(s)
+	}
+}
+func b(s *Sink) {
+	if !s.Enabled() {
+		return
+	}
+	emitAll(s)
+}
+`
+	if diags := check(t, clean); len(diags) != 0 {
+		t.Errorf("guarded helper flagged: %+v", diags)
+	}
+	// One unguarded call site breaks the inheritance.
+	bad := clean + `
+func leak(s *Sink) {
+	emitAll(s)
+}
+`
+	if diags := check(t, bad); len(diags) != 2 {
+		t.Errorf("helper with an unguarded caller: got %d diagnostics, want 2 (both emits): %+v", len(diags), diags)
+	}
+	// A helper nobody calls gets no benefit of the doubt.
+	orphan := header + `
+func emitAll(s *Sink) {
+	s.Emit(ev())
+}
+`
+	if diags := check(t, orphan); len(diags) != 1 {
+		t.Errorf("orphan helper: got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+}
+
+func TestRecursiveHelpersNotTrusted(t *testing.T) {
+	src := header + `
+func ping(s *Sink) {
+	s.Emit(ev())
+	pong(s)
+}
+func pong(s *Sink) {
+	ping(s)
+}
+`
+	if diags := check(t, src); len(diags) != 1 {
+		t.Errorf("mutual recursion must not launder guards: %+v", diags)
+	}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	src := header + `
+// handler emits once per request; the sink is never nil here.
+//obsguard:ignore cold path, sink injected per request
+func handler(s *Sink) {
+	s.Emit(ev())
+	s.ProfPhase("parse", 0, 0)
+}
+func inline(s *Sink) {
+	s.Emit(ev()) //obsguard:ignore boot-time, runs once
+	//obsguard:ignore next line
+	s.Emit(ev())
+	s.Emit(ev())
+}
+`
+	diags := check(t, src)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (only the undirected emit): %+v", len(diags), diags)
+	}
+}
+
+func TestGuardAcrossFilesDoesNotLeak(t *testing.T) {
+	// A guard ident in one function must not excuse another function.
+	src := header + `
+func a(s *Sink) {
+	profiled := s.ProfEnabled()
+	_ = profiled
+}
+func b(s *Sink, profiled bool) {
+	if profiled {
+		s.Emit(ev()) // bool param, not assigned from a guard here
+	}
+}
+`
+	if diags := check(t, src); len(diags) != 1 {
+		t.Errorf("foreign guard ident leaked: %+v", diags)
+	}
+}
+
+// TestRepoSelfGate runs the analyzer over every non-test package of the
+// main module: the repository must satisfy its own invariant. This is the
+// tier-1 stand-in for the CI `go vet -vettool` leg (which needs x/tools).
+func TestRepoSelfGate(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := map[string][]string{}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "vettool" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		pkgs[dir] = append(pkgs[dir], path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("walked only %d packages from %s; wrong root?", len(pkgs), root)
+	}
+	for dir, paths := range pkgs {
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, p := range paths {
+			f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("%s: %v", p, err)
+			}
+			files = append(files, f)
+		}
+		for _, d := range Check(fset, files) {
+			t.Errorf("%s: %s: %s", dir, fset.Position(d.Pos), d.Msg)
+		}
+	}
+}

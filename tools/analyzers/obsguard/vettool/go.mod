@@ -1,0 +1,10 @@
+module stars/tools/analyzers/obsguard/vettool
+
+go 1.22
+
+require (
+	golang.org/x/tools v0.24.0
+	stars v0.0.0
+)
+
+replace stars => ../../../..

@@ -1,0 +1,31 @@
+// Command obsguard-vet wraps the stdlib-only obsguard core in a go/analysis
+// pass so it can run as `go vet -vettool=$(which obsguard-vet) ./...`.
+//
+// This directory is a separate Go module: the main repo is dependency-free
+// by policy, and golang.org/x/tools is needed only here. CI builds it with
+//
+//	cd tools/analyzers/obsguard/vettool && go mod tidy && go build -o obsguard-vet .
+//
+// The analysis logic itself lives in the parent package and is exercised by
+// tier-1 tests without any of this plumbing.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"stars/tools/analyzers/obsguard"
+)
+
+var analyzer = &analysis.Analyzer{
+	Name: "obsguard",
+	Doc:  "check that obs emit calls are dominated by sink.Enabled()-style guards (zero-alloc invariant)",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, d := range obsguard.Check(pass.Fset, pass.Files) {
+			pass.Report(analysis.Diagnostic{Pos: d.Pos, Message: d.Msg})
+		}
+		return nil, nil
+	},
+}
+
+func main() { unitchecker.Main(analyzer) }
